@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Extra ablation bench: sweep CHiRP's design-choice knobs one axis
+ * at a time around the paper configuration and report the MPKI
+ * reduction plus the dead-victim coverage each point achieves.
+ *
+ * Not a paper figure; this is the instrument behind the design
+ * discussion in DESIGN.md (counter width, dead threshold, update
+ * filters, hash choice, eviction-training scope).
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "bench/harness.hh"
+#include "core/chirp.hh"
+#include "sim/simulator.hh"
+
+using namespace chirp;
+using namespace chirp::bench;
+
+namespace
+{
+
+struct Point
+{
+    std::string name;
+    ChirpConfig config;
+};
+
+/** Run one config over the suite; returns {reduction%, dead-victim%}. */
+std::pair<double, double>
+evaluate(const BenchContext &ctx, const std::vector<WorkloadResult> &lru,
+         const ChirpConfig &config)
+{
+    const Runner runner = ctx.runner();
+    // Track dead-victim coverage across the suite by re-running one
+    // simulator per workload and summing the diagnostic counters.
+    std::uint64_t dead = 0;
+    std::uint64_t fallback = 0;
+    std::vector<WorkloadResult> results;
+    for (const auto &workload : ctx.suite) {
+        const auto program = buildWorkload(workload);
+        const std::uint32_t sets =
+            ctx.config.tlbs.l2.entries / ctx.config.tlbs.l2.assoc;
+        auto policy =
+            makeChirp(sets, ctx.config.tlbs.l2.assoc, config);
+        const ChirpPolicy *raw = policy.get();
+        Simulator sim(ctx.config, std::move(policy));
+        results.push_back({workload, sim.run(*program)});
+        dead += raw->deadVictims();
+        fallback += raw->lruVictims();
+    }
+    const double coverage =
+        dead + fallback
+            ? 100.0 * static_cast<double>(dead) /
+                  static_cast<double>(dead + fallback)
+            : 0.0;
+    return {mpkiReductionPct(lru, results), coverage};
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchContext ctx = makeContext(18, /*mpki_only=*/true);
+    printBanner("CHiRP design-knob sweep (one axis at a time)", ctx);
+
+    const Runner runner = ctx.runner();
+    const auto lru = runner.runSuite(
+        ctx.suite, Runner::factoryFor(PolicyKind::Lru), "lru");
+
+    std::vector<Point> points;
+    auto add = [&](std::string name,
+                   const std::function<void(ChirpConfig &)> &tweak) {
+        ChirpConfig config;
+        tweak(config);
+        points.push_back({std::move(name), config});
+    };
+
+    add("default", [](ChirpConfig &) {});
+    add("threshold=0", [](ChirpConfig &c) { c.deadThreshold = 0; });
+    add("threshold=1", [](ChirpConfig &c) { c.deadThreshold = 1; });
+    add("threshold=3(3b)", [](ChirpConfig &c) {
+        c.counterBits = 3;
+        c.deadThreshold = 3;
+    });
+    add("threshold=5(3b)", [](ChirpConfig &c) {
+        c.counterBits = 3;
+        c.deadThreshold = 5;
+    });
+    add("hit=every", [](ChirpConfig &c) {
+        c.hitUpdate = HitUpdateMode::Every;
+    });
+    add("hit=firstHit", [](ChirpConfig &c) {
+        c.hitUpdate = HitUpdateMode::FirstHit;
+    });
+    add("train-all-evictions", [](ChirpConfig &c) {
+        c.trainOnLruEvictionOnly = false;
+    });
+    add("path=4", [](ChirpConfig &c) { c.history.pathEvents = 4; });
+    add("path=8", [](ChirpConfig &c) { c.history.pathEvents = 8; });
+    add("path=32", [](ChirpConfig &c) { c.history.pathEvents = 32; });
+    add("hash=fold", [](ChirpConfig &c) { c.hash = HashKind::Fold; });
+    add("hash=crc", [](ChirpConfig &c) { c.hash = HashKind::Crc; });
+    add("pcbits=4", [](ChirpConfig &c) { c.history.pathPcBits = 4; });
+    add("pc-lowbit=0", [](ChirpConfig &c) { c.history.pathPcLowBit = 0; });
+    add("path=all-insts", [](ChirpConfig &c) {
+        c.history.pathFilter = PathFilter::All;
+    });
+    add("path=branches", [](ChirpConfig &c) {
+        c.history.pathFilter = PathFilter::Branch;
+    });
+
+    TableFormatter table;
+    table.header({"variant", "MPKI reduction %", "dead-victim %"});
+    CsvWriter csv("chirp_param_sweep.csv");
+    csv.row({"variant", "reduction_pct", "dead_victim_pct"});
+    for (const Point &point : points) {
+        const auto [reduction, coverage] =
+            evaluate(ctx, lru, point.config);
+        std::fprintf(stderr, "  %-20s %+6.2f%%  dead-victims %5.1f%%\n",
+                     point.name.c_str(), reduction, coverage);
+        table.row({point.name, TableFormatter::num(reduction, 2),
+                   TableFormatter::num(coverage, 1)});
+        csv.row({point.name, TableFormatter::num(reduction, 3),
+                 TableFormatter::num(coverage, 2)});
+    }
+    table.print();
+    std::printf("\nCSV written to chirp_param_sweep.csv\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig 2 reproduction: speedup as a function of global PC (path)
+ * history length, with and without the branch histories.
+ *
+ * Paper shape: PC-history-only speedup stops improving beyond a
+ * length of ~15; folding the branch path histories into the
+ * signature lets CHiRP exploit effective history lengths beyond 30.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace chirp;
+using namespace chirp::bench;
+
+int
+main()
+{
+    BenchContext ctx = makeContext(18, /*mpki_only=*/false);
+    printBanner("Fig 2: speedup vs global path-history length", ctx);
+
+    const Runner runner = ctx.runner();
+    const auto lru = runner.runSuite(
+        ctx.suite, Runner::factoryFor(PolicyKind::Lru), "lru");
+
+    TableFormatter table;
+    table.header({"path length", "PC-history only (speedup %)",
+                  "+ branch histories (speedup %)"});
+    CsvWriter csv("fig02_history_length.csv");
+    csv.row({"path_events", "speedup_pct_pc_only",
+             "speedup_pct_with_branch"});
+
+    for (const unsigned length : {4u, 8u, 12u, 16u, 24u, 32u, 40u}) {
+        double speedups[2] = {0.0, 0.0};
+        for (const bool with_branch : {false, true}) {
+            ChirpConfig config;
+            config.history.pathEvents = length;
+            config.history.useCondHist = with_branch;
+            config.history.useUncondHist = with_branch;
+            char label[48];
+            std::snprintf(label, sizeof(label), "len%u%s", length,
+                          with_branch ? "+br" : "");
+            const auto results = runner.runSuite(
+                ctx.suite,
+                [&](std::uint32_t sets, std::uint32_t assoc) {
+                    return makeChirp(sets, assoc, config);
+                },
+                label);
+            speedups[with_branch ? 1 : 0] =
+                speedupPct(lru, results, ctx.config.pageWalkLatency);
+        }
+        table.row({TableFormatter::num(std::uint64_t{length}),
+                   TableFormatter::num(speedups[0], 2),
+                   TableFormatter::num(speedups[1], 2)});
+        csv.row({std::to_string(length),
+                 TableFormatter::num(speedups[0], 3),
+                 TableFormatter::num(speedups[1], 3)});
+    }
+    table.print();
+    std::printf("\npaper shape: the PC-only curve saturates near "
+                "length 15; the combined curve keeps rising past 30.\n");
+    std::printf("CSV written to fig02_history_length.csv\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fig 3 reproduction: offline-ADALINE importance of each PC bit for
+ * predicting L2 TLB entry reuse, one row per workload.
+ *
+ * Paper: the white (high-weight) columns sit at PC bits 2 and 3 —
+ * the slice CHiRP shifts into its path history.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.hh"
+#include "learn/adaline.hh"
+#include "learn/reuse_dataset.hh"
+
+using namespace chirp;
+using namespace chirp::bench;
+
+namespace
+{
+
+constexpr std::size_t kPcBits = 20;
+
+} // namespace
+
+int
+main()
+{
+    BenchContext ctx = makeContext(24, /*mpki_only=*/true);
+    printBanner("Fig 3: ADALINE weight per PC bit (reuse prediction)",
+                ctx);
+
+    CsvWriter csv("fig03_adaline_weights.csv");
+    {
+        std::vector<std::string> header = {"workload"};
+        for (std::size_t bit = 0; bit < kPcBits; ++bit)
+            header.push_back("bit" + std::to_string(bit));
+        csv.row(header);
+    }
+
+    std::vector<double> column_sum(kPcBits, 0.0);
+    std::size_t rows = 0;
+    for (std::size_t i = 0; i < ctx.suite.size(); ++i) {
+        std::fprintf(stderr, "\r  [adaline] %zu/%zu", i + 1,
+                     ctx.suite.size());
+        std::fflush(stderr);
+        const auto program = buildWorkload(ctx.suite[i]);
+        const auto samples = collectReuseSamples(*program);
+        if (samples.size() < 200)
+            continue;
+
+        AdalineConfig config;
+        config.inputs = kPcBits;
+        Adaline model(config);
+        // Two passes over the dataset, as an offline study would.
+        for (int pass = 0; pass < 2; ++pass) {
+            for (const auto &sample : samples) {
+                model.train(pcBitsToInputs(sample.fillPc, kPcBits),
+                            sample.reused ? 1.0 : -1.0);
+            }
+        }
+        const auto importance = model.normalizedImportance();
+        std::vector<std::string> row = {ctx.suite[i].name};
+        for (std::size_t bit = 0; bit < kPcBits; ++bit) {
+            row.push_back(TableFormatter::num(importance[bit], 4));
+            column_sum[bit] += importance[bit];
+        }
+        csv.row(row);
+        ++rows;
+    }
+    std::fprintf(stderr, "\n");
+
+    TableFormatter table;
+    table.header({"PC bit", "mean importance", "bar"});
+    std::size_t best_bit = 0;
+    for (std::size_t bit = 0; bit < kPcBits; ++bit) {
+        const double mean_importance =
+            rows ? column_sum[bit] / static_cast<double>(rows) : 0.0;
+        if (mean_importance > column_sum[best_bit] / (rows ? rows : 1))
+            best_bit = bit;
+        std::string bar(
+            static_cast<std::size_t>(mean_importance * 40.0), '#');
+        table.row({TableFormatter::num(std::uint64_t{bit}),
+                   TableFormatter::num(mean_importance, 3), bar});
+    }
+    table.print();
+    std::printf("\npaper: bits 2 and 3 carry the strongest reuse "
+                "correlation (instruction-slot identity inside a "
+                "16-byte group).\n");
+    std::printf("CSV written to fig03_adaline_weights.csv\n");
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fig 6 reproduction: the ablation ladder showing how each feature /
+ * optimization moves average-MPKI reduction over LRU.
+ *
+ * Paper rungs (reduction of average MPKI over 870 traces vs LRU):
+ *   SHiP (PC-only)                          +0.88%
+ *   SHiP, unlimited table (no aliasing)     +0.63%
+ *   SHiP, prediction on a subset of sets    +1.28%
+ *   SHiP + Selective Hit Update             +5.85%
+ *   CHiRP path history only (no branches)     --     (see Fig 2)
+ *   + conditional branch history            +23.88%
+ *   + two leading zeros in the path         +26.98%
+ *   full CHiRP (+ indirect branch history)  +28.21%
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "bench/harness.hh"
+
+using namespace chirp;
+using namespace chirp::bench;
+
+namespace
+{
+
+struct Rung
+{
+    const char *name;
+    double paper; //!< paper's MPKI reduction %, NaN-ish -1000 = n/a
+    PolicyFactory factory;
+};
+
+ChirpConfig
+chirpVariant(bool cond, bool uncond, bool zeros)
+{
+    ChirpConfig config;
+    config.history.useCondHist = cond;
+    config.history.useUncondHist = uncond;
+    config.history.pathZeroBits = zeros ? 2 : 0;
+    return config;
+}
+
+ShipConfig
+shipVariant(bool unlimited, double subset, HitUpdateMode mode)
+{
+    ShipConfig config;
+    config.unlimitedTable = unlimited;
+    config.predictedSetsFraction = subset;
+    config.hitUpdate = mode;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchContext ctx = makeContext(48, /*mpki_only=*/true);
+    printBanner("Fig 6: feature/optimization ablation (MPKI reduction % "
+                "over LRU)", ctx);
+
+    const std::vector<Rung> rungs = {
+        {"ship-pc-only", 0.88,
+         [](std::uint32_t s, std::uint32_t a) {
+             return makeShip(s, a,
+                             shipVariant(false, 1.0,
+                                         HitUpdateMode::Every));
+         }},
+        {"ship-unlimited-table", 0.63,
+         [](std::uint32_t s, std::uint32_t a) {
+             return makeShip(s, a,
+                             shipVariant(true, 1.0,
+                                         HitUpdateMode::Every));
+         }},
+        {"ship-subset-sets", 1.28,
+         [](std::uint32_t s, std::uint32_t a) {
+             return makeShip(s, a,
+                             shipVariant(false, 0.5,
+                                         HitUpdateMode::Every));
+         }},
+        {"ship-selective-hit-update", 5.85,
+         [](std::uint32_t s, std::uint32_t a) {
+             return makeShip(s, a,
+                             shipVariant(false, 1.0,
+                                         HitUpdateMode::FirstHitDiffSet));
+         }},
+        {"srrip", 10.36, Runner::factoryFor(PolicyKind::Srrip)},
+        {"ghrp", 9.03, Runner::factoryFor(PolicyKind::Ghrp)},
+        {"chirp-path-only", -1000,
+         [](std::uint32_t s, std::uint32_t a) {
+             return makeChirp(s, a, chirpVariant(false, false, true));
+         }},
+        {"chirp-no-zeros+cond", 23.88,
+         [](std::uint32_t s, std::uint32_t a) {
+             return makeChirp(s, a, chirpVariant(true, false, false));
+         }},
+        {"chirp-zeros+cond", 26.98,
+         [](std::uint32_t s, std::uint32_t a) {
+             return makeChirp(s, a, chirpVariant(true, false, true));
+         }},
+        {"chirp-full", 28.21,
+         [](std::uint32_t s, std::uint32_t a) {
+             return makeChirp(s, a, chirpVariant(true, true, true));
+         }},
+    };
+
+    const Runner runner = ctx.runner();
+    const auto lru = runner.runSuite(
+        ctx.suite, Runner::factoryFor(PolicyKind::Lru), "lru");
+
+    TableFormatter table;
+    table.header({"configuration", "avg MPKI", "reduction % (measured)",
+                  "reduction % (paper)"});
+    CsvWriter csv("fig06_ablation.csv");
+    csv.row({"configuration", "avg_mpki", "reduction_pct_measured",
+             "reduction_pct_paper"});
+
+    for (const Rung &rung : rungs) {
+        const auto results =
+            runner.runSuite(ctx.suite, rung.factory, rung.name);
+        const double mpki = averageMpki(results);
+        const double reduction = mpkiReductionPct(lru, results);
+        const std::string paper =
+            rung.paper <= -1000 ? "-" : paperCell(rung.paper);
+        table.row({rung.name, TableFormatter::num(mpki, 3),
+                   TableFormatter::num(reduction, 2), paper});
+        csv.row({rung.name, TableFormatter::num(mpki, 4),
+                 TableFormatter::num(reduction, 3), paper});
+    }
+    table.row({"(baseline lru)", TableFormatter::num(averageMpki(lru), 3),
+               "0.00", "0.00"});
+    table.print();
+    std::printf("\nCSV written to fig06_ablation.csv\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fig 7 reproduction: MPKI comparison of all six policies over the
+ * suite, sorted by LRU MPKI (the paper's S-curve), plus the average
+ * MPKI / reduction summary the paper quotes.
+ *
+ * Paper averages over 870 traces: LRU 1.51, Random 1.47, SRRIP 1.35
+ * (+10.36%), SHiP 1.50 (+0.88%), GHRP 1.37 (+9.03%), CHiRP 1.08
+ * (+28.21%).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench/harness.hh"
+
+using namespace chirp;
+using namespace chirp::bench;
+
+int
+main()
+{
+    BenchContext ctx = makeContext(96, /*mpki_only=*/true);
+    printBanner("Fig 7: per-policy MPKI S-curve and averages", ctx);
+
+    const auto results = runAllPolicies(ctx);
+    const auto &lru = results.at(PolicyKind::Lru);
+
+    // S-curve: workloads ordered by LRU MPKI.
+    std::vector<std::size_t> order(ctx.suite.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return lru[a].stats.mpki() < lru[b].stats.mpki();
+              });
+
+    CsvWriter csv("fig07_mpki_scurve.csv");
+    {
+        std::vector<std::string> header = {"rank", "workload"};
+        for (const PolicyKind kind : allPolicyKinds())
+            header.push_back(std::string(policyKindName(kind)) +
+                             "_mpki");
+        csv.row(header);
+    }
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        const std::size_t i = order[rank];
+        std::vector<std::string> row = {
+            TableFormatter::num(std::uint64_t{rank}),
+            ctx.suite[i].name};
+        for (const PolicyKind kind : allPolicyKinds())
+            row.push_back(TableFormatter::num(
+                results.at(kind)[i].stats.mpki(), 4));
+        csv.row(row);
+    }
+
+    // Console: decile summary of the S-curve.
+    TableFormatter curve;
+    {
+        std::vector<std::string> header = {"percentile"};
+        for (const PolicyKind kind : allPolicyKinds())
+            header.push_back(policyKindName(kind));
+        curve.header(header);
+    }
+    for (const double pct : {10.0, 25.0, 50.0, 75.0, 90.0, 100.0}) {
+        std::vector<std::string> row = {TableFormatter::num(pct, 0)};
+        const std::size_t upto = std::min<std::size_t>(
+            order.size(),
+            static_cast<std::size_t>(pct / 100.0 * order.size()));
+        const std::size_t i = order[upto == 0 ? 0 : upto - 1];
+        for (const PolicyKind kind : allPolicyKinds())
+            row.push_back(TableFormatter::num(
+                results.at(kind)[i].stats.mpki(), 3));
+        curve.row(row);
+    }
+    std::printf("MPKI at LRU-sorted percentiles (S-curve samples):\n");
+    curve.print();
+
+    // Headline averages, paper vs measured.
+    const struct
+    {
+        PolicyKind kind;
+        double paper_mpki;
+        double paper_reduction;
+    } reference[] = {
+        {PolicyKind::Lru, 1.51, 0.0},    {PolicyKind::Random, 1.47, 2.6},
+        {PolicyKind::Srrip, 1.35, 10.36}, {PolicyKind::Ship, 1.50, 0.88},
+        {PolicyKind::Ghrp, 1.37, 9.03},  {PolicyKind::Chirp, 1.08, 28.21},
+    };
+    TableFormatter summary;
+    summary.header({"policy", "avg MPKI", "reduction % (measured)",
+                    "paper MPKI", "reduction % (paper)"});
+    for (const auto &ref : reference) {
+        const auto &res = results.at(ref.kind);
+        summary.row({policyKindName(ref.kind),
+                     TableFormatter::num(averageMpki(res), 3),
+                     TableFormatter::num(mpkiReductionPct(lru, res), 2),
+                     TableFormatter::num(ref.paper_mpki, 2),
+                     TableFormatter::num(ref.paper_reduction, 2)});
+    }
+    std::printf("\naverages over the suite (paper: 870 CVP-1 traces; "
+                "absolute MPKI differs by design — see EXPERIMENTS.md):\n");
+    summary.print();
+    std::printf("\nCSV written to fig07_mpki_scurve.csv\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig 8 reproduction: per-workload speedup over LRU at a 150-cycle
+ * L2 TLB miss penalty, with the paper's geomean summary.
+ *
+ * Paper geomeans: CHiRP 4.80%, SRRIP 1.65%, GHRP 0.94%, Random
+ * 0.42%, SHiP 0.13%.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench/harness.hh"
+
+using namespace chirp;
+using namespace chirp::bench;
+
+int
+main()
+{
+    BenchContext ctx = makeContext(48, /*mpki_only=*/false);
+    ctx.config.pageWalkLatency = 150;
+    printBanner("Fig 8: speedup over LRU at a 150-cycle miss penalty",
+                ctx);
+
+    const auto results = runAllPolicies(ctx);
+    const auto &lru = results.at(PolicyKind::Lru);
+
+    CsvWriter csv("fig08_speedup.csv");
+    {
+        std::vector<std::string> header = {"workload"};
+        for (const PolicyKind kind : allPolicyKinds()) {
+            if (kind != PolicyKind::Lru)
+                header.push_back(std::string(policyKindName(kind)) +
+                                 "_speedup_pct");
+        }
+        csv.row(header);
+    }
+    for (std::size_t i = 0; i < ctx.suite.size(); ++i) {
+        std::vector<std::string> row = {ctx.suite[i].name};
+        for (const PolicyKind kind : allPolicyKinds()) {
+            if (kind == PolicyKind::Lru)
+                continue;
+            const double speedup =
+                (results.at(kind)[i].stats.ipcAtPenalty(150) /
+                     lru[i].stats.ipcAtPenalty(150) -
+                 1.0) *
+                100.0;
+            row.push_back(TableFormatter::num(speedup, 3));
+        }
+        csv.row(row);
+    }
+
+    const struct
+    {
+        PolicyKind kind;
+        double paper;
+    } reference[] = {
+        {PolicyKind::Random, 0.42}, {PolicyKind::Srrip, 1.65},
+        {PolicyKind::Ship, 0.13},   {PolicyKind::Ghrp, 0.94},
+        {PolicyKind::Chirp, 4.80},
+    };
+    TableFormatter summary;
+    summary.header({"policy", "geomean speedup % (measured)",
+                    "geomean speedup % (paper)"});
+    for (const auto &ref : reference) {
+        summary.row({policyKindName(ref.kind),
+                     TableFormatter::num(
+                         speedupPct(lru, results.at(ref.kind), 150), 2),
+                     TableFormatter::num(ref.paper, 2)});
+    }
+    summary.print();
+    std::printf("\nCSV written to fig08_speedup.csv\n");
+    return 0;
+}

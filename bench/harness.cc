@@ -1,0 +1,51 @@
+#include "bench/harness.hh"
+
+#include <cstdio>
+
+namespace chirp::bench
+{
+
+BenchContext
+makeContext(std::size_t default_suite_size, bool mpki_only)
+{
+    BenchContext ctx;
+    ctx.options = suiteOptionsFromEnv(default_suite_size);
+    ctx.suite = makeSuite(ctx.options);
+    if (mpki_only) {
+        ctx.config.simulateCaches = false;
+        ctx.config.simulateBranch = false;
+    }
+    return ctx;
+}
+
+void
+printBanner(const std::string &title, const BenchContext &ctx)
+{
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("suite: %zu workloads x %llu instructions (seed %llu); "
+                "L2 TLB %u entries, %u-way\n\n",
+                ctx.suite.size(),
+                static_cast<unsigned long long>(ctx.options.traceLength),
+                static_cast<unsigned long long>(ctx.options.baseSeed),
+                ctx.config.tlbs.l2.entries, ctx.config.tlbs.l2.assoc);
+}
+
+std::map<PolicyKind, std::vector<WorkloadResult>>
+runAllPolicies(const BenchContext &ctx)
+{
+    std::map<PolicyKind, std::vector<WorkloadResult>> results;
+    const Runner runner = ctx.runner();
+    for (const PolicyKind kind : allPolicyKinds()) {
+        results[kind] = runner.runSuite(
+            ctx.suite, Runner::factoryFor(kind), policyKindName(kind));
+    }
+    return results;
+}
+
+std::string
+paperCell(double value)
+{
+    return TableFormatter::num(value, 2);
+}
+
+} // namespace chirp::bench

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table-reproduction benches.
+ *
+ * Every bench binary runs with no arguments, prints a
+ * paper-vs-measured table on stdout, and writes a CSV into the
+ * working directory.  Fidelity scales through the CHIRP_SUITE_SIZE /
+ * CHIRP_TRACE_LEN / CHIRP_SEED environment variables (see
+ * workload_suite.hh); defaults are sized for a single-core machine.
+ */
+
+#ifndef CHIRP_BENCH_HARNESS_HH
+#define CHIRP_BENCH_HARNESS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+
+namespace chirp::bench
+{
+
+/** Everything a figure bench needs. */
+struct BenchContext
+{
+    SuiteOptions options;
+    std::vector<WorkloadConfig> suite;
+    SimConfig config;
+
+    Runner
+    runner() const
+    {
+        return Runner(config);
+    }
+};
+
+/**
+ * Build the context for a bench.
+ * @param default_suite_size workloads unless CHIRP_SUITE_SIZE is set
+ * @param mpki_only disable cache/branch timing (faster; use for
+ *        benches that report MPKI/table-rate/efficiency only)
+ */
+BenchContext makeContext(std::size_t default_suite_size, bool mpki_only);
+
+/** Print the standard bench banner. */
+void printBanner(const std::string &title, const BenchContext &ctx);
+
+/**
+ * Run every paper policy over the suite, returning results keyed by
+ * policy (LRU is always included and is the baseline).
+ */
+std::map<PolicyKind, std::vector<WorkloadResult>>
+runAllPolicies(const BenchContext &ctx);
+
+/** Format "paper vs measured" cells, e.g. "28.21" / "24.10". */
+std::string paperCell(double value);
+
+} // namespace chirp::bench
+
+#endif // CHIRP_BENCH_HARNESS_HH

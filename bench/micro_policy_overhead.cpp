@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Microbenchmark (google-benchmark): simulation cost per L2 TLB
+ * access for each replacement policy, plus the cost of CHiRP's
+ * history updates.
+ *
+ * This backs the §VI-B/§VI-E discussion: CHiRP's selective updates
+ * keep its per-access work (and hence the modeled energy) close to
+ * LRU's, unlike per-access predictors.  Absolute numbers are host
+ * timings of the simulator, not hardware latencies.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/policy_factory.hh"
+#include "tlb/tlb.hh"
+#include "util/random.hh"
+
+namespace chirp
+{
+namespace
+{
+
+/** Drive a policy-backed TLB with a mixed hit/miss stream. */
+void
+runAccessStream(benchmark::State &state, PolicyKind kind)
+{
+    TlbConfig config;
+    config.entries = 1024;
+    config.assoc = 8;
+    Tlb tlb(config, makePolicy(kind, 128, 8));
+
+    Rng rng(42);
+    // Pre-generate a stream: 70% from a hot set (hits), 30% cold.
+    std::vector<AccessInfo> stream;
+    stream.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+        AccessInfo info;
+        info.pc = 0x400000 + 4 * rng.below(256);
+        info.cls = InstClass::Load;
+        info.vaddr = rng.chance(0.7)
+                         ? rng.below(512) * kPageSize
+                         : (1000 + rng.below(1u << 20)) * kPageSize;
+        stream.push_back(info);
+    }
+
+    std::uint64_t now = 0;
+    std::size_t pos = 0;
+    for (auto _ : state) {
+        const AccessInfo &info = stream[pos];
+        benchmark::DoNotOptimize(tlb.access(info, 0, now++));
+        // Branch/instruction events at a realistic ratio.
+        tlb.policy().onInstRetired(info.pc, InstClass::Load);
+        if ((now & 7) == 0) {
+            tlb.policy().onBranchRetired(info.pc + 60,
+                                         InstClass::CondBranch,
+                                         (now & 8) != 0);
+        }
+        pos = (pos + 1) & 4095;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Lru(benchmark::State &s) { runAccessStream(s, PolicyKind::Lru); }
+void BM_Random(benchmark::State &s)
+{
+    runAccessStream(s, PolicyKind::Random);
+}
+void BM_Srrip(benchmark::State &s)
+{
+    runAccessStream(s, PolicyKind::Srrip);
+}
+void BM_Ship(benchmark::State &s) { runAccessStream(s, PolicyKind::Ship); }
+void BM_Ghrp(benchmark::State &s) { runAccessStream(s, PolicyKind::Ghrp); }
+void BM_Chirp(benchmark::State &s)
+{
+    runAccessStream(s, PolicyKind::Chirp);
+}
+
+BENCHMARK(BM_Lru);
+BENCHMARK(BM_Random);
+BENCHMARK(BM_Srrip);
+BENCHMARK(BM_Ship);
+BENCHMARK(BM_Ghrp);
+BENCHMARK(BM_Chirp);
+
+/** Cost of one CHiRP history update (the per-retire hardware path). */
+void
+BM_ChirpHistoryUpdate(benchmark::State &state)
+{
+    auto policy = makeChirp(128, 8, ChirpConfig{});
+    Addr pc = 0x400000;
+    for (auto _ : state) {
+        policy->onInstRetired(pc, InstClass::Load);
+        pc += 4;
+        benchmark::DoNotOptimize(policy);
+    }
+}
+BENCHMARK(BM_ChirpHistoryUpdate);
+
+/** Cost of composing one CHiRP signature. */
+void
+BM_ChirpSignature(benchmark::State &state)
+{
+    auto policy = makeChirp(128, 8, ChirpConfig{});
+    Addr pc = 0x400000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(policy->currentSignature(pc));
+        pc += 4;
+    }
+}
+BENCHMARK(BM_ChirpSignature);
+
+} // namespace
+} // namespace chirp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table II reproduction: print the simulated machine configuration
+ * and verify it matches the paper's parameters.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.hh"
+
+using namespace chirp;
+using namespace chirp::bench;
+
+int
+main()
+{
+    const SimConfig config;
+
+    TableFormatter table;
+    table.header({"component", "simulated parameter", "paper (Table II)"});
+    auto cache_row = [&](const char *name, const CacheConfig &c,
+                         const char *paper) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%lluKB, %u way, %llu cycles",
+                      static_cast<unsigned long long>(c.sizeBytes / 1024),
+                      c.assoc,
+                      static_cast<unsigned long long>(c.latency));
+        table.row({name, buf, paper});
+    };
+    cache_row("L1 i-Cache", config.caches.l1i, "64KB, 8 way, 4 cycles");
+    cache_row("L1 d-Cache", config.caches.l1d, "64KB, 8 way, 4 cycles");
+    cache_row("L2 Unified Cache", config.caches.l2,
+              "256KB, 16 way, 12 cycles");
+    cache_row("L3 Unified Cache", config.caches.l3,
+              "8MB, 16 way, 42 cycles");
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu cycles",
+                      static_cast<unsigned long long>(
+                          config.caches.dramLatency));
+        table.row({"DRAM", buf, "240 cycles"});
+    }
+    {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "hashed perceptron, %u-entry BTB, %llu cycle "
+                      "penalty",
+                      config.branch.btbEntries,
+                      static_cast<unsigned long long>(
+                          config.branch.mispredictPenalty));
+        table.row({"Branch Predictor", buf,
+                   "hashed perceptron, 4K BTB, 20 cycle penalty"});
+    }
+    auto tlb_row = [&](const char *name, const TlbConfig &t,
+                       const char *paper) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%u entry, %u way, %llu cycle",
+                      t.entries, t.assoc,
+                      static_cast<unsigned long long>(t.hitLatency));
+        table.row({name, buf, paper});
+    };
+    tlb_row("L1 i-TLB", config.tlbs.l1i, "64 entry, 8 way, 1 cycle");
+    tlb_row("L1 d-TLB", config.tlbs.l1d, "64 entry, 8 way, 1 cycle");
+    tlb_row("L2 Unified TLB", config.tlbs.l2,
+            "1024 entry, 8 way, 8 cycle hit");
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf),
+                      "%llu cycles (sweep 20-340 in fig10)",
+                      static_cast<unsigned long long>(
+                          config.pageWalkLatency));
+        table.row({"L2 TLB miss penalty", buf, "20 to 360 cycles"});
+    }
+
+    std::printf("== Table II: simulation parameters ==\n\n");
+    table.print();
+
+    // Hard assertions: the defaults ARE the paper's machine.
+    bool ok = config.caches.l1i.sizeBytes == 64 * 1024 &&
+              config.caches.l2.sizeBytes == 256 * 1024 &&
+              config.caches.l3.sizeBytes == 8 * 1024 * 1024 &&
+              config.caches.dramLatency == 240 &&
+              config.branch.btbEntries == 4096 &&
+              config.branch.mispredictPenalty == 20 &&
+              config.tlbs.l1i.entries == 64 &&
+              config.tlbs.l1d.entries == 64 &&
+              config.tlbs.l2.entries == 1024 &&
+              config.tlbs.l2.assoc == 8 &&
+              config.tlbs.l2.hitLatency == 8;
+    std::printf("\nconfiguration matches Table II: %s\n",
+                ok ? "YES" : "NO");
+    return ok ? 0 : 1;
+}

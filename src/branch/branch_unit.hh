@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Branch prediction unit facade: perceptron direction predictor +
+ * BTB + indirect predictor, with the Table II mispredict penalty.
+ */
+
+#ifndef CHIRP_BRANCH_BRANCH_UNIT_HH
+#define CHIRP_BRANCH_BRANCH_UNIT_HH
+
+#include "branch/btb.hh"
+#include "branch/perceptron.hh"
+#include "trace/trace_record.hh"
+
+namespace chirp
+{
+
+/** Branch-unit configuration (Table II defaults). */
+struct BranchUnitConfig
+{
+    PerceptronConfig perceptron;
+    std::uint32_t btbEntries = 4096;
+    std::uint32_t btbAssoc = 4;
+    std::uint32_t indirectEntries = 512;
+    Cycles mispredictPenalty = 20;
+};
+
+/** The front-end branch prediction unit. */
+class BranchUnit
+{
+  public:
+    explicit BranchUnit(const BranchUnitConfig &config = {});
+
+    /**
+     * Process one retired branch: predict, compare against the
+     * trace's resolved outcome/target, train.
+     * @return stall cycles (0 or the mispredict penalty).
+     */
+    Cycles onBranch(const TraceRecord &rec);
+
+    /** Clear all predictor state. */
+    void reset();
+
+    std::uint64_t branches() const { return branches_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Mispredictions per 1000 branches (diagnostics). */
+    double mispredictRate() const;
+
+    const HashedPerceptron &direction() const { return direction_; }
+    const Btb &btb() const { return btb_; }
+
+  private:
+    BranchUnitConfig config_;
+    HashedPerceptron direction_;
+    Btb btb_;
+    IndirectPredictor indirect_;
+    std::uint64_t branches_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_BRANCH_BRANCH_UNIT_HH

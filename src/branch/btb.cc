@@ -1,0 +1,107 @@
+#include "branch/btb.hh"
+
+#include "util/bitfield.hh"
+#include "util/hashing.hh"
+
+namespace chirp
+{
+
+Btb::Btb(std::uint32_t entries, std::uint32_t assoc)
+    : array_(entries / assoc, assoc)
+{
+}
+
+Addr
+Btb::predict(Addr pc) const
+{
+    const Addr key = pc >> 2;
+    const std::uint32_t set = array_.setIndex(key);
+    const int way = array_.findWay(set, array_.tagOf(key));
+    if (way < 0) {
+        ++misses_;
+        return 0;
+    }
+    ++hits_;
+    return array_.at(set, way).data.target;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    ++tick_;
+    const Addr key = pc >> 2;
+    const std::uint32_t set = array_.setIndex(key);
+    const Addr tag = array_.tagOf(key);
+    int way = array_.findWay(set, tag);
+    if (way < 0) {
+        way = array_.invalidWay(set);
+        if (way < 0) {
+            std::uint64_t oldest = ~std::uint64_t{0};
+            for (std::uint32_t w = 0; w < array_.assoc(); ++w) {
+                const std::uint64_t t = array_.at(set, w).data.lastUse;
+                if (t < oldest) {
+                    oldest = t;
+                    way = static_cast<int>(w);
+                }
+            }
+        }
+    }
+    auto &slot = array_.at(set, way);
+    slot.valid = true;
+    slot.tag = tag;
+    slot.data.target = target;
+    slot.data.lastUse = tick_;
+}
+
+void
+Btb::reset()
+{
+    array_.invalidateAll();
+    tick_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+IndirectPredictor::IndirectPredictor(std::uint32_t entries)
+    : table_(entries)
+{
+    if (!isPowerOfTwo(entries))
+        chirp_fatal("indirect predictor entries must be a power of two");
+}
+
+std::size_t
+IndirectPredictor::indexFor(Addr pc) const
+{
+    const std::uint64_t mixed = (pc >> 2) ^ (pathHistory_ * 0x9e3779b1ull);
+    return static_cast<std::size_t>(
+        foldXor(mixed, floorLog2(table_.size())));
+}
+
+Addr
+IndirectPredictor::predict(Addr pc) const
+{
+    const Entry &e = table_[indexFor(pc)];
+    if (!e.valid || e.tag != (pc >> 2))
+        return 0;
+    return e.target;
+}
+
+void
+IndirectPredictor::update(Addr pc, Addr target)
+{
+    Entry &e = table_[indexFor(pc)];
+    e.valid = true;
+    e.tag = pc >> 2;
+    e.target = target;
+    pathHistory_ = (pathHistory_ << 4) ^ (target >> 2);
+}
+
+void
+IndirectPredictor::reset()
+{
+    for (auto &e : table_)
+        e = Entry{};
+    pathHistory_ = 0;
+}
+
+} // namespace chirp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Branch target buffer (4K-entry per Table II) and an indirect
+ * target predictor keyed on target-path history.
+ */
+
+#ifndef CHIRP_BRANCH_BTB_HH
+#define CHIRP_BRANCH_BTB_HH
+
+#include "mem/set_assoc.hh"
+#include "util/types.hh"
+
+namespace chirp
+{
+
+/** Set-associative branch target buffer. */
+class Btb
+{
+  public:
+    /**
+     * @param entries total entries (power-of-two sets x assoc)
+     * @param assoc ways per set
+     */
+    explicit Btb(std::uint32_t entries = 4096, std::uint32_t assoc = 4);
+
+    /**
+     * Look up the predicted target for the branch at @p pc.
+     * @return 0 when the BTB has no entry.
+     */
+    Addr predict(Addr pc) const;
+
+    /** Install/refresh the target of the branch at @p pc. */
+    void update(Addr pc, Addr target);
+
+    /** Drop all entries. */
+    void reset();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Target
+    {
+        Addr target = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    SetAssocArray<Target> array_;
+    std::uint64_t tick_ = 0;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+};
+
+/**
+ * Indirect-branch target predictor: a tagged table indexed by PC
+ * hashed with a folded history of recent indirect targets (an
+ * ITTAGE-flavored single table).
+ */
+class IndirectPredictor
+{
+  public:
+    explicit IndirectPredictor(std::uint32_t entries = 512);
+
+    /** Predicted target for the indirect branch at @p pc (0 = none). */
+    Addr predict(Addr pc) const;
+
+    /** Train with the resolved target and update path history. */
+    void update(Addr pc, Addr target);
+
+    void reset();
+
+  private:
+    std::size_t indexFor(Addr pc) const;
+
+    struct Entry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+
+    std::vector<Entry> table_;
+    std::uint64_t pathHistory_ = 0;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_BRANCH_BTB_HH

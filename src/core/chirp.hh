@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Control-flow History Reuse Prediction — the paper's contribution
+ * (§IV, Algorithm 5).
+ *
+ * Per-entry metadata: a 16-bit signature, a dead-prediction bit, a
+ * first-hit bit and a 3-bit LRU stack position (Table I).  A single
+ * table of 2-bit saturating counters, indexed by a hash of the
+ * signature, provides dead predictions.
+ *
+ * Signature (computed from the PRE-update histories, line 5):
+ *     sign = (PC >> 2) ^ pathHist ^ condBrHist ^ uncondBrHist
+ *
+ * Training is deliberately rare (§IV-E):
+ *  - on a miss, the table is written only when the victim was chosen
+ *    by LRU (no dead candidate): increment at the victim's stored
+ *    signature;
+ *  - on a hit, the table is touched only on the entry's *first* hit,
+ *    and — Selective Hit Update — only when the access targets a
+ *    different set than the previous access: decrement at the old
+ *    stored signature, then read at the new signature to refresh the
+ *    dead bit.
+ *
+ * Victim selection prefers the first dead-predicted entry and falls
+ * back to LRU.  Every deviation from this default (history
+ * components, zero injection, update filters, table geometry) is a
+ * ChirpConfig knob so the Fig 2/6/9 ablations are configuration-only.
+ */
+
+#ifndef CHIRP_CORE_CHIRP_HH
+#define CHIRP_CORE_CHIRP_HH
+
+#include <vector>
+
+#include "core/history.hh"
+#include "core/prediction_table.hh"
+#include "core/replacement_policy.hh"
+#include "core/ship.hh" // HitUpdateMode
+
+namespace chirp
+{
+
+/** CHiRP configuration (defaults = the paper's main configuration). */
+struct ChirpConfig
+{
+    /** History-register shapes and components. */
+    HistoryConfig history;
+    /** Prediction-table counters (power of two); 4096 x 2b = 1KB. */
+    std::size_t tableEntries = 4096;
+    /** Counter width. */
+    unsigned counterBits = 2;
+    /** Dead when counter > threshold. */
+    unsigned deadThreshold = 0;
+    /** Stored signature width. */
+    unsigned signatureBits = 16;
+    /** Index hash. */
+    HashKind hash = HashKind::Index;
+    /** Hit-training filter (paper: first hit to a different set). */
+    HitUpdateMode hitUpdate = HitUpdateMode::FirstHitDiffSet;
+    /** Train on LRU-selected victims only (paper) vs all evictions. */
+    bool trainOnLruEvictionOnly = true;
+    /**
+     * Prefer dead-predicted victims.  Disabling this (and with it all
+     * table traffic) degenerates CHiRP into exact LRU — a property
+     * the tests verify.
+     */
+    bool victimPrefersDead = true;
+};
+
+/** The CHiRP replacement policy. */
+class ChirpPolicy : public ReplacementPolicy
+{
+  public:
+    ChirpPolicy(std::uint32_t num_sets, std::uint32_t assoc,
+                const ChirpConfig &config = {});
+
+    void reset() override;
+    void onBranchRetired(Addr pc, InstClass cls, bool taken) override;
+    void onInstRetired(Addr pc, InstClass cls) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &info) override;
+    std::uint32_t selectVictim(std::uint32_t set,
+                               const AccessInfo &info) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &info) override;
+    void onInvalidate(std::uint32_t set, std::uint32_t way) override;
+    void onAccessEnd(std::uint32_t set, const AccessInfo &info) override;
+    std::uint64_t storageBits() const override;
+
+    const ChirpConfig &config() const { return config_; }
+
+    /** The histories (tests and the ADALINE extraction hook). */
+    const ControlFlowHistory &histories() const { return history_; }
+
+    /** 16-bit signature CHiRP would assign to an access by @p pc now. */
+    std::uint16_t currentSignature(Addr pc) const;
+
+    /** Dead bit of an entry (tests, efficiency analysis). */
+    bool
+    isDead(std::uint32_t set, std::uint32_t way) const
+    {
+        return meta_[idx(set, way)].dead;
+    }
+
+    /** Stored signature of an entry (tests). */
+    std::uint16_t
+    storedSignature(std::uint32_t set, std::uint32_t way) const
+    {
+        return meta_[idx(set, way)].sig;
+    }
+
+    /** Evictions that used a dead-predicted victim (diagnostics). */
+    std::uint64_t deadVictims() const { return deadVictims_; }
+
+    /** Evictions that fell back to the LRU victim (diagnostics). */
+    std::uint64_t lruVictims() const { return lruVictims_; }
+
+    /** LRU stack position of an entry (tests). */
+    std::uint32_t
+    stackPosition(std::uint32_t set, std::uint32_t way) const
+    {
+        return stack_.position(set, way);
+    }
+
+  private:
+    struct Meta
+    {
+        std::uint16_t sig = 0;
+        bool dead = false;
+        bool firstHit = false;
+    };
+
+    /** Should this hit touch the prediction table? */
+    bool hitShouldTrain(const Meta &meta, std::uint32_t set) const;
+
+    ChirpConfig config_;
+    ControlFlowHistory history_;
+    PredictionTable table_;
+    std::vector<Meta> meta_;
+    LruStack stack_;
+    std::uint32_t lastSet_ = ~0u;
+    std::uint64_t deadVictims_ = 0;
+    std::uint64_t lruVictims_ = 0;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_CORE_CHIRP_HH

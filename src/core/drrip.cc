@@ -1,0 +1,125 @@
+#include "core/drrip.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+DrripPolicy::DrripPolicy(std::uint32_t num_sets, std::uint32_t assoc,
+                         const DrripConfig &config)
+    : ReplacementPolicy("drrip", num_sets, assoc), config_(config),
+      maxRrpv_(static_cast<std::uint8_t>((1u << config.rrpvBits) - 1)),
+      rrpv_(static_cast<std::size_t>(num_sets) * assoc, 0),
+      psel_(config.pselBits, (1u << config.pselBits) / 2)
+{
+    if (config.leaderSets * 2 > num_sets)
+        chirp_fatal("drrip: ", config.leaderSets,
+                    " leader sets per policy do not fit ", num_sets,
+                    " sets");
+    reset();
+}
+
+void
+DrripPolicy::reset()
+{
+    for (auto &v : rrpv_)
+        v = maxRrpv_;
+    psel_.set((1u << config_.pselBits) / 2);
+    fillCount_ = 0;
+    resetTableCounters();
+}
+
+DrripPolicy::SetRole
+DrripPolicy::roleOf(std::uint32_t set) const
+{
+    // Leaders are spread evenly: every numSets/leaders-th set is an
+    // SRRIP leader; the set right after it is a BRRIP leader.
+    const std::uint32_t stride = numSets() / config_.leaderSets;
+    if (stride == 0)
+        return SetRole::Follower;
+    if (set % stride == 0)
+        return SetRole::SrripLeader;
+    if (set % stride == 1)
+        return SetRole::BrripLeader;
+    return SetRole::Follower;
+}
+
+bool
+DrripPolicy::useBrrip(std::uint32_t set) const
+{
+    switch (roleOf(set)) {
+      case SetRole::SrripLeader:
+        return false;
+      case SetRole::BrripLeader:
+        return true;
+      case SetRole::Follower:
+        // High PSEL means SRRIP leaders missed more -> follow BRRIP.
+        return psel_.value() > (1u << config_.pselBits) / 2;
+    }
+    return false;
+}
+
+void
+DrripPolicy::onHit(std::uint32_t set, std::uint32_t way,
+                   const AccessInfo &)
+{
+    rrpv_[idx(set, way)] = 0;
+}
+
+std::uint32_t
+DrripPolicy::selectVictim(std::uint32_t set, const AccessInfo &)
+{
+    // A miss in a leader set votes against that leader's policy.
+    switch (roleOf(set)) {
+      case SetRole::SrripLeader:
+        psel_.increment();
+        break;
+      case SetRole::BrripLeader:
+        psel_.decrement();
+        break;
+      case SetRole::Follower:
+        break;
+    }
+    for (;;) {
+        for (std::uint32_t way = 0; way < assoc(); ++way) {
+            if (rrpv_[idx(set, way)] >= maxRrpv_)
+                return way;
+        }
+        for (std::uint32_t way = 0; way < assoc(); ++way)
+            ++rrpv_[idx(set, way)];
+    }
+}
+
+void
+DrripPolicy::onFill(std::uint32_t set, std::uint32_t way,
+                    const AccessInfo &)
+{
+    ++fillCount_;
+    std::uint8_t insertion;
+    if (useBrrip(set)) {
+        // Bimodal: distant almost always, long occasionally.
+        insertion = (fillCount_ % config_.bimodalThrottle == 0)
+                        ? static_cast<std::uint8_t>(maxRrpv_ - 1)
+                        : maxRrpv_;
+    } else {
+        insertion = static_cast<std::uint8_t>(maxRrpv_ - 1);
+    }
+    rrpv_[idx(set, way)] = insertion;
+}
+
+void
+DrripPolicy::onInvalidate(std::uint32_t set, std::uint32_t way)
+{
+    rrpv_[idx(set, way)] = maxRrpv_;
+}
+
+std::uint64_t
+DrripPolicy::storageBits() const
+{
+    return static_cast<std::uint64_t>(numSets()) * assoc() *
+               config_.rrpvBits +
+           config_.pselBits;
+}
+
+} // namespace chirp

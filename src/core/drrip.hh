@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Dynamic RRIP (Jaleel et al., ISCA 2010) — an extension beyond the
+ * paper's policy set.
+ *
+ * DRRIP set-duels SRRIP against BRRIP (bimodal RRIP, which inserts
+ * at distant re-reference most of the time) and steers follower sets
+ * with a policy-selection counter.  The paper evaluates only static
+ * RRIP; DRRIP is the natural "what if the prior art were stronger"
+ * comparison point, and the set-dueling machinery is reusable.
+ */
+
+#ifndef CHIRP_CORE_DRRIP_HH
+#define CHIRP_CORE_DRRIP_HH
+
+#include <vector>
+
+#include "core/replacement_policy.hh"
+#include "util/random.hh"
+#include "util/sat_counter.hh"
+
+namespace chirp
+{
+
+/** DRRIP configuration. */
+struct DrripConfig
+{
+    unsigned rrpvBits = 2;
+    /** Leader sets per policy (SRRIP leaders + BRRIP leaders). */
+    std::uint32_t leaderSets = 8;
+    /** BRRIP inserts at long re-reference once every this many fills. */
+    unsigned bimodalThrottle = 32;
+    /** Policy-selection counter width. */
+    unsigned pselBits = 10;
+};
+
+/** Dynamic RRIP with set dueling. */
+class DrripPolicy : public ReplacementPolicy
+{
+  public:
+    DrripPolicy(std::uint32_t num_sets, std::uint32_t assoc,
+                const DrripConfig &config = {});
+
+    void reset() override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &info) override;
+    std::uint32_t selectVictim(std::uint32_t set,
+                               const AccessInfo &info) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &info) override;
+    void onInvalidate(std::uint32_t set, std::uint32_t way) override;
+    std::uint64_t storageBits() const override;
+
+    /** Set roles, for tests. */
+    enum class SetRole
+    {
+        SrripLeader,
+        BrripLeader,
+        Follower
+    };
+
+    SetRole roleOf(std::uint32_t set) const;
+
+    /** Current policy-selection counter (tests). */
+    std::uint16_t psel() const { return psel_.value(); }
+
+  private:
+    /** Should a fill in @p set use BRRIP insertion? */
+    bool useBrrip(std::uint32_t set) const;
+
+    DrripConfig config_;
+    std::uint8_t maxRrpv_;
+    std::vector<std::uint8_t> rrpv_;
+    SatCounter psel_;
+    std::uint64_t fillCount_ = 0;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_CORE_DRRIP_HH

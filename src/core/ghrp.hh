@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Global History Reuse Prediction (Mirbagher-Ajorpaz et al., ISCA
+ * 2018), adapted from instruction cache / BTB replacement to the L2
+ * TLB (§II-C of the paper).
+ *
+ * GHRP forms a signature from the accessing PC and a global history
+ * register fed by conditional-branch outcomes and low-order branch
+ * address bits.  Three prediction tables, indexed by three different
+ * hashes of the signature, vote via a thresholded counter sum; dead
+ * entries are preferred victims.  Unlike CHiRP, GHRP reads and
+ * trains its tables on *every* access, which is what Fig 11
+ * measures.
+ */
+
+#ifndef CHIRP_CORE_GHRP_HH
+#define CHIRP_CORE_GHRP_HH
+
+#include <vector>
+
+#include "core/prediction_table.hh"
+#include "core/replacement_policy.hh"
+
+namespace chirp
+{
+
+/** GHRP configuration. */
+struct GhrpConfig
+{
+    /** Number of prediction tables (votes). */
+    unsigned numTables = 3;
+    /** Entries per table (power of two). */
+    std::size_t tableEntries = 4096;
+    /** Counter width. */
+    unsigned counterBits = 2;
+    /**
+     * Dead when the counter sum exceeds this.  With 3 x 2-bit
+     * counters the sum ranges 0..9.
+     */
+    unsigned deadThreshold = 4;
+    /** Stored signature width per entry. */
+    unsigned signatureBits = 16;
+    /** Bits shifted into the history per conditional branch (one
+     *  outcome bit + historyShift-1 branch-address bits). */
+    unsigned historyShift = 5;
+    /**
+     * History bits each table sees (TAGE-style length spread): the
+     * zero-length table is a stable PC-only fallback, the longer
+     * ones add control-flow context.
+     */
+    std::vector<unsigned> tableHistoryBits = {0, 5, 10};
+};
+
+/** GHRP replacement for the TLB. */
+class GhrpPolicy : public ReplacementPolicy
+{
+  public:
+    GhrpPolicy(std::uint32_t num_sets, std::uint32_t assoc,
+               const GhrpConfig &config = {});
+
+    void reset() override;
+    void onBranchRetired(Addr pc, InstClass cls, bool taken) override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &info) override;
+    std::uint32_t selectVictim(std::uint32_t set,
+                               const AccessInfo &info) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &info) override;
+    void onInvalidate(std::uint32_t set, std::uint32_t way) override;
+    std::uint64_t storageBits() const override;
+
+    const GhrpConfig &config() const { return config_; }
+
+    /** Current global history register value (tests). */
+    std::uint64_t history() const { return history_; }
+
+    /** Dead bit of an entry (tests). */
+    bool
+    isDead(std::uint32_t set, std::uint32_t way) const
+    {
+        return meta_[idx(set, way)].dead;
+    }
+
+  private:
+    struct Meta
+    {
+        /** One stored signature per table (different history lengths). */
+        std::vector<std::uint16_t> sig;
+        bool dead = false;
+    };
+
+    std::uint16_t signatureOf(Addr pc, unsigned table) const;
+    std::vector<std::uint16_t> signaturesOf(Addr pc) const;
+    unsigned readSum(const std::vector<std::uint16_t> &sigs);
+    void trainLive(const std::vector<std::uint16_t> &sigs);
+    void trainDead(const std::vector<std::uint16_t> &sigs);
+
+    GhrpConfig config_;
+    std::vector<PredictionTable> tables_;
+    std::vector<Meta> meta_;
+    LruStack stack_;
+    std::uint64_t history_ = 0;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_CORE_GHRP_HH

@@ -1,0 +1,122 @@
+#include "core/history.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+WideShiftHistory::WideShiftHistory(unsigned events, unsigned shift_per_event)
+    : events_(events), shift_(shift_per_event),
+      widthBits_(events * shift_per_event)
+{
+    if (events == 0 || shift_per_event == 0 || shift_per_event > 32)
+        chirp_fatal("history register needs events >= 1 and a shift of "
+                    "1..32 bits, got ", events, " x ", shift_per_event);
+    words_.assign((widthBits_ + 63) / 64, 0);
+}
+
+void
+WideShiftHistory::push(std::uint64_t value)
+{
+    // Multi-word left shift by shift_ bits, oldest bits fall off the
+    // top word.
+    std::uint64_t carry = value & maskBits(shift_);
+    for (auto &word : words_) {
+        const std::uint64_t next_carry =
+            shift_ < 64 ? (word >> (64 - shift_)) : word;
+        word = (word << shift_) | carry;
+        carry = next_carry;
+    }
+    // Trim the top word to the register width.
+    const unsigned top_bits = widthBits_ % 64;
+    if (top_bits != 0)
+        words_.back() &= maskBits(top_bits);
+}
+
+std::uint64_t
+WideShiftHistory::folded() const
+{
+    std::uint64_t folded = 0;
+    for (std::uint64_t word : words_)
+        folded ^= word;
+    return folded;
+}
+
+void
+WideShiftHistory::reset()
+{
+    for (auto &word : words_)
+        word = 0;
+}
+
+ControlFlowHistory::ControlFlowHistory(const HistoryConfig &config)
+    : config_(config),
+      path_(config.pathEvents, config.pathPcBits + config.pathZeroBits),
+      cond_(config.branchEvents, config.branchPcBits),
+      uncond_(config.branchEvents, config.branchPcBits)
+{
+}
+
+void
+ControlFlowHistory::onAccess(Addr pc)
+{
+    // Shift in PC[lo+n-1 : lo]; the injected zeros come from the
+    // register shifting further than the pushed value is wide.
+    const std::uint64_t chunk =
+        bits(pc, config_.pathPcLowBit + config_.pathPcBits - 1,
+             config_.pathPcLowBit);
+    path_.push(chunk);
+}
+
+void
+ControlFlowHistory::onCondBranch(Addr pc)
+{
+    if (!config_.useCondHist)
+        return;
+    cond_.push(bits(pc, config_.branchPcLowBit + config_.branchPcBits - 1,
+                    config_.branchPcLowBit));
+}
+
+void
+ControlFlowHistory::onUncondIndirectBranch(Addr pc)
+{
+    if (!config_.useUncondHist)
+        return;
+    uncond_.push(bits(pc,
+                      config_.branchPcLowBit + config_.branchPcBits - 1,
+                      config_.branchPcLowBit));
+}
+
+std::uint64_t
+ControlFlowHistory::signature(Addr pc) const
+{
+    std::uint64_t sign = pc >> 2;
+    sign ^= path_.folded();
+    if (config_.useCondHist)
+        sign ^= cond_.folded();
+    if (config_.useUncondHist)
+        sign ^= uncond_.folded();
+    return sign;
+}
+
+void
+ControlFlowHistory::reset()
+{
+    path_.reset();
+    cond_.reset();
+    uncond_.reset();
+}
+
+std::uint64_t
+ControlFlowHistory::storageBits() const
+{
+    std::uint64_t bits = path_.widthBits();
+    if (config_.useCondHist)
+        bits += cond_.widthBits();
+    if (config_.useUncondHist)
+        bits += uncond_.widthBits();
+    return bits;
+}
+
+} // namespace chirp

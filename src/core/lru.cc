@@ -1,0 +1,48 @@
+#include "core/lru.hh"
+
+namespace chirp
+{
+
+LruPolicy::LruPolicy(std::uint32_t num_sets, std::uint32_t assoc)
+    : ReplacementPolicy("lru", num_sets, assoc), stack_(num_sets, assoc)
+{
+}
+
+void
+LruPolicy::reset()
+{
+    stack_.reset();
+    resetTableCounters();
+}
+
+void
+LruPolicy::onHit(std::uint32_t set, std::uint32_t way, const AccessInfo &)
+{
+    stack_.touch(set, way);
+}
+
+std::uint32_t
+LruPolicy::selectVictim(std::uint32_t set, const AccessInfo &)
+{
+    return stack_.lruWay(set);
+}
+
+void
+LruPolicy::onFill(std::uint32_t set, std::uint32_t way, const AccessInfo &)
+{
+    stack_.touch(set, way);
+}
+
+void
+LruPolicy::onInvalidate(std::uint32_t set, std::uint32_t way)
+{
+    stack_.demote(set, way);
+}
+
+std::uint64_t
+LruPolicy::storageBits() const
+{
+    return stack_.storageBits();
+}
+
+} // namespace chirp

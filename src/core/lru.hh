@@ -1,0 +1,44 @@
+/**
+ * @file
+ * True-LRU replacement — the baseline every result in the paper is
+ * normalized against.
+ */
+
+#ifndef CHIRP_CORE_LRU_HH
+#define CHIRP_CORE_LRU_HH
+
+#include "core/replacement_policy.hh"
+
+namespace chirp
+{
+
+/** Least-recently-used replacement over exact recency stacks. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint32_t num_sets, std::uint32_t assoc);
+
+    void reset() override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &info) override;
+    std::uint32_t selectVictim(std::uint32_t set,
+                               const AccessInfo &info) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &info) override;
+    void onInvalidate(std::uint32_t set, std::uint32_t way) override;
+    std::uint64_t storageBits() const override;
+
+    /** Recency rank of a way (0 = MRU); exposed for tests. */
+    std::uint32_t
+    stackPosition(std::uint32_t set, std::uint32_t way) const
+    {
+        return stack_.position(set, way);
+    }
+
+  private:
+    LruStack stack_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_CORE_LRU_HH

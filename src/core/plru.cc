@@ -1,0 +1,71 @@
+#include "core/plru.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+PlruPolicy::PlruPolicy(std::uint32_t num_sets, std::uint32_t assoc)
+    : ReplacementPolicy("plru", num_sets, assoc)
+{
+    if (!isPowerOfTwo(assoc))
+        chirp_fatal("plru needs power-of-two associativity, got ", assoc);
+    levels_ = floorLog2(assoc);
+    tree_.assign(static_cast<std::size_t>(num_sets) * (assoc - 1), false);
+}
+
+void
+PlruPolicy::reset()
+{
+    std::fill(tree_.begin(), tree_.end(), false);
+    resetTableCounters();
+}
+
+void
+PlruPolicy::touch(std::uint32_t set, std::uint32_t way)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * (assoc() - 1);
+    std::size_t node = 0;
+    for (unsigned level = 0; level < levels_; ++level) {
+        // The bit selecting this level's direction for `way`.
+        const bool right = (way >> (levels_ - 1 - level)) & 1;
+        // Point away from the touched way.
+        tree_[base + node] = !right;
+        node = 2 * node + 1 + (right ? 1 : 0);
+    }
+}
+
+void
+PlruPolicy::onHit(std::uint32_t set, std::uint32_t way, const AccessInfo &)
+{
+    touch(set, way);
+}
+
+std::uint32_t
+PlruPolicy::selectVictim(std::uint32_t set, const AccessInfo &)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * (assoc() - 1);
+    std::size_t node = 0;
+    std::uint32_t way = 0;
+    for (unsigned level = 0; level < levels_; ++level) {
+        const bool right = tree_[base + node];
+        way = (way << 1) | (right ? 1 : 0);
+        node = 2 * node + 1 + (right ? 1 : 0);
+    }
+    return way;
+}
+
+void
+PlruPolicy::onFill(std::uint32_t set, std::uint32_t way, const AccessInfo &)
+{
+    touch(set, way);
+}
+
+std::uint64_t
+PlruPolicy::storageBits() const
+{
+    return static_cast<std::uint64_t>(numSets()) * (assoc() - 1);
+}
+
+} // namespace chirp

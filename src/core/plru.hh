@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Tree-PLRU replacement — the pseudo-LRU hardware actually ships in
+ * most set-associative structures.  An extension beyond the paper's
+ * policy set: it quantifies how much of "LRU"'s behaviour the paper's
+ * baseline owes to being *true* LRU.
+ */
+
+#ifndef CHIRP_CORE_PLRU_HH
+#define CHIRP_CORE_PLRU_HH
+
+#include <vector>
+
+#include "core/replacement_policy.hh"
+
+namespace chirp
+{
+
+/**
+ * Tree-based pseudo-LRU: assoc-1 direction bits per set arranged as
+ * a binary tree; a touch flips the path bits away from the touched
+ * way, the victim follows the bits.  Associativity must be a power
+ * of two.
+ */
+class PlruPolicy : public ReplacementPolicy
+{
+  public:
+    PlruPolicy(std::uint32_t num_sets, std::uint32_t assoc);
+
+    void reset() override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &info) override;
+    std::uint32_t selectVictim(std::uint32_t set,
+                               const AccessInfo &info) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &info) override;
+    std::uint64_t storageBits() const override;
+
+  private:
+    /** Point the tree away from @p way (it was just used). */
+    void touch(std::uint32_t set, std::uint32_t way);
+
+    unsigned levels_;
+    // tree_[set * (assoc-1) + node]: false = left subtree is older.
+    std::vector<bool> tree_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_CORE_PLRU_HH

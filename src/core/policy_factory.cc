@@ -1,0 +1,108 @@
+#include "core/policy_factory.hh"
+
+#include "core/drrip.hh"
+#include "core/lru.hh"
+#include "core/plru.hh"
+#include "core/random_repl.hh"
+#include "core/srrip.hh"
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return "lru";
+      case PolicyKind::Random:
+        return "random";
+      case PolicyKind::Srrip:
+        return "srrip";
+      case PolicyKind::Ship:
+        return "ship";
+      case PolicyKind::Ghrp:
+        return "ghrp";
+      case PolicyKind::Chirp:
+        return "chirp";
+    }
+    return "?";
+}
+
+const std::vector<PolicyKind> &
+allPolicyKinds()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::Lru,  PolicyKind::Random, PolicyKind::Srrip,
+        PolicyKind::Ship, PolicyKind::Ghrp,   PolicyKind::Chirp,
+    };
+    return kinds;
+}
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(PolicyKind kind, std::uint32_t num_sets, std::uint32_t assoc)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return std::make_unique<LruPolicy>(num_sets, assoc);
+      case PolicyKind::Random:
+        return std::make_unique<RandomPolicy>(num_sets, assoc);
+      case PolicyKind::Srrip:
+        return std::make_unique<SrripPolicy>(num_sets, assoc);
+      case PolicyKind::Ship:
+        return std::make_unique<ShipPolicy>(num_sets, assoc);
+      case PolicyKind::Ghrp:
+        return std::make_unique<GhrpPolicy>(num_sets, assoc);
+      case PolicyKind::Chirp:
+        return std::make_unique<ChirpPolicy>(num_sets, assoc);
+    }
+    chirp_panic("unhandled policy kind");
+}
+
+const std::vector<std::string> &
+extraPolicyNames()
+{
+    static const std::vector<std::string> names = {"drrip", "plru"};
+    return names;
+}
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(const std::string &name, std::uint32_t num_sets,
+           std::uint32_t assoc)
+{
+    for (PolicyKind kind : allPolicyKinds()) {
+        if (name == policyKindName(kind))
+            return makePolicy(kind, num_sets, assoc);
+    }
+    if (name == "drrip")
+        return std::make_unique<DrripPolicy>(num_sets, assoc);
+    if (name == "plru")
+        return std::make_unique<PlruPolicy>(num_sets, assoc);
+    chirp_fatal("unknown replacement policy '", name,
+                "' (expected lru/random/srrip/ship/ghrp/chirp/"
+                "drrip/plru)");
+}
+
+std::unique_ptr<ChirpPolicy>
+makeChirp(std::uint32_t num_sets, std::uint32_t assoc,
+          const ChirpConfig &config)
+{
+    return std::make_unique<ChirpPolicy>(num_sets, assoc, config);
+}
+
+std::unique_ptr<ShipPolicy>
+makeShip(std::uint32_t num_sets, std::uint32_t assoc,
+         const ShipConfig &config)
+{
+    return std::make_unique<ShipPolicy>(num_sets, assoc, config);
+}
+
+std::unique_ptr<GhrpPolicy>
+makeGhrp(std::uint32_t num_sets, std::uint32_t assoc,
+         const GhrpConfig &config)
+{
+    return std::make_unique<GhrpPolicy>(num_sets, assoc, config);
+}
+
+} // namespace chirp

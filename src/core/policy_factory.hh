@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Construction of configured replacement policies by name — the
+ * single place benches, examples and the simulator instantiate
+ * policies from.
+ */
+
+#ifndef CHIRP_CORE_POLICY_FACTORY_HH
+#define CHIRP_CORE_POLICY_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/chirp.hh"
+#include "core/ghrp.hh"
+#include "core/replacement_policy.hh"
+#include "core/ship.hh"
+
+namespace chirp
+{
+
+/** The policy set the paper evaluates, in its reporting order. */
+enum class PolicyKind
+{
+    Lru,
+    Random,
+    Srrip,
+    Ship,
+    Ghrp,
+    Chirp,
+};
+
+/** Printable name ("lru", "random", ...). */
+const char *policyKindName(PolicyKind kind);
+
+/** All six paper policies in reporting order. */
+const std::vector<PolicyKind> &allPolicyKinds();
+
+/**
+ * Names of the extra policies this library provides beyond the
+ * paper's set ("drrip", "plru", ...); constructible through the
+ * name-based makePolicy overload.
+ */
+const std::vector<std::string> &extraPolicyNames();
+
+/** Build a default-configured policy of @p kind. */
+std::unique_ptr<ReplacementPolicy> makePolicy(PolicyKind kind,
+                                              std::uint32_t num_sets,
+                                              std::uint32_t assoc);
+
+/**
+ * Build a policy by name; accepts the names from policyKindName.
+ * Fatal on unknown names (user error).
+ */
+std::unique_ptr<ReplacementPolicy> makePolicy(const std::string &name,
+                                              std::uint32_t num_sets,
+                                              std::uint32_t assoc);
+
+/** Build a CHiRP instance with an explicit configuration. */
+std::unique_ptr<ChirpPolicy> makeChirp(std::uint32_t num_sets,
+                                       std::uint32_t assoc,
+                                       const ChirpConfig &config);
+
+/** Build a SHiP instance with an explicit configuration. */
+std::unique_ptr<ShipPolicy> makeShip(std::uint32_t num_sets,
+                                     std::uint32_t assoc,
+                                     const ShipConfig &config);
+
+/** Build a GHRP instance with an explicit configuration. */
+std::unique_ptr<GhrpPolicy> makeGhrp(std::uint32_t num_sets,
+                                     std::uint32_t assoc,
+                                     const GhrpConfig &config);
+
+} // namespace chirp
+
+#endif // CHIRP_CORE_POLICY_FACTORY_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table of saturating counters indexed by a hashed signature — the
+ * storage structure shared by SHiP's SHCT, GHRP's tables and CHiRP's
+ * single prediction table.
+ */
+
+#ifndef CHIRP_CORE_PREDICTION_TABLE_HH
+#define CHIRP_CORE_PREDICTION_TABLE_HH
+
+#include <vector>
+
+#include "util/hashing.hh"
+#include "util/sat_counter.hh"
+
+namespace chirp
+{
+
+/**
+ * A power-of-two table of n-bit saturating counters.  Indexing hashes
+ * the caller's signature down to log2(entries) bits; callers that
+ * want distinct hash behavior (GHRP's three tables) pass a salt.
+ */
+class PredictionTable
+{
+  public:
+    /**
+     * @param entries number of counters (power of two)
+     * @param counter_bits counter width
+     * @param kind index hash selection
+     * @param salt mixed into the hash (distinguishes multiple tables)
+     */
+    PredictionTable(std::size_t entries, unsigned counter_bits,
+                    HashKind kind = HashKind::Index,
+                    std::uint64_t salt = 0);
+
+    /** Index for @p signature. */
+    std::size_t indexOf(std::uint64_t signature) const;
+
+    /** Counter value at @p signature's slot. */
+    std::uint16_t read(std::uint64_t signature) const;
+
+    /** Increment (dead evidence) the slot for @p signature. */
+    void increment(std::uint64_t signature);
+
+    /** Decrement (live evidence) the slot for @p signature. */
+    void decrement(std::uint64_t signature);
+
+    /** Zero all counters. */
+    void reset();
+
+    std::size_t entries() const { return counters_.size(); }
+    unsigned counterBits() const { return counterBits_; }
+
+    /** Maximum counter value. */
+    std::uint16_t counterMax() const;
+
+    /** Total storage in bits. */
+    std::uint64_t storageBits() const;
+
+  private:
+    std::vector<SatCounter> counters_;
+    unsigned counterBits_;
+    unsigned indexBits_;
+    HashKind kind_;
+    std::uint64_t salt_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_CORE_PREDICTION_TABLE_HH

@@ -1,0 +1,42 @@
+#include "core/random_repl.hh"
+
+namespace chirp
+{
+
+RandomPolicy::RandomPolicy(std::uint32_t num_sets, std::uint32_t assoc,
+                           std::uint64_t seed)
+    : ReplacementPolicy("random", num_sets, assoc), seed_(seed), rng_(seed)
+{
+}
+
+void
+RandomPolicy::reset()
+{
+    rng_ = Rng(seed_);
+    resetTableCounters();
+}
+
+void
+RandomPolicy::onHit(std::uint32_t, std::uint32_t, const AccessInfo &)
+{
+}
+
+std::uint32_t
+RandomPolicy::selectVictim(std::uint32_t, const AccessInfo &)
+{
+    return static_cast<std::uint32_t>(rng_.below(assoc()));
+}
+
+void
+RandomPolicy::onFill(std::uint32_t, std::uint32_t, const AccessInfo &)
+{
+}
+
+std::uint64_t
+RandomPolicy::storageBits() const
+{
+    // Only the LFSR driving victim choice.
+    return 64;
+}
+
+} // namespace chirp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Random replacement, the zero-metadata baseline.  The paper notes
+ * Random slightly outperforms LRU on the TLB because scans make
+ * LRU's recency assumption pathological.
+ */
+
+#ifndef CHIRP_CORE_RANDOM_REPL_HH
+#define CHIRP_CORE_RANDOM_REPL_HH
+
+#include "core/replacement_policy.hh"
+#include "util/random.hh"
+
+namespace chirp
+{
+
+/** Uniform-random victim selection. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::uint32_t num_sets, std::uint32_t assoc,
+                 std::uint64_t seed = 0xdecafbadull);
+
+    void reset() override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &info) override;
+    std::uint32_t selectVictim(std::uint32_t set,
+                               const AccessInfo &info) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &info) override;
+    std::uint64_t storageBits() const override;
+
+  private:
+    std::uint64_t seed_;
+    Rng rng_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_CORE_RANDOM_REPL_HH

@@ -1,0 +1,90 @@
+#include "core/replacement_policy.hh"
+
+#include <vector>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+ReplacementPolicy::ReplacementPolicy(std::string name,
+                                     std::uint32_t num_sets,
+                                     std::uint32_t assoc)
+    : name_(std::move(name)), numSets_(num_sets), assoc_(assoc)
+{
+    if (num_sets == 0 || assoc == 0)
+        chirp_fatal("policy '", name_, "' needs nonzero geometry");
+    if (!isPowerOfTwo(num_sets))
+        chirp_fatal("policy '", name_, "': set count ", num_sets,
+                    " must be a power of two");
+}
+
+LruStack::LruStack(std::uint32_t num_sets, std::uint32_t assoc)
+    : numSets_(num_sets), assoc_(assoc),
+      position_(static_cast<std::size_t>(num_sets) * assoc)
+{
+    if (assoc > 255)
+        chirp_fatal("LruStack supports at most 255 ways");
+    reset();
+}
+
+void
+LruStack::reset()
+{
+    for (std::uint32_t set = 0; set < numSets_; ++set)
+        for (std::uint32_t way = 0; way < assoc_; ++way)
+            position_[static_cast<std::size_t>(set) * assoc_ + way] =
+                static_cast<std::uint8_t>(way);
+}
+
+void
+LruStack::touch(std::uint32_t set, std::uint32_t way)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+    const std::uint8_t old_pos = position_[base + way];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (position_[base + w] < old_pos)
+            ++position_[base + w];
+    }
+    position_[base + way] = 0;
+}
+
+std::uint32_t
+LruStack::lruWay(std::uint32_t set) const
+{
+    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+    const std::uint8_t want = static_cast<std::uint8_t>(assoc_ - 1);
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (position_[base + w] == want)
+            return w;
+    }
+    chirp_panic("LRU stack of set ", set, " lost its bottom position");
+}
+
+std::uint32_t
+LruStack::position(std::uint32_t set, std::uint32_t way) const
+{
+    return position_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+void
+LruStack::demote(std::uint32_t set, std::uint32_t way)
+{
+    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+    const std::uint8_t old_pos = position_[base + way];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (position_[base + w] > old_pos)
+            --position_[base + w];
+    }
+    position_[base + way] = static_cast<std::uint8_t>(assoc_ - 1);
+}
+
+std::uint64_t
+LruStack::storageBits() const
+{
+    return static_cast<std::uint64_t>(numSets_) * assoc_ *
+           ceilLog2(assoc_);
+}
+
+} // namespace chirp

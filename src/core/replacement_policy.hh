@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The replacement-policy interface for cache-like structures.
+ *
+ * A policy owns per-entry metadata for a numSets x assoc structure
+ * and is driven by the structure through the event hooks below.  The
+ * call sequence for one access is:
+ *
+ *   hit : onHit(set, way)            -> onAccessEnd(set)
+ *   miss: selectVictim(set) [if the set is full]
+ *         onFill(set, way)           -> onAccessEnd(set)
+ *
+ * onBranchRetired is delivered by the simulator for *every* retired
+ * branch instruction, independent of structure accesses — CHiRP and
+ * GHRP build their branch histories from it.
+ *
+ * Policies also account their prediction-table traffic (tableReads /
+ * tableWrites), the quantity Fig 11 of the paper reports, and their
+ * metadata storage (storageBits), the quantity of Table I.
+ */
+
+#ifndef CHIRP_CORE_REPLACEMENT_POLICY_HH
+#define CHIRP_CORE_REPLACEMENT_POLICY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_record.hh"
+#include "util/types.hh"
+
+namespace chirp
+{
+
+/** Everything a policy may know about one access. */
+struct AccessInfo
+{
+    Addr pc = 0;      //!< address of the accessing instruction
+    Addr vaddr = 0;   //!< virtual address being translated
+    InstClass cls = InstClass::Alu;
+    bool isInstr = false; //!< instruction-side (i-TLB refill) access?
+};
+
+/** Abstract replacement policy. */
+class ReplacementPolicy
+{
+  public:
+    ReplacementPolicy(std::string name, std::uint32_t num_sets,
+                      std::uint32_t assoc);
+    virtual ~ReplacementPolicy() = default;
+
+    /** Clear all metadata and histories. */
+    virtual void reset() = 0;
+
+    /** A branch retired somewhere in the instruction stream. */
+    virtual void
+    onBranchRetired(Addr pc, InstClass cls, bool taken)
+    {
+        (void)pc;
+        (void)cls;
+        (void)taken;
+    }
+
+    /**
+     * Any instruction retired.  CHiRP's global path history shifts
+     * in PC bits of the retired instruction stream (the
+     * branch-predictor notion of a path), so policies that need it
+     * hook this; the default ignores it.
+     */
+    virtual void
+    onInstRetired(Addr pc, InstClass cls)
+    {
+        (void)pc;
+        (void)cls;
+    }
+
+    /** The access hit way @p way of set @p set. */
+    virtual void onHit(std::uint32_t set, std::uint32_t way,
+                       const AccessInfo &info) = 0;
+
+    /**
+     * Choose a victim in a full set.  Policies may train their
+     * predictors here (the victim is being evicted).
+     */
+    virtual std::uint32_t selectVictim(std::uint32_t set,
+                                       const AccessInfo &info) = 0;
+
+    /** A new entry was installed at (set, way). */
+    virtual void onFill(std::uint32_t set, std::uint32_t way,
+                        const AccessInfo &info) = 0;
+
+    /** Entry (set, way) was invalidated (flush). */
+    virtual void
+    onInvalidate(std::uint32_t set, std::uint32_t way)
+    {
+        (void)set;
+        (void)way;
+    }
+
+    /** Called once per access after hit/miss handling completed. */
+    virtual void
+    onAccessEnd(std::uint32_t set, const AccessInfo &info)
+    {
+        (void)set;
+        (void)info;
+    }
+
+    /** Metadata + table storage in bits (Table I accounting). */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /** Policy display name. */
+    const std::string &name() const { return name_; }
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+
+    /** Prediction-table read count since reset (Fig 11). */
+    std::uint64_t tableReads() const { return tableReads_; }
+
+    /** Prediction-table write count since reset (Fig 11). */
+    std::uint64_t tableWrites() const { return tableWrites_; }
+
+  protected:
+    void countTableRead() { ++tableReads_; }
+    void countTableWrite() { ++tableWrites_; }
+
+    /** Reset the table traffic counters (called from reset()). */
+    void
+    resetTableCounters()
+    {
+        tableReads_ = 0;
+        tableWrites_ = 0;
+    }
+
+    /** Flat metadata index of (set, way). */
+    std::size_t
+    idx(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * assoc_ + way;
+    }
+
+  private:
+    std::string name_;
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+    std::uint64_t tableReads_ = 0;
+    std::uint64_t tableWrites_ = 0;
+};
+
+/**
+ * Shared true-LRU recency bookkeeping: a stack position per entry,
+ * log2(assoc) bits each.  Several policies (LRU itself, GHRP and
+ * CHiRP fallback victims) embed one.
+ */
+class LruStack
+{
+  public:
+    LruStack(std::uint32_t num_sets, std::uint32_t assoc);
+
+    /** Make @p way the most recently used in @p set. */
+    void touch(std::uint32_t set, std::uint32_t way);
+
+    /** Way currently least recently used in @p set. */
+    std::uint32_t lruWay(std::uint32_t set) const;
+
+    /** Stack position of @p way (0 = MRU). */
+    std::uint32_t position(std::uint32_t set, std::uint32_t way) const;
+
+    /** Force @p way to LRU position (used on invalidation). */
+    void demote(std::uint32_t set, std::uint32_t way);
+
+    /** Reset all positions to a fixed initial order. */
+    void reset();
+
+    /** Bits of storage used (3 bits/entry for 8 ways). */
+    std::uint64_t storageBits() const;
+
+  private:
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+    // position_[set*assoc + way] = recency rank, 0 == MRU.
+    std::vector<std::uint8_t> position_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_CORE_REPLACEMENT_POLICY_HH

@@ -1,0 +1,77 @@
+#include "core/srrip.hh"
+
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+SrripPolicy::SrripPolicy(std::uint32_t num_sets, std::uint32_t assoc,
+                         unsigned rrpv_bits)
+    : SrripPolicy("srrip", num_sets, assoc, rrpv_bits)
+{
+}
+
+SrripPolicy::SrripPolicy(std::string name, std::uint32_t num_sets,
+                         std::uint32_t assoc, unsigned rrpv_bits)
+    : ReplacementPolicy(std::move(name), num_sets, assoc),
+      rrpvBits_(rrpv_bits),
+      maxRrpv_(static_cast<std::uint8_t>((1u << rrpv_bits) - 1)),
+      rrpv_(static_cast<std::size_t>(num_sets) * assoc, 0)
+{
+    if (rrpv_bits == 0 || rrpv_bits > 8)
+        chirp_fatal("srrip: rrpv width ", rrpv_bits, " out of range");
+    reset();
+}
+
+void
+SrripPolicy::reset()
+{
+    // All entries start at the distant value so invalid ways are
+    // naturally preferred before any real aging happens.
+    for (auto &v : rrpv_)
+        v = maxRrpv_;
+    resetTableCounters();
+}
+
+void
+SrripPolicy::onHit(std::uint32_t set, std::uint32_t way, const AccessInfo &)
+{
+    // Hit promotion: near-immediate re-reference.
+    rrpv_[idx(set, way)] = 0;
+}
+
+std::uint32_t
+SrripPolicy::selectVictim(std::uint32_t set, const AccessInfo &)
+{
+    // Find a distant entry; if none, age the whole set and retry.
+    // Termination: each aging pass increments every RRPV below max,
+    // so at most maxRrpv_ passes are needed.
+    for (;;) {
+        for (std::uint32_t way = 0; way < assoc(); ++way) {
+            if (rrpv_[idx(set, way)] >= maxRrpv_)
+                return way;
+        }
+        for (std::uint32_t way = 0; way < assoc(); ++way)
+            ++rrpv_[idx(set, way)];
+    }
+}
+
+void
+SrripPolicy::onFill(std::uint32_t set, std::uint32_t way, const AccessInfo &)
+{
+    fillWithRrpv(set, way, longRrpv());
+}
+
+void
+SrripPolicy::onInvalidate(std::uint32_t set, std::uint32_t way)
+{
+    rrpv_[idx(set, way)] = maxRrpv_;
+}
+
+std::uint64_t
+SrripPolicy::storageBits() const
+{
+    return static_cast<std::uint64_t>(numSets()) * assoc() * rrpvBits_;
+}
+
+} // namespace chirp

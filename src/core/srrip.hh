@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Static Re-Reference Interval Prediction (Jaleel et al., ISCA 2010),
+ * adapted to TLB entries (§II-A of the paper).
+ *
+ * Each entry carries an n-bit re-reference prediction value (RRPV).
+ * New entries are inserted with a "long" re-reference prediction
+ * (RRPV = max-1), hits promote to "near-immediate" (RRPV = 0), and
+ * victims are entries with "distant" prediction (RRPV = max); when
+ * none exists all RRPVs in the set age until one does.
+ */
+
+#ifndef CHIRP_CORE_SRRIP_HH
+#define CHIRP_CORE_SRRIP_HH
+
+#include <vector>
+
+#include "core/replacement_policy.hh"
+
+namespace chirp
+{
+
+/** SRRIP replacement. */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    /** @param rrpv_bits width of the re-reference prediction value. */
+    SrripPolicy(std::uint32_t num_sets, std::uint32_t assoc,
+                unsigned rrpv_bits = 2);
+
+    void reset() override;
+    void onHit(std::uint32_t set, std::uint32_t way,
+               const AccessInfo &info) override;
+    std::uint32_t selectVictim(std::uint32_t set,
+                               const AccessInfo &info) override;
+    void onFill(std::uint32_t set, std::uint32_t way,
+                const AccessInfo &info) override;
+    void onInvalidate(std::uint32_t set, std::uint32_t way) override;
+    std::uint64_t storageBits() const override;
+
+    /** RRPV of a way, for tests. */
+    std::uint8_t
+    rrpv(std::uint32_t set, std::uint32_t way) const
+    {
+        return rrpv_[idx(set, way)];
+    }
+
+    /** The "distant future" RRPV value (2^bits - 1). */
+    std::uint8_t maxRrpv() const { return maxRrpv_; }
+
+  protected:
+    /** For subclasses (SHiP) that reuse the RRIP machinery. */
+    SrripPolicy(std::string name, std::uint32_t num_sets,
+                std::uint32_t assoc, unsigned rrpv_bits);
+
+    /** Insertion RRPV hook so SHiP can override per-prediction. */
+    void
+    fillWithRrpv(std::uint32_t set, std::uint32_t way, std::uint8_t value)
+    {
+        rrpv_[idx(set, way)] = value;
+    }
+
+    /** The default long-re-reference insertion value (max - 1). */
+    std::uint8_t longRrpv() const { return maxRrpv_ - 1; }
+
+  private:
+    unsigned rrpvBits_;
+    std::uint8_t maxRrpv_;
+    std::vector<std::uint8_t> rrpv_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_CORE_SRRIP_HH

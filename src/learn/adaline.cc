@@ -1,0 +1,78 @@
+#include "learn/adaline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+Adaline::Adaline(const AdalineConfig &config)
+    : config_(config), weights_(config.inputs, 0.0)
+{
+    if (config.inputs == 0)
+        chirp_fatal("adaline needs at least one input");
+}
+
+double
+Adaline::output(const std::vector<double> &x) const
+{
+    if (x.size() != weights_.size())
+        chirp_fatal("adaline input width ", x.size(), " != ",
+                    weights_.size());
+    double sum = bias_;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        sum += weights_[i] * x[i];
+    return sum;
+}
+
+bool
+Adaline::predict(const std::vector<double> &x) const
+{
+    return output(x) >= 0.0;
+}
+
+void
+Adaline::train(const std::vector<double> &x, double d)
+{
+    const double error = d - output(x);
+    const double step = config_.learningRate * error;
+    bias_ += step;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        weights_[i] += step * x[i];
+        // L1 shrinkage: uninformative weights decay to exactly zero.
+        const double decay = config_.l1Decay;
+        if (weights_[i] > decay)
+            weights_[i] -= decay;
+        else if (weights_[i] < -decay)
+            weights_[i] += decay;
+        else
+            weights_[i] = 0.0;
+    }
+}
+
+void
+Adaline::reset()
+{
+    std::fill(weights_.begin(), weights_.end(), 0.0);
+    bias_ = 0.0;
+}
+
+std::vector<double>
+Adaline::normalizedImportance() const
+{
+    std::vector<double> importance(weights_.size());
+    double max_abs = 0.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+        importance[i] = std::fabs(weights_[i]);
+        max_abs = std::max(max_abs, importance[i]);
+    }
+    if (max_abs > 0.0) {
+        for (auto &v : importance)
+            v /= max_abs;
+    }
+    return importance;
+}
+
+} // namespace chirp

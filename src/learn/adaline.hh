@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ADALINE (Widrow & Hoff), the offline learning model the paper uses
+ * to score which PC bits correlate with TLB-entry reuse (§II-D,
+ * Fig 3).
+ *
+ * Weights are updated by the delta rule
+ *     w(n+1) = w(n) + mu * [d(n) - y(n)] * x(n)
+ * with an L1 regularization term that pulls the weights of
+ * uninformative inputs toward zero, as the paper describes.
+ */
+
+#ifndef CHIRP_LEARN_ADALINE_HH
+#define CHIRP_LEARN_ADALINE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace chirp
+{
+
+/** ADALINE hyperparameters. */
+struct AdalineConfig
+{
+    std::size_t inputs = 24;    //!< input vector width
+    double learningRate = 0.02; //!< mu
+    double l1Decay = 5e-4;      //!< per-update L1 shrinkage
+};
+
+/** A single adaptive linear element. */
+class Adaline
+{
+  public:
+    explicit Adaline(const AdalineConfig &config);
+
+    /** Weighted sum w.x + bias for inputs in {-1, +1}. */
+    double output(const std::vector<double> &x) const;
+
+    /** Classify: output >= 0. */
+    bool predict(const std::vector<double> &x) const;
+
+    /**
+     * One delta-rule update toward target d in {-1, +1}, followed by
+     * L1 shrinkage of all weights.
+     */
+    void train(const std::vector<double> &x, double d);
+
+    /** Trained weights (bias excluded). */
+    const std::vector<double> &weights() const { return weights_; }
+
+    double bias() const { return bias_; }
+
+    /** Zero all weights. */
+    void reset();
+
+    /** |w| per input, normalized so the largest is 1 (Fig 3 rows). */
+    std::vector<double> normalizedImportance() const;
+
+  private:
+    AdalineConfig config_;
+    std::vector<double> weights_;
+    double bias_ = 0.0;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_LEARN_ADALINE_HH

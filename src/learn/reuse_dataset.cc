@@ -1,0 +1,136 @@
+#include "learn/reuse_dataset.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+namespace
+{
+
+/**
+ * Minimal set-associative LRU TLB tracking the metadata the dataset
+ * needs (filling PC, reuse flag).  Deliberately independent of the
+ * main Tlb class so the extraction tool has no policy dependencies.
+ */
+class MiniTlb
+{
+  public:
+    MiniTlb(std::uint32_t entries, std::uint32_t assoc,
+            std::vector<ReuseSample> *samples)
+        : sets_(entries / assoc), assoc_(assoc),
+          slots_(static_cast<std::size_t>(entries)), samples_(samples)
+    {
+        if (!isPowerOfTwo(sets_))
+            chirp_fatal("mini-tlb set count must be a power of two");
+    }
+
+    /** Access; allocates on miss. @return true on hit. */
+    bool
+    access(Addr vpn, Addr pc)
+    {
+        ++tick_;
+        const std::uint32_t set = vpn & (sets_ - 1);
+        const Addr tag = vpn >> floorLog2(sets_);
+        const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+
+        std::size_t victim = base;
+        std::uint64_t oldest = ~std::uint64_t{0};
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            Slot &slot = slots_[base + w];
+            if (slot.valid && slot.tag == tag) {
+                slot.reused = true;
+                slot.lastUse = tick_;
+                return true;
+            }
+            if (!slot.valid) {
+                victim = base + w;
+                oldest = 0;
+            } else if (slot.lastUse < oldest) {
+                victim = base + w;
+                oldest = slot.lastUse;
+            }
+        }
+
+        Slot &slot = slots_[victim];
+        if (slot.valid)
+            emit(slot);
+        slot.valid = true;
+        slot.tag = tag;
+        slot.fillPc = pc;
+        slot.reused = false;
+        slot.lastUse = tick_;
+        return false;
+    }
+
+    /** Emit samples for entries still resident at trace end. */
+    void
+    drain()
+    {
+        for (auto &slot : slots_) {
+            if (slot.valid)
+                emit(slot);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr fillPc = 0;
+        bool reused = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    void
+    emit(const Slot &slot)
+    {
+        if (samples_)
+            samples_->push_back({slot.fillPc, slot.reused});
+    }
+
+    std::uint32_t sets_;
+    std::uint32_t assoc_;
+    std::vector<Slot> slots_;
+    std::vector<ReuseSample> *samples_;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace
+
+std::vector<ReuseSample>
+collectReuseSamples(TraceSource &source, const ReuseCollectorConfig &config)
+{
+    std::vector<ReuseSample> samples;
+    // L1 TLBs filter the L2 stream but produce no samples themselves.
+    MiniTlb l1i(config.l1Entries, config.l1Assoc, nullptr);
+    MiniTlb l1d(config.l1Entries, config.l1Assoc, nullptr);
+    MiniTlb l2(config.l2Entries, config.l2Assoc, &samples);
+
+    TraceRecord rec;
+    while (source.next(rec)) {
+        if (!l1i.access(pageNumber(rec.pc), rec.pc))
+            l2.access(pageNumber(rec.pc), rec.pc);
+        if (isMemory(rec.cls)) {
+            if (!l1d.access(pageNumber(rec.effAddr), rec.pc))
+                l2.access(pageNumber(rec.effAddr), rec.pc);
+        }
+        if (config.maxSamples && samples.size() >= config.maxSamples)
+            return samples;
+    }
+    l2.drain();
+    return samples;
+}
+
+std::vector<double>
+pcBitsToInputs(Addr pc, std::size_t inputs)
+{
+    std::vector<double> x(inputs);
+    for (std::size_t i = 0; i < inputs; ++i)
+        x[i] = bit(pc, static_cast<unsigned>(i)) ? 1.0 : -1.0;
+    return x;
+}
+
+} // namespace chirp

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Extraction of (PC bits -> reuse outcome) training samples for the
+ * Fig 3 ADALINE study.
+ *
+ * The collector replays a trace through a compact functional model
+ * of the Table II TLB hierarchy (LRU everywhere).  Every completed
+ * L2-TLB-entry generation yields one sample: the PC of the filling
+ * access, labeled +1 when the entry was hit again before eviction
+ * and -1 when it died untouched.
+ */
+
+#ifndef CHIRP_LEARN_REUSE_DATASET_HH
+#define CHIRP_LEARN_REUSE_DATASET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_source.hh"
+#include "util/types.hh"
+
+namespace chirp
+{
+
+/** One training sample. */
+struct ReuseSample
+{
+    Addr fillPc = 0; //!< PC of the access that installed the entry
+    bool reused = false;
+};
+
+/** Geometry of the functional hierarchy used for extraction. */
+struct ReuseCollectorConfig
+{
+    std::uint32_t l1Entries = 64;
+    std::uint32_t l1Assoc = 8;
+    std::uint32_t l2Entries = 1024;
+    std::uint32_t l2Assoc = 8;
+    /** Stop after this many samples (0 = consume the whole trace). */
+    std::size_t maxSamples = 0;
+};
+
+/**
+ * Replay @p source and return the collected samples, including the
+ * final state of still-resident entries (labeled by whether they
+ * were hit).
+ */
+std::vector<ReuseSample> collectReuseSamples(
+    TraceSource &source, const ReuseCollectorConfig &config = {});
+
+/**
+ * Convert a sample PC into the ADALINE input vector: bit i of the PC
+ * mapped to +/-1, for i in [0, inputs).
+ */
+std::vector<double> pcBitsToInputs(Addr pc, std::size_t inputs);
+
+} // namespace chirp
+
+#endif // CHIRP_LEARN_REUSE_DATASET_HH

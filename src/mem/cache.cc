@@ -1,0 +1,88 @@
+#include "mem/cache.hh"
+
+namespace chirp
+{
+
+namespace
+{
+
+std::uint32_t
+setsFor(const CacheConfig &config)
+{
+    const std::uint64_t lines = config.sizeBytes / config.lineBytes;
+    if (lines == 0 || lines % config.assoc != 0)
+        chirp_fatal("cache '", config.name, "': size ", config.sizeBytes,
+                    " not divisible into ", config.assoc, "-way sets of ",
+                    config.lineBytes, "B lines");
+    return static_cast<std::uint32_t>(lines / config.assoc);
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), array_(setsFor(config), config.assoc)
+{
+    if (!isPowerOfTwo(config.lineBytes))
+        chirp_fatal("cache '", config.name, "': line size must be a power "
+                    "of two");
+}
+
+Addr
+Cache::lineKey(Addr addr) const
+{
+    return addr / config_.lineBytes;
+}
+
+bool
+Cache::access(Addr addr, bool write)
+{
+    (void)write; // allocate-on-write; no dirty-state modeling needed
+    ++tick_;
+    const Addr key = lineKey(addr);
+    const std::uint32_t set = array_.setIndex(key);
+    const Addr tag = array_.tagOf(key);
+
+    const int way = array_.findWay(set, tag);
+    if (way >= 0) {
+        array_.at(set, way).data.lastUse = tick_;
+        ++hits_;
+        return true;
+    }
+
+    ++misses_;
+    int victim = array_.invalidWay(set);
+    if (victim < 0) {
+        // LRU by recency tick.
+        std::uint64_t oldest = ~std::uint64_t{0};
+        for (std::uint32_t w = 0; w < array_.assoc(); ++w) {
+            const std::uint64_t t = array_.at(set, w).data.lastUse;
+            if (t < oldest) {
+                oldest = t;
+                victim = static_cast<int>(w);
+            }
+        }
+    }
+    auto &slot = array_.at(set, victim);
+    slot.valid = true;
+    slot.tag = tag;
+    slot.data.lastUse = tick_;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Addr key = lineKey(addr);
+    return array_.findWay(array_.setIndex(key), array_.tagOf(key)) >= 0;
+}
+
+void
+Cache::reset()
+{
+    array_.invalidateAll();
+    tick_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace chirp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A simple set-associative cache model with LRU replacement, used
+ * for the L1i/L1d/L2/L3 levels of the timing-approximate simulator
+ * (Table II).  Timing, not data, is modeled: an access either hits
+ * or misses-and-fills.
+ */
+
+#ifndef CHIRP_MEM_CACHE_HH
+#define CHIRP_MEM_CACHE_HH
+
+#include <string>
+
+#include "mem/set_assoc.hh"
+#include "util/types.hh"
+
+namespace chirp
+{
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    std::uint32_t assoc = 8;
+    std::uint32_t lineBytes = 64;
+    Cycles latency = 4; //!< access latency when this level hits
+};
+
+/** One level of cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Look up @p addr; on a miss the line is allocated (evicting
+     * LRU).
+     * @return true on hit.
+     */
+    bool access(Addr addr, bool write);
+
+    /** Hit check without any state change (tests). */
+    bool probe(Addr addr) const;
+
+    /** Drop all lines and zero statistics. */
+    void reset();
+
+    const CacheConfig &config() const { return config_; }
+    Cycles latency() const { return config_.latency; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    /** Per-line payload: recency tick for LRU. */
+    struct Line
+    {
+        std::uint64_t lastUse = 0;
+    };
+
+    Addr lineKey(Addr addr) const;
+
+    CacheConfig config_;
+    SetAssocArray<Line> array_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_MEM_CACHE_HH

@@ -1,0 +1,76 @@
+#include "mem/cache_hierarchy.hh"
+
+namespace chirp
+{
+
+CacheHierarchy::CacheHierarchy(const CacheHierarchyConfig &config)
+    : config_(config), l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2),
+      l3_(config.l3)
+{
+}
+
+Cycles
+CacheHierarchy::missBeyondL1(Addr addr, bool write)
+{
+    if (l2_.access(addr, write))
+        return l2_.latency();
+    if (l3_.access(addr, write))
+        return l2_.latency() + l3_.latency();
+    return l2_.latency() + l3_.latency() + config_.dramLatency;
+}
+
+void
+CacheHierarchy::prefetchAfterMiss(Cache &l1, Addr addr)
+{
+    if (!config_.nextLinePrefetch)
+        return;
+    const Addr line_bytes = config_.l2.lineBytes;
+    for (unsigned d = 1; d <= config_.prefetchDegree; ++d) {
+        const Addr next = addr + d * line_bytes;
+        // Stay inside the page: a cross-page prefetch would need its
+        // own translation, which hardware prefetchers avoid.
+        if (pageBase(next) != pageBase(addr))
+            break;
+        if (l1.probe(next))
+            continue;
+        // Prefetch latency is overlapped with the demand miss.
+        l1.access(next, false);
+        if (!l2_.probe(next))
+            l2_.access(next, false);
+        if (!l3_.probe(next))
+            l3_.access(next, false);
+        ++prefetches_;
+    }
+}
+
+Cycles
+CacheHierarchy::accessInstr(Addr pc)
+{
+    if (l1i_.access(pc, false))
+        return 0; // L1 hit latency is hidden by the pipeline
+    const Cycles stall = missBeyondL1(pc, false);
+    prefetchAfterMiss(l1i_, pc);
+    return stall;
+}
+
+Cycles
+CacheHierarchy::accessData(Addr addr, bool write)
+{
+    if (l1d_.access(addr, write))
+        return 0;
+    const Cycles stall = missBeyondL1(addr, write);
+    prefetchAfterMiss(l1d_, addr);
+    return stall;
+}
+
+void
+CacheHierarchy::reset()
+{
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+    l3_.reset();
+    prefetches_ = 0;
+}
+
+} // namespace chirp

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Generic set-associative array shared by caches and TLBs.
+ *
+ * The array manages tags, valid bits and a per-slot payload; callers
+ * layer replacement on top (caches use the built-in recency tick,
+ * TLBs delegate to a ReplacementPolicy).
+ */
+
+#ifndef CHIRP_MEM_SET_ASSOC_HH
+#define CHIRP_MEM_SET_ASSOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace chirp
+{
+
+/** A tagged, set-associative storage array with payload @p Entry. */
+template <typename Entry>
+class SetAssocArray
+{
+  public:
+    /** One way of one set. */
+    struct Slot
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Entry data{};
+    };
+
+    SetAssocArray(std::uint32_t num_sets, std::uint32_t assoc)
+        : numSets_(num_sets), assoc_(assoc),
+          slots_(static_cast<std::size_t>(num_sets) * assoc)
+    {
+        if (num_sets == 0 || assoc == 0)
+            chirp_fatal("set-assoc array needs nonzero geometry");
+        if (!isPowerOfTwo(num_sets))
+            chirp_fatal("set count ", num_sets, " must be a power of two");
+        setMask_ = num_sets - 1;
+    }
+
+    /** Set index for a key (its low bits). */
+    std::uint32_t
+    setIndex(Addr key) const
+    {
+        return static_cast<std::uint32_t>(key & setMask_);
+    }
+
+    /** Tag for a key (the bits above the set index). */
+    Addr
+    tagOf(Addr key) const
+    {
+        return key >> floorLog2(static_cast<std::uint64_t>(numSets_));
+    }
+
+    /** Way holding @p tag in @p set, or -1. */
+    int
+    findWay(std::uint32_t set, Addr tag) const
+    {
+        const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            const Slot &slot = slots_[base + w];
+            if (slot.valid && slot.tag == tag)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+
+    /** First invalid way in @p set, or -1 when the set is full. */
+    int
+    invalidWay(std::uint32_t set) const
+    {
+        const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (!slots_[base + w].valid)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+
+    Slot &
+    at(std::uint32_t set, std::uint32_t way)
+    {
+        return slots_[static_cast<std::size_t>(set) * assoc_ + way];
+    }
+
+    const Slot &
+    at(std::uint32_t set, std::uint32_t way) const
+    {
+        return slots_[static_cast<std::size_t>(set) * assoc_ + way];
+    }
+
+    /** Invalidate every slot. */
+    void
+    invalidateAll()
+    {
+        for (auto &slot : slots_)
+            slot = Slot{};
+    }
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+
+    /** Count of currently valid slots (tests/efficiency). */
+    std::uint64_t
+    validCount() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &slot : slots_)
+            n += slot.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+    Addr setMask_;
+    std::vector<Slot> slots_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_MEM_SET_ASSOC_HH

@@ -1,0 +1,169 @@
+#include "sim/opt_bound.hh"
+
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+namespace
+{
+
+/** Minimal LRU TLB used only to filter the L1 stream. */
+class FilterTlb
+{
+  public:
+    FilterTlb(std::uint32_t entries, std::uint32_t assoc)
+        : sets_(entries / assoc), assoc_(assoc), slots_(entries)
+    {
+        if (!isPowerOfTwo(sets_))
+            chirp_fatal("filter TLB set count must be a power of two");
+    }
+
+    bool
+    access(Addr vpn)
+    {
+        ++tick_;
+        const std::uint32_t set = vpn & (sets_ - 1);
+        const Addr tag = vpn >> floorLog2(sets_);
+        const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+        std::size_t victim = base;
+        std::uint64_t oldest = ~std::uint64_t{0};
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            Slot &slot = slots_[base + w];
+            if (slot.valid && slot.tag == tag) {
+                slot.lastUse = tick_;
+                return true;
+            }
+            if (!slot.valid) {
+                victim = base + w;
+                oldest = 0;
+            } else if (slot.lastUse < oldest) {
+                victim = base + w;
+                oldest = slot.lastUse;
+            }
+        }
+        slots_[victim] = {true, tag, tick_};
+        return false;
+    }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t sets_;
+    std::uint32_t assoc_;
+    std::vector<Slot> slots_;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace
+
+OptBoundResult
+computeOptBound(TraceSource &source, const OptBoundConfig &config)
+{
+    source.reset();
+    FilterTlb l1i(config.l1Entries, config.l1Assoc);
+    FilterTlb l1d(config.l1Entries, config.l1Assoc);
+
+    // Pass 1 (single trace pass): extract the L2 access stream with
+    // instruction indices attached.
+    const std::uint32_t l2_sets = config.l2Entries / config.l2Assoc;
+    std::vector<std::vector<Addr>> stream(l2_sets);   // vpns per set
+    std::vector<std::vector<InstCount>> when(l2_sets); // inst index
+    InstCount retired = 0;
+    TraceRecord rec;
+    while (source.next(rec)) {
+        const Addr ipage = pageNumber(rec.pc);
+        if (!l1i.access(ipage)) {
+            const std::uint32_t set = ipage & (l2_sets - 1);
+            stream[set].push_back(ipage);
+            when[set].push_back(retired);
+        }
+        if (isMemory(rec.cls)) {
+            const Addr dpage = pageNumber(rec.effAddr);
+            if (!l1d.access(dpage)) {
+                const std::uint32_t set = dpage & (l2_sets - 1);
+                stream[set].push_back(dpage);
+                when[set].push_back(retired);
+            }
+        }
+        ++retired;
+    }
+
+    const InstCount warmup = static_cast<InstCount>(
+        static_cast<double>(retired) * config.warmupFraction);
+
+    OptBoundResult result;
+    result.instructions = retired - warmup;
+
+    // Pass 2: per-set Bélády.  Next-use indices are precomputed by a
+    // backward scan; the victim is the resident page whose next use
+    // lies furthest in the future.
+    constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+    for (std::uint32_t set = 0; set < l2_sets; ++set) {
+        const auto &vpns = stream[set];
+        const std::size_t n = vpns.size();
+        std::vector<std::size_t> next_use(n, kNever);
+        {
+            std::unordered_map<Addr, std::size_t> last;
+            last.reserve(n);
+            for (std::size_t i = n; i-- > 0;) {
+                const auto it = last.find(vpns[i]);
+                next_use[i] = it == last.end() ? kNever : it->second;
+                last[vpns[i]] = i;
+            }
+        }
+
+        std::vector<Addr> resident_vpn(config.l2Assoc, 0);
+        std::vector<std::size_t> resident_next(config.l2Assoc, kNever);
+        std::vector<bool> resident_valid(config.l2Assoc, false);
+        for (std::size_t i = 0; i < n; ++i) {
+            const bool measured = when[set][i] >= warmup;
+            if (measured)
+                ++result.accesses;
+            bool hit = false;
+            for (std::uint32_t w = 0; w < config.l2Assoc; ++w) {
+                if (resident_valid[w] && resident_vpn[w] == vpns[i]) {
+                    resident_next[w] = next_use[i];
+                    hit = true;
+                    break;
+                }
+            }
+            if (hit)
+                continue;
+            if (measured)
+                ++result.misses;
+            // Fill: invalid way first, else furthest next use.
+            std::uint32_t victim = 0;
+            std::size_t furthest = 0;
+            bool found_invalid = false;
+            for (std::uint32_t w = 0; w < config.l2Assoc; ++w) {
+                if (!resident_valid[w]) {
+                    victim = w;
+                    found_invalid = true;
+                    break;
+                }
+                if (resident_next[w] >= furthest) {
+                    furthest = resident_next[w];
+                    victim = w;
+                }
+            }
+            (void)found_invalid;
+            resident_valid[victim] = true;
+            resident_vpn[victim] = vpns[i];
+            resident_next[victim] = next_use[i];
+        }
+    }
+    return result;
+}
+
+} // namespace chirp

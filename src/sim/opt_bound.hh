@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bélády (OPT) miss bound for the L2 TLB.
+ *
+ * The stream of accesses reaching the L2 TLB is fixed by the trace
+ * and the (LRU) L1 TLBs — it does not depend on the L2 replacement
+ * policy.  That makes the clairvoyant minimum computable offline:
+ * replay the trace once to extract the L2 access stream, then run
+ * Bélády's algorithm per set.  The result bounds how much *any*
+ * replacement policy (CHiRP included) can reduce L2 TLB misses.
+ */
+
+#ifndef CHIRP_SIM_OPT_BOUND_HH
+#define CHIRP_SIM_OPT_BOUND_HH
+
+#include <cstdint>
+
+#include "trace/trace_source.hh"
+
+namespace chirp
+{
+
+/** OPT result over the measured phase. */
+struct OptBoundResult
+{
+    InstCount instructions = 0;  //!< measured-phase instructions
+    std::uint64_t accesses = 0;  //!< L2 accesses in the measured phase
+    std::uint64_t misses = 0;    //!< OPT misses in the measured phase
+
+    /** Clairvoyant L2 TLB MPKI. */
+    double
+    mpki() const
+    {
+        if (instructions == 0)
+            return 0.0;
+        return static_cast<double>(misses) * 1000.0 /
+               static_cast<double>(instructions);
+    }
+};
+
+/** Geometry for the bound (Table II defaults). */
+struct OptBoundConfig
+{
+    std::uint32_t l1Entries = 64;
+    std::uint32_t l1Assoc = 8;
+    std::uint32_t l2Entries = 1024;
+    std::uint32_t l2Assoc = 8;
+    /** Fraction of the trace treated as warmup (not counted). */
+    double warmupFraction = 0.5;
+};
+
+/** Compute the OPT bound for @p source (resets it first). */
+OptBoundResult computeOptBound(TraceSource &source,
+                               const OptBoundConfig &config = {});
+
+} // namespace chirp
+
+#endif // CHIRP_SIM_OPT_BOUND_HH

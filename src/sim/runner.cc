@@ -1,0 +1,117 @@
+#include "sim/runner.hh"
+
+#include <cstdio>
+
+#include "sim/simulator.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace chirp
+{
+
+Runner::Runner(const SimConfig &config)
+    : config_(config)
+{
+}
+
+SimStats
+Runner::runOne(const WorkloadConfig &workload,
+               const PolicyFactory &factory) const
+{
+    const auto program = buildWorkload(workload);
+    const std::uint32_t sets =
+        config_.tlbs.l2.entries / config_.tlbs.l2.assoc;
+    Simulator sim(config_, factory(sets, config_.tlbs.l2.assoc));
+    return sim.run(*program);
+}
+
+std::vector<WorkloadResult>
+Runner::runSuite(const std::vector<WorkloadConfig> &suite,
+                 const PolicyFactory &factory,
+                 const std::string &label) const
+{
+    std::vector<WorkloadResult> results;
+    results.reserve(suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        if (!label.empty()) {
+            std::fprintf(stderr, "\r  [%s] %zu/%zu workloads", label.c_str(),
+                         i + 1, suite.size());
+            std::fflush(stderr);
+        }
+        results.push_back({suite[i], runOne(suite[i], factory)});
+    }
+    if (!label.empty())
+        std::fprintf(stderr, "\n");
+    return results;
+}
+
+PolicyFactory
+Runner::factoryFor(PolicyKind kind)
+{
+    return [kind](std::uint32_t sets, std::uint32_t assoc) {
+        return makePolicy(kind, sets, assoc);
+    };
+}
+
+double
+averageMpki(const std::vector<WorkloadResult> &results)
+{
+    std::vector<double> mpkis;
+    mpkis.reserve(results.size());
+    for (const auto &r : results)
+        mpkis.push_back(r.stats.mpki());
+    return mean(mpkis);
+}
+
+double
+mpkiReductionPct(const std::vector<WorkloadResult> &baseline,
+                 const std::vector<WorkloadResult> &results)
+{
+    return pctReduction(averageMpki(baseline), averageMpki(results));
+}
+
+double
+speedupPct(const std::vector<WorkloadResult> &baseline,
+           const std::vector<WorkloadResult> &results, Cycles penalty)
+{
+    if (baseline.size() != results.size())
+        chirp_fatal("speedup: result sets differ in size");
+    std::vector<double> ipc;
+    std::vector<double> base;
+    ipc.reserve(results.size());
+    base.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ipc.push_back(results[i].stats.ipcAtPenalty(penalty));
+        base.push_back(baseline[i].stats.ipcAtPenalty(penalty));
+    }
+    return geomeanSpeedupPct(ipc, base);
+}
+
+double
+efficiencyGainPct(const std::vector<WorkloadResult> &baseline,
+                  const std::vector<WorkloadResult> &results)
+{
+    if (baseline.size() != results.size())
+        chirp_fatal("efficiency: result sets differ in size");
+    std::vector<double> gains;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const double base = baseline[i].stats.l2Efficiency;
+        if (base <= 0.0)
+            continue;
+        gains.push_back(
+            (results[i].stats.l2Efficiency / base - 1.0) * 100.0);
+    }
+    return mean(gains);
+}
+
+double
+meanTableAccessRate(const std::vector<WorkloadResult> &results)
+{
+    std::vector<double> rates;
+    rates.reserve(results.size());
+    for (const auto &r : results)
+        rates.push_back(r.stats.tableAccessRate());
+    return mean(rates);
+}
+
+} // namespace chirp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Suite orchestration: run (workload x policy) grids and aggregate
+ * the metrics the paper's figures report.
+ */
+
+#ifndef CHIRP_SIM_RUNNER_HH
+#define CHIRP_SIM_RUNNER_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy_factory.hh"
+#include "sim/sim_config.hh"
+#include "sim/sim_stats.hh"
+#include "trace/workload_suite.hh"
+
+namespace chirp
+{
+
+/** Creates a fresh policy instance for a given TLB geometry. */
+using PolicyFactory = std::function<std::unique_ptr<ReplacementPolicy>(
+    std::uint32_t num_sets, std::uint32_t assoc)>;
+
+/** Result of one (workload, policy) simulation. */
+struct WorkloadResult
+{
+    WorkloadConfig workload;
+    SimStats stats;
+};
+
+/** Drives suites of workloads through the simulator. */
+class Runner
+{
+  public:
+    explicit Runner(const SimConfig &config);
+
+    /** Simulate one workload with a fresh policy from @p factory. */
+    SimStats runOne(const WorkloadConfig &workload,
+                    const PolicyFactory &factory) const;
+
+    /**
+     * Simulate every workload in @p suite.  Progress is reported on
+     * stderr under @p label when it is non-empty.
+     */
+    std::vector<WorkloadResult>
+    runSuite(const std::vector<WorkloadConfig> &suite,
+             const PolicyFactory &factory,
+             const std::string &label = "") const;
+
+    const SimConfig &config() const { return config_; }
+
+    /** Factory for a default-configured policy of @p kind. */
+    static PolicyFactory factoryFor(PolicyKind kind);
+
+  private:
+    SimConfig config_;
+};
+
+/** Mean MPKI over a result set. */
+double averageMpki(const std::vector<WorkloadResult> &results);
+
+/**
+ * Percent reduction of mean MPKI relative to a baseline result set
+ * (the paper's "reduces MPKI by an average N%" metric).
+ */
+double mpkiReductionPct(const std::vector<WorkloadResult> &baseline,
+                        const std::vector<WorkloadResult> &results);
+
+/**
+ * Geometric-mean speedup (percent) over a baseline at a given walk
+ * penalty, re-deriving IPC via SimStats::ipcAtPenalty.
+ */
+double speedupPct(const std::vector<WorkloadResult> &baseline,
+                  const std::vector<WorkloadResult> &results,
+                  Cycles penalty);
+
+/**
+ * Mean percent gain in L2 TLB efficiency over a baseline (Fig 1's
+ * summary numbers).  Workloads where the baseline recorded no
+ * generations are skipped.
+ */
+double efficiencyGainPct(const std::vector<WorkloadResult> &baseline,
+                         const std::vector<WorkloadResult> &results);
+
+/** Mean prediction-table access rate (Fig 11 summary). */
+double meanTableAccessRate(const std::vector<WorkloadResult> &results);
+
+} // namespace chirp
+
+#endif // CHIRP_SIM_RUNNER_HH

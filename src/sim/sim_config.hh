@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Top-level simulation configuration — the programmatic form of the
+ * paper's Table II.
+ */
+
+#ifndef CHIRP_SIM_SIM_CONFIG_HH
+#define CHIRP_SIM_SIM_CONFIG_HH
+
+#include "branch/branch_unit.hh"
+#include "mem/cache_hierarchy.hh"
+#include "tlb/tlb_hierarchy.hh"
+
+namespace chirp
+{
+
+/** Full processor model configuration (defaults = Table II). */
+struct SimConfig
+{
+    CacheHierarchyConfig caches;
+    BranchUnitConfig branch;
+    TlbHierarchyConfig tlbs;
+
+    /** L2 TLB miss penalty (the paper's main results use 150). */
+    Cycles pageWalkLatency = 150;
+
+    /**
+     * Model the cache hierarchy and branch predictors?  They only
+     * affect timing, not TLB behaviour, so MPKI-only studies disable
+     * them for speed.
+     */
+    bool simulateCaches = true;
+    bool simulateBranch = true;
+
+    /**
+     * Fraction of the trace used to warm microarchitectural state
+     * before measurement begins (paper: the first half).
+     */
+    double warmupFraction = 0.5;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_SIM_SIM_CONFIG_HH

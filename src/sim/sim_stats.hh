@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Measured-phase simulation statistics and the derived metrics the
+ * paper reports (MPKI, IPC, speedup, table access rate, efficiency).
+ */
+
+#ifndef CHIRP_SIM_SIM_STATS_HH
+#define CHIRP_SIM_SIM_STATS_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace chirp
+{
+
+/** Statistics over the measured (post-warmup) phase of one run. */
+struct SimStats
+{
+    InstCount instructions = 0;
+    InstCount warmupInstructions = 0;
+    Cycles cycles = 0;
+
+    std::uint64_t l1iTlbAccesses = 0;
+    std::uint64_t l1iTlbMisses = 0;
+    std::uint64_t l1dTlbAccesses = 0;
+    std::uint64_t l1dTlbMisses = 0;
+    std::uint64_t l2TlbAccesses = 0;
+    std::uint64_t l2TlbHits = 0;
+    std::uint64_t l2TlbMisses = 0;
+
+    std::uint64_t branches = 0;
+    std::uint64_t branchMispredicts = 0;
+
+    /** Replacement-policy prediction-table traffic (Fig 11). */
+    std::uint64_t tableReads = 0;
+    std::uint64_t tableWrites = 0;
+
+    /** L2 TLB entry live-time fraction (Fig 1). */
+    double l2Efficiency = 0.0;
+
+    /** Cycles attributable to page walks during measurement. */
+    Cycles walkCycles = 0;
+
+    /** The walk latency the run was simulated with. */
+    Cycles walkLatency = 0;
+
+    /** L2 TLB misses per 1000 instructions. */
+    double
+    mpki() const
+    {
+        if (instructions == 0)
+            return 0.0;
+        return static_cast<double>(l2TlbMisses) * 1000.0 /
+               static_cast<double>(instructions);
+    }
+
+    /** Instructions per cycle. */
+    double
+    ipc() const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return static_cast<double>(instructions) /
+               static_cast<double>(cycles);
+    }
+
+    /**
+     * IPC re-derived for a different page-walk penalty: TLB-miss
+     * behaviour is independent of the penalty, so cycles decompose
+     * into (cycles - walkCycles) + misses * penalty.  This is how
+     * the Fig 10 penalty sweep avoids resimulation.
+     */
+    double
+    ipcAtPenalty(Cycles penalty) const
+    {
+        if (instructions == 0)
+            return 0.0;
+        const Cycles base = cycles - walkCycles;
+        const Cycles total =
+            base + static_cast<Cycles>(l2TlbMisses) * penalty;
+        return static_cast<double>(instructions) /
+               static_cast<double>(total ? total : 1);
+    }
+
+    /** Prediction-table accesses per L2 TLB access (Fig 11). */
+    double
+    tableAccessRate() const
+    {
+        if (l2TlbAccesses == 0)
+            return 0.0;
+        return static_cast<double>(tableReads + tableWrites) /
+               static_cast<double>(l2TlbAccesses);
+    }
+
+    /** Branch mispredictions per 1000 instructions. */
+    double
+    branchMpki() const
+    {
+        if (instructions == 0)
+            return 0.0;
+        return static_cast<double>(branchMispredicts) * 1000.0 /
+               static_cast<double>(instructions);
+    }
+};
+
+} // namespace chirp
+
+#endif // CHIRP_SIM_SIM_STATS_HH

@@ -1,0 +1,192 @@
+#include "sim/simulator.hh"
+
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+Simulator::Simulator(const SimConfig &config,
+                     std::unique_ptr<ReplacementPolicy> l2_policy)
+    : config_(config), caches_(config.caches), branch_(config.branch)
+{
+    tlbs_ = std::make_unique<TlbHierarchy>(
+        config.tlbs, std::move(l2_policy),
+        std::make_unique<FixedLatencyWalker>(config.pageWalkLatency));
+}
+
+Cycles
+Simulator::step(const TraceRecord &rec, std::uint64_t now)
+{
+    Cycles cost = 1;
+
+    // Front end: translate and fetch the instruction itself.
+    AccessInfo ifetch;
+    ifetch.pc = rec.pc;
+    ifetch.vaddr = rec.pc;
+    ifetch.cls = rec.cls;
+    ifetch.isInstr = true;
+    cost += tlbs_->translate(ifetch, activeAsid_, now).stall;
+    if (config_.simulateCaches)
+        cost += caches_.accessInstr(rec.pc);
+
+    if (config_.simulateBranch && isBranch(rec.cls))
+        cost += branch_.onBranch(rec);
+
+    // Back end: data access.
+    if (isMemory(rec.cls)) {
+        AccessInfo data;
+        data.pc = rec.pc;
+        data.vaddr = rec.effAddr;
+        data.cls = rec.cls;
+        data.isInstr = false;
+        cost += tlbs_->translate(data, activeAsid_, now).stall;
+        if (config_.simulateCaches) {
+            cost += caches_.accessData(rec.effAddr,
+                                       rec.cls == InstClass::Store);
+        }
+    }
+
+    // Retirement: the instruction and branch PCs feed the policy
+    // histories (speculative history is not modeled; the paper
+    // likewise trains at commit with right-path branches only,
+    // §VI-E).
+    tlbs_->onInstRetired(rec.pc, rec.cls);
+    if (isBranch(rec.cls))
+        tlbs_->onBranchRetired(rec.pc, rec.cls, rec.taken);
+
+    return cost;
+}
+
+SimStats
+Simulator::run(TraceSource &source)
+{
+    return runImpl({&source}, 0, false);
+}
+
+SimStats
+Simulator::runInterleaved(const std::vector<TraceSource *> &sources,
+                          InstCount quantum, bool flush_on_switch)
+{
+    if (sources.empty())
+        chirp_fatal("runInterleaved needs at least one source");
+    if (sources.size() > 1 && quantum == 0)
+        chirp_fatal("multi-process runs need a nonzero quantum");
+    return runImpl(sources, quantum, flush_on_switch);
+}
+
+SimStats
+Simulator::runImpl(const std::vector<TraceSource *> &sources,
+                   InstCount quantum, bool flush_on_switch)
+{
+    for (TraceSource *source : sources)
+        source->reset();
+    tlbs_->reset();
+    caches_.reset();
+    branch_.reset();
+
+    InstCount expected = 0;
+    for (const TraceSource *source : sources)
+        expected += source->expectedLength();
+    const InstCount warmup = static_cast<InstCount>(
+        static_cast<double>(expected) * config_.warmupFraction);
+
+    SimStats stats;
+    stats.walkLatency = config_.pageWalkLatency;
+    stats.warmupInstructions = warmup;
+
+    // Counter snapshots taken at the warmup boundary; measured-phase
+    // numbers are the difference against the end of the run.
+    struct Snapshot
+    {
+        Cycles cycles = 0;
+        std::uint64_t l1iAcc = 0, l1iMiss = 0;
+        std::uint64_t l1dAcc = 0, l1dMiss = 0;
+        std::uint64_t l2Acc = 0, l2Hit = 0, l2Miss = 0;
+        std::uint64_t branches = 0, mispredicts = 0;
+        std::uint64_t tReads = 0, tWrites = 0;
+        Cycles walkCycles = 0;
+    } snap;
+    bool snapped = (warmup == 0);
+
+    Cycles cycles = 0;
+    InstCount retired = 0;
+    std::size_t active = 0;
+    InstCount quantum_left = quantum;
+    std::vector<bool> done(sources.size(), false);
+    std::size_t live_sources = sources.size();
+    activeAsid_ = static_cast<Asid>(active + 1);
+    TraceRecord rec;
+    while (live_sources > 0) {
+        // Round-robin context switches every `quantum` instructions.
+        if (sources.size() > 1 && quantum_left == 0) {
+            std::size_t next = active;
+            do {
+                next = (next + 1) % sources.size();
+            } while (done[next]);
+            if (next != active && flush_on_switch) {
+                // Non-ASID hardware invalidates translations on a
+                // context switch (the switch's other costs are not
+                // modeled).
+                tlbs_->l1i().flushAll(retired);
+                tlbs_->l1d().flushAll(retired);
+                tlbs_->l2().flushAll(retired);
+            }
+            active = next;
+            activeAsid_ = static_cast<Asid>(active + 1);
+            quantum_left = quantum;
+        }
+        if (!sources[active]->next(rec)) {
+            done[active] = true;
+            --live_sources;
+            quantum_left = 0;
+            continue;
+        }
+        if (quantum_left > 0)
+            --quantum_left;
+        if (!snapped && retired >= warmup) {
+            snap.cycles = cycles;
+            snap.l1iAcc = tlbs_->l1i().accesses();
+            snap.l1iMiss = tlbs_->l1i().misses();
+            snap.l1dAcc = tlbs_->l1d().accesses();
+            snap.l1dMiss = tlbs_->l1d().misses();
+            snap.l2Acc = tlbs_->l2().accesses();
+            snap.l2Hit = tlbs_->l2().hits();
+            snap.l2Miss = tlbs_->l2().misses();
+            snap.branches = branch_.branches();
+            snap.mispredicts = branch_.mispredicts();
+            snap.tReads = tlbs_->l2().policy().tableReads();
+            snap.tWrites = tlbs_->l2().policy().tableWrites();
+            snap.walkCycles = tlbs_->walker().totalCycles();
+            snapped = true;
+        }
+        cycles += step(rec, retired);
+        ++retired;
+    }
+    if (!snapped) {
+        // Degenerate short trace: everything is warmup; measure all.
+        snap = Snapshot{};
+    }
+
+    tlbs_->finalizeEfficiency(retired);
+
+    stats.instructions = retired - (snapped ? warmup : 0);
+    if (retired < warmup)
+        stats.instructions = retired;
+    stats.cycles = cycles - snap.cycles;
+    stats.l1iTlbAccesses = tlbs_->l1i().accesses() - snap.l1iAcc;
+    stats.l1iTlbMisses = tlbs_->l1i().misses() - snap.l1iMiss;
+    stats.l1dTlbAccesses = tlbs_->l1d().accesses() - snap.l1dAcc;
+    stats.l1dTlbMisses = tlbs_->l1d().misses() - snap.l1dMiss;
+    stats.l2TlbAccesses = tlbs_->l2().accesses() - snap.l2Acc;
+    stats.l2TlbHits = tlbs_->l2().hits() - snap.l2Hit;
+    stats.l2TlbMisses = tlbs_->l2().misses() - snap.l2Miss;
+    stats.branches = branch_.branches() - snap.branches;
+    stats.branchMispredicts = branch_.mispredicts() - snap.mispredicts;
+    stats.tableReads = tlbs_->l2().policy().tableReads() - snap.tReads;
+    stats.tableWrites = tlbs_->l2().policy().tableWrites() - snap.tWrites;
+    stats.walkCycles = tlbs_->walker().totalCycles() - snap.walkCycles;
+    stats.l2Efficiency = tlbs_->l2().efficiency().efficiency();
+    return stats;
+}
+
+} // namespace chirp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The timing-approximate performance model (§V).
+ *
+ * An in-order pipeline retiring one instruction per cycle plus
+ * first-order stalls: i-side and d-side TLB misses (L2 TLB lookup
+ * latency and page-walk penalty), cache misses down the three-level
+ * hierarchy, and branch mispredictions.  The first
+ * `warmupFraction` of the trace warms all structures; statistics
+ * cover the remainder.
+ */
+
+#ifndef CHIRP_SIM_SIMULATOR_HH
+#define CHIRP_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "branch/branch_unit.hh"
+#include "mem/cache_hierarchy.hh"
+#include "sim/sim_config.hh"
+#include "sim/sim_stats.hh"
+#include "tlb/tlb_hierarchy.hh"
+#include "trace/trace_source.hh"
+
+namespace chirp
+{
+
+/** One processor model instance. */
+class Simulator
+{
+  public:
+    /**
+     * @param config model parameters
+     * @param l2_policy replacement policy for the L2 TLB (owned)
+     */
+    Simulator(const SimConfig &config,
+              std::unique_ptr<ReplacementPolicy> l2_policy);
+
+    /**
+     * Simulate @p source to completion (resetting it first) and
+     * return measured-phase statistics.
+     */
+    SimStats run(TraceSource &source);
+
+    /**
+     * Multi-process mode: interleave several traces round-robin with
+     * a context-switch quantum.  Process i runs under ASID i+1; with
+     * @p flush_on_switch the TLBs are flushed at every switch
+     * (non-ASID-tagged hardware), otherwise entries of all processes
+     * coexist under their ASIDs.  Statistics cover the post-warmup
+     * phase of the combined stream.
+     */
+    SimStats runInterleaved(const std::vector<TraceSource *> &sources,
+                            InstCount quantum, bool flush_on_switch);
+
+    /** The TLB hierarchy (inspection in tests/examples). */
+    TlbHierarchy &tlbs() { return *tlbs_; }
+    const TlbHierarchy &tlbs() const { return *tlbs_; }
+
+    BranchUnit &branches() { return branch_; }
+    CacheHierarchy &caches() { return caches_; }
+
+    const SimConfig &config() const { return config_; }
+
+  private:
+    /** Simulate one instruction; returns its cycle cost. */
+    Cycles step(const TraceRecord &rec, std::uint64_t now);
+
+    /** Shared implementation of run/runInterleaved. */
+    SimStats runImpl(const std::vector<TraceSource *> &sources,
+                     InstCount quantum, bool flush_on_switch);
+
+    Asid activeAsid_ = 0;
+
+    SimConfig config_;
+    std::unique_ptr<TlbHierarchy> tlbs_;
+    CacheHierarchy caches_;
+    BranchUnit branch_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_SIM_SIMULATOR_HH

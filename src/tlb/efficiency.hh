@@ -1,0 +1,69 @@
+/**
+ * @file
+ * TLB-efficiency accounting (Fig 1 of the paper).
+ *
+ * Following Burger et al.'s cache-efficiency metric, an entry's
+ * *live* time spans fill to last hit; the rest of its residency is
+ * dead.  Efficiency is total live time over total residency time —
+ * a policy that evicts dead entries promptly scores higher because
+ * the entries that replace them go on to produce live time.
+ */
+
+#ifndef CHIRP_TLB_EFFICIENCY_HH
+#define CHIRP_TLB_EFFICIENCY_HH
+
+#include <cstdint>
+
+namespace chirp
+{
+
+/** Accumulates per-generation live/residency times. */
+class EfficiencyTracker
+{
+  public:
+    /**
+     * Record one completed generation of a TLB entry.
+     * @param fill time the entry was installed
+     * @param last_hit time of its final hit (== fill when never hit)
+     * @param evict time it left the TLB (or observation end)
+     */
+    void
+    recordGeneration(std::uint64_t fill, std::uint64_t last_hit,
+                     std::uint64_t evict)
+    {
+        if (evict <= fill)
+            return;
+        liveTime_ += last_hit - fill;
+        residentTime_ += evict - fill;
+        ++generations_;
+    }
+
+    /** Live-time fraction in [0, 1]; 0 when nothing was recorded. */
+    double
+    efficiency() const
+    {
+        if (residentTime_ == 0)
+            return 0.0;
+        return static_cast<double>(liveTime_) /
+               static_cast<double>(residentTime_);
+    }
+
+    std::uint64_t generations() const { return generations_; }
+
+    void
+    reset()
+    {
+        liveTime_ = 0;
+        residentTime_ = 0;
+        generations_ = 0;
+    }
+
+  private:
+    std::uint64_t liveTime_ = 0;
+    std::uint64_t residentTime_ = 0;
+    std::uint64_t generations_ = 0;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_TLB_EFFICIENCY_HH

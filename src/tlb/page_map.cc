@@ -1,0 +1,59 @@
+#include "tlb/page_map.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+std::size_t
+PageMap::mapHuge(Addr base, Addr bytes)
+{
+    constexpr Addr huge = Addr{1} << kHugePageShift;
+    const Addr begin = (base + huge - 1) & ~(huge - 1);
+    const Addr end = (base + bytes) & ~(huge - 1);
+    if (end <= begin)
+        return 0; // range too small to hold an aligned superpage
+
+    // Keep ranges_ sorted; reject overlap (caller error).
+    for (const Range &range : ranges_) {
+        if (begin < range.end && range.begin < end)
+            chirp_fatal("PageMap: overlapping superpage ranges");
+    }
+    ranges_.push_back({begin, end});
+    std::sort(ranges_.begin(), ranges_.end(),
+              [](const Range &a, const Range &b) {
+                  return a.begin < b.begin;
+              });
+    return static_cast<std::size_t>((end - begin) >> kHugePageShift);
+}
+
+unsigned
+PageMap::pageShiftFor(Addr vaddr) const
+{
+    // Binary search for the last range starting at or before vaddr.
+    const auto it = std::upper_bound(
+        ranges_.begin(), ranges_.end(), vaddr,
+        [](Addr value, const Range &range) {
+            return value < range.begin;
+        });
+    if (it != ranges_.begin()) {
+        const Range &range = *(it - 1);
+        if (vaddr < range.end)
+            return kHugePageShift;
+    }
+    return kPageShift;
+}
+
+std::size_t
+PageMap::hugePages() const
+{
+    std::size_t pages = 0;
+    for (const Range &range : ranges_)
+        pages += static_cast<std::size_t>(
+            (range.end - range.begin) >> kHugePageShift);
+    return pages;
+}
+
+} // namespace chirp

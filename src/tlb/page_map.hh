@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Virtual-address → page-size map: the OS-side model behind mixed
+ * page sizes.
+ *
+ * The paper scopes its study to 4KB pages and names mixed-size
+ * replacement as future work (§V, §VIII); this map plus the TLB's
+ * dual-size entries implement the substrate that future work needs.
+ * Ranges registered here are backed by 2MB superpages (subject to an
+ * alignment trim); everything else uses 4KB base pages.
+ */
+
+#ifndef CHIRP_TLB_PAGE_MAP_HH
+#define CHIRP_TLB_PAGE_MAP_HH
+
+#include <vector>
+
+#include "util/types.hh"
+
+namespace chirp
+{
+
+/** log2 of the superpage size (2MB). */
+constexpr unsigned kHugePageShift = 21;
+
+/** Maps address ranges to their backing page size. */
+class PageMap
+{
+  public:
+    /**
+     * Back the 2MB-aligned interior of [base, base + bytes) with
+     * superpages; the unaligned head/tail stays on 4KB pages, as an
+     * OS allocator would leave it.
+     * @return number of superpages actually created.
+     */
+    std::size_t mapHuge(Addr base, Addr bytes);
+
+    /** Page shift backing @p vaddr (12 or kHugePageShift). */
+    unsigned pageShiftFor(Addr vaddr) const;
+
+    /** Total superpages registered. */
+    std::size_t hugePages() const;
+
+    /** Drop all superpage mappings. */
+    void clear() { ranges_.clear(); }
+
+  private:
+    struct Range
+    {
+        Addr begin; //!< 2MB aligned
+        Addr end;   //!< 2MB aligned
+    };
+
+    std::vector<Range> ranges_; //!< sorted, non-overlapping
+};
+
+} // namespace chirp
+
+#endif // CHIRP_TLB_PAGE_MAP_HH

@@ -1,0 +1,98 @@
+#include "tlb/page_walker.hh"
+
+#include <algorithm>
+
+namespace chirp
+{
+
+FixedLatencyWalker::FixedLatencyWalker(Cycles latency)
+    : latency_(latency)
+{
+}
+
+Cycles
+FixedLatencyWalker::walk(Addr)
+{
+    account(latency_);
+    return latency_;
+}
+
+void
+FixedLatencyWalker::reset()
+{
+    resetAccounting();
+}
+
+RadixPageWalker::RadixPageWalker()
+    : RadixPageWalker(Config{})
+{
+}
+
+RadixPageWalker::RadixPageWalker(const Config &config)
+    : config_(config), pml4_(config.pml4Entries),
+      pdpt_(config.pdptEntries), pd_(config.pdEntries)
+{
+}
+
+bool
+RadixPageWalker::Psc::lookup(Addr tag)
+{
+    const auto it = std::find(tags.begin(), tags.end(), tag);
+    if (it == tags.end())
+        return false;
+    // Move to MRU position.
+    std::rotate(tags.begin(), it, it + 1);
+    return true;
+}
+
+void
+RadixPageWalker::Psc::insert(Addr tag)
+{
+    tags.pop_back();
+    tags.insert(tags.begin(), tag);
+}
+
+Cycles
+RadixPageWalker::walk(Addr vaddr)
+{
+    // x86-64 4KB radix split: PML4[47:39] PDPT[38:30] PD[29:21]
+    // PT[20:12].  The PD PSC caches 2MB regions, so a hit there
+    // leaves only the leaf PTE access.
+    const Addr pd_tag = vaddr >> 21;
+    const Addr pdpt_tag = vaddr >> 30;
+    const Addr pml4_tag = vaddr >> 39;
+
+    Cycles latency = config_.memAccessCycles; // the leaf PTE access
+    if (pd_.lookup(pd_tag)) {
+        ++hits_[2];
+    } else {
+        latency += config_.memAccessCycles; // PD entry access
+        if (pdpt_.lookup(pdpt_tag)) {
+            ++hits_[1];
+        } else {
+            latency += config_.memAccessCycles; // PDPT entry access
+            if (pml4_.lookup(pml4_tag)) {
+                ++hits_[0];
+            } else {
+                latency += config_.memAccessCycles; // PML4 entry access
+                pml4_.insert(pml4_tag);
+            }
+            pdpt_.insert(pdpt_tag);
+        }
+        pd_.insert(pd_tag);
+    }
+    account(latency);
+    return latency;
+}
+
+void
+RadixPageWalker::reset()
+{
+    pml4_ = Psc(config_.pml4Entries);
+    pdpt_ = Psc(config_.pdptEntries);
+    pd_ = Psc(config_.pdEntries);
+    hits_ = {};
+    resetAccounting();
+}
+
+} // namespace chirp

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Page-walk latency models.
+ *
+ * The paper's methodology charges a configurable fixed penalty per
+ * L2 TLB miss and sweeps it from 20 to 360 cycles (Fig 10);
+ * FixedLatencyWalker implements exactly that.  RadixPageWalker is a
+ * richer substrate: a four-level radix walk with paging-structure
+ * caches (PSCs) in the style of Intel's MMU caches, for examples and
+ * studies that want walk latency to vary with locality.
+ */
+
+#ifndef CHIRP_TLB_PAGE_WALKER_HH
+#define CHIRP_TLB_PAGE_WALKER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace chirp
+{
+
+/** Abstract provider of page-walk latencies. */
+class PageWalker
+{
+  public:
+    virtual ~PageWalker() = default;
+
+    /** Cycles to resolve the translation of @p vaddr. */
+    virtual Cycles walk(Addr vaddr) = 0;
+
+    /** Clear internal state (PSCs). */
+    virtual void reset() {}
+
+    /** Walks performed. */
+    std::uint64_t walks() const { return walks_; }
+
+    /** Total cycles spent walking. */
+    Cycles totalCycles() const { return totalCycles_; }
+
+  protected:
+    void
+    account(Cycles latency)
+    {
+        ++walks_;
+        totalCycles_ += latency;
+    }
+
+    void
+    resetAccounting()
+    {
+        walks_ = 0;
+        totalCycles_ = 0;
+    }
+
+  private:
+    std::uint64_t walks_ = 0;
+    Cycles totalCycles_ = 0;
+};
+
+/** Constant-latency walker (the paper's model). */
+class FixedLatencyWalker : public PageWalker
+{
+  public:
+    explicit FixedLatencyWalker(Cycles latency = 150);
+
+    Cycles walk(Addr vaddr) override;
+    void reset() override;
+
+    Cycles latency() const { return latency_; }
+
+    /** Change the penalty (Fig 10 sweeps reuse one walker). */
+    void setLatency(Cycles latency) { latency_ = latency; }
+
+  private:
+    Cycles latency_;
+};
+
+/**
+ * Four-level radix walk with paging-structure caches.  Each level
+ * whose PSC misses costs one memory access of a configurable
+ * latency; a PML4/PDPT/PD hit skips the levels above it.
+ */
+class RadixPageWalker : public PageWalker
+{
+  public:
+    /** Per-level PSC sizes and the per-memory-access cost. */
+    struct Config
+    {
+        unsigned pml4Entries = 2;   //!< caches 512GB regions
+        unsigned pdptEntries = 4;   //!< caches 1GB regions
+        unsigned pdEntries = 32;    //!< caches 2MB regions
+        Cycles memAccessCycles = 40;
+    };
+
+    RadixPageWalker();
+    explicit RadixPageWalker(const Config &config);
+
+    Cycles walk(Addr vaddr) override;
+    void reset() override;
+
+    /** PSC hits per level, index 0 = PML4 (tests/diagnostics). */
+    const std::array<std::uint64_t, 3> &pscHits() const { return hits_; }
+
+  private:
+    /** Tiny fully-associative LRU cache of region tags. */
+    struct Psc
+    {
+        explicit Psc(unsigned entries) : tags(entries, ~Addr{0}) {}
+
+        bool lookup(Addr tag);
+        void insert(Addr tag);
+
+        std::vector<Addr> tags; //!< MRU first
+    };
+
+    Config config_;
+    Psc pml4_;
+    Psc pdpt_;
+    Psc pd_;
+    std::array<std::uint64_t, 3> hits_{};
+};
+
+} // namespace chirp
+
+#endif // CHIRP_TLB_PAGE_WALKER_HH

@@ -1,0 +1,136 @@
+#include "tlb/tlb.hh"
+
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+Tlb::Tlb(const TlbConfig &config,
+         std::unique_ptr<ReplacementPolicy> policy)
+    : config_(config),
+      array_(config.entries / config.assoc, config.assoc),
+      policy_(std::move(policy))
+{
+    if (config.entries % config.assoc != 0)
+        chirp_fatal("tlb '", config.name, "': ", config.entries,
+                    " entries not divisible into ", config.assoc,
+                    "-way sets");
+    if (!policy_)
+        chirp_fatal("tlb '", config.name, "' needs a replacement policy");
+    if (policy_->numSets() != array_.numSets() ||
+        policy_->assoc() != array_.assoc()) {
+        chirp_fatal("tlb '", config.name, "': policy geometry ",
+                    policy_->numSets(), "x", policy_->assoc(),
+                    " does not match TLB geometry ", array_.numSets(), "x",
+                    array_.assoc());
+    }
+}
+
+bool
+Tlb::access(const AccessInfo &info, Asid asid, std::uint64_t now,
+            unsigned page_shift)
+{
+    ++accesses_;
+    const Addr key = keyOf(info.vaddr, asid, page_shift);
+    const std::uint32_t set = array_.setIndex(key);
+    const Addr tag = array_.tagOf(key);
+
+    int way = array_.findWay(set, tag);
+    if (way >= 0) {
+        ++hits_;
+        auto &slot = array_.at(set, way);
+        slot.data.lastHitTime = now;
+        policy_->onHit(set, static_cast<std::uint32_t>(way), info);
+        policy_->onAccessEnd(set, info);
+        return true;
+    }
+
+    ++misses_;
+    way = array_.invalidWay(set);
+    if (way < 0) {
+        way = static_cast<int>(policy_->selectVictim(set, info));
+        if (way < 0 || static_cast<std::uint32_t>(way) >= array_.assoc())
+            chirp_panic("tlb '", config_.name, "': policy '",
+                        policy_->name(), "' chose invalid way ", way);
+        auto &victim = array_.at(set, way);
+        ++evictions_;
+        efficiency_.recordGeneration(victim.data.fillTime,
+                                     victim.data.lastHitTime, now);
+    }
+    auto &slot = array_.at(set, way);
+    slot.valid = true;
+    slot.tag = tag;
+    slot.data.asid = asid;
+    slot.data.fillTime = now;
+    slot.data.lastHitTime = now;
+    policy_->onFill(set, static_cast<std::uint32_t>(way), info);
+    policy_->onAccessEnd(set, info);
+    return false;
+}
+
+bool
+Tlb::probe(Addr vaddr, Asid asid, unsigned page_shift) const
+{
+    const Addr key = keyOf(vaddr, asid, page_shift);
+    return array_.findWay(array_.setIndex(key), array_.tagOf(key)) >= 0;
+}
+
+void
+Tlb::flushAll(std::uint64_t now)
+{
+    for (std::uint32_t set = 0; set < array_.numSets(); ++set) {
+        for (std::uint32_t way = 0; way < array_.assoc(); ++way) {
+            auto &slot = array_.at(set, way);
+            if (!slot.valid)
+                continue;
+            efficiency_.recordGeneration(slot.data.fillTime,
+                                         slot.data.lastHitTime, now);
+            slot = {};
+            policy_->onInvalidate(set, way);
+        }
+    }
+}
+
+void
+Tlb::flushAsid(Asid asid, std::uint64_t now)
+{
+    for (std::uint32_t set = 0; set < array_.numSets(); ++set) {
+        for (std::uint32_t way = 0; way < array_.assoc(); ++way) {
+            auto &slot = array_.at(set, way);
+            if (!slot.valid || slot.data.asid != asid)
+                continue;
+            efficiency_.recordGeneration(slot.data.fillTime,
+                                         slot.data.lastHitTime, now);
+            slot = {};
+            policy_->onInvalidate(set, way);
+        }
+    }
+}
+
+void
+Tlb::finalizeEfficiency(std::uint64_t now)
+{
+    for (std::uint32_t set = 0; set < array_.numSets(); ++set) {
+        for (std::uint32_t way = 0; way < array_.assoc(); ++way) {
+            const auto &slot = array_.at(set, way);
+            if (!slot.valid)
+                continue;
+            efficiency_.recordGeneration(slot.data.fillTime,
+                                         slot.data.lastHitTime, now);
+        }
+    }
+}
+
+void
+Tlb::reset()
+{
+    array_.invalidateAll();
+    policy_->reset();
+    efficiency_.reset();
+    accesses_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+}
+
+} // namespace chirp

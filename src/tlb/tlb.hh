@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A set-associative TLB with a pluggable replacement policy.
+ *
+ * The TLB is the structure under study: every policy event hook is
+ * driven from here, and the per-entry efficiency accounting of Fig 1
+ * hangs off the fill/hit/evict events.
+ */
+
+#ifndef CHIRP_TLB_TLB_HH
+#define CHIRP_TLB_TLB_HH
+
+#include <memory>
+#include <string>
+
+#include "core/replacement_policy.hh"
+#include "mem/set_assoc.hh"
+#include "tlb/efficiency.hh"
+#include "tlb/page_map.hh"
+#include "util/types.hh"
+
+namespace chirp
+{
+
+/** Geometry and latency of one TLB level. */
+struct TlbConfig
+{
+    std::string name = "tlb";
+    std::uint32_t entries = 1024;
+    std::uint32_t assoc = 8;
+    Cycles hitLatency = 8;
+};
+
+/** One TLB level. */
+class Tlb
+{
+  public:
+    /** The policy is owned by the TLB. */
+    Tlb(const TlbConfig &config,
+        std::unique_ptr<ReplacementPolicy> policy);
+
+    /**
+     * Perform one access: drives the policy's onHit / selectVictim /
+     * onFill / onAccessEnd hooks and allocates on miss.
+     * @param info the access; the page comes from info.vaddr
+     * @param asid address-space tag of the access
+     * @param now current time (instruction index) for efficiency
+     * @param page_shift log2 page size backing the address: one
+     *        entry covers the whole 4KB or 2MB page
+     * @return true on hit.
+     */
+    bool access(const AccessInfo &info, Asid asid, std::uint64_t now,
+                unsigned page_shift = kPageShift);
+
+    /** Hit check with no state change. */
+    bool probe(Addr vaddr, Asid asid,
+               unsigned page_shift = kPageShift) const;
+
+    /** Invalidate every entry (full flush). */
+    void flushAll(std::uint64_t now);
+
+    /** Invalidate all entries of @p asid (context flush). */
+    void flushAsid(Asid asid, std::uint64_t now);
+
+    /** Close out efficiency accounting for still-resident entries. */
+    void finalizeEfficiency(std::uint64_t now);
+
+    /** Reset entries, policy state and statistics. */
+    void reset();
+
+    const TlbConfig &config() const { return config_; }
+    ReplacementPolicy &policy() { return *policy_; }
+    const ReplacementPolicy &policy() const { return *policy_; }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Evictions of valid entries (capacity/conflict turnover). */
+    std::uint64_t evictions() const { return evictions_; }
+
+    const EfficiencyTracker &efficiency() const { return efficiency_; }
+
+    std::uint32_t numSets() const { return array_.numSets(); }
+    std::uint32_t assoc() const { return array_.assoc(); }
+
+    /** Valid-entry count (tests). */
+    std::uint64_t validCount() const { return array_.validCount(); }
+
+  private:
+    /** Per-entry payload. */
+    struct Entry
+    {
+        Asid asid = 0;
+        std::uint64_t fillTime = 0;
+        std::uint64_t lastHitTime = 0;
+    };
+
+    /** Key combining page number, size class and ASID for set/tag
+     *  mapping. */
+    static Addr
+    keyOf(Addr vaddr, Asid asid, unsigned page_shift)
+    {
+        // ASID and the size class mix into the tag bits only (the
+        // set index stays a pure page-number slice, as in real L2
+        // TLBs); the size bit keeps a 2MB entry from aliasing the
+        // 4KB page sharing its number.
+        const Addr size_bit =
+            page_shift == kPageShift ? 0 : (Addr{1} << 51);
+        return (vaddr >> page_shift) | size_bit |
+               (static_cast<Addr>(asid) << 52);
+    }
+
+    TlbConfig config_;
+    SetAssocArray<Entry> array_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    EfficiencyTracker efficiency_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_TLB_TLB_HH

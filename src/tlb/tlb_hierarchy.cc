@@ -1,0 +1,88 @@
+#include "tlb/tlb_hierarchy.hh"
+
+#include "core/lru.hh"
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+std::unique_ptr<ReplacementPolicy>
+TlbHierarchy::makeL1Policy(const TlbConfig &config)
+{
+    return std::make_unique<LruPolicy>(config.entries / config.assoc,
+                                       config.assoc);
+}
+
+TlbHierarchy::TlbHierarchy(const TlbHierarchyConfig &config,
+                           std::unique_ptr<ReplacementPolicy> l2_policy,
+                           std::unique_ptr<PageWalker> walker)
+    : config_(config), l1i_(config.l1i, makeL1Policy(config.l1i)),
+      l1d_(config.l1d, makeL1Policy(config.l1d)),
+      l2_(config.l2, std::move(l2_policy)), walker_(std::move(walker))
+{
+    if (!walker_)
+        chirp_fatal("TLB hierarchy needs a page walker");
+}
+
+std::unique_ptr<TlbHierarchy>
+TlbHierarchy::makeDefault(std::unique_ptr<ReplacementPolicy> l2_policy,
+                          std::unique_ptr<PageWalker> walker)
+{
+    return std::make_unique<TlbHierarchy>(
+        TlbHierarchyConfig{}, std::move(l2_policy), std::move(walker));
+}
+
+TranslateResult
+TlbHierarchy::translate(const AccessInfo &info, Asid asid,
+                        std::uint64_t now)
+{
+    TranslateResult result;
+    Tlb &l1 = info.isInstr ? l1i_ : l1d_;
+    const unsigned page_shift =
+        pageMap_ ? pageMap_->pageShiftFor(info.vaddr) : kPageShift;
+
+    if (l1.access(info, asid, now, page_shift)) {
+        result.l1Hit = true;
+        return result; // 1-cycle L1 hit is hidden by the pipeline
+    }
+
+    // L1 miss: probe the unified L2.
+    result.stall += l2_.config().hitLatency;
+    if (l2_.access(info, asid, now, page_shift)) {
+        result.l2Hit = true;
+        return result;
+    }
+
+    // L2 miss: walk the page table.
+    result.stall += walker_->walk(info.vaddr);
+    return result;
+}
+
+void
+TlbHierarchy::onBranchRetired(Addr pc, InstClass cls, bool taken)
+{
+    l2_.policy().onBranchRetired(pc, cls, taken);
+}
+
+void
+TlbHierarchy::onInstRetired(Addr pc, InstClass cls)
+{
+    l2_.policy().onInstRetired(pc, cls);
+}
+
+void
+TlbHierarchy::finalizeEfficiency(std::uint64_t now)
+{
+    l2_.finalizeEfficiency(now);
+}
+
+void
+TlbHierarchy::reset()
+{
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+    walker_->reset();
+}
+
+} // namespace chirp

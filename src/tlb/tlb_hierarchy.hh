@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The two-level TLB hierarchy of Table II: 64-entry L1 i-TLB and
+ * d-TLB (LRU, 1-cycle) backed by a unified 1024-entry 8-way L2 TLB
+ * (8-cycle hit) whose replacement policy is the object of study,
+ * backed by a page walker.
+ */
+
+#ifndef CHIRP_TLB_TLB_HIERARCHY_HH
+#define CHIRP_TLB_TLB_HIERARCHY_HH
+
+#include <memory>
+
+#include "tlb/page_walker.hh"
+#include "tlb/tlb.hh"
+
+namespace chirp
+{
+
+/** Hierarchy geometry/latency configuration (Table II defaults). */
+struct TlbHierarchyConfig
+{
+    TlbConfig l1i{"l1i-tlb", 64, 8, 1};
+    TlbConfig l1d{"l1d-tlb", 64, 8, 1};
+    TlbConfig l2{"l2-tlb", 1024, 8, 8};
+};
+
+/** Result of one translation. */
+struct TranslateResult
+{
+    bool l1Hit = false;
+    bool l2Hit = false; //!< meaningful when !l1Hit
+    Cycles stall = 0;   //!< cycles beyond the hidden L1 hit latency
+};
+
+/** L1 i/d TLBs + unified L2 TLB + page walker. */
+class TlbHierarchy
+{
+  public:
+    /**
+     * @param l2_policy replacement policy for the L2 TLB (owned)
+     * @param walker page-walk latency model (owned)
+     */
+    TlbHierarchy(const TlbHierarchyConfig &config,
+                 std::unique_ptr<ReplacementPolicy> l2_policy,
+                 std::unique_ptr<PageWalker> walker);
+
+    /** Convenience: Table II geometry with the given policy/walker. */
+    static std::unique_ptr<TlbHierarchy>
+    makeDefault(std::unique_ptr<ReplacementPolicy> l2_policy,
+                std::unique_ptr<PageWalker> walker);
+
+    /**
+     * Translate one access.  `info.isInstr` selects the L1 TLB;
+     * `info.vaddr` is the address being translated (the PC itself
+     * for instruction fetches).
+     */
+    TranslateResult translate(const AccessInfo &info, Asid asid,
+                              std::uint64_t now);
+
+    /**
+     * Use @p map to decide each address's backing page size (mixed
+     * 4KB/2MB operation).  Null reverts to uniform 4KB pages.  The
+     * map must outlive the hierarchy.  The simulation consults the
+     * mapping directly where hardware would probe both sizes; the
+     * probe-order timing difference is not modeled.
+     */
+    void setPageMap(const PageMap *map) { pageMap_ = map; }
+
+    /**
+     * Deliver a retired branch to the L2 policy (CHiRP/GHRP build
+     * their branch histories from the full instruction stream).
+     */
+    void onBranchRetired(Addr pc, InstClass cls, bool taken);
+
+    /** Deliver every retired instruction to the L2 policy (path
+     *  history updates). */
+    void onInstRetired(Addr pc, InstClass cls);
+
+    /** Close out L2 efficiency accounting at observation end. */
+    void finalizeEfficiency(std::uint64_t now);
+
+    /** Reset all levels and the walker. */
+    void reset();
+
+    Tlb &l1i() { return l1i_; }
+    Tlb &l1d() { return l1d_; }
+    Tlb &l2() { return l2_; }
+    const Tlb &l1i() const { return l1i_; }
+    const Tlb &l1d() const { return l1d_; }
+    const Tlb &l2() const { return l2_; }
+    PageWalker &walker() { return *walker_; }
+
+  private:
+    static std::unique_ptr<ReplacementPolicy>
+    makeL1Policy(const TlbConfig &config);
+
+    TlbHierarchyConfig config_;
+    const PageMap *pageMap_ = nullptr;
+    Tlb l1i_;
+    Tlb l1d_;
+    Tlb l2_;
+    std::unique_ptr<PageWalker> walker_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_TLB_TLB_HIERARCHY_HH

@@ -1,0 +1,38 @@
+#include "trace/synthetic/code_layout.hh"
+
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+CodeLayout::CodeLayout(Addr base)
+    : base_(base), top_(base)
+{
+    if (base % kBlockBytes != 0)
+        chirp_fatal("code segment base ", base,
+                    " is not basic-block aligned");
+}
+
+FuncDesc
+CodeLayout::allocFunction(unsigned nblocks, unsigned pad_pages)
+{
+    if (nblocks == 0)
+        chirp_fatal("functions need at least one basic block");
+    FuncDesc fn;
+    fn.entry = top_;
+    fn.nblocks = nblocks;
+    top_ += static_cast<Addr>(nblocks) * kBlockBytes;
+    top_ += static_cast<Addr>(pad_pages) * kPageSize;
+    funcs_.push_back(fn);
+    return fn;
+}
+
+std::uint64_t
+CodeLayout::codePages() const
+{
+    if (top_ == base_)
+        return 0;
+    return pageNumber(top_ - 1) - pageNumber(base_) + 1;
+}
+
+} // namespace chirp

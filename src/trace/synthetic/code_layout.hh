@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Synthetic code layout: assigns instruction addresses to workload
+ * code.
+ *
+ * Workload generators do not emulate real binaries, but the PCs they
+ * emit must behave like ones from a compiled program because CHiRP's
+ * signature is built from PC bits: 4-byte instruction slots, 64-byte
+ * aligned basic blocks, functions packed into a contiguous code
+ * segment.  Under this layout PC bits [3:2] identify the slot
+ * position inside a 16-byte group, which is exactly the PC slice the
+ * paper's path history captures, and the ADALINE study (Fig 3) can
+ * rediscover.
+ */
+
+#ifndef CHIRP_TRACE_SYNTHETIC_CODE_LAYOUT_HH
+#define CHIRP_TRACE_SYNTHETIC_CODE_LAYOUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace chirp
+{
+
+/** Bytes per instruction slot (fixed-width ISA assumption). */
+constexpr Addr kInstBytes = 4;
+
+/** Instruction slots per basic block (blocks are 64-byte aligned). */
+constexpr unsigned kSlotsPerBlock = 16;
+
+/** Byte stride between consecutive basic blocks. */
+constexpr Addr kBlockBytes = kInstBytes * kSlotsPerBlock;
+
+/** Descriptor of one synthetic function. */
+struct FuncDesc
+{
+    Addr entry = 0;       //!< address of block 0, slot 0
+    unsigned nblocks = 0; //!< number of basic blocks
+
+    /** PC of a (block, slot) pair inside this function. */
+    Addr
+    pcOf(unsigned block, unsigned slot) const
+    {
+        return entry + static_cast<Addr>(block) * kBlockBytes +
+               static_cast<Addr>(slot) * kInstBytes;
+    }
+};
+
+/**
+ * Allocator of function address ranges inside a synthetic code
+ * segment.  Functions are laid out contiguously; `pad` pages of dead
+ * space can be inserted between functions to inflate the code
+ * footprint (web/server-style workloads with i-TLB pressure).
+ */
+class CodeLayout
+{
+  public:
+    /** @param base start of the code segment. */
+    explicit CodeLayout(Addr base = 0x400000);
+
+    /**
+     * Allocate a function of @p nblocks basic blocks.
+     * @param pad_pages full pages of unused space to skip afterwards.
+     */
+    FuncDesc allocFunction(unsigned nblocks, unsigned pad_pages = 0);
+
+    /** Number of distinct code pages spanned so far. */
+    std::uint64_t codePages() const;
+
+    /** First address past the allocated segment. */
+    Addr top() const { return top_; }
+
+    /** All functions allocated, in allocation order. */
+    const std::vector<FuncDesc> &functions() const { return funcs_; }
+
+  private:
+    Addr base_;
+    Addr top_;
+    std::vector<FuncDesc> funcs_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_TRACE_SYNTHETIC_CODE_LAYOUT_HH

@@ -1,0 +1,454 @@
+#include "trace/synthetic/program.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hashing.hh"
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+namespace
+{
+
+/** Slots 0..14 hold body instructions; slot 15 the block branch. */
+constexpr unsigned kBodySlots = kSlotsPerBlock - 1;
+
+/**
+ * Incremental packer of sites into (block, slot) coordinates with
+ * automatic block-ending conditional branches.
+ */
+class BlockPacker
+{
+  public:
+    BlockPacker(std::vector<Program::Site> &sites, double branch_bias,
+                Rng &build_rng)
+        : sites_(sites), branchBias_(branch_bias), buildRng_(build_rng)
+    {
+    }
+
+    /** Relative PC (from function entry) of a (block, slot) pair. */
+    static Addr
+    relPc(unsigned block, unsigned slot)
+    {
+        return static_cast<Addr>(block) * kBlockBytes +
+               static_cast<Addr>(slot) * kInstBytes;
+    }
+
+    /**
+     * Append a site at the next slot; if @p parity is 0 or 1, ALU
+     * filler is inserted until the slot index has that parity.
+     */
+    void
+    place(Program::Site site, int parity = -1)
+    {
+        if (parity >= 0) {
+            while (static_cast<int>(slot_ & 1) != parity)
+                placeFiller();
+        }
+        site.pc = relPc(block_, slot_);
+        sites_.push_back(site);
+        advance();
+    }
+
+    /** Append one ALU/FP filler instruction. */
+    void
+    placeFiller(double fp_fraction = 0.0)
+    {
+        Program::Site filler;
+        if (buildRng_.chance(fp_fraction))
+            filler.cls = InstClass::Fp;
+        else if (buildRng_.chance(0.05))
+            filler.cls = InstClass::SlowAlu;
+        else
+            filler.cls = InstClass::Alu;
+        filler.pc = relPc(block_, slot_);
+        sites_.push_back(filler);
+        advance();
+    }
+
+    /**
+     * Close the current block if partially filled, then return the
+     * total number of blocks used.  The final block's branch slot is
+     * left free for the caller (loop back-edge or return).
+     */
+    unsigned
+    finish()
+    {
+        return block_ + 1;
+    }
+
+    /** Relative PC of the current block's branch slot (slot 15). */
+    Addr
+    branchSlotPc() const
+    {
+        return relPc(block_, kSlotsPerBlock - 1);
+    }
+
+  private:
+    /** Move to the next slot, ending blocks with a branch site. */
+    void
+    advance()
+    {
+        if (++slot_ < kBodySlots)
+            return;
+        // Block-ending conditional branch at slot 15; the taken
+        // target skips one block ahead, giving each branch a
+        // plausible forward target.
+        Program::Site br;
+        br.cls = InstClass::CondBranch;
+        br.pc = relPc(block_, kSlotsPerBlock - 1);
+        br.takenBias = branchBias_;
+        // Most block branches follow a short loop-like pattern; the
+        // rest stay data-dependent (biased coin).
+        if (buildRng_.chance(0.7))
+            br.period = 2 + static_cast<unsigned>(buildRng_.below(11));
+        br.target = relPc(block_ + 2, 0);
+        sites_.push_back(br);
+        ++block_;
+        slot_ = 0;
+    }
+
+    std::vector<Program::Site> &sites_;
+    double branchBias_;
+    Rng &buildRng_;
+    unsigned block_ = 0;
+    unsigned slot_ = 0;
+};
+
+} // namespace
+
+Program::Program(std::string name, std::uint64_t seed, InstCount length)
+    : seed_(seed), length_(length), rng_(mix64(seed))
+{
+    name_ = std::move(name);
+    if (length == 0)
+        chirp_fatal("program '", name_, "' has zero length");
+}
+
+Program::~Program() = default;
+
+unsigned
+Program::addPattern(std::unique_ptr<DataPattern> pattern)
+{
+    assert(!finalized_);
+    patterns_.push_back(std::move(pattern));
+    return static_cast<unsigned>(patterns_.size() - 1);
+}
+
+unsigned
+Program::addSharedFunction(const SharedFnSpec &spec)
+{
+    assert(!finalized_);
+    fnSpecs_.push_back(spec);
+    return static_cast<unsigned>(fnSpecs_.size() - 1);
+}
+
+unsigned
+Program::addRegion(const RegionSpec &spec)
+{
+    assert(!finalized_);
+    BuiltRegion region;
+    region.spec = spec;
+    regions_.push_back(std::move(region));
+    return static_cast<unsigned>(regions_.size() - 1);
+}
+
+void
+Program::setTransition(unsigned from, unsigned to, double weight)
+{
+    assert(!finalized_);
+    if (from >= regions_.size() || to >= regions_.size())
+        chirp_fatal("transition references unknown region");
+    auto &row = regions_[from].transitions;
+    if (row.empty())
+        row.assign(regions_.size(), 0.0);
+    row[to] = weight;
+}
+
+void
+Program::buildSharedFn(BuiltFn &built, const SharedFnSpec &spec)
+{
+    Rng build_rng(mix64(seed_ ^ (built.fn.entry + 0x5f)));
+    BlockPacker packer(built.body, 0.9, build_rng);
+    unsigned filler_left = spec.alus;
+    const unsigned per_load =
+        spec.loads ? std::max(1u, spec.alus / std::max(1u, spec.loads)) : 0;
+    for (unsigned i = 0; i < spec.loads; ++i) {
+        for (unsigned a = 0; a < per_load && filler_left; ++a, --filler_left)
+            packer.placeFiller();
+        Site load;
+        load.cls = build_rng.chance(spec.storeFraction) ? InstClass::Store
+                                                        : InstClass::Load;
+        load.patternIdx = kNoPattern; // resolved by the call site
+        packer.place(load);
+    }
+    while (filler_left--)
+        packer.placeFiller();
+
+    built.returnPc = packer.branchSlotPc();
+    const unsigned nblocks = packer.finish();
+    // Assign real addresses now that the size is known.
+    built.fn = layout_.allocFunction(nblocks);
+    for (auto &site : built.body) {
+        site.pc += built.fn.entry;
+        if (site.cls == InstClass::CondBranch)
+            site.target += built.fn.entry;
+    }
+    built.returnPc += built.fn.entry;
+}
+
+void
+Program::buildRegion(BuiltRegion &region, unsigned index)
+{
+    const RegionSpec &spec = region.spec;
+    Rng build_rng(mix64(seed_ ^ (index + 0x17) ^
+                        (region.spec.loadSites.size() << 8)));
+    BlockPacker packer(region.body, spec.branchBias, build_rng);
+
+    for (unsigned pattern_idx : spec.loadSites) {
+        if (pattern_idx >= patterns_.size())
+            chirp_fatal("region '", spec.name, "' references pattern ",
+                        pattern_idx, " but only ", patterns_.size(),
+                        " exist");
+        for (unsigned a = 0; a < spec.alusPerBlock; ++a)
+            packer.placeFiller(spec.fpFraction);
+        Site mem;
+        mem.cls = build_rng.chance(spec.storeFraction) ? InstClass::Store
+                                                       : InstClass::Load;
+        mem.patternIdx = pattern_idx;
+        // Slot-parity convention: transient-pattern sites sit at even
+        // slots, persistent ones at odd slots, so PC bit 2 carries
+        // reuse information (the Fig 3 phenomenon).
+        const int parity = patterns_[pattern_idx]->transient() ? 0 : 1;
+        packer.place(mem, parity);
+    }
+
+    // Call sites occupy their own slots after the body.
+    for (const CallSpec &call : spec.calls) {
+        if (call.fnIdx >= fns_.size())
+            chirp_fatal("region '", spec.name, "' calls unknown function ",
+                        call.fnIdx);
+        if (call.patternIdx >= patterns_.size())
+            chirp_fatal("region '", spec.name,
+                        "' passes unknown pattern ", call.patternIdx);
+        Site site;
+        site.cls = call.indirect ? InstClass::UncondIndirect
+                                 : InstClass::UncondDirect;
+        site.isCall = true;
+        site.callee = call.fnIdx;
+        site.patternIdx = call.patternIdx;
+        site.target = fns_[call.fnIdx].fn.entry;
+        site.probability = call.probability;
+        packer.place(site);
+    }
+
+    region.loopBranchPc = packer.branchSlotPc();
+    const unsigned nblocks = packer.finish();
+    region.fn = layout_.allocFunction(nblocks, spec.codePadPages);
+    for (auto &site : region.body) {
+        site.pc += region.fn.entry;
+        if (site.cls == InstClass::CondBranch && !site.isCall)
+            site.target += region.fn.entry;
+    }
+    region.loopBranchPc += region.fn.entry;
+
+    // The packer appended call sites into region.body; split them out
+    // so emission can interleave callee bodies.
+    std::vector<Site> body;
+    for (const auto &site : region.body) {
+        if (site.isCall)
+            region.calls.push_back(site);
+        else
+            body.push_back(site);
+    }
+    region.body = std::move(body);
+}
+
+void
+Program::finalize()
+{
+    if (finalized_)
+        chirp_fatal("program '", name_, "' finalized twice");
+    if (regions_.empty())
+        chirp_fatal("program '", name_, "' has no regions");
+    if (patterns_.empty())
+        chirp_fatal("program '", name_, "' has no data patterns");
+
+    fns_.resize(fnSpecs_.size());
+    for (std::size_t i = 0; i < fnSpecs_.size(); ++i)
+        buildSharedFn(fns_[i], fnSpecs_[i]);
+    for (std::size_t i = 0; i < regions_.size(); ++i)
+        buildRegion(regions_[i], static_cast<unsigned>(i));
+
+    // Default transition rows: uniform over the *other* regions.
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+        auto &row = regions_[i].transitions;
+        if (row.empty()) {
+            row.assign(regions_.size(), 1.0);
+            if (regions_.size() > 1)
+                row[i] = 0.0;
+        }
+        double sum = 0.0;
+        for (double w : row)
+            sum += w;
+        if (sum <= 0.0)
+            chirp_fatal("region '", regions_[i].spec.name,
+                        "' has no outgoing transitions");
+    }
+
+    assignSiteIds();
+    finalized_ = true;
+    reset();
+}
+
+void
+Program::assignSiteIds()
+{
+    unsigned next_id = 0;
+    auto assign = [&](std::vector<Site> &sites) {
+        for (auto &site : sites) {
+            if (site.cls == InstClass::CondBranch && site.period > 0)
+                site.siteId = next_id++;
+        }
+    };
+    for (auto &fn : fns_)
+        assign(fn.body);
+    for (auto &region : regions_)
+        assign(region.body);
+    siteCounters_.assign(next_id, 0);
+}
+
+std::uint64_t
+Program::dataFootprintPages() const
+{
+    std::uint64_t pages = 0;
+    for (const auto &p : patterns_)
+        pages += p->footprintPages();
+    return pages;
+}
+
+unsigned
+Program::chooseNextRegion()
+{
+    const auto &row = regions_[currentRegion_].transitions;
+    double sum = 0.0;
+    for (double w : row)
+        sum += w;
+    double draw = rng_.uniform() * sum;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        draw -= row[i];
+        if (draw < 0.0)
+            return static_cast<unsigned>(i);
+    }
+    return static_cast<unsigned>(row.size() - 1);
+}
+
+void
+Program::emitSite(const Site &site, unsigned pattern_override)
+{
+    TraceRecord rec;
+    rec.pc = site.pc;
+    rec.cls = site.cls;
+    if (isMemory(site.cls)) {
+        const unsigned idx =
+            site.patternIdx == kNoPattern ? pattern_override
+                                          : site.patternIdx;
+        assert(idx != kNoPattern && idx < patterns_.size());
+        rec.effAddr = patterns_[idx]->nextAddr(rng_);
+        ++memSiteCounter_;
+    } else if (site.cls == InstClass::CondBranch) {
+        if (site.period > 0) {
+            const std::uint32_t phase = siteCounters_[site.siteId]++;
+            rec.taken = (phase % site.period) != site.period - 1;
+            if (rng_.chance(0.02))
+                rec.taken = !rec.taken; // sporadic data dependence
+        } else {
+            rec.taken = rng_.chance(site.takenBias);
+        }
+        rec.target = site.target;
+    }
+    queue_.push_back(rec);
+}
+
+void
+Program::emitIteration(bool last_iteration)
+{
+    const BuiltRegion &region = regions_[currentRegion_];
+    for (const Site &site : region.body)
+        emitSite(site, kNoPattern);
+
+    for (const Site &call : region.calls) {
+        if (call.probability < 1.0 && !rng_.chance(call.probability))
+            continue;
+        TraceRecord rec;
+        rec.pc = call.pc;
+        rec.cls = call.cls;
+        rec.target = call.target;
+        rec.taken = true;
+        queue_.push_back(rec);
+
+        const BuiltFn &fn = fns_[call.callee];
+        for (const Site &site : fn.body)
+            emitSite(site, call.patternIdx);
+
+        TraceRecord ret;
+        ret.pc = fn.returnPc;
+        ret.cls = InstClass::UncondIndirect;
+        ret.target = call.pc + kInstBytes;
+        ret.taken = true;
+        queue_.push_back(ret);
+    }
+
+    TraceRecord loop;
+    loop.pc = region.loopBranchPc;
+    loop.cls = InstClass::CondBranch;
+    loop.taken = !last_iteration;
+    loop.target = region.fn.entry;
+    queue_.push_back(loop);
+}
+
+bool
+Program::next(TraceRecord &rec)
+{
+    assert(finalized_);
+    if (emitted_ >= length_)
+        return false;
+    while (queue_.empty()) {
+        const bool last = itersLeft_ <= 1;
+        emitIteration(last);
+        if (last) {
+            currentRegion_ = chooseNextRegion();
+            const RegionSpec &spec = regions_[currentRegion_].spec;
+            itersLeft_ = static_cast<unsigned>(
+                rng_.range(spec.minIters, spec.maxIters));
+        } else {
+            --itersLeft_;
+        }
+    }
+    rec = queue_.front();
+    queue_.pop_front();
+    ++emitted_;
+    return true;
+}
+
+void
+Program::reset()
+{
+    rng_ = Rng(mix64(seed_));
+    for (auto &p : patterns_)
+        p->reset();
+    queue_.clear();
+    std::fill(siteCounters_.begin(), siteCounters_.end(), 0u);
+    emitted_ = 0;
+    memSiteCounter_ = 0;
+    currentRegion_ = 0;
+    if (!regions_.empty()) {
+        const RegionSpec &spec = regions_[0].spec;
+        itersLeft_ = static_cast<unsigned>(
+            rng_.range(spec.minIters, spec.maxIters));
+    }
+}
+
+} // namespace chirp

@@ -1,0 +1,530 @@
+#include "trace/synthetic/workload_factory.hh"
+
+#include <algorithm>
+
+#include "util/hashing.hh"
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+namespace
+{
+
+/**
+ * Helper wrapping a Program under construction: parameter jitter,
+ * scaled page counts, and pattern shorthands.  The *At variants build
+ * pattern views over a shared page region, which is how the same
+ * table gets both point accesses and scans (the context-dependent
+ * lifetime scenario CHiRP exploits).
+ */
+class Recipe
+{
+  public:
+    Recipe(Program &prog, const WorkloadConfig &config)
+        : prog_(prog), scale_(config.scale),
+          rng_(mix64(config.seed ^ 0xabcdef12345ull))
+    {
+    }
+
+    /** Scale a page count and jitter it +/-30%, with a floor of 8. */
+    std::uint64_t
+    pages(double base)
+    {
+        const double jitter = 0.7 + 0.6 * rng_.uniform();
+        const double value = base * scale_ * jitter;
+        return std::max<std::uint64_t>(8, static_cast<std::uint64_t>(value));
+    }
+
+    /** Jittered integer in a range. */
+    unsigned
+    num(unsigned lo, unsigned hi)
+    {
+        return static_cast<unsigned>(rng_.range(lo, hi));
+    }
+
+    std::uint64_t seed() { return rng_.next(); }
+
+    /** Reserve a raw page region for multiple pattern views. */
+    std::pair<Addr, std::uint64_t>
+    region(double base_pages)
+    {
+        const std::uint64_t n = pages(base_pages);
+        return {prog_.dataLayout().alloc(n), n};
+    }
+
+    unsigned
+    zipfAt(Addr base, std::uint64_t n, double exponent, unsigned slots = 8)
+    {
+        return prog_.addPattern(std::make_unique<ZipfPattern>(
+            base, n, exponent, seed(), slots));
+    }
+
+    unsigned
+    zipf(double base_pages, double exponent, unsigned slots = 8)
+    {
+        const auto [base, n] = region(base_pages);
+        return zipfAt(base, n, exponent, slots);
+    }
+
+    unsigned
+    streamAt(Addr base, std::uint64_t n, unsigned touches_per_page,
+             double revisit = 0.0)
+    {
+        return prog_.addPattern(std::make_unique<StreamPattern>(
+            base, n, touches_per_page, 64, revisit));
+    }
+
+    unsigned
+    stream(double base_pages, unsigned touches_per_page,
+           double revisit = 0.0)
+    {
+        const auto [base, n] = region(base_pages);
+        return streamAt(base, n, touches_per_page, revisit);
+    }
+
+    unsigned
+    uniformAt(Addr base, std::uint64_t n, unsigned slots = 4)
+    {
+        return prog_.addPattern(
+            std::make_unique<UniformPattern>(base, n, slots));
+    }
+
+    unsigned
+    chase(double base_pages, unsigned derefs)
+    {
+        const auto [base, n] = region(base_pages);
+        return prog_.addPattern(
+            std::make_unique<ChasePattern>(base, n, derefs, seed()));
+    }
+
+    unsigned
+    tiled(double base_pages, std::uint64_t tile, std::uint64_t touches)
+    {
+        const auto [base, n] = region(base_pages);
+        return prog_.addPattern(std::make_unique<TiledPattern>(
+            base, n,
+            std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(tile * scale_)),
+            touches));
+    }
+
+  private:
+    Program &prog_;
+    double scale_;
+    Rng rng_;
+};
+
+/** Expand {pattern, count} groups into a flat load-site list. */
+std::vector<unsigned>
+sites(std::initializer_list<std::pair<unsigned, unsigned>> groups)
+{
+    std::vector<unsigned> out;
+    for (const auto &[idx, n] : groups)
+        for (unsigned i = 0; i < n; ++i)
+            out.push_back(idx);
+    return out;
+}
+
+void
+buildSpec(Program &prog, Recipe &r)
+{
+    // Three lifetimes share one set of accessor PCs:
+    //  - hot: small, always resident, hammers the L2 TLB with hits
+    //    (the Observation-2 counter-saturation traffic);
+    //  - warm: fits the TLB but must refill after every pollution
+    //    burst under LRU — the avoidable misses;
+    //  - sweep: bursts of dead pages wider than the TLB.
+    const unsigned hot = r.zipf(200, 1.0);
+    const unsigned warm = r.zipf(650, 0.85);
+    const unsigned sweep = r.stream(2800, r.num(6, 9));
+    const unsigned tiles = r.tiled(900, 40, 2500);
+    const unsigned links = r.chase(160, r.num(20, 36));
+
+    Program::SharedFnSpec util;
+    util.name = "memutil";
+    util.alus = 8;
+    util.loads = 4;
+    const unsigned fn = prog.addSharedFunction(util);
+
+    Program::RegionSpec compute;
+    compute.name = "compute";
+    compute.loadSites = sites({{warm, 1}, {hot, 1}});
+    compute.alusPerBlock = r.num(8, 12);
+    compute.calls = {{fn, warm, true, 1.0}, {fn, hot, true, 1.0},
+                     {fn, sweep, true, 0.15}};
+    compute.minIters = 1000;
+    compute.maxIters = 2000;
+    const unsigned r0 = prog.addRegion(compute);
+
+    // Pollution burst: the same helper PCs now mostly stream dead
+    // pages; each visit sweeps well past the TLB's capacity, while
+    // the hot set keeps feeding the same PCs live evidence.
+    Program::RegionSpec sweeper;
+    sweeper.name = "sweep";
+    sweeper.loadSites = sites({{hot, 1}});
+    sweeper.alusPerBlock = r.num(5, 8);
+    sweeper.calls = {{fn, sweep, true, 1.0}, {fn, sweep, true, 1.0},
+                     {fn, hot, true, 1.0}};
+    sweeper.minIters = 600;
+    sweeper.maxIters = 1200;
+    const unsigned r1 = prog.addRegion(sweeper);
+
+    Program::RegionSpec tiler;
+    tiler.name = "tiles";
+    tiler.loadSites = sites({{tiles, 2}});
+    tiler.alusPerBlock = r.num(8, 12);
+    tiler.fpFraction = 0.3;
+    tiler.calls = {{fn, tiles, true, 1.0}, {fn, hot, true, 1.0}};
+    tiler.minIters = 300;
+    tiler.maxIters = 700;
+    const unsigned r2 = prog.addRegion(tiler);
+
+    Program::RegionSpec misc;
+    misc.name = "misc";
+    misc.loadSites = sites({{links, 1}, {warm, 1}});
+    misc.alusPerBlock = r.num(10, 14);
+    misc.calls = {{fn, warm, true, 1.0}, {fn, links, true, 0.5}};
+    misc.minIters = 150;
+    misc.maxIters = 350;
+    const unsigned r3 = prog.addRegion(misc);
+
+    // Phased behavior: the compute loop is the common "home" phase.
+    prog.setTransition(r0, r1, 0.5);
+    prog.setTransition(r0, r2, 0.3);
+    prog.setTransition(r0, r3, 0.2);
+    prog.setTransition(r1, r0, 0.8);
+    prog.setTransition(r1, r2, 0.2);
+    prog.setTransition(r2, r0, 0.7);
+    prog.setTransition(r2, r3, 0.3);
+    prog.setTransition(r3, r0, 1.0);
+}
+
+void
+buildDatabase(Program &prog, Recipe &r)
+{
+    // One table region, two views: point lookups see its pages as
+    // cold singles, scans stream over the very same pages.
+    const auto [table_base, table_pages] = r.region(5000);
+    const unsigned leaves_point = r.uniformAt(table_base, table_pages);
+    const unsigned leaves_scan =
+        r.streamAt(table_base, table_pages, r.num(5, 9), 0.15);
+
+    const unsigned index = r.zipf(700, 0.9);
+    const unsigned log = r.stream(1000, r.num(8, 14));
+    // Hot connection/session state: always resident, hammers the
+    // shared accessors with live evidence in every phase.
+    const unsigned scratch = r.zipf(200, 1.0);
+
+    Program::SharedFnSpec walker;
+    walker.name = "btree_walk";
+    walker.alus = 8;
+    walker.loads = 4;
+    const unsigned walk_fn = prog.addSharedFunction(walker);
+
+    Program::SharedFnSpec leaf_read;
+    leaf_read.name = "leaf_read";
+    leaf_read.alus = 6;
+    leaf_read.loads = 2;
+    const unsigned leaf_fn = prog.addSharedFunction(leaf_read);
+
+    Program::SharedFnSpec copier;
+    copier.name = "row_copy";
+    copier.alus = 5;
+    copier.loads = 3;
+    copier.storeFraction = 0.4;
+    const unsigned copy_fn = prog.addSharedFunction(copier);
+
+    // OLTP: hot index walks with occasional cold leaf touches.
+    Program::RegionSpec oltp;
+    oltp.name = "oltp";
+    oltp.loadSites = sites({{scratch, 1}, {index, 1}});
+    oltp.alusPerBlock = r.num(8, 12);
+    oltp.calls = {{walk_fn, index, true, 1.0},
+                  {leaf_fn, scratch, true, 1.0},
+                  {leaf_fn, leaves_point, true, 0.3},
+                  {walk_fn, leaves_scan, true, 0.35},
+                  {copy_fn, scratch, true, 0.6}};
+    oltp.minIters = 300;
+    oltp.maxIters = 800;
+    const unsigned r0 = prog.addRegion(oltp);
+
+    // Table scan: the SAME walker/leaf-reader PCs stream the table —
+    // identical callee code, completely different page lifetimes.
+    Program::RegionSpec scan;
+    scan.name = "scan";
+    scan.loadSites = sites({{scratch, 1}});
+    scan.alusPerBlock = r.num(4, 7);
+    // Scans still consult the index root: the walker keeps receiving
+    // live evidence while it streams dead leaves.
+    scan.calls = {{walk_fn, leaves_scan, true, 1.0},
+                  {leaf_fn, leaves_scan, true, 1.0},
+                  {walk_fn, scratch, true, 1.0},
+                  {leaf_fn, scratch, true, 1.0}};
+    scan.minIters = 800;
+    scan.maxIters = 2000;
+    const unsigned r1 = prog.addRegion(scan);
+
+    // Log writer: sequential append bursts.
+    Program::RegionSpec logger;
+    logger.name = "logger";
+    logger.loadSites = sites({{scratch, 1}});
+    logger.storeFraction = 0.5;
+    logger.alusPerBlock = r.num(6, 9);
+    logger.calls = {{copy_fn, log, true, 1.0},
+                    {copy_fn, scratch, true, 1.0},
+                    {walk_fn, scratch, true, 1.0}};
+    logger.minIters = 150;
+    logger.maxIters = 400;
+    const unsigned r2 = prog.addRegion(logger);
+
+    prog.setTransition(r0, r0, 0.5);
+    prog.setTransition(r0, r1, 0.25);
+    prog.setTransition(r0, r2, 0.25);
+    prog.setTransition(r1, r0, 0.8);
+    prog.setTransition(r1, r2, 0.2);
+    prog.setTransition(r2, r0, 1.0);
+}
+
+void
+buildCrypto(Program &prog, Recipe &r)
+{
+    const unsigned state = r.zipf(24, 0.8);
+    const unsigned input = r.stream(64, r.num(96, 160));
+
+    Program::RegionSpec rounds;
+    rounds.name = "rounds";
+    rounds.loadSites = sites({{state, 2}});
+    rounds.alusPerBlock = r.num(12, 14);
+    rounds.fpFraction = 0.05;
+    rounds.branchBias = 0.97;
+    rounds.minIters = 200;
+    rounds.maxIters = 800;
+    const unsigned r0 = prog.addRegion(rounds);
+
+    Program::RegionSpec absorb;
+    absorb.name = "absorb";
+    absorb.loadSites = sites({{input, 1}, {state, 1}});
+    absorb.alusPerBlock = r.num(8, 12);
+    absorb.minIters = 20;
+    absorb.maxIters = 60;
+    const unsigned r1 = prog.addRegion(absorb);
+
+    prog.setTransition(r0, r1, 1.0);
+    prog.setTransition(r1, r0, 1.0);
+}
+
+void
+buildScientific(Program &prog, Recipe &r)
+{
+    const unsigned grid = r.tiled(3200, 160, 6000);
+    const unsigned rhs = r.stream(2600, r.num(7, 12));
+    const unsigned coeffs = r.zipf(420, 0.85);
+    const unsigned bounds = r.zipf(180, 1.0);
+
+    Program::SharedFnSpec stencil;
+    stencil.name = "stencil";
+    stencil.alus = 10;
+    stencil.loads = 5;
+    stencil.storeFraction = 0.2;
+    const unsigned fn = prog.addSharedFunction(stencil);
+
+    Program::RegionSpec relax;
+    relax.name = "relax";
+    relax.loadSites = sites({{grid, 1}, {coeffs, 2}});
+    relax.alusPerBlock = r.num(9, 13);
+    relax.fpFraction = 0.5;
+    relax.branchBias = 0.95;
+    relax.calls = {{fn, grid, false, 1.0}, {fn, bounds, false, 1.0},
+                   {fn, rhs, false, 0.25}};
+    relax.minIters = 300;
+    relax.maxIters = 800;
+    const unsigned r0 = prog.addRegion(relax);
+
+    // The residual sweep leaves grid tiles and coefficients dormant.
+    Program::RegionSpec residual;
+    residual.name = "residual";
+    residual.loadSites = sites({{bounds, 1}});
+    residual.alusPerBlock = r.num(7, 11);
+    residual.fpFraction = 0.5;
+    residual.branchBias = 0.95;
+    residual.calls = {{fn, rhs, false, 1.0}, {fn, rhs, false, 1.0},
+                      {fn, bounds, false, 1.0}};
+    residual.minIters = 600;
+    residual.maxIters = 1400;
+    const unsigned r1 = prog.addRegion(residual);
+
+    prog.setTransition(r0, r1, 1.0);
+    prog.setTransition(r1, r0, 1.0);
+}
+
+void
+buildWeb(Program &prog, Recipe &r)
+{
+    const unsigned session = r.zipf(520, 0.9);
+    const unsigned heap = r.chase(640, r.num(8, 16));
+    const unsigned bodies = r.stream(1600, r.num(6, 10));
+    const unsigned cache = r.zipf(420, 0.9);
+    const unsigned conns = r.zipf(190, 1.0);
+
+    Program::SharedFnSpec render;
+    render.name = "render";
+    render.alus = 8;
+    render.loads = 4;
+    const unsigned render_fn = prog.addSharedFunction(render);
+
+    Program::SharedFnSpec alloc;
+    alloc.name = "alloc";
+    alloc.alus = 6;
+    alloc.loads = 3;
+    alloc.storeFraction = 0.5;
+    const unsigned alloc_fn = prog.addSharedFunction(alloc);
+
+    // Many handler regions spread over many code pages: i-side
+    // pressure is the category signature.  Streaming handlers leave
+    // the session/cache sets dormant.
+    const unsigned nhandlers = r.num(6, 10);
+    for (unsigned h = 0; h < nhandlers; ++h) {
+        Program::RegionSpec handler;
+        handler.name = "handler" + std::to_string(h);
+        const bool streaming = (h % 3) == 2;
+        handler.loadSites = streaming ? sites({{conns, 1}})
+                                      : sites({{session, 1}, {heap, 1},
+                                               {cache, 1}});
+        handler.alusPerBlock = r.num(8, 12);
+        handler.codePadPages = r.num(2, 8);
+        handler.branchBias = 0.78;
+        if (streaming) {
+            handler.calls = {{render_fn, bodies, true, 1.0},
+                             {render_fn, bodies, true, 1.0},
+                             {render_fn, conns, true, 1.0},
+                             {alloc_fn, conns, true, 0.6}};
+            handler.minIters = 400;
+            handler.maxIters = 900;
+        } else {
+            handler.calls = {{render_fn, session, true, 1.0},
+                             {render_fn, bodies, true, 0.3},
+                             {alloc_fn, heap, true, 0.5},
+                             {alloc_fn, conns, true, 0.5}};
+            handler.minIters = 150;
+            handler.maxIters = 400;
+        }
+        prog.addRegion(handler);
+    }
+    // Uniform dispatch between handlers (default transitions).
+}
+
+void
+buildBigData(Program &prog, Recipe &r)
+{
+    const unsigned input = r.stream(9000, r.num(5, 8));
+    const unsigned shuffle = r.stream(4500, r.num(6, 10), 0.2);
+    const unsigned metadata = r.zipf(500, 0.9);
+    const unsigned counters = r.zipf(190, 1.0);
+
+    Program::SharedFnSpec digest;
+    digest.name = "digest";
+    digest.alus = 5;
+    digest.loads = 3;
+    const unsigned fn = prog.addSharedFunction(digest);
+
+    // Map and shuffle leave the metadata set dormant; reduce brings
+    // it back — the refills are what predictive replacement saves.
+    Program::RegionSpec map_phase;
+    map_phase.name = "map";
+    map_phase.loadSites = sites({{counters, 1}});
+    map_phase.alusPerBlock = r.num(4, 7);
+    map_phase.calls = {{fn, input, true, 1.0}, {fn, input, true, 1.0},
+                       {fn, counters, true, 1.0}};
+    map_phase.minIters = 800;
+    map_phase.maxIters = 2000;
+    const unsigned r0 = prog.addRegion(map_phase);
+
+    Program::RegionSpec shuffle_phase;
+    shuffle_phase.name = "shuffle";
+    shuffle_phase.loadSites = sites({{counters, 1}});
+    shuffle_phase.storeFraction = 0.4;
+    shuffle_phase.alusPerBlock = r.num(4, 7);
+    shuffle_phase.calls = {{fn, shuffle, true, 1.0},
+                           {fn, counters, true, 1.0}};
+    shuffle_phase.minIters = 500;
+    shuffle_phase.maxIters = 1200;
+    const unsigned r1 = prog.addRegion(shuffle_phase);
+
+    Program::RegionSpec reduce_phase;
+    reduce_phase.name = "reduce";
+    reduce_phase.loadSites = sites({{metadata, 2}});
+    reduce_phase.alusPerBlock = r.num(6, 9);
+    reduce_phase.calls = {{fn, metadata, true, 1.0},
+                          {fn, counters, true, 1.0},
+                          {fn, shuffle, true, 0.3}};
+    reduce_phase.minIters = 300;
+    reduce_phase.maxIters = 800;
+    const unsigned r2 = prog.addRegion(reduce_phase);
+
+    prog.setTransition(r0, r1, 1.0);
+    prog.setTransition(r1, r2, 1.0);
+    prog.setTransition(r2, r0, 1.0);
+}
+
+} // namespace
+
+const char *
+categoryName(Category category)
+{
+    switch (category) {
+      case Category::Spec:
+        return "spec";
+      case Category::Database:
+        return "db";
+      case Category::Crypto:
+        return "crypto";
+      case Category::Scientific:
+        return "sci";
+      case Category::Web:
+        return "web";
+      case Category::BigData:
+        return "bigdata";
+      default:
+        return "?";
+    }
+}
+
+std::unique_ptr<Program>
+buildWorkload(const WorkloadConfig &config)
+{
+    std::string name = config.name;
+    if (name.empty()) {
+        name = std::string(categoryName(config.category)) + "_" +
+               std::to_string(config.seed);
+    }
+    auto prog =
+        std::make_unique<Program>(name, config.seed, config.length);
+    Recipe recipe(*prog, config);
+    switch (config.category) {
+      case Category::Spec:
+        buildSpec(*prog, recipe);
+        break;
+      case Category::Database:
+        buildDatabase(*prog, recipe);
+        break;
+      case Category::Crypto:
+        buildCrypto(*prog, recipe);
+        break;
+      case Category::Scientific:
+        buildScientific(*prog, recipe);
+        break;
+      case Category::Web:
+        buildWeb(*prog, recipe);
+        break;
+      case Category::BigData:
+        buildBigData(*prog, recipe);
+        break;
+      default:
+        chirp_fatal("unknown workload category");
+    }
+    prog->finalize();
+    return prog;
+}
+
+} // namespace chirp

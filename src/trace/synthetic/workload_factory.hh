@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Workload factory: builds a Program for each of the paper's six
+ * trace categories (SPEC-like, database, crypto, scientific, web,
+ * big-data).
+ *
+ * Each category is a recipe of regions, shared functions and data
+ * patterns whose parameters are drawn (deterministically from the
+ * seed) out of category-specific ranges, so sweeping seeds yields a
+ * diverse suite the way the CVP-1 set spans hundreds of workloads of
+ * a few kinds.
+ */
+
+#ifndef CHIRP_TRACE_SYNTHETIC_WORKLOAD_FACTORY_HH
+#define CHIRP_TRACE_SYNTHETIC_WORKLOAD_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "trace/synthetic/program.hh"
+
+namespace chirp
+{
+
+/** The paper's workload categories (§V). */
+enum class Category
+{
+    Spec,       //!< loop nests with phase changes and mixed locality
+    Database,   //!< shared B-tree walkers: hot index, cold leaves, log
+    Crypto,     //!< compute-bound tiny footprint
+    Scientific, //!< tiled array sweeps, FP heavy
+    Web,        //!< large code footprint, indirect-call heavy
+    BigData,    //!< dominant streaming with hot metadata
+
+    NumCategories
+};
+
+/** Printable category name ("spec", "db", ...). */
+const char *categoryName(Category category);
+
+/** Parameters identifying one synthetic workload. */
+struct WorkloadConfig
+{
+    Category category = Category::Spec;
+    std::uint64_t seed = 1;
+    InstCount length = 1'000'000;
+    /** Multiplier on all data/code footprints (suite diversity). */
+    double scale = 1.0;
+    /** Workload name; derived from category+seed when empty. */
+    std::string name;
+};
+
+/** Construct (and finalize) the Program for @p config. */
+std::unique_ptr<Program> buildWorkload(const WorkloadConfig &config);
+
+} // namespace chirp
+
+#endif // CHIRP_TRACE_SYNTHETIC_WORKLOAD_FACTORY_HH

@@ -1,0 +1,237 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'C', 'H', 'T', 'R'};
+constexpr std::size_t kRecordBytes = 8 + 8 + 8 + 1 + 1;
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** Serialize a record into its 26-byte wire form. */
+void
+packRecord(const TraceRecord &rec, std::uint8_t *buf)
+{
+    auto put64 = [&](std::size_t off, std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            buf[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    };
+    put64(0, rec.pc);
+    put64(8, rec.effAddr);
+    put64(16, rec.target);
+    buf[24] = static_cast<std::uint8_t>(rec.cls);
+    buf[25] = rec.taken ? 1 : 0;
+}
+
+/** Deserialize a 26-byte wire record. */
+void
+unpackRecord(const std::uint8_t *buf, TraceRecord &rec)
+{
+    auto get64 = [&](std::size_t off) {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(buf[off + i]) << (8 * i);
+        return v;
+    };
+    rec.pc = get64(0);
+    rec.effAddr = get64(8);
+    rec.target = get64(16);
+    rec.cls = static_cast<InstClass>(buf[24]);
+    rec.taken = buf[25] != 0;
+}
+
+std::uint64_t
+fnvUpdate(std::uint64_t h, const std::uint8_t *data, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= data[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+void
+put32(std::FILE *f, std::uint32_t v)
+{
+    std::uint8_t buf[4];
+    for (int i = 0; i < 4; ++i)
+        buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    std::fwrite(buf, 1, sizeof(buf), f);
+}
+
+void
+put64(std::FILE *f, std::uint64_t v)
+{
+    std::uint8_t buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    std::fwrite(buf, 1, sizeof(buf), f);
+}
+
+bool
+get32(std::FILE *f, std::uint32_t &v)
+{
+    std::uint8_t buf[4];
+    if (std::fread(buf, 1, sizeof(buf), f) != sizeof(buf))
+        return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+    return true;
+}
+
+bool
+get64(std::FILE *f, std::uint64_t &v)
+{
+    std::uint8_t buf[8];
+    if (std::fread(buf, 1, sizeof(buf), f) != sizeof(buf))
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+    return true;
+}
+
+constexpr long kHeaderBytes = 4 + 4 + 8;
+
+} // namespace
+
+const char *
+instClassName(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::Alu:
+        return "alu";
+      case InstClass::Load:
+        return "load";
+      case InstClass::Store:
+        return "store";
+      case InstClass::CondBranch:
+        return "condBranch";
+      case InstClass::UncondDirect:
+        return "uncondDirect";
+      case InstClass::UncondIndirect:
+        return "uncondIndirect";
+      case InstClass::Fp:
+        return "fp";
+      case InstClass::SlowAlu:
+        return "slowAlu";
+      default:
+        return "?";
+    }
+}
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : path_(path),
+      file_(std::fopen(path.c_str(), "wb")),
+      checksum_(kFnvOffset)
+{
+    if (!file_)
+        chirp_fatal("cannot open trace file '", path, "' for writing");
+    std::fwrite(kMagic, 1, sizeof(kMagic), file_);
+    put32(file_, kTraceFormatVersion);
+    put64(file_, 0); // record count, patched in close()
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (!closed_)
+        close();
+}
+
+void
+TraceFileWriter::append(const TraceRecord &rec)
+{
+    if (closed_)
+        chirp_fatal("append to closed trace file '", path_, "'");
+    std::uint8_t buf[kRecordBytes];
+    packRecord(rec, buf);
+    checksum_ = fnvUpdate(checksum_, buf, sizeof(buf));
+    std::fwrite(buf, 1, sizeof(buf), file_);
+    ++count_;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (closed_)
+        return;
+    put64(file_, checksum_);
+    std::fseek(file_, 8, SEEK_SET);
+    put64(file_, count_);
+    std::fclose(file_);
+    file_ = nullptr;
+    closed_ = true;
+}
+
+TraceFileSource::TraceFileSource(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb")), checksum_(kFnvOffset)
+{
+    name_ = path;
+    if (!file_)
+        chirp_fatal("cannot open trace file '", path, "'");
+    char magic[4];
+    if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        chirp_fatal("'", path, "' is not a chirp trace file");
+    }
+    std::uint32_t version = 0;
+    if (!get32(file_, version) || version != kTraceFormatVersion)
+        chirp_fatal("'", path, "' has unsupported trace version ", version);
+    if (!get64(file_, count_))
+        chirp_fatal("'", path, "' is truncated (no record count)");
+}
+
+TraceFileSource::~TraceFileSource()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceFileSource::next(TraceRecord &rec)
+{
+    if (read_ >= count_) {
+        verifyFooter();
+        return false;
+    }
+    std::uint8_t buf[kRecordBytes];
+    if (std::fread(buf, 1, sizeof(buf), file_) != sizeof(buf))
+        chirp_fatal("'", name(), "' is truncated at record ", read_);
+    if (!verified_)
+        checksum_ = fnvUpdate(checksum_, buf, sizeof(buf));
+    unpackRecord(buf, rec);
+    ++read_;
+    return true;
+}
+
+void
+TraceFileSource::verifyFooter()
+{
+    if (verified_)
+        return;
+    std::uint64_t stored = 0;
+    if (!get64(file_, stored))
+        chirp_fatal("'", name(), "' is missing its checksum footer");
+    if (stored != checksum_)
+        chirp_fatal("'", name(), "' failed checksum validation");
+    verified_ = true;
+}
+
+void
+TraceFileSource::reset()
+{
+    std::fseek(file_, kHeaderBytes, SEEK_SET);
+    read_ = 0;
+    if (!verified_)
+        checksum_ = kFnvOffset;
+}
+
+} // namespace chirp

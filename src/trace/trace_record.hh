@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The instruction record traces are made of.
+ *
+ * The fields mirror what the CVP-1 traces used by the paper provide
+ * and what the CHiRP stack consumes: instruction address and class,
+ * effective address for memory operations, and target/outcome for
+ * branches.
+ */
+
+#ifndef CHIRP_TRACE_TRACE_RECORD_HH
+#define CHIRP_TRACE_TRACE_RECORD_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace chirp
+{
+
+/**
+ * Instruction classes, following the CVP-1 taxonomy.  The replacement
+ * policies only distinguish loads/stores (data TLB traffic),
+ * conditional branches and unconditional-indirect branches (history
+ * updates); the rest exist so traces look like real instruction
+ * streams and exercise the front-end model.
+ */
+enum class InstClass : std::uint8_t
+{
+    Alu = 0,             //!< integer ALU
+    Load = 1,            //!< memory read
+    Store = 2,           //!< memory write
+    CondBranch = 3,      //!< conditional direct branch
+    UncondDirect = 4,    //!< unconditional direct branch/call
+    UncondIndirect = 5,  //!< indirect branch/call/return
+    Fp = 6,              //!< floating point
+    SlowAlu = 7,         //!< long-latency ALU (mul/div)
+
+    NumClasses
+};
+
+/** Printable name of an instruction class. */
+const char *instClassName(InstClass cls);
+
+/** True for any branch class. */
+constexpr bool
+isBranch(InstClass cls)
+{
+    return cls == InstClass::CondBranch || cls == InstClass::UncondDirect ||
+           cls == InstClass::UncondIndirect;
+}
+
+/** True for loads and stores. */
+constexpr bool
+isMemory(InstClass cls)
+{
+    return cls == InstClass::Load || cls == InstClass::Store;
+}
+
+/**
+ * One retired instruction.  `effAddr` is meaningful for loads/stores,
+ * `target`/`taken` for branches (non-taken conditional branches still
+ * carry their would-be target).
+ */
+struct TraceRecord
+{
+    Addr pc = 0;
+    Addr effAddr = 0;
+    Addr target = 0;
+    InstClass cls = InstClass::Alu;
+    bool taken = false;
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_TRACE_TRACE_RECORD_HH

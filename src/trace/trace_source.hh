@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The trace-source abstraction the simulator consumes.
+ *
+ * Sources are pull-based: the simulator calls next() until it returns
+ * false.  Synthetic workloads, trace files and in-memory vectors all
+ * implement this interface, so the whole stack is agnostic to where
+ * instructions come from.
+ */
+
+#ifndef CHIRP_TRACE_TRACE_SOURCE_HH
+#define CHIRP_TRACE_TRACE_SOURCE_HH
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace_record.hh"
+
+namespace chirp
+{
+
+/** Abstract producer of an instruction stream. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next instruction into @p rec.
+     * @return false at end of trace.
+     */
+    virtual bool next(TraceRecord &rec) = 0;
+
+    /** Rewind to the beginning of the trace. */
+    virtual void reset() = 0;
+
+    /** Human-readable identifier (workload name or file path). */
+    virtual const std::string &name() const { return name_; }
+
+    /**
+     * Total instructions this source will produce, when known
+     * up-front (0 otherwise).  The simulator uses it to place the
+     * warmup/measurement split at the midpoint per the paper's
+     * methodology.
+     */
+    virtual InstCount expectedLength() const { return 0; }
+
+  protected:
+    std::string name_ = "trace";
+};
+
+/** A trace held in memory; used by tests and the trace tools. */
+class VectorSource : public TraceSource
+{
+  public:
+    explicit VectorSource(std::vector<TraceRecord> records,
+                          std::string name = "vector")
+        : records_(std::move(records))
+    {
+        name_ = std::move(name);
+    }
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        if (pos_ >= records_.size())
+            return false;
+        rec = records_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+    InstCount expectedLength() const override { return records_.size(); }
+
+    /** Direct access for inspection. */
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Wraps another source and stops after a fixed number of
+ * instructions; implements the paper's "long traces are allowed to
+ * run for 100 million instructions" cap.
+ */
+class CappedSource : public TraceSource
+{
+  public:
+    CappedSource(TraceSource &inner, InstCount cap)
+        : inner_(inner), cap_(cap)
+    {
+        name_ = inner.name();
+    }
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        if (count_ >= cap_)
+            return false;
+        if (!inner_.next(rec))
+            return false;
+        ++count_;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        inner_.reset();
+        count_ = 0;
+    }
+
+    InstCount
+    expectedLength() const override
+    {
+        const InstCount inner_len = inner_.expectedLength();
+        return inner_len == 0 ? cap_ : std::min(cap_, inner_len);
+    }
+
+  private:
+    TraceSource &inner_;
+    InstCount cap_;
+    InstCount count_ = 0;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_TRACE_TRACE_SOURCE_HH

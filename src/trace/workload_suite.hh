@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Suite enumeration: the stand-in for the paper's 870-trace CVP-1
+ * set.
+ *
+ * A suite is a deterministic list of WorkloadConfigs cycling through
+ * the six categories with varying seeds and footprint scales.  The
+ * default size keeps full-figure benches tractable on one core; the
+ * environment variables below scale fidelity up to the paper's 870.
+ *
+ *   CHIRP_SUITE_SIZE  number of workloads          (default 96)
+ *   CHIRP_TRACE_LEN   instructions per workload    (default 500000)
+ *   CHIRP_SEED        master seed                  (default 42)
+ *   CHIRP_CATEGORY    restrict to one category name (debugging aid)
+ */
+
+#ifndef CHIRP_TRACE_WORKLOAD_SUITE_HH
+#define CHIRP_TRACE_WORKLOAD_SUITE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/synthetic/workload_factory.hh"
+
+namespace chirp
+{
+
+/** Options controlling suite enumeration. */
+struct SuiteOptions
+{
+    std::size_t size = 96;
+    InstCount traceLength = 500'000;
+    std::uint64_t baseSeed = 42;
+    /** When >= 0, every workload uses this single category. */
+    int onlyCategory = -1;
+};
+
+/** Read SuiteOptions from the CHIRP_* environment variables. */
+SuiteOptions suiteOptionsFromEnv();
+
+/** As suiteOptionsFromEnv, but with a different default size. */
+SuiteOptions suiteOptionsFromEnv(std::size_t default_size);
+
+/** Enumerate the suite for @p options. */
+std::vector<WorkloadConfig> makeSuite(const SuiteOptions &options);
+
+} // namespace chirp
+
+#endif // CHIRP_TRACE_WORKLOAD_SUITE_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Bit-manipulation helpers used when composing prediction signatures.
+ *
+ * CHiRP's signature construction is defined bit-by-bit in the paper
+ * (PC[3:2] shifted into the path history, PC[11:4] into the branch
+ * histories, zero injection between path-history chunks).  These
+ * helpers keep that arithmetic readable at the call sites.
+ */
+
+#ifndef CHIRP_UTIL_BITFIELD_HH
+#define CHIRP_UTIL_BITFIELD_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace chirp
+{
+
+/**
+ * A mask with the low @p nbits bits set.  `maskBits(0) == 0` and
+ * `maskBits(64)` is all ones.
+ */
+constexpr std::uint64_t
+maskBits(unsigned nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << nbits) - 1);
+}
+
+/**
+ * Extract bits [hi:lo] of @p value, inclusive on both ends, shifted
+ * down to bit 0.  Matches the paper's VA_{2..3} / VA_{4..11} notation.
+ */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned hi, unsigned lo)
+{
+    assert(hi >= lo && hi < 64);
+    return (value >> lo) & maskBits(hi - lo + 1);
+}
+
+/** Extract a single bit of @p value. */
+constexpr std::uint64_t
+bit(std::uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1;
+}
+
+/**
+ * Replace bits [hi:lo] of @p dst with the low bits of @p src and
+ * return the result.
+ */
+constexpr std::uint64_t
+insertBits(std::uint64_t dst, unsigned hi, unsigned lo, std::uint64_t src)
+{
+    assert(hi >= lo && hi < 64);
+    const std::uint64_t m = maskBits(hi - lo + 1);
+    return (dst & ~(m << lo)) | ((src & m) << lo);
+}
+
+/** True when @p value is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Floor of log2; @p value must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    assert(value != 0);
+    return 63 - std::countl_zero(value);
+}
+
+/** Ceiling of log2; `ceilLog2(1) == 0`. */
+constexpr unsigned
+ceilLog2(std::uint64_t value)
+{
+    assert(value != 0);
+    return value == 1 ? 0 : floorLog2(value - 1) + 1;
+}
+
+/**
+ * Fold a 64-bit value down to @p nbits by repeated XOR of
+ * @p nbits-wide chunks.  This is the cheap hardware-style hash the
+ * predictor tables use for index formation.
+ */
+constexpr std::uint64_t
+foldXor(std::uint64_t value, unsigned nbits)
+{
+    assert(nbits > 0 && nbits < 64);
+    std::uint64_t folded = 0;
+    while (value != 0) {
+        folded ^= value & maskBits(nbits);
+        value >>= nbits;
+    }
+    return folded;
+}
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_BITFIELD_HH

@@ -1,0 +1,51 @@
+#include "util/csv.hh"
+
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+CsvWriter::CsvWriter(const std::string &path)
+    : path_(path), file_(std::fopen(path.c_str(), "w"))
+{
+    if (!file_)
+        chirp_fatal("cannot open CSV output file '", path, "'");
+}
+
+CsvWriter::~CsvWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quoting =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quoting)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            line += ',';
+        line += escape(cells[i]);
+    }
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), file_);
+}
+
+} // namespace chirp

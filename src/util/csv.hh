@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CSV emission for bench results (machine-readable companion to the
+ * console tables).
+ */
+
+#ifndef CHIRP_UTIL_CSV_HH
+#define CHIRP_UTIL_CSV_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace chirp
+{
+
+/**
+ * Writes RFC-4180-ish CSV: cells containing commas, quotes, or
+ * newlines are quoted with internal quotes doubled.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal on failure. */
+    explicit CsvWriter(const std::string &path);
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    /** Write one row. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Path this writer targets. */
+    const std::string &path() const { return path_; }
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::string path_;
+    std::FILE *file_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_CSV_HH

@@ -1,0 +1,84 @@
+#include "util/hashing.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+std::uint64_t
+indexHash(std::uint64_t value, unsigned nbits)
+{
+    // An odd multiplicative constant spreads nearby signatures across
+    // the table; the fold keeps every input bit relevant to the index.
+    const std::uint64_t mixed = value * 0x9e3779b97f4a7c15ull;
+    return foldXor(mixed, nbits);
+}
+
+std::uint64_t
+foldHash(std::uint64_t value, unsigned nbits)
+{
+    return foldXor(value, nbits);
+}
+
+namespace
+{
+
+/** Bitwise CRC-16/CCITT (poly 0x1021), byte at a time. */
+std::uint16_t
+crc16(std::uint64_t value)
+{
+    std::uint16_t crc = 0xffff;
+    for (int i = 0; i < 8; ++i) {
+        const std::uint8_t byte = (value >> (8 * i)) & 0xff;
+        crc ^= static_cast<std::uint16_t>(byte) << 8;
+        for (int b = 0; b < 8; ++b) {
+            if (crc & 0x8000)
+                crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+            else
+                crc = static_cast<std::uint16_t>(crc << 1);
+        }
+    }
+    return crc;
+}
+
+} // namespace
+
+std::uint64_t
+crcHash(std::uint64_t value, unsigned nbits)
+{
+    const std::uint64_t crc = crc16(value);
+    if (nbits >= 16)
+        return crc;
+    return foldXor(crc, nbits);
+}
+
+std::uint64_t
+hashBy(HashKind kind, std::uint64_t value, unsigned nbits)
+{
+    switch (kind) {
+      case HashKind::Index:
+        return indexHash(value, nbits);
+      case HashKind::Fold:
+        return foldHash(value, nbits);
+      case HashKind::Crc:
+        return crcHash(value, nbits);
+    }
+    chirp_panic("unknown HashKind ", static_cast<int>(kind));
+}
+
+const char *
+hashKindName(HashKind kind)
+{
+    switch (kind) {
+      case HashKind::Index:
+        return "index";
+      case HashKind::Fold:
+        return "fold";
+      case HashKind::Crc:
+        return "crc";
+    }
+    return "?";
+}
+
+} // namespace chirp

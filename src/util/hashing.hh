@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Hash functions for prediction-table index formation.
+ *
+ * The paper's Algorithm 5 indexes the prediction table with
+ * `Hash(signature) mod 2^16`.  Hardware predictors use cheap
+ * XOR-fold / CRC style mixers; we provide several so the ablation
+ * benches can show the choice is not load-bearing.
+ */
+
+#ifndef CHIRP_UTIL_HASHING_HH
+#define CHIRP_UTIL_HASHING_HH
+
+#include <cstdint>
+
+namespace chirp
+{
+
+/**
+ * A 64->64 bit finalizing mixer (splitmix64 finalizer).  Strong
+ * avalanche; used where software-quality mixing is wanted, e.g. when
+ * deriving per-workload RNG seeds.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Combine two hashes (boost-style). */
+constexpr std::uint64_t
+hashCombine(std::uint64_t seed, std::uint64_t value)
+{
+    return seed ^ (mix64(value) + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                   (seed >> 2));
+}
+
+/**
+ * Hardware-plausible index hash: multiply by an odd constant and
+ * XOR-fold to @p nbits.  This is the default `Hash` of Algorithm 5.
+ */
+std::uint64_t indexHash(std::uint64_t value, unsigned nbits);
+
+/** Pure XOR-fold index hash (no multiply), the cheapest option. */
+std::uint64_t foldHash(std::uint64_t value, unsigned nbits);
+
+/** CRC-16/CCITT over the 8 bytes of @p value, truncated to @p nbits. */
+std::uint64_t crcHash(std::uint64_t value, unsigned nbits);
+
+/** Identifier for selecting a hash in policy configurations. */
+enum class HashKind
+{
+    Index, //!< multiplicative + fold (default)
+    Fold,  //!< XOR fold only
+    Crc,   //!< CRC-16 based
+};
+
+/** Dispatch on @p kind; used by configurable predictor tables. */
+std::uint64_t hashBy(HashKind kind, std::uint64_t value, unsigned nbits);
+
+/** Human-readable name for a HashKind (bench/report output). */
+const char *hashKindName(HashKind kind);
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_HASHING_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting.
+ *
+ * `fatal` terminates on user error (bad configuration, bad trace
+ * file); `panic` aborts on internal invariant violations; `warn` and
+ * `inform` print and continue.
+ */
+
+#ifndef CHIRP_UTIL_LOGGING_HH
+#define CHIRP_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace chirp
+{
+
+namespace detail
+{
+
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Join a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Terminate with an error caused by the user of the library: bad
+ * configuration, malformed trace files, impossible parameter
+ * combinations.  Exits with status 1.
+ */
+#define chirp_fatal(...)                                                    \
+    ::chirp::detail::fatalImpl(__FILE__, __LINE__,                          \
+                               ::chirp::detail::concat(__VA_ARGS__))
+
+/**
+ * Terminate because the library itself is broken: an invariant that
+ * must hold regardless of input has been violated.  Aborts (may dump
+ * core).
+ */
+#define chirp_panic(...)                                                    \
+    ::chirp::detail::panicImpl(__FILE__, __LINE__,                          \
+                               ::chirp::detail::concat(__VA_ARGS__))
+
+/** Print a warning about suspicious-but-survivable conditions. */
+#define chirp_warn(...)                                                     \
+    ::chirp::detail::warnImpl(::chirp::detail::concat(__VA_ARGS__))
+
+/** Print an informational status message. */
+#define chirp_inform(...)                                                   \
+    ::chirp::detail::informImpl(::chirp::detail::concat(__VA_ARGS__))
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_LOGGING_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in the library (workload generators, the
+ * Random replacement policy, dataset shuffling) draws from Xorshift64Star
+ * seeded explicitly, so a (seed, configuration) pair fully determines a
+ * simulation.  std::mt19937 is avoided to keep results stable across
+ * standard-library versions.
+ */
+
+#ifndef CHIRP_UTIL_RANDOM_HH
+#define CHIRP_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace chirp
+{
+
+/**
+ * Xorshift64* generator: tiny state, good statistical quality for
+ * simulation purposes, and identical output on every platform.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; a zero seed is remapped to a fixed value. */
+    explicit Rng(std::uint64_t seed = 0x2545f4914f6cdd1dull);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound); @p bound must be nonzero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p);
+
+    /**
+     * Zipf-distributed rank in [0, n) with exponent @p s, computed by
+     * inversion against a lazily built CDF.  Used for hot/cold page
+     * popularity in the synthetic workloads.
+     */
+    class Zipf
+    {
+      public:
+        Zipf(std::size_t n, double s);
+
+        /** Draw a rank (0 = most popular). */
+        std::size_t operator()(Rng &rng) const;
+
+        std::size_t size() const { return cdf_.size(); }
+
+      private:
+        std::vector<double> cdf_;
+    };
+
+    /** Fisher-Yates shuffle of @p values. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &values)
+    {
+        for (std::size_t i = values.size(); i > 1; --i) {
+            const std::size_t j = below(i);
+            std::swap(values[i - 1], values[j]);
+        }
+    }
+
+    /** Current internal state (for checkpoint-style tests). */
+    std::uint64_t state() const { return state_; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_RANDOM_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Saturating counters, the storage element of every predictor table.
+ */
+
+#ifndef CHIRP_UTIL_SAT_COUNTER_HH
+#define CHIRP_UTIL_SAT_COUNTER_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace chirp
+{
+
+/**
+ * An n-bit unsigned saturating counter.  The width is a runtime
+ * parameter because the benches sweep counter widths.
+ */
+class SatCounter
+{
+  public:
+    /** @param nbits counter width in bits, 1..16. */
+    explicit SatCounter(unsigned nbits = 2, std::uint16_t initial = 0)
+        : value_(initial),
+          max_(static_cast<std::uint16_t>((1u << nbits) - 1))
+    {
+        assert(nbits >= 1 && nbits <= 16);
+        if (value_ > max_)
+            value_ = max_;
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Current value. */
+    std::uint16_t value() const { return value_; }
+
+    /** Maximum representable value. */
+    std::uint16_t max() const { return max_; }
+
+    /** True when the counter has saturated high. */
+    bool saturatedHigh() const { return value_ == max_; }
+
+    /** Reset to @p v (clamped). */
+    void
+    set(std::uint16_t v)
+    {
+        value_ = v > max_ ? max_ : v;
+    }
+
+  private:
+    std::uint16_t value_;
+    std::uint16_t max_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_SAT_COUNTER_HH

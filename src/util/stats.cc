@@ -1,0 +1,163 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+void
+RunningStat::push(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::mean() const
+{
+    return n_ == 0 ? 0.0 : mean_;
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t nbins)
+    : lo_(lo), hi_(hi), counts_(nbins, 0)
+{
+    assert(hi > lo && nbins > 0);
+}
+
+void
+Histogram::push(double x)
+{
+    const double span = hi_ - lo_;
+    double idx = (x - lo_) / span * static_cast<double>(counts_.size());
+    std::size_t i;
+    if (idx < 0.0)
+        i = 0;
+    else if (idx >= static_cast<double>(counts_.size()))
+        i = counts_.size() - 1;
+    else
+        i = static_cast<std::size_t>(idx);
+    ++counts_[i];
+    ++total_;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * (static_cast<double>(i) + 0.5);
+}
+
+double
+Histogram::density(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            chirp_fatal("geomean requires positive values, got ", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+geomeanSpeedupPct(const std::vector<double> &ipc,
+                  const std::vector<double> &baseline_ipc)
+{
+    if (ipc.size() != baseline_ipc.size())
+        chirp_fatal("speedup vectors differ in length: ", ipc.size(), " vs ",
+                    baseline_ipc.size());
+    std::vector<double> ratios;
+    ratios.reserve(ipc.size());
+    for (std::size_t i = 0; i < ipc.size(); ++i)
+        ratios.push_back(ipc[i] / baseline_ipc[i]);
+    return (geomean(ratios) - 1.0) * 100.0;
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    assert(p >= 0.0 && p <= 100.0);
+    std::sort(xs.begin(), xs.end());
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+pctReduction(double baseline, double measured)
+{
+    if (baseline == 0.0)
+        return 0.0;
+    return (baseline - measured) / baseline * 100.0;
+}
+
+} // namespace chirp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Statistics kit: running moments, histograms, and the aggregate
+ * reductions (arithmetic / geometric mean, percentiles) the paper's
+ * evaluation section reports.
+ */
+
+#ifndef CHIRP_UTIL_STATS_HH
+#define CHIRP_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chirp
+{
+
+/**
+ * Single-pass mean/variance accumulator (Welford).  Used for the
+ * per-suite averages and the Fig 11 density summary.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void push(double x);
+
+    /** Number of samples so far. */
+    std::size_t count() const { return n_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Unbiased sample variance (0 with < 2 samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen. */
+    double min() const { return min_; }
+
+    /** Largest sample seen. */
+    double max() const { return max_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi) with out-of-range samples clamped
+ * to the edge bins; backs the Fig 11 density plot.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t nbins);
+
+    /** Add one sample. */
+    void push(double x);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Center of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** Total samples. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples in bin @p i (0 when empty). */
+    double density(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/** Arithmetic mean of @p xs (0 when empty). */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Geometric mean of @p xs.  Values must be positive; the speedup
+ * figures report geomeans as in the paper.
+ */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Geometric-mean speedup of per-workload ratios, i.e.
+ * geomean(ipc_i / base_i), expressed as a percentage improvement.
+ */
+double geomeanSpeedupPct(const std::vector<double> &ipc,
+                         const std::vector<double> &baseline_ipc);
+
+/** Linear-interpolated percentile @p p in [0,100] of @p xs. */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Percent reduction of @p measured relative to @p baseline:
+ * positive when @p measured is smaller (an improvement for MPKI).
+ */
+double pctReduction(double baseline, double measured);
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_STATS_HH

@@ -1,0 +1,86 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace chirp
+{
+
+void
+TableFormatter::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TableFormatter::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TableFormatter::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+TableFormatter::num(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+std::string
+TableFormatter::str() const
+{
+    // Column widths across header and all rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto render = [&](const std::vector<std::string> &cells,
+                      std::string &out) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i]
+                                                       : std::string();
+            out += cell;
+            if (i + 1 < widths.size())
+                out += std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    if (!header_.empty()) {
+        render(header_, out);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        out += std::string(total > 2 ? total - 2 : total, '-');
+        out += '\n';
+    }
+    for (const auto &r : rows_)
+        render(r, out);
+    return out;
+}
+
+void
+TableFormatter::print(std::FILE *out) const
+{
+    const std::string s = str();
+    std::fwrite(s.data(), 1, s.size(), out);
+}
+
+} // namespace chirp

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Aligned console tables for bench/example output.
+ *
+ * Every figure-reproduction bench prints a human-readable table of
+ * "paper vs measured" rows; this keeps that formatting in one place.
+ */
+
+#ifndef CHIRP_UTIL_TABLE_HH
+#define CHIRP_UTIL_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace chirp
+{
+
+/** A simple column-aligned text table. */
+class TableFormatter
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; ragged rows are padded with empty cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p prec decimals. */
+    static std::string num(double v, int prec = 2);
+
+    /** Convenience: format an integer. */
+    static std::string num(std::uint64_t v);
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /** Print to @p out (stdout by default). */
+    void print(std::FILE *out = stdout) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_TABLE_HH

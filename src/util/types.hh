@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the chirp-tlb library.
+ *
+ * The aliases mirror the vocabulary of the paper and of classic
+ * architecture simulators: addresses, cycle counts and instruction
+ * counts are all 64-bit unsigned quantities, named for intent.
+ */
+
+#ifndef CHIRP_UTIL_TYPES_HH
+#define CHIRP_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace chirp
+{
+
+/** A virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** A count of processor cycles. */
+using Cycles = std::uint64_t;
+
+/** A count of retired instructions. */
+using InstCount = std::uint64_t;
+
+/** An address-space identifier (process tag carried by TLB entries). */
+using Asid = std::uint16_t;
+
+/** Number of bytes in a (base) page and the matching shift/mask. */
+constexpr unsigned kPageShift = 12;
+constexpr Addr kPageSize = Addr{1} << kPageShift;
+constexpr Addr kPageOffsetMask = kPageSize - 1;
+
+/** Extract the virtual page number of an address (4KB base pages). */
+constexpr Addr
+pageNumber(Addr va)
+{
+    return va >> kPageShift;
+}
+
+/** Align an address down to its page base. */
+constexpr Addr
+pageBase(Addr va)
+{
+    return va & ~kPageOffsetMask;
+}
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_TYPES_HH

@@ -1,0 +1,155 @@
+/** @file Tests for ADALINE and the reuse-dataset extraction. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "learn/adaline.hh"
+#include "learn/reuse_dataset.hh"
+#include "trace/synthetic/workload_factory.hh"
+#include "util/random.hh"
+
+namespace chirp
+{
+namespace
+{
+
+TEST(Adaline, LearnsLinearlySeparableFunction)
+{
+    // Target: sign of x0 (other inputs are noise).
+    AdalineConfig config;
+    config.inputs = 4;
+    config.l1Decay = 0.0;
+    Adaline model(config);
+    Rng rng(3);
+    for (int i = 0; i < 3000; ++i) {
+        std::vector<double> x(4);
+        for (auto &v : x)
+            v = rng.chance(0.5) ? 1.0 : -1.0;
+        model.train(x, x[0]);
+    }
+    int correct = 0;
+    for (int i = 0; i < 500; ++i) {
+        std::vector<double> x(4);
+        for (auto &v : x)
+            v = rng.chance(0.5) ? 1.0 : -1.0;
+        correct += model.predict(x) == (x[0] > 0);
+    }
+    EXPECT_GT(correct, 480);
+}
+
+TEST(Adaline, InformativeWeightDominates)
+{
+    AdalineConfig config;
+    config.inputs = 8;
+    Adaline model(config);
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i) {
+        std::vector<double> x(8);
+        for (auto &v : x)
+            v = rng.chance(0.5) ? 1.0 : -1.0;
+        model.train(x, x[3]); // only input 3 matters
+    }
+    const auto importance = model.normalizedImportance();
+    EXPECT_DOUBLE_EQ(importance[3], 1.0);
+    for (std::size_t i = 0; i < 8; ++i) {
+        if (i != 3) {
+            EXPECT_LT(importance[i], 0.3) << "input " << i;
+        }
+    }
+}
+
+TEST(Adaline, L1RegularizationPrunesUselessWeights)
+{
+    AdalineConfig config;
+    config.inputs = 6;
+    config.l1Decay = 2e-3;
+    Adaline model(config);
+    Rng rng(7);
+    for (int i = 0; i < 4000; ++i) {
+        std::vector<double> x(6);
+        for (auto &v : x)
+            v = rng.chance(0.5) ? 1.0 : -1.0;
+        model.train(x, x[1]);
+    }
+    // Noise weights are shrunk toward zero; the informative weight
+    // stays an order of magnitude larger.
+    double max_noise = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) {
+        if (i != 1) {
+            max_noise = std::max(max_noise,
+                                 std::abs(model.weights()[i]));
+        }
+    }
+    EXPECT_LT(max_noise, 0.15);
+    EXPECT_GT(std::abs(model.weights()[1]), 10.0 * max_noise);
+}
+
+TEST(Adaline, ResetZeroesWeights)
+{
+    Adaline model(AdalineConfig{});
+    std::vector<double> x(24, 1.0);
+    model.train(x, 1.0);
+    model.reset();
+    for (double w : model.weights())
+        EXPECT_DOUBLE_EQ(w, 0.0);
+    EXPECT_DOUBLE_EQ(model.bias(), 0.0);
+}
+
+TEST(Adaline, RejectsWrongInputWidth)
+{
+    Adaline model(AdalineConfig{.inputs = 4});
+    std::vector<double> x(5, 1.0);
+    EXPECT_EXIT(model.output(x), ::testing::ExitedWithCode(1),
+                "input width");
+}
+
+TEST(PcBitsToInputs, MapsBitsToPlusMinusOne)
+{
+    const auto x = pcBitsToInputs(0b1010, 6);
+    ASSERT_EQ(x.size(), 6u);
+    EXPECT_DOUBLE_EQ(x[0], -1.0);
+    EXPECT_DOUBLE_EQ(x[1], 1.0);
+    EXPECT_DOUBLE_EQ(x[2], -1.0);
+    EXPECT_DOUBLE_EQ(x[3], 1.0);
+    EXPECT_DOUBLE_EQ(x[4], -1.0);
+    EXPECT_DOUBLE_EQ(x[5], -1.0);
+}
+
+TEST(ReuseDataset, CollectsLabeledSamples)
+{
+    WorkloadConfig config;
+    config.category = Category::Spec;
+    config.seed = 3;
+    config.length = 120000;
+    const auto program = buildWorkload(config);
+    const auto samples = collectReuseSamples(*program);
+    ASSERT_GT(samples.size(), 100u);
+    int reused = 0;
+    for (const auto &sample : samples) {
+        EXPECT_NE(sample.fillPc, 0u);
+        reused += sample.reused;
+    }
+    // Both classes must be represented for the Fig 3 study to be
+    // meaningful.
+    EXPECT_GT(reused, 0);
+    EXPECT_LT(reused, static_cast<int>(samples.size()));
+}
+
+TEST(ReuseDataset, MaxSamplesCapRespected)
+{
+    WorkloadConfig config;
+    config.category = Category::Database;
+    config.seed = 4;
+    config.length = 200000;
+    const auto program = buildWorkload(config);
+    ReuseCollectorConfig collector;
+    collector.maxSamples = 50;
+    const auto samples = collectReuseSamples(*program, collector);
+    EXPECT_GE(samples.size(), 50u);
+    EXPECT_LE(samples.size(), 60u);
+}
+
+} // namespace
+} // namespace chirp

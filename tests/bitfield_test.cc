@@ -1,0 +1,105 @@
+/** @file Unit tests for util/bitfield.hh. */
+
+#include <gtest/gtest.h>
+
+#include "util/bitfield.hh"
+
+namespace chirp
+{
+namespace
+{
+
+TEST(MaskBits, Boundaries)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 0x1u);
+    EXPECT_EQ(maskBits(8), 0xffu);
+    EXPECT_EQ(maskBits(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(maskBits(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, ExtractsInclusiveRange)
+{
+    const std::uint64_t value = 0xdeadbeefcafebabeull;
+    EXPECT_EQ(bits(value, 7, 0), 0xbeull);
+    EXPECT_EQ(bits(value, 15, 8), 0xbaull);
+    EXPECT_EQ(bits(value, 63, 56), 0xdeull);
+    EXPECT_EQ(bits(value, 3, 2), (value >> 2) & 0x3);
+}
+
+TEST(Bits, SingleBitRange)
+{
+    EXPECT_EQ(bits(0b1000, 3, 3), 1u);
+    EXPECT_EQ(bits(0b1000, 2, 2), 0u);
+}
+
+TEST(Bit, MatchesShiftAndMask)
+{
+    const std::uint64_t value = 0xa5a5a5a5a5a5a5a5ull;
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(bit(value, i), (value >> i) & 1) << "bit " << i;
+}
+
+TEST(InsertBits, ReplacesField)
+{
+    EXPECT_EQ(insertBits(0, 7, 4, 0xf), 0xf0u);
+    EXPECT_EQ(insertBits(0xffff, 7, 4, 0x0), 0xff0fu);
+    // Only the low bits of src are used.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1ff), 0xfu);
+}
+
+TEST(InsertBits, RoundTripsWithBits)
+{
+    const std::uint64_t original = 0x123456789abcdef0ull;
+    const std::uint64_t patched = insertBits(original, 23, 12, 0x5a5);
+    EXPECT_EQ(bits(patched, 23, 12), 0x5a5u);
+    // Bits outside the field are untouched.
+    EXPECT_EQ(bits(patched, 11, 0), bits(original, 11, 0));
+    EXPECT_EQ(bits(patched, 63, 24), bits(original, 63, 24));
+}
+
+TEST(IsPowerOfTwo, Classification)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(Log2, FloorAndCeil)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(FoldXor, FoldsToRequestedWidth)
+{
+    // Folding to 16 bits XORs the four 16-bit chunks.
+    const std::uint64_t value = 0x1111222233334444ull;
+    EXPECT_EQ(foldXor(value, 16), 0x1111u ^ 0x2222u ^ 0x3333u ^ 0x4444u);
+    // Result always fits in the width.
+    for (unsigned w = 1; w < 64; ++w)
+        EXPECT_LE(foldXor(0xdeadbeefdeadbeefull, w), maskBits(w));
+}
+
+TEST(FoldXor, ZeroIsZero)
+{
+    EXPECT_EQ(foldXor(0, 16), 0u);
+}
+
+TEST(FoldXor, PreservesLowBitsOfSmallValues)
+{
+    EXPECT_EQ(foldXor(0x1234, 16), 0x1234u);
+}
+
+} // namespace
+} // namespace chirp

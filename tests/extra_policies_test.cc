@@ -1,0 +1,142 @@
+/** @file Tests for the extension policies (DRRIP, tree-PLRU). */
+
+#include <gtest/gtest.h>
+
+#include "core/drrip.hh"
+#include "core/plru.hh"
+#include "core/policy_factory.hh"
+
+namespace chirp
+{
+namespace
+{
+
+AccessInfo
+dummyAccess()
+{
+    AccessInfo info;
+    info.pc = 0x400000;
+    info.vaddr = 0x1000;
+    info.cls = InstClass::Load;
+    return info;
+}
+
+TEST(Drrip, LeaderSetAssignment)
+{
+    DrripPolicy policy(128, 8);
+    int srrip_leaders = 0;
+    int brrip_leaders = 0;
+    for (std::uint32_t set = 0; set < 128; ++set) {
+        switch (policy.roleOf(set)) {
+          case DrripPolicy::SetRole::SrripLeader:
+            ++srrip_leaders;
+            break;
+          case DrripPolicy::SetRole::BrripLeader:
+            ++brrip_leaders;
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_EQ(srrip_leaders, 8);
+    EXPECT_EQ(brrip_leaders, 8);
+}
+
+TEST(Drrip, PselMovesWithLeaderMisses)
+{
+    DrripPolicy policy(128, 8);
+    const AccessInfo info = dummyAccess();
+    const std::uint16_t start = policy.psel();
+    // Find an SRRIP leader and miss in it repeatedly.
+    std::uint32_t srrip_leader = 0;
+    for (std::uint32_t set = 0; set < 128; ++set) {
+        if (policy.roleOf(set) == DrripPolicy::SetRole::SrripLeader) {
+            srrip_leader = set;
+            break;
+        }
+    }
+    for (int i = 0; i < 10; ++i) {
+        const std::uint32_t victim =
+            policy.selectVictim(srrip_leader, info);
+        policy.onFill(srrip_leader, victim, info);
+    }
+    EXPECT_GT(policy.psel(), start)
+        << "SRRIP-leader misses push PSEL toward BRRIP";
+}
+
+TEST(Drrip, VictimAlwaysValid)
+{
+    DrripPolicy policy(16, 4);
+    const AccessInfo info = dummyAccess();
+    for (std::uint32_t set = 0; set < 16; ++set) {
+        for (int i = 0; i < 50; ++i) {
+            const std::uint32_t victim = policy.selectVictim(set, info);
+            ASSERT_LT(victim, 4u);
+            policy.onFill(set, victim, info);
+            if (i % 3 == 0)
+                policy.onHit(set, victim, info);
+        }
+    }
+}
+
+TEST(Drrip, RejectsTooManyLeaders)
+{
+    DrripConfig config;
+    config.leaderSets = 64;
+    EXPECT_EXIT({ DrripPolicy policy(16, 4, config); },
+                ::testing::ExitedWithCode(1), "leader sets");
+}
+
+TEST(Plru, VictimAvoidsRecentlyTouchedWay)
+{
+    PlruPolicy policy(4, 8);
+    const AccessInfo info = dummyAccess();
+    for (std::uint32_t way = 0; way < 8; ++way)
+        policy.onFill(0, way, info);
+    for (int i = 0; i < 50; ++i) {
+        policy.onHit(0, 3, info);
+        const std::uint32_t victim = policy.selectVictim(0, info);
+        ASSERT_LT(victim, 8u);
+        EXPECT_NE(victim, 3u) << "just-touched way must not be victim";
+        policy.onFill(0, victim, info);
+    }
+}
+
+TEST(Plru, CyclesThroughAllWaysUnderFillsOnly)
+{
+    PlruPolicy policy(1, 4);
+    const AccessInfo info = dummyAccess();
+    std::vector<bool> seen(4, false);
+    std::uint32_t way = 0;
+    for (int i = 0; i < 4; ++i) {
+        way = policy.selectVictim(0, info);
+        seen[way] = true;
+        policy.onFill(0, way, info);
+    }
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(seen[i]) << "way " << i;
+}
+
+TEST(Plru, RejectsNonPowerOfTwoAssoc)
+{
+    EXPECT_EXIT({ PlruPolicy policy(4, 6); },
+                ::testing::ExitedWithCode(1), "power-of-two");
+}
+
+TEST(Plru, StorageIsAssocMinusOneBitsPerSet)
+{
+    PlruPolicy policy(128, 8);
+    EXPECT_EQ(policy.storageBits(), 128u * 7u);
+}
+
+TEST(ExtraPolicies, ConstructibleByName)
+{
+    for (const std::string &name : extraPolicyNames()) {
+        const auto policy = makePolicy(name, 128, 8);
+        EXPECT_EQ(policy->name(), name);
+        EXPECT_GT(policy->storageBits(), 0u);
+    }
+}
+
+} // namespace
+} // namespace chirp

@@ -1,0 +1,79 @@
+/** @file Unit tests for util/hashing.hh. */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <vector>
+
+#include "util/bitfield.hh"
+#include "util/hashing.hh"
+
+namespace chirp
+{
+namespace
+{
+
+TEST(Mix64, IsDeterministicAndMixes)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), mix64(43));
+    // Single-bit input changes flip roughly half the output bits.
+    const std::uint64_t a = mix64(0x1000);
+    const std::uint64_t b = mix64(0x1001);
+    const int flipped = std::popcount(a ^ b);
+    EXPECT_GT(flipped, 16);
+    EXPECT_LT(flipped, 48);
+}
+
+TEST(HashCombine, OrderSensitive)
+{
+    const std::uint64_t ab = hashCombine(hashCombine(0, 1), 2);
+    const std::uint64_t ba = hashCombine(hashCombine(0, 2), 1);
+    EXPECT_NE(ab, ba);
+}
+
+TEST(IndexHash, FitsWidth)
+{
+    for (unsigned w : {4u, 8u, 12u, 16u}) {
+        for (std::uint64_t v = 0; v < 1000; v += 13)
+            EXPECT_LE(indexHash(v, w), maskBits(w));
+    }
+}
+
+TEST(IndexHash, SpreadsSequentialInputs)
+{
+    // Sequential signatures should not pile onto few table slots.
+    std::set<std::uint64_t> slots;
+    for (std::uint64_t sig = 0; sig < 256; ++sig)
+        slots.insert(indexHash(sig, 12));
+    EXPECT_GT(slots.size(), 200u);
+}
+
+TEST(CrcHash, MatchesKnownProperties)
+{
+    // CRC of distinct values differ (no trivial collisions in a
+    // small smoke set).
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t v = 0; v < 512; ++v)
+        seen.insert(crcHash(v, 16));
+    EXPECT_GT(seen.size(), 500u);
+}
+
+TEST(HashBy, DispatchesAllKinds)
+{
+    const std::uint64_t value = 0x123456789abcdefull;
+    EXPECT_EQ(hashBy(HashKind::Index, value, 16), indexHash(value, 16));
+    EXPECT_EQ(hashBy(HashKind::Fold, value, 16), foldHash(value, 16));
+    EXPECT_EQ(hashBy(HashKind::Crc, value, 16), crcHash(value, 16));
+}
+
+TEST(HashKindName, AllNamed)
+{
+    EXPECT_STREQ(hashKindName(HashKind::Index), "index");
+    EXPECT_STREQ(hashKindName(HashKind::Fold), "fold");
+    EXPECT_STREQ(hashKindName(HashKind::Crc), "crc");
+}
+
+} // namespace
+} // namespace chirp

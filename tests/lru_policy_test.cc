@@ -1,0 +1,113 @@
+/** @file Behavioural tests for the LRU and Random policies. */
+
+#include <gtest/gtest.h>
+
+#include "core/lru.hh"
+#include "core/random_repl.hh"
+
+namespace chirp
+{
+namespace
+{
+
+AccessInfo
+dummyAccess()
+{
+    AccessInfo info;
+    info.pc = 0x400000;
+    info.vaddr = 0x1000;
+    info.cls = InstClass::Load;
+    return info;
+}
+
+TEST(LruPolicy, ExactStackOrder)
+{
+    LruPolicy policy(4, 4);
+    const AccessInfo info = dummyAccess();
+    // Fill ways 0..3 in order; way 0 is then LRU.
+    for (std::uint32_t way = 0; way < 4; ++way)
+        policy.onFill(0, way, info);
+    EXPECT_EQ(policy.selectVictim(0, info), 0u);
+    // Touch way 0; way 1 becomes LRU.
+    policy.onHit(0, 0, info);
+    EXPECT_EQ(policy.selectVictim(0, info), 1u);
+    // Touch way 1 and 2; way 3 is LRU.
+    policy.onHit(0, 1, info);
+    policy.onHit(0, 2, info);
+    EXPECT_EQ(policy.selectVictim(0, info), 3u);
+}
+
+TEST(LruPolicy, StackPositionsArePermutation)
+{
+    LruPolicy policy(2, 8);
+    const AccessInfo info = dummyAccess();
+    for (std::uint32_t way = 0; way < 8; ++way)
+        policy.onFill(1, way, info);
+    policy.onHit(1, 3, info);
+    policy.onHit(1, 5, info);
+    std::vector<bool> seen(8, false);
+    for (std::uint32_t way = 0; way < 8; ++way) {
+        const std::uint32_t pos = policy.stackPosition(1, way);
+        ASSERT_LT(pos, 8u);
+        EXPECT_FALSE(seen[pos]) << "duplicate stack position " << pos;
+        seen[pos] = true;
+    }
+    EXPECT_EQ(policy.stackPosition(1, 5), 0u) << "most recent";
+}
+
+TEST(LruPolicy, SetsAreIndependent)
+{
+    LruPolicy policy(2, 2);
+    const AccessInfo info = dummyAccess();
+    policy.onFill(0, 0, info);
+    policy.onFill(0, 1, info);
+    policy.onFill(1, 1, info);
+    policy.onFill(1, 0, info);
+    EXPECT_EQ(policy.selectVictim(0, info), 0u);
+    EXPECT_EQ(policy.selectVictim(1, info), 1u);
+}
+
+TEST(LruPolicy, InvalidateDemotesToLru)
+{
+    LruPolicy policy(1, 4);
+    const AccessInfo info = dummyAccess();
+    for (std::uint32_t way = 0; way < 4; ++way)
+        policy.onFill(0, way, info);
+    policy.onInvalidate(0, 2);
+    EXPECT_EQ(policy.selectVictim(0, info), 2u);
+}
+
+TEST(LruPolicy, StorageIsThreeBitsPerEntryAt8Way)
+{
+    LruPolicy policy(128, 8);
+    EXPECT_EQ(policy.storageBits(), 128u * 8u * 3u);
+}
+
+TEST(RandomPolicy, VictimsAreInRangeAndCoverAllWays)
+{
+    RandomPolicy policy(4, 8);
+    const AccessInfo info = dummyAccess();
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 800; ++i) {
+        const std::uint32_t victim = policy.selectVictim(0, info);
+        ASSERT_LT(victim, 8u);
+        ++counts[victim];
+    }
+    for (int way = 0; way < 8; ++way)
+        EXPECT_GT(counts[way], 40) << "way " << way;
+}
+
+TEST(RandomPolicy, DeterministicAfterReset)
+{
+    RandomPolicy policy(4, 8);
+    const AccessInfo info = dummyAccess();
+    std::vector<std::uint32_t> first;
+    for (int i = 0; i < 20; ++i)
+        first.push_back(policy.selectVictim(0, info));
+    policy.reset();
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(policy.selectVictim(0, info), first[i]);
+}
+
+} // namespace
+} // namespace chirp

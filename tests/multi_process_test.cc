@@ -1,0 +1,132 @@
+/** @file Tests for interleaved multi-process simulation. */
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.hh"
+#include "sim/simulator.hh"
+#include "trace/synthetic/workload_factory.hh"
+
+namespace chirp
+{
+namespace
+{
+
+SimConfig
+fastConfig()
+{
+    SimConfig config;
+    config.simulateCaches = false;
+    config.simulateBranch = false;
+    return config;
+}
+
+std::unique_ptr<ReplacementPolicy>
+l2Policy(const SimConfig &config, PolicyKind kind = PolicyKind::Lru)
+{
+    return makePolicy(kind,
+                      config.tlbs.l2.entries / config.tlbs.l2.assoc,
+                      config.tlbs.l2.assoc);
+}
+
+std::unique_ptr<Program>
+process(std::uint64_t seed, InstCount length = 80000,
+        Category category = Category::Spec)
+{
+    WorkloadConfig config;
+    config.category = category;
+    config.seed = seed;
+    config.length = length;
+    return buildWorkload(config);
+}
+
+TEST(MultiProcess, SingleSourceMatchesPlainRun)
+{
+    const SimConfig config = fastConfig();
+    Simulator a(config, l2Policy(config));
+    Simulator b(config, l2Policy(config));
+    auto pa = process(3);
+    auto pb = process(3);
+    const SimStats plain = a.run(*pa);
+    const SimStats multi = b.runInterleaved({pb.get()}, 1000, false);
+    EXPECT_EQ(plain.cycles, multi.cycles);
+    EXPECT_EQ(plain.l2TlbMisses, multi.l2TlbMisses);
+}
+
+TEST(MultiProcess, RetiresAllInstructionsFromAllProcesses)
+{
+    const SimConfig config = fastConfig();
+    Simulator sim(config, l2Policy(config));
+    auto p1 = process(1, 50000);
+    auto p2 = process(2, 70000);
+    const SimStats stats =
+        sim.runInterleaved({p1.get(), p2.get()}, 5000, false);
+    EXPECT_EQ(stats.instructions + stats.warmupInstructions, 120000u);
+}
+
+TEST(MultiProcess, IdenticalProcessesDoNotShareTranslations)
+{
+    // Two copies of the same program under different ASIDs: each
+    // needs its own TLB entries, so misses are at least the
+    // single-process count (per measured instruction).
+    const SimConfig config = fastConfig();
+    Simulator single_sim(config, l2Policy(config));
+    auto p0 = process(9, 80000);
+    const SimStats single = single_sim.run(*p0);
+
+    Simulator multi_sim(config, l2Policy(config));
+    auto p1 = process(9, 80000);
+    auto p2 = process(9, 80000);
+    const SimStats multi =
+        multi_sim.runInterleaved({p1.get(), p2.get()}, 4000, false);
+    EXPECT_GT(multi.mpki(), single.mpki() * 0.9)
+        << "ASID tagging must prevent cross-process translation reuse";
+}
+
+TEST(MultiProcess, FlushOnSwitchCostsMisses)
+{
+    const SimConfig config = fastConfig();
+    Simulator tagged(config, l2Policy(config));
+    Simulator flushed(config, l2Policy(config));
+    auto a1 = process(5, 60000);
+    auto a2 = process(6, 60000, Category::Database);
+    auto b1 = process(5, 60000);
+    auto b2 = process(6, 60000, Category::Database);
+    const SimStats with_asids =
+        tagged.runInterleaved({a1.get(), a2.get()}, 3000, false);
+    const SimStats with_flush =
+        flushed.runInterleaved({b1.get(), b2.get()}, 3000, true);
+    EXPECT_GT(with_flush.l2TlbMisses, with_asids.l2TlbMisses)
+        << "flushing on every switch must cost refills";
+}
+
+TEST(MultiProcess, ShorterQuantumMeansMoreInterference)
+{
+    const SimConfig config = fastConfig();
+    Simulator coarse(config, l2Policy(config));
+    Simulator fine(config, l2Policy(config));
+    auto a1 = process(11, 60000);
+    auto a2 = process(12, 60000, Category::BigData);
+    auto b1 = process(11, 60000);
+    auto b2 = process(12, 60000, Category::BigData);
+    const SimStats coarse_stats =
+        coarse.runInterleaved({a1.get(), a2.get()}, 30000, true);
+    const SimStats fine_stats =
+        fine.runInterleaved({b1.get(), b2.get()}, 1000, true);
+    EXPECT_GE(fine_stats.l2TlbMisses, coarse_stats.l2TlbMisses)
+        << "more flushes cannot reduce misses";
+}
+
+TEST(MultiProcess, RejectsInvalidArguments)
+{
+    const SimConfig config = fastConfig();
+    Simulator sim(config, l2Policy(config));
+    EXPECT_EXIT(sim.runInterleaved({}, 100, false),
+                ::testing::ExitedWithCode(1), "at least one source");
+    auto p1 = process(1, 1000);
+    auto p2 = process(2, 1000);
+    EXPECT_EXIT(sim.runInterleaved({p1.get(), p2.get()}, 0, false),
+                ::testing::ExitedWithCode(1), "quantum");
+}
+
+} // namespace
+} // namespace chirp

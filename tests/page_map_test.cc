@@ -1,0 +1,159 @@
+/** @file Tests for mixed 4KB/2MB page support. */
+
+#include <gtest/gtest.h>
+
+#include "core/policy_factory.hh"
+#include "tlb/page_map.hh"
+#include "tlb/tlb_hierarchy.hh"
+#include "trace/synthetic/workload_factory.hh"
+
+namespace chirp
+{
+namespace
+{
+
+constexpr Addr kHuge = Addr{1} << kHugePageShift;
+
+TEST(PageMap, DefaultsToBasePages)
+{
+    PageMap map;
+    EXPECT_EQ(map.pageShiftFor(0x1000), kPageShift);
+    EXPECT_EQ(map.pageShiftFor(Addr{1} << 40), kPageShift);
+    EXPECT_EQ(map.hugePages(), 0u);
+}
+
+TEST(PageMap, AlignedInteriorBecomesHuge)
+{
+    PageMap map;
+    // 8MB range starting half a superpage off alignment: the head
+    // is trimmed, leaving 3 full superpages.
+    const Addr base = (Addr{16} << kHugePageShift) + kHuge / 2;
+    const std::size_t huge = map.mapHuge(base, 8 * 1024 * 1024);
+    EXPECT_EQ(huge, 3u);
+    EXPECT_EQ(map.hugePages(), 3u);
+    // Unaligned head stays 4KB.
+    EXPECT_EQ(map.pageShiftFor(base), kPageShift);
+    // Aligned interior is huge.
+    const Addr interior = (base + kHuge) & ~(kHuge - 1);
+    EXPECT_EQ(map.pageShiftFor(interior), kHugePageShift);
+    EXPECT_EQ(map.pageShiftFor(interior + kHuge - 1), kHugePageShift);
+    // Just past the end is 4KB again.
+    EXPECT_EQ(map.pageShiftFor(interior + 3 * kHuge), kPageShift);
+}
+
+TEST(PageMap, TooSmallRangesStayBase)
+{
+    PageMap map;
+    EXPECT_EQ(map.mapHuge(0x1000, 64 * 1024), 0u);
+    EXPECT_EQ(map.pageShiftFor(0x2000), kPageShift);
+}
+
+TEST(PageMap, OverlapIsFatal)
+{
+    PageMap map;
+    map.mapHuge(0, 8 * kHuge);
+    EXPECT_EXIT(map.mapHuge(2 * kHuge, 4 * kHuge),
+                ::testing::ExitedWithCode(1), "overlap");
+}
+
+TEST(MixedPages, OneEntryCoversAWholeSuperpage)
+{
+    auto hierarchy = TlbHierarchy::makeDefault(
+        makePolicy(PolicyKind::Lru, 128, 8),
+        std::make_unique<FixedLatencyWalker>(150));
+    PageMap map;
+    map.mapHuge(0, 16 * kHuge);
+    hierarchy->setPageMap(&map);
+
+    AccessInfo info;
+    info.pc = 0x400000;
+    info.cls = InstClass::Load;
+    // Touch every 4KB page of one superpage: one miss total.
+    std::uint64_t now = 0;
+    info.vaddr = 0;
+    hierarchy->translate(info, 0, now++);
+    const std::uint64_t misses_after_first =
+        hierarchy->l2().misses();
+    for (Addr off = kPageSize; off < kHuge; off += kPageSize) {
+        info.vaddr = off;
+        hierarchy->translate(info, 0, now++);
+    }
+    EXPECT_EQ(hierarchy->l2().misses(), misses_after_first)
+        << "512 base pages behind one superpage entry";
+}
+
+TEST(MixedPages, HugeAnd4kEntriesDoNotAlias)
+{
+    auto hierarchy = TlbHierarchy::makeDefault(
+        makePolicy(PolicyKind::Lru, 128, 8),
+        std::make_unique<FixedLatencyWalker>(150));
+    PageMap map;
+    map.mapHuge(0, 4 * kHuge);
+    hierarchy->setPageMap(&map);
+
+    AccessInfo info;
+    info.pc = 0x400000;
+    info.cls = InstClass::Load;
+    // A huge-backed address and a base-page address whose page
+    // numbers collide at their respective shifts must not share an
+    // entry.
+    info.vaddr = 0x0; // huge page 0
+    hierarchy->translate(info, 0, 0);
+    info.vaddr = 4 * kHuge; // base pages beyond the huge range
+    const TranslateResult base_access =
+        hierarchy->translate(info, 0, 1);
+    EXPECT_FALSE(base_access.l1Hit);
+    EXPECT_FALSE(base_access.l2Hit);
+}
+
+TEST(MixedPages, SuperpagesReduceStreamMisses)
+{
+    // A streaming workload with all of its big regions huge-backed
+    // must miss far less than the same workload on base pages.
+    WorkloadConfig workload;
+    workload.category = Category::BigData;
+    workload.seed = 17;
+    workload.length = 120000;
+
+    auto run = [&](bool use_huge) {
+        auto program = buildWorkload(workload);
+        PageMap map;
+        if (use_huge) {
+            for (const auto &alloc :
+                 program->dataLayout().allocations()) {
+                if (alloc.npages >= 512)
+                    map.mapHuge(alloc.base, alloc.npages * kPageSize);
+            }
+        }
+        auto hierarchy = TlbHierarchy::makeDefault(
+            makePolicy(PolicyKind::Lru, 128, 8),
+            std::make_unique<FixedLatencyWalker>(150));
+        hierarchy->setPageMap(&map);
+        TraceRecord rec;
+        std::uint64_t now = 0;
+        while (program->next(rec)) {
+            AccessInfo fetch;
+            fetch.pc = rec.pc;
+            fetch.vaddr = rec.pc;
+            fetch.isInstr = true;
+            hierarchy->translate(fetch, 0, now);
+            if (isMemory(rec.cls)) {
+                AccessInfo data;
+                data.pc = rec.pc;
+                data.vaddr = rec.effAddr;
+                data.cls = rec.cls;
+                hierarchy->translate(data, 0, now);
+            }
+            ++now;
+        }
+        return hierarchy->l2().misses();
+    };
+
+    const std::uint64_t base = run(false);
+    const std::uint64_t huge = run(true);
+    EXPECT_LT(huge, base / 3)
+        << "2MB backing must collapse streaming TLB misses";
+}
+
+} // namespace
+} // namespace chirp

@@ -1,0 +1,180 @@
+/** @file Tests for PredictionTable and the history registers. */
+
+#include <gtest/gtest.h>
+
+#include "core/history.hh"
+#include "core/prediction_table.hh"
+
+namespace chirp
+{
+namespace
+{
+
+TEST(PredictionTable, TrainAndRead)
+{
+    PredictionTable table(256, 2);
+    const std::uint64_t sig = 0xabcd;
+    EXPECT_EQ(table.read(sig), 0);
+    table.increment(sig);
+    table.increment(sig);
+    EXPECT_EQ(table.read(sig), 2);
+    table.decrement(sig);
+    EXPECT_EQ(table.read(sig), 1);
+}
+
+TEST(PredictionTable, CountersSaturate)
+{
+    PredictionTable table(64, 2);
+    for (int i = 0; i < 10; ++i)
+        table.increment(7);
+    EXPECT_EQ(table.read(7), table.counterMax());
+    EXPECT_EQ(table.counterMax(), 3);
+}
+
+TEST(PredictionTable, ResetZeroes)
+{
+    PredictionTable table(64, 2);
+    table.increment(1);
+    table.increment(2);
+    table.reset();
+    EXPECT_EQ(table.read(1), 0);
+    EXPECT_EQ(table.read(2), 0);
+}
+
+TEST(PredictionTable, SaltSeparatesTables)
+{
+    PredictionTable a(4096, 2, HashKind::Index, 1);
+    PredictionTable b(4096, 2, HashKind::Index, 2);
+    // The same signature should (almost always) map to different
+    // slots under different salts.
+    int different = 0;
+    for (std::uint64_t sig = 0; sig < 64; ++sig)
+        different += a.indexOf(sig) != b.indexOf(sig);
+    EXPECT_GT(different, 56);
+}
+
+TEST(PredictionTable, StorageBits)
+{
+    PredictionTable table(4096, 2);
+    EXPECT_EQ(table.storageBits(), 4096u * 2u);
+    EXPECT_EQ(table.storageBits() / 8, 1024u) << "the paper's 1KB table";
+}
+
+TEST(PredictionTable, RejectsNonPowerOfTwo)
+{
+    EXPECT_EXIT({ PredictionTable t(100, 2); },
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+TEST(WideShiftHistory, MatchesPaper64BitRegister)
+{
+    // 16 events x 4 bits = the paper's 64-bit path history register:
+    // history = (history << 4) | pcBits.
+    WideShiftHistory history(16, 4);
+    EXPECT_EQ(history.widthBits(), 64u);
+    std::uint64_t reference = 0;
+    for (std::uint64_t v = 0; v < 100; ++v) {
+        history.push(v & 0x3);
+        reference = (reference << 4) | (v & 0x3);
+        EXPECT_EQ(history.low64(), reference);
+        EXPECT_EQ(history.folded(), reference);
+    }
+}
+
+TEST(WideShiftHistory, WideRegistersRetainOldEvents)
+{
+    // 40 events x 4 bits = 160 bits across three words.
+    WideShiftHistory history(40, 4);
+    EXPECT_EQ(history.widthBits(), 160u);
+    history.push(0x3);
+    for (int i = 0; i < 38; ++i)
+        history.push(0x0);
+    // The event from 39 pushes ago is still in the register, so the
+    // fold differs from an empty register.
+    EXPECT_NE(history.folded(), 0u);
+    // One more zero push (total 39) keeps it; the 40th push after
+    // the event drops it off the top.
+    history.push(0x0);
+    EXPECT_NE(history.folded(), 0u);
+    history.push(0x0);
+    EXPECT_EQ(history.folded(), 0u);
+}
+
+TEST(WideShiftHistory, ResetClears)
+{
+    WideShiftHistory history(8, 8);
+    history.push(0xff);
+    history.reset();
+    EXPECT_EQ(history.folded(), 0u);
+}
+
+TEST(ControlFlowHistory, PathCapturesPcBits32)
+{
+    HistoryConfig config;
+    ControlFlowHistory history(config);
+    // PC bits [3:2] = 0b11 shifted in with two leading zeros.
+    history.onAccess(0xc);
+    EXPECT_EQ(history.path().low64(), 0x3u);
+    history.onAccess(0x4);
+    EXPECT_EQ(history.path().low64(), 0x31u);
+}
+
+TEST(ControlFlowHistory, ZeroInjectionWidensStride)
+{
+    HistoryConfig with;
+    with.pathZeroBits = 2;
+    HistoryConfig without;
+    without.pathZeroBits = 0;
+    ControlFlowHistory a(with);
+    ControlFlowHistory b(without);
+    a.onAccess(0xc);
+    a.onAccess(0xc);
+    b.onAccess(0xc);
+    b.onAccess(0xc);
+    EXPECT_EQ(a.path().low64(), 0x33u) << "4-bit stride";
+    EXPECT_EQ(b.path().low64(), 0xfu) << "2-bit stride";
+}
+
+TEST(ControlFlowHistory, BranchHistoriesCaptureBits114)
+{
+    HistoryConfig config;
+    ControlFlowHistory history(config);
+    const Addr pc = 0xabc0; // bits [11:4] = 0xbc
+    history.onCondBranch(pc);
+    EXPECT_EQ(history.cond().low64(), 0xbcu);
+    history.onUncondIndirectBranch(pc);
+    EXPECT_EQ(history.uncond().low64(), 0xbcu);
+    // Disabled components ignore updates.
+    HistoryConfig off;
+    off.useCondHist = false;
+    off.useUncondHist = false;
+    ControlFlowHistory disabled(off);
+    disabled.onCondBranch(pc);
+    disabled.onUncondIndirectBranch(pc);
+    EXPECT_EQ(disabled.cond().low64(), 0u);
+    EXPECT_EQ(disabled.uncond().low64(), 0u);
+}
+
+TEST(ControlFlowHistory, SignatureComposition)
+{
+    HistoryConfig config;
+    ControlFlowHistory history(config);
+    history.onAccess(0x8);        // path = 0b10
+    history.onCondBranch(0xab0);  // cond = 0xab
+    history.onUncondIndirectBranch(0xcd0); // uncond = 0xcd
+    const Addr pc = 0x401234;
+    const std::uint64_t expected =
+        (pc >> 2) ^ 0x2ull ^ 0xabull ^ 0xcdull;
+    EXPECT_EQ(history.signature(pc), expected);
+}
+
+TEST(ControlFlowHistory, StorageMatchesTableI)
+{
+    HistoryConfig config; // paper defaults
+    ControlFlowHistory history(config);
+    // Three 64-bit registers = 24 bytes (Table I lists 3 x 8B).
+    EXPECT_EQ(history.storageBits(), 3u * 64u);
+}
+
+} // namespace
+} // namespace chirp

@@ -1,0 +1,149 @@
+/** @file Unit tests for util/random.hh. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace chirp
+{
+namespace
+{
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsRemapped)
+{
+    Rng a(0);
+    EXPECT_NE(a.next(), 0u);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(11);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 1000; ++i)
+        ++seen[rng.below(8)];
+    for (int i = 0; i < 8; ++i)
+        EXPECT_GT(seen[i], 60) << "value " << i << " underrepresented";
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(13);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(19);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(23);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Zipf, HeadIsHotterThanTail)
+{
+    Rng rng(29);
+    Rng::Zipf zipf(100, 1.0);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[zipf(rng)];
+    EXPECT_GT(counts[0], counts[50] * 5);
+    EXPECT_GT(counts[0], counts[99] * 10);
+}
+
+TEST(Zipf, AllRanksReachable)
+{
+    Rng rng(31);
+    Rng::Zipf zipf(8, 0.5);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 5000; ++i)
+        ++counts[zipf(rng)];
+    for (int i = 0; i < 8; ++i)
+        EXPECT_GT(counts[i], 0) << "rank " << i;
+}
+
+TEST(Shuffle, IsAPermutation)
+{
+    Rng rng(37);
+    std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = values;
+    rng.shuffle(values);
+    std::sort(values.begin(), values.end());
+    EXPECT_EQ(values, sorted);
+}
+
+TEST(Shuffle, ChangesOrderForLongVectors)
+{
+    Rng rng(41);
+    std::vector<int> values(100);
+    std::iota(values.begin(), values.end(), 0);
+    auto original = values;
+    rng.shuffle(values);
+    EXPECT_NE(values, original);
+}
+
+} // namespace
+} // namespace chirp

@@ -1,0 +1,76 @@
+/** @file Unit tests for util/sat_counter.hh. */
+
+#include <gtest/gtest.h>
+
+#include "util/sat_counter.hh"
+
+namespace chirp
+{
+namespace
+{
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2);
+    EXPECT_EQ(c.max(), 3);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3);
+    EXPECT_TRUE(c.saturatedHigh());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_FALSE(c.saturatedHigh());
+}
+
+TEST(SatCounter, IncrementDecrementSymmetry)
+{
+    SatCounter c(3);
+    c.increment();
+    c.increment();
+    c.decrement();
+    EXPECT_EQ(c.value(), 1);
+}
+
+TEST(SatCounter, InitialValueClamped)
+{
+    SatCounter c(2, 100);
+    EXPECT_EQ(c.value(), 3);
+}
+
+TEST(SatCounter, SetClamps)
+{
+    SatCounter c(2);
+    c.set(2);
+    EXPECT_EQ(c.value(), 2);
+    c.set(99);
+    EXPECT_EQ(c.value(), 3);
+}
+
+class SatCounterWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidth, MaxMatchesWidth)
+{
+    const unsigned bits = GetParam();
+    SatCounter c(bits);
+    EXPECT_EQ(c.max(), (1u << bits) - 1);
+    for (unsigned i = 0; i < (1u << bits) + 5; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), c.max());
+    for (unsigned i = 0; i < (1u << bits) + 5; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 12u));
+
+} // namespace
+} // namespace chirp

@@ -1,0 +1,83 @@
+/** @file Tests for the generic set-associative array. */
+
+#include <gtest/gtest.h>
+
+#include "mem/set_assoc.hh"
+
+namespace chirp
+{
+namespace
+{
+
+struct Payload
+{
+    int value = 0;
+};
+
+TEST(SetAssocArray, GeometryAndIndexing)
+{
+    SetAssocArray<Payload> array(16, 4);
+    EXPECT_EQ(array.numSets(), 16u);
+    EXPECT_EQ(array.assoc(), 4u);
+    EXPECT_EQ(array.setIndex(0x12345), 0x12345u & 0xf);
+    EXPECT_EQ(array.tagOf(0x12345), 0x12345ull >> 4);
+}
+
+TEST(SetAssocArray, FindAfterInstall)
+{
+    SetAssocArray<Payload> array(8, 2);
+    const Addr key = 0x77;
+    const std::uint32_t set = array.setIndex(key);
+    EXPECT_EQ(array.findWay(set, array.tagOf(key)), -1);
+    const int way = array.invalidWay(set);
+    ASSERT_GE(way, 0);
+    auto &slot = array.at(set, way);
+    slot.valid = true;
+    slot.tag = array.tagOf(key);
+    slot.data.value = 42;
+    EXPECT_EQ(array.findWay(set, array.tagOf(key)), way);
+    EXPECT_EQ(array.at(set, way).data.value, 42);
+}
+
+TEST(SetAssocArray, InvalidWayExhaustion)
+{
+    SetAssocArray<Payload> array(4, 2);
+    const std::uint32_t set = 1;
+    EXPECT_EQ(array.invalidWay(set), 0);
+    array.at(set, 0).valid = true;
+    EXPECT_EQ(array.invalidWay(set), 1);
+    array.at(set, 1).valid = true;
+    EXPECT_EQ(array.invalidWay(set), -1);
+}
+
+TEST(SetAssocArray, DistinctTagsDistinctSlots)
+{
+    SetAssocArray<Payload> array(4, 4);
+    // Keys mapping to the same set must be distinguished by tag.
+    const Addr a = 0x10; // set 0
+    const Addr b = 0x20; // set 0
+    EXPECT_EQ(array.setIndex(a), array.setIndex(b));
+    EXPECT_NE(array.tagOf(a), array.tagOf(b));
+}
+
+TEST(SetAssocArray, InvalidateAllAndValidCount)
+{
+    SetAssocArray<Payload> array(4, 2);
+    array.at(0, 0).valid = true;
+    array.at(3, 1).valid = true;
+    EXPECT_EQ(array.validCount(), 2u);
+    array.invalidateAll();
+    EXPECT_EQ(array.validCount(), 0u);
+}
+
+TEST(SetAssocArray, RejectsBadGeometry)
+{
+    using Array = SetAssocArray<Payload>;
+    EXPECT_EXIT({ Array a(3, 2); }, ::testing::ExitedWithCode(1),
+                "power of two");
+    EXPECT_EXIT({ Array a(0, 2); }, ::testing::ExitedWithCode(1),
+                "nonzero");
+}
+
+} // namespace
+} // namespace chirp

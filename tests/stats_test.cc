@@ -1,0 +1,123 @@
+/** @file Unit tests for util/stats.hh. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace chirp
+{
+namespace
+{
+
+TEST(RunningStat, MeanAndVariance)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.push(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Unbiased sample variance of the classic example set.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeEqualsCombinedStream)
+{
+    RunningStat a;
+    RunningStat b;
+    RunningStat all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 0.1 * i;
+        (i % 2 ? a : b).push(x);
+        all.push(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a;
+    a.push(1.0);
+    RunningStat empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    RunningStat target;
+    target.merge(a);
+    EXPECT_EQ(target.count(), 1u);
+    EXPECT_DOUBLE_EQ(target.mean(), 1.0);
+}
+
+TEST(Histogram, BinsAndClamping)
+{
+    Histogram h(0.0, 1.0, 10);
+    h.push(0.05);  // bin 0
+    h.push(0.55);  // bin 5
+    h.push(-3.0);  // clamped to bin 0
+    h.push(7.0);   // clamped to bin 9
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_DOUBLE_EQ(h.density(0), 0.5);
+    EXPECT_NEAR(h.binCenter(0), 0.05, 1e-12);
+    EXPECT_NEAR(h.binCenter(9), 0.95, 1e-12);
+}
+
+TEST(Mean, Basics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(GeomeanSpeedup, PercentImprovement)
+{
+    // Two workloads at +10% and -10%: geomean is ~ -0.5%.
+    const double pct =
+        geomeanSpeedupPct({1.1, 0.9}, {1.0, 1.0});
+    EXPECT_NEAR(pct, (std::sqrt(1.1 * 0.9) - 1.0) * 100.0, 1e-9);
+    EXPECT_NEAR(geomeanSpeedupPct({1.0}, {1.0}), 0.0, 1e-12);
+}
+
+TEST(Percentile, InterpolatesLinearly)
+{
+    const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(PctReduction, Signs)
+{
+    EXPECT_DOUBLE_EQ(pctReduction(2.0, 1.0), 50.0);
+    EXPECT_DOUBLE_EQ(pctReduction(1.0, 2.0), -100.0);
+    EXPECT_DOUBLE_EQ(pctReduction(0.0, 1.0), 0.0);
+}
+
+} // namespace
+} // namespace chirp

@@ -1,0 +1,73 @@
+/** @file Unit tests for the table formatter and CSV writer. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/table.hh"
+
+namespace chirp
+{
+namespace
+{
+
+TEST(TableFormatter, AlignsColumns)
+{
+    TableFormatter t;
+    t.header({"name", "value"});
+    t.row({"x", "1"});
+    t.row({"longer", "22"});
+    const std::string out = t.str();
+    // Header, separator, two rows.
+    std::vector<std::string> lines;
+    std::stringstream ss(out);
+    for (std::string line; std::getline(ss, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[0].substr(0, 4), "name");
+    EXPECT_EQ(lines[1].find_first_not_of('-'), std::string::npos);
+    // The second column starts at the same offset on every line:
+    // "name" is padded to the width of "longer" plus two spaces.
+    EXPECT_EQ(lines[0].find("value"), lines[2].find("1"));
+    EXPECT_EQ(lines[0].find("value"), lines[3].find("22"));
+}
+
+TEST(TableFormatter, RaggedRowsArePadded)
+{
+    TableFormatter t;
+    t.header({"a", "b", "c"});
+    t.row({"only-one"});
+    EXPECT_NO_THROW({ const auto s = t.str(); });
+}
+
+TEST(TableFormatter, NumFormatting)
+{
+    EXPECT_EQ(TableFormatter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TableFormatter::num(3.14159, 0), "3");
+    EXPECT_EQ(TableFormatter::num(std::uint64_t{12345}), "12345");
+}
+
+TEST(CsvWriter, EscapesSpecials)
+{
+    const std::string path = ::testing::TempDir() + "csv_test.csv";
+    {
+        CsvWriter csv(path);
+        csv.row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+        csv.row({"second", "row"});
+    }
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+    EXPECT_NE(content.find("plain"), std::string::npos);
+    EXPECT_NE(content.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(content.find("\"with\"\"quote\""), std::string::npos);
+    EXPECT_NE(content.find("second,row\n"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace chirp

@@ -1,0 +1,166 @@
+/** @file Tests for the binary trace file format. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/trace_file.hh"
+
+namespace chirp
+{
+namespace
+{
+
+std::vector<TraceRecord>
+sampleRecords()
+{
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 100; ++i) {
+        TraceRecord rec;
+        rec.pc = 0x400000 + 4 * i;
+        rec.cls = static_cast<InstClass>(i % 8);
+        rec.effAddr = isMemory(rec.cls) ? 0x100000000ull + 8 * i : 0;
+        rec.target = isBranch(rec.cls) ? rec.pc + 64 : 0;
+        rec.taken = (i % 3) == 0;
+        records.push_back(rec);
+    }
+    return records;
+}
+
+TEST(TraceFile, RoundTripsRecords)
+{
+    const std::string path = ::testing::TempDir() + "roundtrip.chtr";
+    const auto records = sampleRecords();
+    {
+        TraceFileWriter writer(path);
+        for (const auto &rec : records)
+            writer.append(rec);
+        writer.close();
+        EXPECT_EQ(writer.count(), records.size());
+    }
+
+    TraceFileSource source(path);
+    EXPECT_EQ(source.count(), records.size());
+    EXPECT_EQ(source.expectedLength(), records.size());
+    TraceRecord rec;
+    std::size_t i = 0;
+    while (source.next(rec)) {
+        ASSERT_LT(i, records.size());
+        EXPECT_EQ(rec, records[i]) << "record " << i;
+        ++i;
+    }
+    EXPECT_EQ(i, records.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ResetReplaysIdentically)
+{
+    const std::string path = ::testing::TempDir() + "reset.chtr";
+    {
+        TraceFileWriter writer(path);
+        for (const auto &rec : sampleRecords())
+            writer.append(rec);
+    } // destructor closes
+
+    TraceFileSource source(path);
+    std::vector<TraceRecord> first;
+    std::vector<TraceRecord> second;
+    TraceRecord rec;
+    while (source.next(rec))
+        first.push_back(rec);
+    source.reset();
+    while (source.next(rec))
+        second.push_back(rec);
+    EXPECT_EQ(first, second);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, EmptyTraceIsValid)
+{
+    const std::string path = ::testing::TempDir() + "empty.chtr";
+    {
+        TraceFileWriter writer(path);
+    }
+    TraceFileSource source(path);
+    TraceRecord rec;
+    EXPECT_FALSE(source.next(rec));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ChecksumDetectsCorruption)
+{
+    const std::string path = ::testing::TempDir() + "corrupt.chtr";
+    {
+        TraceFileWriter writer(path);
+        for (const auto &rec : sampleRecords())
+            writer.append(rec);
+    }
+    // Flip a byte in the middle of the record payload.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 16 + 26 * 10 + 3, SEEK_SET);
+        const int c = std::fgetc(f);
+        std::fseek(f, -1, SEEK_CUR);
+        std::fputc(c ^ 0xff, f);
+        std::fclose(f);
+    }
+    TraceFileSource source(path);
+    TraceRecord rec;
+    // Reading records succeeds; checksum validation at the end is
+    // what catches the corruption (fatal -> process exit).
+    EXPECT_EXIT(
+        {
+            while (source.next(rec)) {
+            }
+        },
+        ::testing::ExitedWithCode(1), "checksum");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsGarbageFiles)
+{
+    const std::string path = ::testing::TempDir() + "garbage.chtr";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        std::fputs("this is not a trace", f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT({ TraceFileSource source(path); },
+                ::testing::ExitedWithCode(1), "not a chirp trace");
+    std::remove(path.c_str());
+}
+
+TEST(InstClassHelpers, Classification)
+{
+    EXPECT_TRUE(isBranch(InstClass::CondBranch));
+    EXPECT_TRUE(isBranch(InstClass::UncondDirect));
+    EXPECT_TRUE(isBranch(InstClass::UncondIndirect));
+    EXPECT_FALSE(isBranch(InstClass::Load));
+    EXPECT_TRUE(isMemory(InstClass::Load));
+    EXPECT_TRUE(isMemory(InstClass::Store));
+    EXPECT_FALSE(isMemory(InstClass::Alu));
+    EXPECT_STREQ(instClassName(InstClass::Load), "load");
+    EXPECT_STREQ(instClassName(InstClass::UncondIndirect),
+                 "uncondIndirect");
+}
+
+TEST(VectorSource, CapAndLength)
+{
+    VectorSource inner(sampleRecords());
+    CappedSource capped(inner, 10);
+    EXPECT_EQ(capped.expectedLength(), 10u);
+    TraceRecord rec;
+    int n = 0;
+    while (capped.next(rec))
+        ++n;
+    EXPECT_EQ(n, 10);
+    capped.reset();
+    n = 0;
+    while (capped.next(rec))
+        ++n;
+    EXPECT_EQ(n, 10);
+}
+
+} // namespace
+} // namespace chirp
