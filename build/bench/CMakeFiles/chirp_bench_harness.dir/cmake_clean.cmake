@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/chirp_bench_harness.dir/harness.cc.o.d"
+  "libchirp_bench_harness.a"
+  "libchirp_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

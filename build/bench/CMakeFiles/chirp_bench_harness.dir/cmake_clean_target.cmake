@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchirp_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_param_sweep.dir/chirp_param_sweep.cpp.o"
+  "CMakeFiles/chirp_param_sweep.dir/chirp_param_sweep.cpp.o.d"
+  "chirp_param_sweep"
+  "chirp_param_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_param_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

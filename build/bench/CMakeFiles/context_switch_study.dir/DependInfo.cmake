@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/context_switch_study.cpp" "bench/CMakeFiles/context_switch_study.dir/context_switch_study.cpp.o" "gcc" "bench/CMakeFiles/context_switch_study.dir/context_switch_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/chirp_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chirp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/chirp_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/chirp_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/chirp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/chirp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chirp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chirp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_switch_study.dir/context_switch_study.cpp.o"
+  "CMakeFiles/context_switch_study.dir/context_switch_study.cpp.o.d"
+  "context_switch_study"
+  "context_switch_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_switch_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

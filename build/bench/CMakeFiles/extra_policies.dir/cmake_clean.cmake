@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_policies.dir/extra_policies.cpp.o"
+  "CMakeFiles/extra_policies.dir/extra_policies.cpp.o.d"
+  "extra_policies"
+  "extra_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_tlb_efficiency.dir/fig01_tlb_efficiency.cpp.o"
+  "CMakeFiles/fig01_tlb_efficiency.dir/fig01_tlb_efficiency.cpp.o.d"
+  "fig01_tlb_efficiency"
+  "fig01_tlb_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_tlb_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_history_length.dir/fig02_history_length.cpp.o"
+  "CMakeFiles/fig02_history_length.dir/fig02_history_length.cpp.o.d"
+  "fig02_history_length"
+  "fig02_history_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_history_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_adaline_weights.dir/fig03_adaline_weights.cpp.o"
+  "CMakeFiles/fig03_adaline_weights.dir/fig03_adaline_weights.cpp.o.d"
+  "fig03_adaline_weights"
+  "fig03_adaline_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_adaline_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

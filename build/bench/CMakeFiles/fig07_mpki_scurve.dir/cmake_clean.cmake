@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_mpki_scurve.dir/fig07_mpki_scurve.cpp.o"
+  "CMakeFiles/fig07_mpki_scurve.dir/fig07_mpki_scurve.cpp.o.d"
+  "fig07_mpki_scurve"
+  "fig07_mpki_scurve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_mpki_scurve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_policy_overhead.cpp" "bench/CMakeFiles/micro_policy_overhead.dir/micro_policy_overhead.cpp.o" "gcc" "bench/CMakeFiles/micro_policy_overhead.dir/micro_policy_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tlb/CMakeFiles/chirp_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/chirp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chirp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/chirp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chirp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

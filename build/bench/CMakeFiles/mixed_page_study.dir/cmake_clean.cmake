@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_page_study.dir/mixed_page_study.cpp.o"
+  "CMakeFiles/mixed_page_study.dir/mixed_page_study.cpp.o.d"
+  "mixed_page_study"
+  "mixed_page_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_page_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_bound.dir/opt_bound.cpp.o"
+  "CMakeFiles/opt_bound.dir/opt_bound.cpp.o.d"
+  "opt_bound"
+  "opt_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_branch.dir/branch_unit.cc.o"
+  "CMakeFiles/chirp_branch.dir/branch_unit.cc.o.d"
+  "CMakeFiles/chirp_branch.dir/btb.cc.o"
+  "CMakeFiles/chirp_branch.dir/btb.cc.o.d"
+  "CMakeFiles/chirp_branch.dir/perceptron.cc.o"
+  "CMakeFiles/chirp_branch.dir/perceptron.cc.o.d"
+  "libchirp_branch.a"
+  "libchirp_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

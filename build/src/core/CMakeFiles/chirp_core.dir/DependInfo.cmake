@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chirp.cc" "src/core/CMakeFiles/chirp_core.dir/chirp.cc.o" "gcc" "src/core/CMakeFiles/chirp_core.dir/chirp.cc.o.d"
+  "/root/repo/src/core/drrip.cc" "src/core/CMakeFiles/chirp_core.dir/drrip.cc.o" "gcc" "src/core/CMakeFiles/chirp_core.dir/drrip.cc.o.d"
+  "/root/repo/src/core/ghrp.cc" "src/core/CMakeFiles/chirp_core.dir/ghrp.cc.o" "gcc" "src/core/CMakeFiles/chirp_core.dir/ghrp.cc.o.d"
+  "/root/repo/src/core/history.cc" "src/core/CMakeFiles/chirp_core.dir/history.cc.o" "gcc" "src/core/CMakeFiles/chirp_core.dir/history.cc.o.d"
+  "/root/repo/src/core/lru.cc" "src/core/CMakeFiles/chirp_core.dir/lru.cc.o" "gcc" "src/core/CMakeFiles/chirp_core.dir/lru.cc.o.d"
+  "/root/repo/src/core/plru.cc" "src/core/CMakeFiles/chirp_core.dir/plru.cc.o" "gcc" "src/core/CMakeFiles/chirp_core.dir/plru.cc.o.d"
+  "/root/repo/src/core/policy_factory.cc" "src/core/CMakeFiles/chirp_core.dir/policy_factory.cc.o" "gcc" "src/core/CMakeFiles/chirp_core.dir/policy_factory.cc.o.d"
+  "/root/repo/src/core/prediction_table.cc" "src/core/CMakeFiles/chirp_core.dir/prediction_table.cc.o" "gcc" "src/core/CMakeFiles/chirp_core.dir/prediction_table.cc.o.d"
+  "/root/repo/src/core/random_repl.cc" "src/core/CMakeFiles/chirp_core.dir/random_repl.cc.o" "gcc" "src/core/CMakeFiles/chirp_core.dir/random_repl.cc.o.d"
+  "/root/repo/src/core/replacement_policy.cc" "src/core/CMakeFiles/chirp_core.dir/replacement_policy.cc.o" "gcc" "src/core/CMakeFiles/chirp_core.dir/replacement_policy.cc.o.d"
+  "/root/repo/src/core/ship.cc" "src/core/CMakeFiles/chirp_core.dir/ship.cc.o" "gcc" "src/core/CMakeFiles/chirp_core.dir/ship.cc.o.d"
+  "/root/repo/src/core/srrip.cc" "src/core/CMakeFiles/chirp_core.dir/srrip.cc.o" "gcc" "src/core/CMakeFiles/chirp_core.dir/srrip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chirp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chirp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

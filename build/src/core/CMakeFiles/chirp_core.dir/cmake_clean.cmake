@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_core.dir/chirp.cc.o"
+  "CMakeFiles/chirp_core.dir/chirp.cc.o.d"
+  "CMakeFiles/chirp_core.dir/drrip.cc.o"
+  "CMakeFiles/chirp_core.dir/drrip.cc.o.d"
+  "CMakeFiles/chirp_core.dir/ghrp.cc.o"
+  "CMakeFiles/chirp_core.dir/ghrp.cc.o.d"
+  "CMakeFiles/chirp_core.dir/history.cc.o"
+  "CMakeFiles/chirp_core.dir/history.cc.o.d"
+  "CMakeFiles/chirp_core.dir/lru.cc.o"
+  "CMakeFiles/chirp_core.dir/lru.cc.o.d"
+  "CMakeFiles/chirp_core.dir/plru.cc.o"
+  "CMakeFiles/chirp_core.dir/plru.cc.o.d"
+  "CMakeFiles/chirp_core.dir/policy_factory.cc.o"
+  "CMakeFiles/chirp_core.dir/policy_factory.cc.o.d"
+  "CMakeFiles/chirp_core.dir/prediction_table.cc.o"
+  "CMakeFiles/chirp_core.dir/prediction_table.cc.o.d"
+  "CMakeFiles/chirp_core.dir/random_repl.cc.o"
+  "CMakeFiles/chirp_core.dir/random_repl.cc.o.d"
+  "CMakeFiles/chirp_core.dir/replacement_policy.cc.o"
+  "CMakeFiles/chirp_core.dir/replacement_policy.cc.o.d"
+  "CMakeFiles/chirp_core.dir/ship.cc.o"
+  "CMakeFiles/chirp_core.dir/ship.cc.o.d"
+  "CMakeFiles/chirp_core.dir/srrip.cc.o"
+  "CMakeFiles/chirp_core.dir/srrip.cc.o.d"
+  "libchirp_core.a"
+  "libchirp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

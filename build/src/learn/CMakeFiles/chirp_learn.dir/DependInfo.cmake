@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learn/adaline.cc" "src/learn/CMakeFiles/chirp_learn.dir/adaline.cc.o" "gcc" "src/learn/CMakeFiles/chirp_learn.dir/adaline.cc.o.d"
+  "/root/repo/src/learn/reuse_dataset.cc" "src/learn/CMakeFiles/chirp_learn.dir/reuse_dataset.cc.o" "gcc" "src/learn/CMakeFiles/chirp_learn.dir/reuse_dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chirp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chirp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_learn.dir/adaline.cc.o"
+  "CMakeFiles/chirp_learn.dir/adaline.cc.o.d"
+  "CMakeFiles/chirp_learn.dir/reuse_dataset.cc.o"
+  "CMakeFiles/chirp_learn.dir/reuse_dataset.cc.o.d"
+  "libchirp_learn.a"
+  "libchirp_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_mem.dir/cache.cc.o"
+  "CMakeFiles/chirp_mem.dir/cache.cc.o.d"
+  "CMakeFiles/chirp_mem.dir/cache_hierarchy.cc.o"
+  "CMakeFiles/chirp_mem.dir/cache_hierarchy.cc.o.d"
+  "libchirp_mem.a"
+  "libchirp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_sim.dir/opt_bound.cc.o"
+  "CMakeFiles/chirp_sim.dir/opt_bound.cc.o.d"
+  "CMakeFiles/chirp_sim.dir/runner.cc.o"
+  "CMakeFiles/chirp_sim.dir/runner.cc.o.d"
+  "CMakeFiles/chirp_sim.dir/simulator.cc.o"
+  "CMakeFiles/chirp_sim.dir/simulator.cc.o.d"
+  "libchirp_sim.a"
+  "libchirp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

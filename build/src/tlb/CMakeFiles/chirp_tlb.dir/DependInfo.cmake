@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlb/page_map.cc" "src/tlb/CMakeFiles/chirp_tlb.dir/page_map.cc.o" "gcc" "src/tlb/CMakeFiles/chirp_tlb.dir/page_map.cc.o.d"
+  "/root/repo/src/tlb/page_walker.cc" "src/tlb/CMakeFiles/chirp_tlb.dir/page_walker.cc.o" "gcc" "src/tlb/CMakeFiles/chirp_tlb.dir/page_walker.cc.o.d"
+  "/root/repo/src/tlb/tlb.cc" "src/tlb/CMakeFiles/chirp_tlb.dir/tlb.cc.o" "gcc" "src/tlb/CMakeFiles/chirp_tlb.dir/tlb.cc.o.d"
+  "/root/repo/src/tlb/tlb_hierarchy.cc" "src/tlb/CMakeFiles/chirp_tlb.dir/tlb_hierarchy.cc.o" "gcc" "src/tlb/CMakeFiles/chirp_tlb.dir/tlb_hierarchy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chirp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/chirp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/chirp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chirp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

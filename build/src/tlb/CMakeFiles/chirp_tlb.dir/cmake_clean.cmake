@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_tlb.dir/page_map.cc.o"
+  "CMakeFiles/chirp_tlb.dir/page_map.cc.o.d"
+  "CMakeFiles/chirp_tlb.dir/page_walker.cc.o"
+  "CMakeFiles/chirp_tlb.dir/page_walker.cc.o.d"
+  "CMakeFiles/chirp_tlb.dir/tlb.cc.o"
+  "CMakeFiles/chirp_tlb.dir/tlb.cc.o.d"
+  "CMakeFiles/chirp_tlb.dir/tlb_hierarchy.cc.o"
+  "CMakeFiles/chirp_tlb.dir/tlb_hierarchy.cc.o.d"
+  "libchirp_tlb.a"
+  "libchirp_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

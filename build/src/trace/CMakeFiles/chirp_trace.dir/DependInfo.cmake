@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/synthetic/code_layout.cc" "src/trace/CMakeFiles/chirp_trace.dir/synthetic/code_layout.cc.o" "gcc" "src/trace/CMakeFiles/chirp_trace.dir/synthetic/code_layout.cc.o.d"
+  "/root/repo/src/trace/synthetic/patterns.cc" "src/trace/CMakeFiles/chirp_trace.dir/synthetic/patterns.cc.o" "gcc" "src/trace/CMakeFiles/chirp_trace.dir/synthetic/patterns.cc.o.d"
+  "/root/repo/src/trace/synthetic/program.cc" "src/trace/CMakeFiles/chirp_trace.dir/synthetic/program.cc.o" "gcc" "src/trace/CMakeFiles/chirp_trace.dir/synthetic/program.cc.o.d"
+  "/root/repo/src/trace/synthetic/workload_factory.cc" "src/trace/CMakeFiles/chirp_trace.dir/synthetic/workload_factory.cc.o" "gcc" "src/trace/CMakeFiles/chirp_trace.dir/synthetic/workload_factory.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/trace/CMakeFiles/chirp_trace.dir/trace_file.cc.o" "gcc" "src/trace/CMakeFiles/chirp_trace.dir/trace_file.cc.o.d"
+  "/root/repo/src/trace/workload_suite.cc" "src/trace/CMakeFiles/chirp_trace.dir/workload_suite.cc.o" "gcc" "src/trace/CMakeFiles/chirp_trace.dir/workload_suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/chirp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_trace.dir/synthetic/code_layout.cc.o"
+  "CMakeFiles/chirp_trace.dir/synthetic/code_layout.cc.o.d"
+  "CMakeFiles/chirp_trace.dir/synthetic/patterns.cc.o"
+  "CMakeFiles/chirp_trace.dir/synthetic/patterns.cc.o.d"
+  "CMakeFiles/chirp_trace.dir/synthetic/program.cc.o"
+  "CMakeFiles/chirp_trace.dir/synthetic/program.cc.o.d"
+  "CMakeFiles/chirp_trace.dir/synthetic/workload_factory.cc.o"
+  "CMakeFiles/chirp_trace.dir/synthetic/workload_factory.cc.o.d"
+  "CMakeFiles/chirp_trace.dir/trace_file.cc.o"
+  "CMakeFiles/chirp_trace.dir/trace_file.cc.o.d"
+  "CMakeFiles/chirp_trace.dir/workload_suite.cc.o"
+  "CMakeFiles/chirp_trace.dir/workload_suite.cc.o.d"
+  "libchirp_trace.a"
+  "libchirp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_util.dir/csv.cc.o"
+  "CMakeFiles/chirp_util.dir/csv.cc.o.d"
+  "CMakeFiles/chirp_util.dir/hashing.cc.o"
+  "CMakeFiles/chirp_util.dir/hashing.cc.o.d"
+  "CMakeFiles/chirp_util.dir/logging.cc.o"
+  "CMakeFiles/chirp_util.dir/logging.cc.o.d"
+  "CMakeFiles/chirp_util.dir/random.cc.o"
+  "CMakeFiles/chirp_util.dir/random.cc.o.d"
+  "CMakeFiles/chirp_util.dir/stats.cc.o"
+  "CMakeFiles/chirp_util.dir/stats.cc.o.d"
+  "CMakeFiles/chirp_util.dir/table.cc.o"
+  "CMakeFiles/chirp_util.dir/table.cc.o.d"
+  "libchirp_util.a"
+  "libchirp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaline_test.dir/adaline_test.cc.o"
+  "CMakeFiles/adaline_test.dir/adaline_test.cc.o.d"
+  "adaline_test"
+  "adaline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

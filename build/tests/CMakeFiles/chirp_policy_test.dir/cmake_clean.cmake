@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_policy_test.dir/chirp_policy_test.cc.o"
+  "CMakeFiles/chirp_policy_test.dir/chirp_policy_test.cc.o.d"
+  "chirp_policy_test"
+  "chirp_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

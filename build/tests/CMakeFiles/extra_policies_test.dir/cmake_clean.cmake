@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_policies_test.dir/extra_policies_test.cc.o"
+  "CMakeFiles/extra_policies_test.dir/extra_policies_test.cc.o.d"
+  "extra_policies_test"
+  "extra_policies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

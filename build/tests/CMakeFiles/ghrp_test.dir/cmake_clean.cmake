@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghrp_test.dir/ghrp_test.cc.o"
+  "CMakeFiles/ghrp_test.dir/ghrp_test.cc.o.d"
+  "ghrp_test"
+  "ghrp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghrp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

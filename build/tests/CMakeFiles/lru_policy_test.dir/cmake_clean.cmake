@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lru_policy_test.dir/lru_policy_test.cc.o"
+  "CMakeFiles/lru_policy_test.dir/lru_policy_test.cc.o.d"
+  "lru_policy_test"
+  "lru_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lru_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

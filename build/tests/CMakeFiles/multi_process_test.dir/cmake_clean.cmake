@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_process_test.dir/multi_process_test.cc.o"
+  "CMakeFiles/multi_process_test.dir/multi_process_test.cc.o.d"
+  "multi_process_test"
+  "multi_process_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_map_test.dir/page_map_test.cc.o"
+  "CMakeFiles/page_map_test.dir/page_map_test.cc.o.d"
+  "page_map_test"
+  "page_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

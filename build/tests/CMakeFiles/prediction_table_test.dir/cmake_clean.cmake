@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prediction_table_test.dir/prediction_table_test.cc.o"
+  "CMakeFiles/prediction_table_test.dir/prediction_table_test.cc.o.d"
+  "prediction_table_test"
+  "prediction_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prediction_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

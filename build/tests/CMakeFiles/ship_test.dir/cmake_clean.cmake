@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ship_test.dir/ship_test.cc.o"
+  "CMakeFiles/ship_test.dir/ship_test.cc.o.d"
+  "ship_test"
+  "ship_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ship_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srrip_test.dir/srrip_test.cc.o"
+  "CMakeFiles/srrip_test.dir/srrip_test.cc.o.d"
+  "srrip_test"
+  "srrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp-sim.dir/chirp_sim_cli.cpp.o"
+  "CMakeFiles/chirp-sim.dir/chirp_sim_cli.cpp.o.d"
+  "chirp-sim"
+  "chirp-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_synthetic "/root/repo/build/tools/chirp-sim" "--workload" "crypto:1" "--length" "20000" "--no-caches" "--no-branch")
+set_tests_properties(cli_synthetic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_policy_and_penalty "/root/repo/build/tools/chirp-sim" "--workload" "db:3" "--policy" "srrip" "--penalty" "240" "--length" "20000" "--no-caches")
+set_tests_properties(cli_policy_and_penalty PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_multiprocess "/root/repo/build/tools/chirp-sim" "--workload" "spec:1" "--workload" "web:2" "--quantum" "4000" "--flush-on-switch" "--length" "20000" "--no-caches" "--no-branch")
+set_tests_properties(cli_multiprocess PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_extra_policy "/root/repo/build/tools/chirp-sim" "--workload" "sci:4" "--policy" "drrip" "--length" "20000" "--no-caches" "--no-branch")
+set_tests_properties(cli_extra_policy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_policy "/root/repo/build/tools/chirp-sim" "--policy" "nonsense" "--length" "20000")
+set_tests_properties(cli_rejects_unknown_policy PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
