@@ -62,9 +62,9 @@ evaluate(const BenchContext &ctx, const std::vector<WorkloadResult> &lru,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx = makeContext(18, /*mpki_only=*/true);
+    BenchContext ctx = makeContext(argc, argv, 18, /*mpki_only=*/true);
     printBanner("CHiRP design-knob sweep (one axis at a time)", ctx);
 
     const Runner runner = ctx.runner();

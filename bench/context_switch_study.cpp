@@ -52,9 +52,9 @@ runPairs(const BenchContext &ctx, PolicyKind kind, InstCount quantum,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx = makeContext(24, /*mpki_only=*/true);
+    BenchContext ctx = makeContext(argc, argv, 24, /*mpki_only=*/true);
     printBanner("Extension study: context switches (ASID vs flush)",
                 ctx);
 

@@ -17,9 +17,9 @@ using namespace chirp;
 using namespace chirp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx = makeContext(48, /*mpki_only=*/true);
+    BenchContext ctx = makeContext(argc, argv, 48, /*mpki_only=*/true);
     printBanner("Extension study: DRRIP and tree-PLRU vs the paper's "
                 "policies", ctx);
 

@@ -18,9 +18,9 @@ using namespace chirp;
 using namespace chirp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx = makeContext(60, /*mpki_only=*/true);
+    BenchContext ctx = makeContext(argc, argv, 60, /*mpki_only=*/true);
     printBanner("Fig 1: L2 TLB efficiency (live-time fraction) heat map",
                 ctx);
 

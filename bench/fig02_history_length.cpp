@@ -16,9 +16,9 @@ using namespace chirp;
 using namespace chirp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx = makeContext(18, /*mpki_only=*/false);
+    BenchContext ctx = makeContext(argc, argv, 18, /*mpki_only=*/false);
     printBanner("Fig 2: speedup vs global path-history length", ctx);
 
     const Runner runner = ctx.runner();

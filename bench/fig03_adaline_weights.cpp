@@ -25,9 +25,9 @@ constexpr std::size_t kPcBits = 20;
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx = makeContext(24, /*mpki_only=*/true);
+    BenchContext ctx = makeContext(argc, argv, 24, /*mpki_only=*/true);
     printBanner("Fig 3: ADALINE weight per PC bit (reuse prediction)",
                 ctx);
 

@@ -55,9 +55,9 @@ shipVariant(bool unlimited, double subset, HitUpdateMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx = makeContext(48, /*mpki_only=*/true);
+    BenchContext ctx = makeContext(argc, argv, 48, /*mpki_only=*/true);
     printBanner("Fig 6: feature/optimization ablation (MPKI reduction % "
                 "over LRU)", ctx);
 

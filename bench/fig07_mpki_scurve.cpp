@@ -19,9 +19,9 @@ using namespace chirp;
 using namespace chirp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx = makeContext(96, /*mpki_only=*/true);
+    BenchContext ctx = makeContext(argc, argv, 96, /*mpki_only=*/true);
     printBanner("Fig 7: per-policy MPKI S-curve and averages", ctx);
 
     const auto results = runAllPolicies(ctx);

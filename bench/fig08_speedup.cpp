@@ -17,9 +17,9 @@ using namespace chirp;
 using namespace chirp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx = makeContext(48, /*mpki_only=*/false);
+    BenchContext ctx = makeContext(argc, argv, 48, /*mpki_only=*/false);
     ctx.config.pageWalkLatency = 150;
     printBanner("Fig 8: speedup over LRU at a 150-cycle miss penalty",
                 ctx);

@@ -17,9 +17,9 @@ using namespace chirp;
 using namespace chirp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx = makeContext(48, /*mpki_only=*/true);
+    BenchContext ctx = makeContext(argc, argv, 48, /*mpki_only=*/true);
     printBanner("Fig 9: CHiRP MPKI improvement vs prediction-table size",
                 ctx);
 

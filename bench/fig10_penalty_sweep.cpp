@@ -20,9 +20,9 @@ using namespace chirp;
 using namespace chirp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx = makeContext(48, /*mpki_only=*/false);
+    BenchContext ctx = makeContext(argc, argv, 48, /*mpki_only=*/false);
     printBanner("Fig 10: speedup over LRU vs miss penalty (20-340 cyc)",
                 ctx);
 

@@ -17,9 +17,9 @@ using namespace chirp;
 using namespace chirp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx = makeContext(60, /*mpki_only=*/true);
+    BenchContext ctx = makeContext(argc, argv, 60, /*mpki_only=*/true);
     printBanner("Fig 11: prediction-table access rate density", ctx);
 
     const Runner runner = ctx.runner();

@@ -1,9 +1,39 @@
 #include "bench/harness.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace chirp::bench
 {
+
+namespace
+{
+
+unsigned
+parseJobs(const char *text)
+{
+    char *end = nullptr;
+    const unsigned long value = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0')
+        chirp_fatal("--jobs expects a non-negative integer, got '", text,
+                    "'");
+    return static_cast<unsigned>(value);
+}
+
+} // namespace
+
+unsigned
+jobsFromEnv()
+{
+    if (const char *env = std::getenv("CHIRP_JOBS"))
+        return parseJobs(env);
+    return ThreadPool::defaultConcurrency();
+}
 
 BenchContext
 makeContext(std::size_t default_suite_size, bool mpki_only)
@@ -11,9 +41,40 @@ makeContext(std::size_t default_suite_size, bool mpki_only)
     BenchContext ctx;
     ctx.options = suiteOptionsFromEnv(default_suite_size);
     ctx.suite = makeSuite(ctx.options);
+    ctx.jobs = jobsFromEnv();
     if (mpki_only) {
         ctx.config.simulateCaches = false;
         ctx.config.simulateBranch = false;
+    }
+    return ctx;
+}
+
+BenchContext
+makeContext(int argc, char **argv, std::size_t default_suite_size,
+            bool mpki_only)
+{
+    BenchContext ctx = makeContext(default_suite_size, mpki_only);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" || arg == "-j") {
+            if (i + 1 >= argc)
+                chirp_fatal(arg, " needs a value");
+            ctx.jobs = parseJobs(argv[++i]);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            ctx.jobs = parseJobs(arg.c_str() + std::strlen("--jobs="));
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: %s [--jobs N]\n"
+                "  --jobs N, -j N   suite-runner worker threads\n"
+                "                   (default: hardware concurrency or\n"
+                "                   CHIRP_JOBS; 1 = serial)\n"
+                "Suite fidelity scales via CHIRP_SUITE_SIZE,\n"
+                "CHIRP_TRACE_LEN and CHIRP_SEED.\n",
+                argv[0]);
+            std::exit(0);
+        } else {
+            chirp_fatal("unknown argument '", arg, "' (try --help)");
+        }
     }
     return ctx;
 }
@@ -23,11 +84,12 @@ printBanner(const std::string &title, const BenchContext &ctx)
 {
     std::printf("== %s ==\n", title.c_str());
     std::printf("suite: %zu workloads x %llu instructions (seed %llu); "
-                "L2 TLB %u entries, %u-way\n\n",
+                "L2 TLB %u entries, %u-way; %u jobs\n\n",
                 ctx.suite.size(),
                 static_cast<unsigned long long>(ctx.options.traceLength),
                 static_cast<unsigned long long>(ctx.options.baseSeed),
-                ctx.config.tlbs.l2.entries, ctx.config.tlbs.l2.assoc);
+                ctx.config.tlbs.l2.entries, ctx.config.tlbs.l2.assoc,
+                ctx.jobs ? ctx.jobs : ThreadPool::defaultConcurrency());
 }
 
 std::map<PolicyKind, std::vector<WorkloadResult>>

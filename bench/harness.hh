@@ -2,11 +2,14 @@
  * @file
  * Shared scaffolding for the figure/table-reproduction benches.
  *
- * Every bench binary runs with no arguments, prints a
- * paper-vs-measured table on stdout, and writes a CSV into the
- * working directory.  Fidelity scales through the CHIRP_SUITE_SIZE /
- * CHIRP_TRACE_LEN / CHIRP_SEED environment variables (see
- * workload_suite.hh); defaults are sized for a single-core machine.
+ * Every bench binary prints a paper-vs-measured table on stdout and
+ * writes a CSV into the working directory.  Fidelity scales through
+ * the CHIRP_SUITE_SIZE / CHIRP_TRACE_LEN / CHIRP_SEED environment
+ * variables (see workload_suite.hh).  Suite runs shard across worker
+ * threads: `--jobs N` (or the CHIRP_JOBS environment variable) picks
+ * the worker count, defaulting to hardware concurrency; `--jobs 1`
+ * restores the legacy serial path.  Results are bit-identical at any
+ * job count.
  */
 
 #ifndef CHIRP_BENCH_HARNESS_HH
@@ -29,11 +32,13 @@ struct BenchContext
     SuiteOptions options;
     std::vector<WorkloadConfig> suite;
     SimConfig config;
+    /** Suite-runner worker threads (0 = hardware concurrency). */
+    unsigned jobs = 0;
 
     Runner
     runner() const
     {
-        return Runner(config);
+        return Runner(config, jobs);
     }
 };
 
@@ -44,6 +49,20 @@ struct BenchContext
  *        benches that report MPKI/table-rate/efficiency only)
  */
 BenchContext makeContext(std::size_t default_suite_size, bool mpki_only);
+
+/**
+ * As above, but also parses the bench command line: `--jobs N` (or
+ * `-j N`, `--jobs=N`) selects the suite-runner worker count and
+ * `--help` prints usage.  Unknown arguments are fatal.
+ */
+BenchContext makeContext(int argc, char **argv,
+                         std::size_t default_suite_size, bool mpki_only);
+
+/**
+ * Worker count from CHIRP_JOBS, defaulting to hardware concurrency
+ * when unset.
+ */
+unsigned jobsFromEnv();
 
 /** Print the standard bench banner. */
 void printBanner(const std::string &title, const BenchContext &ctx);

@@ -66,9 +66,9 @@ runSuite(const BenchContext &ctx, PolicyKind kind, double fraction)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx = makeContext(24, /*mpki_only=*/true);
+    BenchContext ctx = makeContext(argc, argv, 24, /*mpki_only=*/true);
     printBanner("Extension study: mixed 4KB/2MB pages (the paper's "
                 "future work)", ctx);
 

@@ -15,9 +15,9 @@ using namespace chirp;
 using namespace chirp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    BenchContext ctx = makeContext(24, /*mpki_only=*/true);
+    BenchContext ctx = makeContext(argc, argv, 24, /*mpki_only=*/true);
     printBanner("OPT (Belady) bound vs LRU and CHiRP", ctx);
 
     const Runner runner = ctx.runner();

@@ -1,16 +1,19 @@
 #include "sim/runner.hh"
 
-#include <cstdio>
+#include <algorithm>
+#include <future>
 
 #include "sim/simulator.hh"
 #include "util/logging.hh"
+#include "util/progress.hh"
 #include "util/stats.hh"
+#include "util/thread_pool.hh"
 
 namespace chirp
 {
 
-Runner::Runner(const SimConfig &config)
-    : config_(config)
+Runner::Runner(const SimConfig &config, unsigned jobs)
+    : config_(config), jobs_(jobs)
 {
 }
 
@@ -30,18 +33,50 @@ Runner::runSuite(const std::vector<WorkloadConfig> &suite,
                  const PolicyFactory &factory,
                  const std::string &label) const
 {
-    std::vector<WorkloadResult> results;
-    results.reserve(suite.size());
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        if (!label.empty()) {
-            std::fprintf(stderr, "\r  [%s] %zu/%zu workloads", label.c_str(),
-                         i + 1, suite.size());
-            std::fflush(stderr);
+    return runSuiteParallel(suite, factory, jobs_, label);
+}
+
+std::vector<WorkloadResult>
+Runner::runSuiteParallel(const std::vector<WorkloadConfig> &suite,
+                         const PolicyFactory &factory, unsigned jobs,
+                         const std::string &label) const
+{
+    if (jobs == 0)
+        jobs = ThreadPool::defaultConcurrency();
+
+    ProgressReporter progress(label, suite.size());
+
+    if (jobs <= 1 || suite.size() <= 1) {
+        // Legacy serial path: one job after another on this thread.
+        std::vector<WorkloadResult> results;
+        results.reserve(suite.size());
+        for (const WorkloadConfig &workload : suite) {
+            results.push_back({workload, runOne(workload, factory)});
+            progress.tick();
         }
-        results.push_back({suite[i], runOne(suite[i], factory)});
+        return results;
     }
-    if (!label.empty())
-        std::fprintf(stderr, "\n");
+
+    // Shard one job per (workload) across the pool.  Every job
+    // builds its own Program and policy instance from the workload
+    // seed, writes only its own slot, and ticks the shared reporter;
+    // slot-indexed writes mean the merged vector is in suite order
+    // and bit-identical to the serial path no matter which worker
+    // finishes first.
+    std::vector<WorkloadResult> results(suite.size());
+    ThreadPool pool(std::min<std::size_t>(jobs, suite.size()));
+    std::vector<std::future<void>> pending;
+    pending.reserve(suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        pending.push_back(pool.submit([&, i] {
+            results[i] = {suite[i], runOne(suite[i], factory)};
+            progress.tick();
+        }));
+    }
+    // get() rethrows the first job failure; the pool destructor then
+    // abandons unstarted jobs so teardown stays prompt.
+    for (std::future<void> &job : pending)
+        job.get();
     return results;
 }
 
@@ -51,6 +86,15 @@ Runner::factoryFor(PolicyKind kind)
     return [kind](std::uint32_t sets, std::uint32_t assoc) {
         return makePolicy(kind, sets, assoc);
     };
+}
+
+SimStats
+aggregateStats(const std::vector<WorkloadResult> &results)
+{
+    SimStats total;
+    for (const WorkloadResult &r : results)
+        total.merge(r.stats);
+    return total;
 }
 
 double

@@ -35,29 +35,61 @@ struct WorkloadResult
 class Runner
 {
   public:
-    explicit Runner(const SimConfig &config);
+    /**
+     * @param jobs worker threads for suite runs: 1 (the default)
+     *        keeps the legacy strictly-serial path, 0 means hardware
+     *        concurrency, N > 1 shards across N workers.
+     */
+    explicit Runner(const SimConfig &config, unsigned jobs = 1);
 
     /** Simulate one workload with a fresh policy from @p factory. */
     SimStats runOne(const WorkloadConfig &workload,
                     const PolicyFactory &factory) const;
 
     /**
-     * Simulate every workload in @p suite.  Progress is reported on
-     * stderr under @p label when it is non-empty.
+     * Simulate every workload in @p suite using the configured job
+     * count.  Progress is reported on stderr under @p label when it
+     * is non-empty.  Results are always in suite order and
+     * bit-identical whatever the job count: each job gets a fresh
+     * policy instance and an independent RNG stream keyed by the
+     * workload seed, so no state is shared across jobs.
      */
     std::vector<WorkloadResult>
     runSuite(const std::vector<WorkloadConfig> &suite,
              const PolicyFactory &factory,
              const std::string &label = "") const;
 
+    /**
+     * As runSuite, but with an explicit worker count (0 = hardware
+     * concurrency, 1 = serial) overriding the configured one.
+     */
+    std::vector<WorkloadResult>
+    runSuiteParallel(const std::vector<WorkloadConfig> &suite,
+                     const PolicyFactory &factory, unsigned jobs,
+                     const std::string &label = "") const;
+
     const SimConfig &config() const { return config_; }
+
+    /** Worker threads used by runSuite. */
+    unsigned jobs() const { return jobs_; }
+
+    /** Change the worker count used by runSuite (see constructor). */
+    void setJobs(unsigned jobs) { jobs_ = jobs; }
 
     /** Factory for a default-configured policy of @p kind. */
     static PolicyFactory factoryFor(PolicyKind kind);
 
   private:
     SimConfig config_;
+    unsigned jobs_ = 1;
 };
+
+/**
+ * Sum of all per-workload counters in @p results (SimStats::merge
+ * over the whole set).  Order-independent on the integer counters, so
+ * serial and parallel suite runs aggregate identically.
+ */
+SimStats aggregateStats(const std::vector<WorkloadResult> &results);
 
 /** Mean MPKI over a result set. */
 double averageMpki(const std::vector<WorkloadResult> &results);

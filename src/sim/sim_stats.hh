@@ -102,7 +102,60 @@ struct SimStats
         return static_cast<double>(branchMispredicts) * 1000.0 /
                static_cast<double>(instructions);
     }
+
+    /**
+     * Fold @p other into this run's totals.  Every counter is an
+     * exact integer sum, so merging a set of per-workload stats gives
+     * the same aggregate regardless of the order jobs completed in —
+     * the property the parallel suite runner relies on.  The derived
+     * l2Efficiency fraction is combined as an instruction-weighted
+     * mean; walkLatency must agree (or be unset on one side).
+     */
+    SimStats &
+    merge(const SimStats &other)
+    {
+        const double self_weight = static_cast<double>(instructions);
+        const double other_weight =
+            static_cast<double>(other.instructions);
+        if (self_weight + other_weight > 0.0) {
+            l2Efficiency = (l2Efficiency * self_weight +
+                            other.l2Efficiency * other_weight) /
+                           (self_weight + other_weight);
+        }
+
+        instructions += other.instructions;
+        warmupInstructions += other.warmupInstructions;
+        cycles += other.cycles;
+        l1iTlbAccesses += other.l1iTlbAccesses;
+        l1iTlbMisses += other.l1iTlbMisses;
+        l1dTlbAccesses += other.l1dTlbAccesses;
+        l1dTlbMisses += other.l1dTlbMisses;
+        l2TlbAccesses += other.l2TlbAccesses;
+        l2TlbHits += other.l2TlbHits;
+        l2TlbMisses += other.l2TlbMisses;
+        branches += other.branches;
+        branchMispredicts += other.branchMispredicts;
+        tableReads += other.tableReads;
+        tableWrites += other.tableWrites;
+        walkCycles += other.walkCycles;
+        if (walkLatency == 0)
+            walkLatency = other.walkLatency;
+        return *this;
+    }
+
+    SimStats &
+    operator+=(const SimStats &other)
+    {
+        return merge(other);
+    }
 };
+
+inline SimStats
+operator+(SimStats lhs, const SimStats &rhs)
+{
+    lhs.merge(rhs);
+    return lhs;
+}
 
 } // namespace chirp
 

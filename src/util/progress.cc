@@ -1,0 +1,39 @@
+#include "util/progress.hh"
+
+#include <cstdio>
+
+namespace chirp
+{
+
+ProgressReporter::ProgressReporter(std::string label, std::size_t total)
+    : label_(std::move(label)), total_(total)
+{
+}
+
+ProgressReporter::~ProgressReporter()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!label_.empty() && done_ > 0)
+        std::fprintf(stderr, "\n");
+}
+
+void
+ProgressReporter::tick()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++done_;
+    if (label_.empty())
+        return;
+    std::fprintf(stderr, "\r  [%s] %zu/%zu workloads", label_.c_str(),
+                 done_, total_);
+    std::fflush(stderr);
+}
+
+std::size_t
+ProgressReporter::done() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_;
+}
+
+} // namespace chirp

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Thread-safe suite-progress ticker.
+ *
+ * Replaces the bare fprintf ticker the serial runner used: workers
+ * completing jobs on any thread call tick(), and the reporter keeps a
+ * single "\r  [label] done/total workloads" line updated on stderr
+ * without interleaving.  A reporter with an empty label is silent, so
+ * tests and library callers stay quiet.
+ */
+
+#ifndef CHIRP_UTIL_PROGRESS_HH
+#define CHIRP_UTIL_PROGRESS_HH
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace chirp
+{
+
+/** One progress line for a batch of @p total jobs. */
+class ProgressReporter
+{
+  public:
+    /** Silent when @p label is empty. */
+    ProgressReporter(std::string label, std::size_t total);
+
+    /** Terminates the line if any ticks were printed. */
+    ~ProgressReporter();
+
+    ProgressReporter(const ProgressReporter &) = delete;
+    ProgressReporter &operator=(const ProgressReporter &) = delete;
+
+    /** Record one finished job and redraw the line. */
+    void tick();
+
+    /** Jobs reported done so far. */
+    std::size_t done() const;
+
+  private:
+    const std::string label_;
+    const std::size_t total_;
+    mutable std::mutex mutex_;
+    std::size_t done_ = 0;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_PROGRESS_HH

@@ -1,0 +1,64 @@
+#include "util/thread_pool.hh"
+
+namespace chirp
+{
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    if (num_threads == 0)
+        num_threads = defaultConcurrency();
+    workers_.reserve(num_threads);
+    for (unsigned i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        // Abandon queued-but-unstarted work so a failed suite tears
+        // down without simulating the remainder.
+        queue_.clear();
+    }
+    ready_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+unsigned
+ThreadPool::defaultConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1u;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    ready_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ready_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_ && queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace chirp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fixed-size worker pool for sharding independent simulation jobs.
+ *
+ * Tasks are enqueued with submit(), which returns a std::future so
+ * exceptions thrown inside a task propagate to whoever calls get().
+ * Workers pull from a shared queue (dynamic load balancing: a worker
+ * that finishes a short job immediately steals the next pending one),
+ * which keeps heterogeneous (workload x policy) grids busy without
+ * static partitioning.
+ */
+
+#ifndef CHIRP_UTIL_THREAD_POOL_HH
+#define CHIRP_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace chirp
+{
+
+/** Fixed worker count, FIFO task queue, future-based results. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn @p num_threads workers; 0 means defaultConcurrency().
+     * Workers live until destruction.
+     */
+    explicit ThreadPool(unsigned num_threads = 0);
+
+    /**
+     * Drains: waits for running tasks to finish.  Tasks still queued
+     * but never started are abandoned (their futures report a broken
+     * promise), which keeps teardown prompt after a failure.
+     */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p fn for execution on some worker.  The returned
+     * future yields fn's result, or rethrows whatever fn threw.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
+    {
+        using Result = std::invoke_result_t<std::decay_t<Fn>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return future;
+    }
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Sensible worker count for this machine: hardware concurrency,
+     * or 1 when the runtime cannot tell.
+     */
+    static unsigned defaultConcurrency();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_THREAD_POOL_HH

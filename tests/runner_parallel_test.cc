@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Serial vs parallel suite runs must be indistinguishable: identical
+ * WorkloadResult vectors (bit-identical stats, same order) at any job
+ * count, order-independent aggregation, and exception propagation
+ * out of failing jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/policy_factory.hh"
+#include "sim/runner.hh"
+
+namespace chirp
+{
+namespace
+{
+
+SimConfig
+fastConfig()
+{
+    SimConfig config;
+    config.simulateCaches = false;
+    config.simulateBranch = false;
+    return config;
+}
+
+std::vector<WorkloadConfig>
+smallSuite(std::size_t size = 8)
+{
+    SuiteOptions options;
+    options.size = size;
+    options.traceLength = 60000;
+    return makeSuite(options);
+}
+
+void
+expectIdenticalResults(const std::vector<WorkloadResult> &serial,
+                       const std::vector<WorkloadResult> &parallel)
+{
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(serial[i].workload.name);
+        EXPECT_EQ(serial[i].workload.name, parallel[i].workload.name);
+        EXPECT_EQ(serial[i].workload.seed, parallel[i].workload.seed);
+        const SimStats &a = serial[i].stats;
+        const SimStats &b = parallel[i].stats;
+        EXPECT_EQ(a.instructions, b.instructions);
+        EXPECT_EQ(a.cycles, b.cycles);
+        EXPECT_EQ(a.l1iTlbMisses, b.l1iTlbMisses);
+        EXPECT_EQ(a.l1dTlbMisses, b.l1dTlbMisses);
+        EXPECT_EQ(a.l2TlbAccesses, b.l2TlbAccesses);
+        EXPECT_EQ(a.l2TlbHits, b.l2TlbHits);
+        EXPECT_EQ(a.l2TlbMisses, b.l2TlbMisses);
+        EXPECT_EQ(a.tableReads, b.tableReads);
+        EXPECT_EQ(a.tableWrites, b.tableWrites);
+        EXPECT_EQ(a.walkCycles, b.walkCycles);
+        // Doubles too: both paths run the same deterministic
+        // computation, so these are bit-identical, not just close.
+        EXPECT_EQ(a.l2Efficiency, b.l2Efficiency);
+    }
+}
+
+TEST(RunnerParallel, MatchesSerialForLru)
+{
+    const Runner runner(fastConfig());
+    const auto suite = smallSuite();
+    const auto factory = Runner::factoryFor(PolicyKind::Lru);
+    expectIdenticalResults(
+        runner.runSuiteParallel(suite, factory, 1),
+        runner.runSuiteParallel(suite, factory, 4));
+}
+
+TEST(RunnerParallel, MatchesSerialForChirp)
+{
+    // CHiRP is the stateful policy with the most internal machinery;
+    // if any state leaked across jobs this is where it would show.
+    const Runner runner(fastConfig());
+    const auto suite = smallSuite();
+    const auto factory = Runner::factoryFor(PolicyKind::Chirp);
+    expectIdenticalResults(
+        runner.runSuiteParallel(suite, factory, 1),
+        runner.runSuiteParallel(suite, factory, 4));
+}
+
+TEST(RunnerParallel, ConfiguredJobsMatchExplicitJobs)
+{
+    const auto suite = smallSuite(6);
+    const auto factory = Runner::factoryFor(PolicyKind::Srrip);
+    const Runner serial(fastConfig(), 1);
+    Runner parallel(fastConfig(), 3);
+    EXPECT_EQ(parallel.jobs(), 3u);
+    expectIdenticalResults(serial.runSuite(suite, factory),
+                           parallel.runSuite(suite, factory));
+    parallel.setJobs(1);
+    EXPECT_EQ(parallel.jobs(), 1u);
+}
+
+TEST(RunnerParallel, MoreJobsThanWorkloads)
+{
+    const Runner runner(fastConfig());
+    const auto suite = smallSuite(3);
+    const auto factory = Runner::factoryFor(PolicyKind::Random);
+    expectIdenticalResults(
+        runner.runSuiteParallel(suite, factory, 1),
+        runner.runSuiteParallel(suite, factory, 16));
+}
+
+TEST(RunnerParallel, PropagatesJobExceptions)
+{
+    const Runner runner(fastConfig());
+    const auto suite = smallSuite(6);
+    const PolicyFactory throwing =
+        [](std::uint32_t, std::uint32_t)
+        -> std::unique_ptr<ReplacementPolicy> {
+        throw std::runtime_error("factory exploded");
+    };
+    EXPECT_THROW(runner.runSuiteParallel(suite, throwing, 4),
+                 std::runtime_error);
+}
+
+TEST(RunnerParallel, AggregateIsOrderIndependent)
+{
+    const Runner runner(fastConfig());
+    const auto suite = smallSuite(6);
+    auto results =
+        runner.runSuite(suite, Runner::factoryFor(PolicyKind::Lru));
+
+    const SimStats forward = aggregateStats(results);
+    std::reverse(results.begin(), results.end());
+    const SimStats backward = aggregateStats(results);
+
+    EXPECT_EQ(forward.instructions, backward.instructions);
+    EXPECT_EQ(forward.cycles, backward.cycles);
+    EXPECT_EQ(forward.l2TlbAccesses, backward.l2TlbAccesses);
+    EXPECT_EQ(forward.l2TlbMisses, backward.l2TlbMisses);
+    EXPECT_EQ(forward.tableReads, backward.tableReads);
+    EXPECT_EQ(forward.walkCycles, backward.walkCycles);
+    EXPECT_GT(forward.instructions, 0u);
+}
+
+TEST(RunnerParallel, MergeSumsCounters)
+{
+    SimStats a;
+    a.instructions = 1000;
+    a.l2TlbMisses = 10;
+    a.l2Efficiency = 0.5;
+    a.walkLatency = 150;
+    SimStats b;
+    b.instructions = 3000;
+    b.l2TlbMisses = 2;
+    b.l2Efficiency = 0.9;
+
+    const SimStats merged = a + b;
+    EXPECT_EQ(merged.instructions, 4000u);
+    EXPECT_EQ(merged.l2TlbMisses, 12u);
+    EXPECT_EQ(merged.walkLatency, 150u);
+    // Instruction-weighted efficiency: (0.5*1000 + 0.9*3000) / 4000.
+    EXPECT_DOUBLE_EQ(merged.l2Efficiency, 0.8);
+    EXPECT_DOUBLE_EQ(merged.mpki(), 3.0);
+}
+
+} // namespace
+} // namespace chirp

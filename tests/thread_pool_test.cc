@@ -1,0 +1,113 @@
+/**
+ * @file
+ * ThreadPool unit tests: results come back through futures,
+ * exceptions propagate, FIFO order holds with one worker, and the
+ * pool survives an N-jobs stress burst.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace chirp
+{
+namespace
+{
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> pending;
+    for (int i = 0; i < 64; ++i)
+        pending.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto &job : pending)
+        job.get();
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, ReturnsValuesThroughFutures)
+{
+    ThreadPool pool(2);
+    std::vector<std::future<int>> pending;
+    for (int i = 0; i < 32; ++i)
+        pending.push_back(pool.submit([i] { return i * i; }));
+    int total = 0;
+    for (auto &job : pending)
+        total += job.get();
+    int expected = 0;
+    for (int i = 0; i < 32; ++i)
+        expected += i * i;
+    EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPool, PropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 7; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("job failed"); });
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+
+    // The pool must stay usable after a task threw.
+    auto after = pool.submit([] { return 11; });
+    EXPECT_EQ(after.get(), 11);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesFifoOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> pending;
+    for (int i = 0; i < 16; ++i)
+        pending.push_back(pool.submit([&order, i] { order.push_back(i); }));
+    for (auto &job : pending)
+        job.get();
+    std::vector<int> expected(16);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, StressManyJobsManyWorkers)
+{
+    ThreadPool pool(8);
+    std::atomic<std::uint64_t> sum{0};
+    std::vector<std::future<void>> pending;
+    pending.reserve(2000);
+    for (std::uint64_t i = 0; i < 2000; ++i)
+        pending.push_back(pool.submit([&sum, i] { sum += i; }));
+    for (auto &job : pending)
+        job.get();
+    EXPECT_EQ(sum.load(), 2000ull * 1999ull / 2ull);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), ThreadPool::defaultConcurrency());
+    EXPECT_GE(ThreadPool::defaultConcurrency(), 1u);
+    auto job = pool.submit([] { return 3; });
+    EXPECT_EQ(job.get(), 3);
+}
+
+TEST(ThreadPool, DestructionDrainsRunningWork)
+{
+    std::atomic<int> finished{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 8; ++i)
+            pool.submit([&finished] { ++finished; }).get();
+    }
+    EXPECT_EQ(finished.load(), 8);
+}
+
+} // namespace
+} // namespace chirp
