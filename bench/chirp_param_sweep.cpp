@@ -11,10 +11,12 @@
 
 #include <cstdio>
 #include <functional>
+#include <mutex>
 
 #include "bench/harness.hh"
 #include "core/chirp.hh"
 #include "sim/simulator.hh"
+#include "tlb/tlb_hierarchy.hh"
 
 using namespace chirp;
 using namespace chirp::bench;
@@ -28,37 +30,6 @@ struct Point
     ChirpConfig config;
 };
 
-/** Run one config over the suite; returns {reduction%, dead-victim%}. */
-std::pair<double, double>
-evaluate(const BenchContext &ctx, const std::vector<WorkloadResult> &lru,
-         const ChirpConfig &config)
-{
-    const Runner runner = ctx.runner();
-    // Track dead-victim coverage across the suite by re-running one
-    // simulator per workload and summing the diagnostic counters.
-    std::uint64_t dead = 0;
-    std::uint64_t fallback = 0;
-    std::vector<WorkloadResult> results;
-    for (const auto &workload : ctx.suite) {
-        const auto program = buildWorkload(workload);
-        const std::uint32_t sets =
-            ctx.config.tlbs.l2.entries / ctx.config.tlbs.l2.assoc;
-        auto policy =
-            makeChirp(sets, ctx.config.tlbs.l2.assoc, config);
-        const ChirpPolicy *raw = policy.get();
-        Simulator sim(ctx.config, std::move(policy));
-        results.push_back({workload, sim.run(*program)});
-        dead += raw->deadVictims();
-        fallback += raw->lruVictims();
-    }
-    const double coverage =
-        dead + fallback
-            ? 100.0 * static_cast<double>(dead) /
-                  static_cast<double>(dead + fallback)
-            : 0.0;
-    return {mpkiReductionPct(lru, results), coverage};
-}
-
 } // namespace
 
 int
@@ -66,10 +37,6 @@ main(int argc, char **argv)
 {
     BenchContext ctx = makeContext(argc, argv, 18, /*mpki_only=*/true);
     printBanner("CHiRP design-knob sweep (one axis at a time)", ctx);
-
-    const Runner runner = ctx.runner();
-    const auto lru = runner.runSuite(
-        ctx.suite, Runner::factoryFor(PolicyKind::Lru), "lru");
 
     std::vector<Point> points;
     auto add = [&](std::string name,
@@ -113,13 +80,54 @@ main(int argc, char **argv)
         c.history.pathFilter = PathFilter::Branch;
     });
 
+    // Single multi-policy run: the LRU baseline (slot 0) plus one
+    // CHiRP variant per sweep point all replay each workload's
+    // materialized trace, so the dozens of configs cost one trace
+    // generation per workload in total.  Dead-victim coverage comes
+    // from the per-job observer, which reads the policy's diagnostic
+    // counters while its simulator is still alive; the sums are
+    // order-independent, so any job count reports the same coverage.
+    std::vector<PolicyFactory> factories = {
+        Runner::factoryFor(PolicyKind::Lru)};
+    for (const Point &point : points) {
+        const ChirpConfig config = point.config;
+        factories.push_back(
+            [config](std::uint32_t sets, std::uint32_t assoc) {
+                return makeChirp(sets, assoc, config);
+            });
+    }
+
+    std::mutex counter_mutex;
+    std::vector<std::uint64_t> dead(factories.size(), 0);
+    std::vector<std::uint64_t> fallback(factories.size(), 0);
+    const SimObserver observer = [&](std::size_t p, std::size_t,
+                                     const Simulator &sim) {
+        const auto *policy = dynamic_cast<const ChirpPolicy *>(
+            &sim.tlbs().l2().policy());
+        if (!policy)
+            return;
+        std::lock_guard<std::mutex> lock(counter_mutex);
+        dead[p] += policy->deadVictims();
+        fallback[p] += policy->lruVictims();
+    };
+
+    const Runner runner = ctx.runner();
+    const auto all =
+        runner.runSuiteMulti(ctx.suite, factories, "sweep", observer);
+    const auto &lru = all[0];
+
     TableFormatter table;
     table.header({"variant", "MPKI reduction %", "dead-victim %"});
     CsvWriter csv("chirp_param_sweep.csv");
     csv.row({"variant", "reduction_pct", "dead_victim_pct"});
-    for (const Point &point : points) {
-        const auto [reduction, coverage] =
-            evaluate(ctx, lru, point.config);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &point = points[i];
+        const double reduction = mpkiReductionPct(lru, all[i + 1]);
+        const std::uint64_t total = dead[i + 1] + fallback[i + 1];
+        const double coverage =
+            total ? 100.0 * static_cast<double>(dead[i + 1]) /
+                        static_cast<double>(total)
+                  : 0.0;
         std::fprintf(stderr, "  %-20s %+6.2f%%  dead-victims %5.1f%%\n",
                      point.name.c_str(), reduction, coverage);
         table.row({point.name, TableFormatter::num(reduction, 2),

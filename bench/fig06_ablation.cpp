@@ -106,9 +106,17 @@ main(int argc, char **argv)
          }},
     };
 
+    // One multi-policy run: the LRU baseline plus every rung replays
+    // each workload's materialized trace instead of regenerating it
+    // once per configuration.
     const Runner runner = ctx.runner();
-    const auto lru = runner.runSuite(
-        ctx.suite, Runner::factoryFor(PolicyKind::Lru), "lru");
+    std::vector<PolicyFactory> factories = {
+        Runner::factoryFor(PolicyKind::Lru)};
+    for (const Rung &rung : rungs)
+        factories.push_back(rung.factory);
+    const auto all = runner.runSuiteMulti(ctx.suite, factories,
+                                          "ablation");
+    const auto &lru = all[0];
 
     TableFormatter table;
     table.header({"configuration", "avg MPKI", "reduction % (measured)",
@@ -117,9 +125,9 @@ main(int argc, char **argv)
     csv.row({"configuration", "avg_mpki", "reduction_pct_measured",
              "reduction_pct_paper"});
 
-    for (const Rung &rung : rungs) {
-        const auto results =
-            runner.runSuite(ctx.suite, rung.factory, rung.name);
+    for (std::size_t r = 0; r < rungs.size(); ++r) {
+        const Rung &rung = rungs[r];
+        const auto &results = all[r + 1];
         const double mpki = averageMpki(results);
         const double reduction = mpkiReductionPct(lru, results);
         const std::string paper =

@@ -42,6 +42,8 @@ makeContext(std::size_t default_suite_size, bool mpki_only)
     ctx.options = suiteOptionsFromEnv(default_suite_size);
     ctx.suite = makeSuite(ctx.options);
     ctx.jobs = jobsFromEnv();
+    if (const char *env = std::getenv("CHIRP_TRACE_CACHE"); env && *env)
+        ctx.traceCacheDir = env;
     if (mpki_only) {
         ctx.config.simulateCaches = false;
         ctx.config.simulateBranch = false;
@@ -62,12 +64,27 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
             ctx.jobs = parseJobs(argv[++i]);
         } else if (arg.rfind("--jobs=", 0) == 0) {
             ctx.jobs = parseJobs(arg.c_str() + std::strlen("--jobs="));
+        } else if (arg == "--trace-cache") {
+            if (i + 1 >= argc)
+                chirp_fatal(arg, " needs a directory");
+            ctx.traceCacheDir = argv[++i];
+        } else if (arg.rfind("--trace-cache=", 0) == 0) {
+            ctx.traceCacheDir =
+                arg.substr(std::strlen("--trace-cache="));
+        } else if (arg == "--no-trace-store") {
+            ctx.shareTraces = false;
+            ctx.traceCacheDir.clear();
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: %s [--jobs N]\n"
-                "  --jobs N, -j N   suite-runner worker threads\n"
-                "                   (default: hardware concurrency or\n"
-                "                   CHIRP_JOBS; 1 = serial)\n"
+                "usage: %s [--jobs N] [--trace-cache DIR] "
+                "[--no-trace-store]\n"
+                "  --jobs N, -j N     suite-runner worker threads\n"
+                "                     (default: hardware concurrency or\n"
+                "                     CHIRP_JOBS; 1 = serial)\n"
+                "  --trace-cache DIR  persist materialized traces in DIR\n"
+                "                     (default: CHIRP_TRACE_CACHE)\n"
+                "  --no-trace-store   regenerate the trace for every\n"
+                "                     policy (legacy path)\n"
                 "Suite fidelity scales via CHIRP_SUITE_SIZE,\n"
                 "CHIRP_TRACE_LEN and CHIRP_SEED.\n",
                 argv[0]);
@@ -97,10 +114,22 @@ runAllPolicies(const BenchContext &ctx)
 {
     std::map<PolicyKind, std::vector<WorkloadResult>> results;
     const Runner runner = ctx.runner();
-    for (const PolicyKind kind : allPolicyKinds()) {
-        results[kind] = runner.runSuite(
-            ctx.suite, Runner::factoryFor(kind), policyKindName(kind));
+    if (!ctx.shareTraces) {
+        // Legacy path: every policy regenerates every workload.
+        for (const PolicyKind kind : allPolicyKinds()) {
+            results[kind] =
+                runner.runSuite(ctx.suite, Runner::factoryFor(kind),
+                                policyKindName(kind));
+        }
+        return results;
     }
+    std::vector<PolicyFactory> factories;
+    for (const PolicyKind kind : allPolicyKinds())
+        factories.push_back(Runner::factoryFor(kind));
+    auto all = runner.runSuiteMulti(ctx.suite, factories, "policies");
+    std::size_t i = 0;
+    for (const PolicyKind kind : allPolicyKinds())
+        results[kind] = std::move(all[i++]);
     return results;
 }
 

@@ -8,8 +8,12 @@
  * variables (see workload_suite.hh).  Suite runs shard across worker
  * threads: `--jobs N` (or the CHIRP_JOBS environment variable) picks
  * the worker count, defaulting to hardware concurrency; `--jobs 1`
- * restores the legacy serial path.  Results are bit-identical at any
- * job count.
+ * restores the legacy serial path.  Multi-policy sweeps materialize
+ * each workload's trace once in the runner's TraceStore and replay
+ * it for every policy; `--trace-cache DIR` (or CHIRP_TRACE_CACHE)
+ * persists those traces on disk across runs, and `--no-trace-store`
+ * restores the legacy regenerate-per-policy path.  CSVs are
+ * bit-identical across all of those modes at any job count.
  */
 
 #ifndef CHIRP_BENCH_HARNESS_HH
@@ -34,11 +38,18 @@ struct BenchContext
     SimConfig config;
     /** Suite-runner worker threads (0 = hardware concurrency). */
     unsigned jobs = 0;
+    /** Disk tier for materialized traces ("" = memory only). */
+    std::string traceCacheDir;
+    /** Share one materialization across policies (runSuiteMulti). */
+    bool shareTraces = true;
 
     Runner
     runner() const
     {
-        return Runner(config, jobs);
+        Runner runner(config, jobs);
+        if (!traceCacheDir.empty())
+            runner.setTraceCacheDir(traceCacheDir);
+        return runner;
     }
 };
 
@@ -52,8 +63,10 @@ BenchContext makeContext(std::size_t default_suite_size, bool mpki_only);
 
 /**
  * As above, but also parses the bench command line: `--jobs N` (or
- * `-j N`, `--jobs=N`) selects the suite-runner worker count and
- * `--help` prints usage.  Unknown arguments are fatal.
+ * `-j N`, `--jobs=N`) selects the suite-runner worker count,
+ * `--trace-cache DIR` enables the on-disk trace tier,
+ * `--no-trace-store` regenerates traces per policy (legacy path),
+ * and `--help` prints usage.  Unknown arguments are fatal.
  */
 BenchContext makeContext(int argc, char **argv,
                          std::size_t default_suite_size, bool mpki_only);
@@ -69,7 +82,9 @@ void printBanner(const std::string &title, const BenchContext &ctx);
 
 /**
  * Run every paper policy over the suite, returning results keyed by
- * policy (LRU is always included and is the baseline).
+ * policy (LRU is always included and is the baseline).  Each
+ * workload's trace is materialized once and replayed for all
+ * policies unless ctx.shareTraces is off.
  */
 std::map<PolicyKind, std::vector<WorkloadResult>>
 runAllPolicies(const BenchContext &ctx);

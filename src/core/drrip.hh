@@ -50,6 +50,7 @@ class DrripPolicy : public ReplacementPolicy
                 const AccessInfo &info) override;
     void onInvalidate(std::uint32_t set, std::uint32_t way) override;
     std::uint64_t storageBits() const override;
+    bool wantsRetireEvents() const override { return false; }
 
     /** Set roles, for tests. */
     enum class SetRole

@@ -15,30 +15,6 @@ LruPolicy::reset()
     resetTableCounters();
 }
 
-void
-LruPolicy::onHit(std::uint32_t set, std::uint32_t way, const AccessInfo &)
-{
-    stack_.touch(set, way);
-}
-
-std::uint32_t
-LruPolicy::selectVictim(std::uint32_t set, const AccessInfo &)
-{
-    return stack_.lruWay(set);
-}
-
-void
-LruPolicy::onFill(std::uint32_t set, std::uint32_t way, const AccessInfo &)
-{
-    stack_.touch(set, way);
-}
-
-void
-LruPolicy::onInvalidate(std::uint32_t set, std::uint32_t way)
-{
-    stack_.demote(set, way);
-}
-
 std::uint64_t
 LruPolicy::storageBits() const
 {

@@ -19,14 +19,37 @@ class LruPolicy : public ReplacementPolicy
     LruPolicy(std::uint32_t num_sets, std::uint32_t assoc);
 
     void reset() override;
-    void onHit(std::uint32_t set, std::uint32_t way,
-               const AccessInfo &info) override;
-    std::uint32_t selectVictim(std::uint32_t set,
-                               const AccessInfo &info) override;
-    void onFill(std::uint32_t set, std::uint32_t way,
-                const AccessInfo &info) override;
-    void onInvalidate(std::uint32_t set, std::uint32_t way) override;
+
+    // The hooks are inline: the TLB devirtualizes them on its
+    // LRU fast path (qualified calls bypass the vtable).
+    void
+    onHit(std::uint32_t set, std::uint32_t way,
+          const AccessInfo &) override
+    {
+        stack_.touch(set, way);
+    }
+
+    std::uint32_t
+    selectVictim(std::uint32_t set, const AccessInfo &) override
+    {
+        return stack_.lruWay(set);
+    }
+
+    void
+    onFill(std::uint32_t set, std::uint32_t way,
+           const AccessInfo &) override
+    {
+        stack_.touch(set, way);
+    }
+
+    void
+    onInvalidate(std::uint32_t set, std::uint32_t way) override
+    {
+        stack_.demote(set, way);
+    }
+
     std::uint64_t storageBits() const override;
+    bool wantsRetireEvents() const override { return false; }
 
     /** Recency rank of a way (0 = MRU); exposed for tests. */
     std::uint32_t

@@ -35,6 +35,7 @@ class PlruPolicy : public ReplacementPolicy
     void onFill(std::uint32_t set, std::uint32_t way,
                 const AccessInfo &info) override;
     std::uint64_t storageBits() const override;
+    bool wantsRetireEvents() const override { return false; }
 
   private:
     /** Point the tree away from @p way (it was just used). */

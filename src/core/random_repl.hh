@@ -29,6 +29,7 @@ class RandomPolicy : public ReplacementPolicy
     void onFill(std::uint32_t set, std::uint32_t way,
                 const AccessInfo &info) override;
     std::uint64_t storageBits() const override;
+    bool wantsRetireEvents() const override { return false; }
 
   private:
     std::uint64_t seed_;

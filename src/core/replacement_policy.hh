@@ -22,7 +22,9 @@
 #ifndef CHIRP_CORE_REPLACEMENT_POLICY_HH
 #define CHIRP_CORE_REPLACEMENT_POLICY_HH
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -73,6 +75,16 @@ class ReplacementPolicy
         (void)pc;
         (void)cls;
     }
+
+    /**
+     * Does this policy consume the retired-instruction stream
+     * (onInstRetired / onBranchRetired)?  The TLB hierarchy skips
+     * the per-instruction virtual dispatch entirely when false.
+     * Defaults to true so a policy overriding the retire hooks can
+     * never be silently muted; policies that ignore the stream
+     * (LRU, PLRU, Random, SRRIP, DRRIP, SHiP) opt out.
+     */
+    virtual bool wantsRetireEvents() const { return true; }
 
     /** The access hit way @p way of set @p set. */
     virtual void onHit(std::uint32_t set, std::uint32_t way,
@@ -158,7 +170,28 @@ class LruStack
     LruStack(std::uint32_t num_sets, std::uint32_t assoc);
 
     /** Make @p way the most recently used in @p set. */
-    void touch(std::uint32_t set, std::uint32_t way);
+    void
+    touch(std::uint32_t set, std::uint32_t way)
+    {
+        const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+        const std::uint8_t old_pos = position_[base + way];
+        if (old_pos == 0)
+            return; // already MRU: the shift below would be a no-op
+        if (swar()) {
+            // All eight positions live in one word; bump every byte
+            // below old_pos and zero the touched way in O(1).
+            std::uint64_t word = loadSet(base);
+            word += lanesBelow(word, old_pos);
+            word &= ~(std::uint64_t{0xFF} << (8 * way));
+            storeSet(base, word);
+            return;
+        }
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (position_[base + w] < old_pos)
+                ++position_[base + w];
+        }
+        position_[base + way] = 0;
+    }
 
     /** Way currently least recently used in @p set. */
     std::uint32_t lruWay(std::uint32_t set) const;
@@ -176,6 +209,49 @@ class LruStack
     std::uint64_t storageBits() const;
 
   private:
+    /** Can this stack use the packed-word fast path?  Eight 8-bit
+     *  ranks are exactly one little-endian uint64; every rank is
+     *  < 8, so no lane ever carries into its neighbour. */
+    bool swar() const;
+
+    /** The eight ranks of the set starting at @p base, packed with
+     *  way w in bits [8w, 8w+8). */
+    std::uint64_t
+    loadSet(std::size_t base) const
+    {
+        std::uint64_t word;
+        std::memcpy(&word, position_.data() + base, sizeof(word));
+        return word;
+    }
+
+    void
+    storeSet(std::size_t base, std::uint64_t word)
+    {
+        std::memcpy(position_.data() + base, &word, sizeof(word));
+    }
+
+    /** 0x01 in every lane whose rank is < @p limit (ranks and limit
+     *  both < 0x80, so the borrow trick is exact). */
+    static std::uint64_t
+    lanesBelow(std::uint64_t word, std::uint8_t limit)
+    {
+        constexpr std::uint64_t kLo = 0x0101010101010101ULL;
+        constexpr std::uint64_t kHi = 0x8080808080808080ULL;
+        const std::uint64_t ge = ((word | kHi) - kLo * limit) & kHi;
+        return (~ge & kHi) >> 7;
+    }
+
+    /** 0x01 in every lane whose rank is > @p limit. */
+    static std::uint64_t
+    lanesAbove(std::uint64_t word, std::uint8_t limit)
+    {
+        constexpr std::uint64_t kLo = 0x0101010101010101ULL;
+        constexpr std::uint64_t kHi = 0x8080808080808080ULL;
+        const std::uint64_t ge =
+            ((word | kHi) - kLo * (limit + 1u)) & kHi;
+        return ge >> 7;
+    }
+
     std::uint32_t numSets_;
     std::uint32_t assoc_;
     // position_[set*assoc + way] = recency rank, 0 == MRU.

@@ -81,6 +81,7 @@ class ShipPolicy : public ReplacementPolicy
     void onInvalidate(std::uint32_t set, std::uint32_t way) override;
     void onAccessEnd(std::uint32_t set, const AccessInfo &info) override;
     std::uint64_t storageBits() const override;
+    bool wantsRetireEvents() const override { return false; }
 
     const ShipConfig &config() const { return config_; }
 

@@ -37,6 +37,7 @@ class SrripPolicy : public ReplacementPolicy
                 const AccessInfo &info) override;
     void onInvalidate(std::uint32_t set, std::uint32_t way) override;
     std::uint64_t storageBits() const override;
+    bool wantsRetireEvents() const override { return false; }
 
     /** RRPV of a way, for tests. */
     std::uint8_t

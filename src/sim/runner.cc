@@ -1,6 +1,7 @@
 #include "sim/runner.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <future>
 
 #include "sim/simulator.hh"
@@ -13,7 +14,8 @@ namespace chirp
 {
 
 Runner::Runner(const SimConfig &config, unsigned jobs)
-    : config_(config), jobs_(jobs)
+    : config_(config), jobs_(jobs),
+      store_(std::make_shared<TraceStore>())
 {
 }
 
@@ -26,6 +28,96 @@ Runner::runOne(const WorkloadConfig &workload,
         config_.tlbs.l2.entries / config_.tlbs.l2.assoc;
     Simulator sim(config_, factory(sets, config_.tlbs.l2.assoc));
     return sim.run(*program);
+}
+
+SimStats
+Runner::runReplay(const WorkloadConfig &workload,
+                  const SharedTrace &trace,
+                  const PolicyFactory &factory) const
+{
+    const std::uint32_t sets =
+        config_.tlbs.l2.entries / config_.tlbs.l2.assoc;
+    MemoryTraceSource source(trace, workload.name);
+    Simulator sim(config_, factory(sets, config_.tlbs.l2.assoc));
+    return sim.run(source);
+}
+
+void
+Runner::setTraceCacheDir(const std::string &dir)
+{
+    store_ = std::make_shared<TraceStore>(dir);
+}
+
+std::vector<std::vector<WorkloadResult>>
+Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
+                      const std::vector<PolicyFactory> &factories,
+                      const std::string &label,
+                      const SimObserver &observer) const
+{
+    std::vector<std::vector<WorkloadResult>> results(factories.size());
+    if (factories.empty() || suite.empty())
+        return results;
+    for (auto &per_policy : results)
+        per_policy.resize(suite.size());
+
+    const std::uint32_t sets =
+        config_.tlbs.l2.entries / config_.tlbs.l2.assoc;
+    TraceStore &store = *store_;
+    ProgressReporter progress(label, suite.size() * factories.size());
+
+    // One job per (workload, policy).  The job body replays the
+    // workload's shared stream; the last policy done with a workload
+    // evicts it from the store so peak residency tracks the in-flight
+    // window, not the suite.
+    auto run_job = [&](std::size_t w, std::size_t p) {
+        const SharedTrace trace = store.get(suite[w]);
+        MemoryTraceSource source(trace, suite[w].name);
+        Simulator sim(config_,
+                      factories[p](sets, config_.tlbs.l2.assoc));
+        results[p][w] = {suite[w], sim.run(source)};
+        if (observer)
+            observer(p, w, sim);
+        progress.tick();
+    };
+
+    unsigned jobs = jobs_;
+    if (jobs == 0)
+        jobs = ThreadPool::defaultConcurrency();
+    const std::size_t total = suite.size() * factories.size();
+
+    if (jobs <= 1 || total <= 1) {
+        for (std::size_t w = 0; w < suite.size(); ++w) {
+            for (std::size_t p = 0; p < factories.size(); ++p)
+                run_job(w, p);
+            store.drop(suite[w]);
+        }
+        return results;
+    }
+
+    ThreadPool pool(std::min<std::size_t>(jobs, total));
+    // remaining[w] counts policies still to replay workload w; the
+    // job that takes it to zero drops the store's reference.  Jobs
+    // are submitted workload-major, so a FIFO pool keeps only about
+    // ceil(jobs / P) + 1 traces materialized at once.
+    std::vector<std::atomic<std::size_t>> remaining(suite.size());
+    for (auto &count : remaining)
+        count.store(factories.size());
+    std::vector<std::future<void>> pending;
+    pending.reserve(total);
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+        for (std::size_t p = 0; p < factories.size(); ++p) {
+            pending.push_back(pool.submit([&, w, p] {
+                run_job(w, p);
+                if (remaining[w].fetch_sub(1) == 1)
+                    store.drop(suite[w]);
+            }));
+        }
+    }
+    // get() rethrows the first job failure; the pool destructor then
+    // abandons unstarted jobs so teardown stays prompt.
+    for (std::future<void> &job : pending)
+        job.get();
+    return results;
 }
 
 std::vector<WorkloadResult>

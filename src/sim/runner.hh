@@ -15,14 +15,28 @@
 #include "core/policy_factory.hh"
 #include "sim/sim_config.hh"
 #include "sim/sim_stats.hh"
+#include "trace/trace_store.hh"
 #include "trace/workload_suite.hh"
 
 namespace chirp
 {
 
+class Simulator;
+
 /** Creates a fresh policy instance for a given TLB geometry. */
 using PolicyFactory = std::function<std::unique_ptr<ReplacementPolicy>(
     std::uint32_t num_sets, std::uint32_t assoc)>;
+
+/**
+ * Optional per-job hook for runSuiteMulti: called right after the
+ * simulation for (policy @p policy_idx, workload @p workload_idx)
+ * completes, while its Simulator (and thus the policy instance with
+ * any diagnostic counters) is still alive.  Invoked on the worker
+ * thread that ran the job; observers must do their own locking.
+ */
+using SimObserver = std::function<void(
+    std::size_t policy_idx, std::size_t workload_idx,
+    const Simulator &sim)>;
 
 /** Result of one (workload, policy) simulation. */
 struct WorkloadResult
@@ -68,6 +82,39 @@ class Runner
                      const PolicyFactory &factory, unsigned jobs,
                      const std::string &label = "") const;
 
+    /**
+     * Run every factory in @p factories over @p suite, materializing
+     * each workload's record stream exactly once in the trace store
+     * and replaying it from flat memory for all P policies — a
+     * P-policy sweep costs one generation per workload instead of P.
+     * Returns one result vector per factory, each in suite order and
+     * bit-identical to runSuite of that factory alone at any job
+     * count.  The store's reference to a workload is dropped as soon
+     * as all policies have replayed it, so peak memory is bounded by
+     * the in-flight jobs, not the suite.  @p observer, when set, is
+     * invoked after each job (see SimObserver).
+     */
+    std::vector<std::vector<WorkloadResult>>
+    runSuiteMulti(const std::vector<WorkloadConfig> &suite,
+                  const std::vector<PolicyFactory> &factories,
+                  const std::string &label = "",
+                  const SimObserver &observer = {}) const;
+
+    /** Replay one materialized workload with a fresh policy. */
+    SimStats runReplay(const WorkloadConfig &workload,
+                       const SharedTrace &trace,
+                       const PolicyFactory &factory) const;
+
+    /**
+     * Point the trace store's disk tier at @p dir (resets the store;
+     * empty disables the tier).  The constructor seeds the tier from
+     * CHIRP_TRACE_CACHE.
+     */
+    void setTraceCacheDir(const std::string &dir);
+
+    /** The materialized-trace store shared by runSuiteMulti calls. */
+    TraceStore &traceStore() const { return *store_; }
+
     const SimConfig &config() const { return config_; }
 
     /** Worker threads used by runSuite. */
@@ -82,6 +129,8 @@ class Runner
   private:
     SimConfig config_;
     unsigned jobs_ = 1;
+    /** Shared so copies of a Runner reuse one materialization cache. */
+    std::shared_ptr<TraceStore> store_;
 };
 
 /**

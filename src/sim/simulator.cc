@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace chirp
@@ -115,7 +117,12 @@ Simulator::runImpl(const std::vector<TraceSource *> &sources,
     std::vector<bool> done(sources.size(), false);
     std::size_t live_sources = sources.size();
     activeAsid_ = static_cast<Asid>(active + 1);
-    TraceRecord rec;
+    // Records are pulled in fixed-size chunks so the per-record
+    // virtual dispatch (and, for memory-backed sources, all generator
+    // branching) stays out of the instruction loop.  Chunks never
+    // cross a context-switch boundary, so the interleaving schedule
+    // is identical to the old one-record pull.
+    TraceRecord batch[kReplayBatch];
     while (live_sources > 0) {
         // Round-robin context switches every `quantum` instructions.
         if (sources.size() > 1 && quantum_left == 0) {
@@ -135,32 +142,39 @@ Simulator::runImpl(const std::vector<TraceSource *> &sources,
             activeAsid_ = static_cast<Asid>(active + 1);
             quantum_left = quantum;
         }
-        if (!sources[active]->next(rec)) {
+        std::size_t want = kReplayBatch;
+        if (sources.size() > 1)
+            want = static_cast<std::size_t>(
+                std::min<InstCount>(want, quantum_left));
+        const std::size_t got = sources[active]->nextBatch(batch, want);
+        if (got == 0) {
             done[active] = true;
             --live_sources;
             quantum_left = 0;
             continue;
         }
-        if (quantum_left > 0)
-            --quantum_left;
-        if (!snapped && retired >= warmup) {
-            snap.cycles = cycles;
-            snap.l1iAcc = tlbs_->l1i().accesses();
-            snap.l1iMiss = tlbs_->l1i().misses();
-            snap.l1dAcc = tlbs_->l1d().accesses();
-            snap.l1dMiss = tlbs_->l1d().misses();
-            snap.l2Acc = tlbs_->l2().accesses();
-            snap.l2Hit = tlbs_->l2().hits();
-            snap.l2Miss = tlbs_->l2().misses();
-            snap.branches = branch_.branches();
-            snap.mispredicts = branch_.mispredicts();
-            snap.tReads = tlbs_->l2().policy().tableReads();
-            snap.tWrites = tlbs_->l2().policy().tableWrites();
-            snap.walkCycles = tlbs_->walker().totalCycles();
-            snapped = true;
+        if (sources.size() > 1)
+            quantum_left -= got;
+        for (std::size_t i = 0; i < got; ++i) {
+            if (!snapped && retired >= warmup) {
+                snap.cycles = cycles;
+                snap.l1iAcc = tlbs_->l1i().accesses();
+                snap.l1iMiss = tlbs_->l1i().misses();
+                snap.l1dAcc = tlbs_->l1d().accesses();
+                snap.l1dMiss = tlbs_->l1d().misses();
+                snap.l2Acc = tlbs_->l2().accesses();
+                snap.l2Hit = tlbs_->l2().hits();
+                snap.l2Miss = tlbs_->l2().misses();
+                snap.branches = branch_.branches();
+                snap.mispredicts = branch_.mispredicts();
+                snap.tReads = tlbs_->l2().policy().tableReads();
+                snap.tWrites = tlbs_->l2().policy().tableWrites();
+                snap.walkCycles = tlbs_->walker().totalCycles();
+                snapped = true;
+            }
+            cycles += step(batch[i], retired);
+            ++retired;
         }
-        cycles += step(rec, retired);
-        ++retired;
     }
     if (!snapped) {
         // Degenerate short trace: everything is warmup; measure all.

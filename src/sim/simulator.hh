@@ -26,6 +26,13 @@
 namespace chirp
 {
 
+/**
+ * Records pulled per TraceSource::nextBatch call in the simulation
+ * loop: large enough to amortize the virtual dispatch, small enough
+ * (8 KB of records) to stay L1-resident.
+ */
+constexpr std::size_t kReplayBatch = 256;
+
 /** One processor model instance. */
 class Simulator
 {

@@ -1,5 +1,8 @@
 #include "tlb/tlb.hh"
 
+#include <typeinfo>
+
+#include "core/lru.hh"
 #include "util/logging.hh"
 
 namespace chirp
@@ -24,31 +27,51 @@ Tlb::Tlb(const TlbConfig &config,
                     " does not match TLB geometry ", array_.numSets(), "x",
                     array_.assoc());
     }
+    // Exact-type check: a subclass could override hooks the memo
+    // fast path skips, so LruPolicy derivatives don't qualify.
+    plainLru_ = typeid(*policy_) == typeid(LruPolicy);
 }
 
 bool
-Tlb::access(const AccessInfo &info, Asid asid, std::uint64_t now,
-            unsigned page_shift)
+Tlb::accessSlow(const AccessInfo &info, Asid asid, std::uint64_t now,
+                Addr key)
 {
-    ++accesses_;
-    const Addr key = keyOf(info.vaddr, asid, page_shift);
     const std::uint32_t set = array_.setIndex(key);
     const Addr tag = array_.tagOf(key);
+
+    // Qualified calls on the exact type bypass the vtable (and let
+    // the stack update inline) for the ubiquitous LRU case; the
+    // onAccessEnd default is an empty body, so skipping it for plain
+    // LRU changes nothing.
+    LruPolicy *const lru =
+        plainLru_ ? static_cast<LruPolicy *>(policy_.get()) : nullptr;
 
     int way = array_.findWay(set, tag);
     if (way >= 0) {
         ++hits_;
         auto &slot = array_.at(set, way);
         slot.data.lastHitTime = now;
-        policy_->onHit(set, static_cast<std::uint32_t>(way), info);
-        policy_->onAccessEnd(set, info);
+        if (lru) {
+            lru->LruPolicy::onHit(set, static_cast<std::uint32_t>(way),
+                                  info);
+            hotKey_ = key;
+            hotSet_ = set;
+            hotWay_ = way;
+        } else {
+            policy_->onHit(set, static_cast<std::uint32_t>(way), info);
+            policy_->onAccessEnd(set, info);
+        }
         return true;
     }
 
     ++misses_;
+    // The fill below may evict any way, including the memoized one.
+    hotWay_ = -1;
     way = array_.invalidWay(set);
     if (way < 0) {
-        way = static_cast<int>(policy_->selectVictim(set, info));
+        way = static_cast<int>(
+            lru ? lru->LruPolicy::selectVictim(set, info)
+                : policy_->selectVictim(set, info));
         if (way < 0 || static_cast<std::uint32_t>(way) >= array_.assoc())
             chirp_panic("tlb '", config_.name, "': policy '",
                         policy_->name(), "' chose invalid way ", way);
@@ -63,8 +86,13 @@ Tlb::access(const AccessInfo &info, Asid asid, std::uint64_t now,
     slot.data.asid = asid;
     slot.data.fillTime = now;
     slot.data.lastHitTime = now;
-    policy_->onFill(set, static_cast<std::uint32_t>(way), info);
-    policy_->onAccessEnd(set, info);
+    if (lru) {
+        lru->LruPolicy::onFill(set, static_cast<std::uint32_t>(way),
+                               info);
+    } else {
+        policy_->onFill(set, static_cast<std::uint32_t>(way), info);
+        policy_->onAccessEnd(set, info);
+    }
     return false;
 }
 
@@ -78,6 +106,7 @@ Tlb::probe(Addr vaddr, Asid asid, unsigned page_shift) const
 void
 Tlb::flushAll(std::uint64_t now)
 {
+    hotWay_ = -1;
     for (std::uint32_t set = 0; set < array_.numSets(); ++set) {
         for (std::uint32_t way = 0; way < array_.assoc(); ++way) {
             auto &slot = array_.at(set, way);
@@ -94,6 +123,7 @@ Tlb::flushAll(std::uint64_t now)
 void
 Tlb::flushAsid(Asid asid, std::uint64_t now)
 {
+    hotWay_ = -1;
     for (std::uint32_t set = 0; set < array_.numSets(); ++set) {
         for (std::uint32_t way = 0; way < array_.assoc(); ++way) {
             auto &slot = array_.at(set, way);
@@ -124,6 +154,7 @@ Tlb::finalizeEfficiency(std::uint64_t now)
 void
 Tlb::reset()
 {
+    hotWay_ = -1;
     array_.invalidateAll();
     policy_->reset();
     efficiency_.reset();

@@ -48,9 +48,28 @@ class Tlb
      * @param page_shift log2 page size backing the address: one
      *        entry covers the whole 4KB or 2MB page
      * @return true on hit.
+     *
+     * The memo check lives inline so the dominant repeat-hit case
+     * (sequential fetches within one page) resolves without leaving
+     * the caller's loop; everything else goes out of line.
      */
-    bool access(const AccessInfo &info, Asid asid, std::uint64_t now,
-                unsigned page_shift = kPageShift);
+    bool
+    access(const AccessInfo &info, Asid asid, std::uint64_t now,
+           unsigned page_shift = kPageShift)
+    {
+        ++accesses_;
+        const Addr key = keyOf(info.vaddr, asid, page_shift);
+        if (hotWay_ >= 0 && key == hotKey_) {
+            // Repeat hit on the previous entry: counters and
+            // timestamps advance exactly as in the general path; the
+            // policy calls are no-ops by construction (see the memo
+            // comment below).
+            ++hits_;
+            array_.at(hotSet_, hotWay_).data.lastHitTime = now;
+            return true;
+        }
+        return accessSlow(info, asid, now, key);
+    }
 
     /** Hit check with no state change. */
     bool probe(Addr vaddr, Asid asid,
@@ -88,6 +107,10 @@ class Tlb
     std::uint64_t validCount() const { return array_.validCount(); }
 
   private:
+    /** General hit/miss handling once the memo fast path declined. */
+    bool accessSlow(const AccessInfo &info, Asid asid,
+                    std::uint64_t now, Addr key);
+
     /** Per-entry payload. */
     struct Entry
     {
@@ -115,6 +138,17 @@ class Tlb
     SetAssocArray<Entry> array_;
     std::unique_ptr<ReplacementPolicy> policy_;
     EfficiencyTracker efficiency_;
+    // Last-hit memo: when the policy is exactly LruPolicy, a repeat
+    // hit on the immediately-preceding entry is a provable no-op for
+    // the policy (the way is already MRU, so touch() does nothing and
+    // onAccessEnd is the empty default), letting the hot sequential
+    // case skip the set scan and both virtual calls.  The memo holds
+    // the full key, so ASID and page-size mismatches fall through.
+    // Any miss, flush or reset clears it.
+    bool plainLru_ = false;
+    int hotWay_ = -1; //!< <0 = no memo
+    std::uint32_t hotSet_ = 0;
+    Addr hotKey_ = 0;
     std::uint64_t accesses_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

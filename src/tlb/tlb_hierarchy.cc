@@ -22,6 +22,7 @@ TlbHierarchy::TlbHierarchy(const TlbHierarchyConfig &config,
 {
     if (!walker_)
         chirp_fatal("TLB hierarchy needs a page walker");
+    l2WantsRetire_ = l2_.policy().wantsRetireEvents();
 }
 
 std::unique_ptr<TlbHierarchy>
@@ -30,44 +31,6 @@ TlbHierarchy::makeDefault(std::unique_ptr<ReplacementPolicy> l2_policy,
 {
     return std::make_unique<TlbHierarchy>(
         TlbHierarchyConfig{}, std::move(l2_policy), std::move(walker));
-}
-
-TranslateResult
-TlbHierarchy::translate(const AccessInfo &info, Asid asid,
-                        std::uint64_t now)
-{
-    TranslateResult result;
-    Tlb &l1 = info.isInstr ? l1i_ : l1d_;
-    const unsigned page_shift =
-        pageMap_ ? pageMap_->pageShiftFor(info.vaddr) : kPageShift;
-
-    if (l1.access(info, asid, now, page_shift)) {
-        result.l1Hit = true;
-        return result; // 1-cycle L1 hit is hidden by the pipeline
-    }
-
-    // L1 miss: probe the unified L2.
-    result.stall += l2_.config().hitLatency;
-    if (l2_.access(info, asid, now, page_shift)) {
-        result.l2Hit = true;
-        return result;
-    }
-
-    // L2 miss: walk the page table.
-    result.stall += walker_->walk(info.vaddr);
-    return result;
-}
-
-void
-TlbHierarchy::onBranchRetired(Addr pc, InstClass cls, bool taken)
-{
-    l2_.policy().onBranchRetired(pc, cls, taken);
-}
-
-void
-TlbHierarchy::onInstRetired(Addr pc, InstClass cls)
-{
-    l2_.policy().onInstRetired(pc, cls);
 }
 
 void

@@ -53,10 +53,33 @@ class TlbHierarchy
     /**
      * Translate one access.  `info.isInstr` selects the L1 TLB;
      * `info.vaddr` is the address being translated (the PC itself
-     * for instruction fetches).
+     * for instruction fetches).  Inline so the all-L1-hit common
+     * case stays inside the simulation loop.
      */
-    TranslateResult translate(const AccessInfo &info, Asid asid,
-                              std::uint64_t now);
+    TranslateResult
+    translate(const AccessInfo &info, Asid asid, std::uint64_t now)
+    {
+        TranslateResult result;
+        Tlb &l1 = info.isInstr ? l1i_ : l1d_;
+        const unsigned page_shift =
+            pageMap_ ? pageMap_->pageShiftFor(info.vaddr) : kPageShift;
+
+        if (l1.access(info, asid, now, page_shift)) {
+            result.l1Hit = true;
+            return result; // 1-cycle L1 hit is hidden by the pipeline
+        }
+
+        // L1 miss: probe the unified L2.
+        result.stall += l2_.config().hitLatency;
+        if (l2_.access(info, asid, now, page_shift)) {
+            result.l2Hit = true;
+            return result;
+        }
+
+        // L2 miss: walk the page table.
+        result.stall += walker_->walk(info.vaddr);
+        return result;
+    }
 
     /**
      * Use @p map to decide each address's backing page size (mixed
@@ -70,12 +93,23 @@ class TlbHierarchy
     /**
      * Deliver a retired branch to the L2 policy (CHiRP/GHRP build
      * their branch histories from the full instruction stream).
+     * Skipped entirely for retire-blind policies.
      */
-    void onBranchRetired(Addr pc, InstClass cls, bool taken);
+    void
+    onBranchRetired(Addr pc, InstClass cls, bool taken)
+    {
+        if (l2WantsRetire_)
+            l2_.policy().onBranchRetired(pc, cls, taken);
+    }
 
     /** Deliver every retired instruction to the L2 policy (path
-     *  history updates). */
-    void onInstRetired(Addr pc, InstClass cls);
+     *  history updates).  Skipped for retire-blind policies. */
+    void
+    onInstRetired(Addr pc, InstClass cls)
+    {
+        if (l2WantsRetire_)
+            l2_.policy().onInstRetired(pc, cls);
+    }
 
     /** Close out L2 efficiency accounting at observation end. */
     void finalizeEfficiency(std::uint64_t now);
@@ -97,6 +131,9 @@ class TlbHierarchy
 
     TlbHierarchyConfig config_;
     const PageMap *pageMap_ = nullptr;
+    //! Cached wantsRetireEvents() of the L2 policy: skips two virtual
+    //! calls per retired instruction for retire-blind policies.
+    bool l2WantsRetire_ = true;
     Tlb l1i_;
     Tlb l1d_;
     Tlb l2_;

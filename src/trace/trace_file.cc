@@ -1,5 +1,6 @@
 #include "trace/trace_file.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/logging.hh"
@@ -196,6 +197,61 @@ TraceFileSource::~TraceFileSource()
 }
 
 bool
+TraceFileSource::probe(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    bool ok = false;
+    char magic[4];
+    std::uint32_t version = 0;
+    std::uint64_t count = 0;
+    if (std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+        std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+        get32(f, version) && version == kTraceFormatVersion &&
+        get64(f, count) && std::fseek(f, 0, SEEK_END) == 0) {
+        const long size = std::ftell(f);
+        const std::uint64_t expected = static_cast<std::uint64_t>(
+            kHeaderBytes) + count * kRecordBytes + 8;
+        ok = size >= 0 && static_cast<std::uint64_t>(size) == expected;
+    }
+    std::fclose(f);
+    return ok;
+}
+
+bool
+TraceFileSource::verifyChecksum()
+{
+    if (verified_)
+        return true;
+    const long pos = std::ftell(file_);
+    std::fseek(file_, kHeaderBytes, SEEK_SET);
+    std::uint64_t hash = kFnvOffset;
+    std::uint64_t remaining = count_ * kRecordBytes;
+    std::uint8_t buf[kRecordBytes * 256];
+    bool ok = true;
+    while (remaining > 0) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(sizeof(buf), remaining));
+        if (std::fread(buf, 1, want, file_) != want) {
+            ok = false;
+            break;
+        }
+        hash = fnvUpdate(hash, buf, want);
+        remaining -= want;
+    }
+    if (ok) {
+        std::uint64_t stored = 0;
+        ok = get64(file_, stored) && stored == hash;
+    }
+    if (ok)
+        verified_ = true;
+    std::clearerr(file_);
+    std::fseek(file_, pos, SEEK_SET);
+    return ok;
+}
+
+bool
 TraceFileSource::next(TraceRecord &rec)
 {
     if (read_ >= count_) {
@@ -210,6 +266,31 @@ TraceFileSource::next(TraceRecord &rec)
     unpackRecord(buf, rec);
     ++read_;
     return true;
+}
+
+std::size_t
+TraceFileSource::nextBatch(TraceRecord *out, std::size_t n)
+{
+    std::size_t total = 0;
+    std::uint8_t buf[kRecordBytes * 256];
+    while (total < n && read_ < count_) {
+        const std::size_t want = std::min<std::size_t>(
+            {n - total, sizeof(buf) / kRecordBytes,
+             static_cast<std::size_t>(count_ - read_)});
+        if (std::fread(buf, 1, want * kRecordBytes, file_) !=
+            want * kRecordBytes) {
+            chirp_fatal("'", name(), "' is truncated at record ", read_);
+        }
+        if (!verified_)
+            checksum_ = fnvUpdate(checksum_, buf, want * kRecordBytes);
+        for (std::size_t i = 0; i < want; ++i)
+            unpackRecord(buf + i * kRecordBytes, out[total + i]);
+        total += want;
+        read_ += want;
+    }
+    if (read_ >= count_)
+        verifyFooter();
+    return total;
 }
 
 void

@@ -12,6 +12,7 @@
 #define CHIRP_TRACE_TRACE_SOURCE_HH
 
 #include <algorithm>
+#include <cstddef>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +33,23 @@ class TraceSource
      * @return false at end of trace.
      */
     virtual bool next(TraceRecord &rec) = 0;
+
+    /**
+     * Produce up to @p n instructions into @p out and return how many
+     * were written.  A short count (anything below @p n, including 0)
+     * means end of trace; callers may rely on that to avoid a final
+     * empty probe.  The default implementation loops next(); sources
+     * backed by flat memory override it so bulk consumers skip the
+     * per-record virtual call.
+     */
+    virtual std::size_t
+    nextBatch(TraceRecord *out, std::size_t n)
+    {
+        std::size_t got = 0;
+        while (got < n && next(out[got]))
+            ++got;
+        return got;
+    }
 
     /** Rewind to the beginning of the trace. */
     virtual void reset() = 0;
@@ -71,6 +89,15 @@ class VectorSource : public TraceSource
         return true;
     }
 
+    std::size_t
+    nextBatch(TraceRecord *out, std::size_t n) override
+    {
+        const std::size_t got = std::min(n, records_.size() - pos_);
+        std::copy_n(records_.data() + pos_, got, out);
+        pos_ += got;
+        return got;
+    }
+
     void reset() override { pos_ = 0; }
 
     InstCount expectedLength() const override { return records_.size(); }
@@ -106,6 +133,16 @@ class CappedSource : public TraceSource
             return false;
         ++count_;
         return true;
+    }
+
+    std::size_t
+    nextBatch(TraceRecord *out, std::size_t n) override
+    {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<InstCount>(n, cap_ - count_));
+        const std::size_t got = inner_.nextBatch(out, want);
+        count_ += got;
+        return got;
     }
 
     void

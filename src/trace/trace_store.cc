@@ -1,0 +1,191 @@
+#include "trace/trace_store.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "trace/trace_file.hh"
+#include "util/hashing.hh"
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+std::uint64_t
+workloadTraceKey(const WorkloadConfig &config)
+{
+    std::uint64_t key =
+        mix64(static_cast<std::uint64_t>(config.category) + 1);
+    key = hashCombine(key, config.seed);
+    key = hashCombine(key, config.length);
+    std::uint64_t scale_bits = 0;
+    static_assert(sizeof(scale_bits) == sizeof(config.scale));
+    std::memcpy(&scale_bits, &config.scale, sizeof(scale_bits));
+    return hashCombine(key, scale_bits);
+}
+
+std::vector<TraceRecord>
+materializeWorkload(const WorkloadConfig &config)
+{
+    const auto program = buildWorkload(config);
+    std::vector<TraceRecord> records;
+    records.reserve(static_cast<std::size_t>(program->length()));
+    TraceRecord rec;
+    while (program->next(rec))
+        records.push_back(rec);
+    return records;
+}
+
+TraceStore::TraceStore()
+{
+    if (const char *env = std::getenv("CHIRP_TRACE_CACHE"); env && *env)
+        cacheDir_ = env;
+}
+
+TraceStore::TraceStore(std::string cache_dir)
+    : cacheDir_(std::move(cache_dir))
+{
+}
+
+std::string
+TraceStore::cachePath(const WorkloadConfig &config) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "chirp-%016llx.chtr",
+                  static_cast<unsigned long long>(
+                      workloadTraceKey(config)));
+    return cacheDir_ + "/" + name;
+}
+
+SharedTrace
+TraceStore::get(const WorkloadConfig &config)
+{
+    const std::uint64_t key = workloadTraceKey(config);
+    std::promise<SharedTrace> promise;
+    std::shared_future<SharedTrace> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+            owner = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (!owner)
+        return future.get();
+    try {
+        SharedTrace trace = load(config);
+        promise.set_value(trace);
+        return trace;
+    } catch (...) {
+        // Unpublish the failed entry so a later get() can retry, then
+        // wake any waiters with the failure.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            entries_.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+}
+
+SharedTrace
+TraceStore::load(const WorkloadConfig &config)
+{
+    if (!cacheDir_.empty()) {
+        const std::string path = cachePath(config);
+        if (SharedTrace trace = loadFromDisk(config, path))
+            return trace;
+        auto records = std::make_shared<std::vector<TraceRecord>>(
+            materializeWorkload(config));
+        generated_.fetch_add(1);
+        saveToDisk(*records, path);
+        return records;
+    }
+    auto records = std::make_shared<std::vector<TraceRecord>>(
+        materializeWorkload(config));
+    generated_.fetch_add(1);
+    return records;
+}
+
+SharedTrace
+TraceStore::loadFromDisk(const WorkloadConfig &config,
+                         const std::string &path)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::exists(path, ec))
+        return nullptr;
+    if (!TraceFileSource::probe(path)) {
+        rejected_.fetch_add(1);
+        return nullptr;
+    }
+    TraceFileSource source(path);
+    if (source.count() != config.length || !source.verifyChecksum()) {
+        rejected_.fetch_add(1);
+        return nullptr;
+    }
+    auto records = std::make_shared<std::vector<TraceRecord>>(
+        static_cast<std::size_t>(source.count()));
+    const std::size_t got =
+        source.nextBatch(records->data(), records->size());
+    if (got != records->size()) {
+        rejected_.fetch_add(1);
+        return nullptr;
+    }
+    diskLoads_.fetch_add(1);
+    return records;
+}
+
+void
+TraceStore::saveToDisk(const std::vector<TraceRecord> &records,
+                       const std::string &path) const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(cacheDir_, ec);
+    if (ec) {
+        chirp_warn("trace cache: cannot create '", cacheDir_,
+                  "', caching disabled for this trace");
+        return;
+    }
+    // Write to a private temp name and rename so concurrent processes
+    // only ever observe complete files.
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(static_cast<unsigned long long>(
+            reinterpret_cast<std::uintptr_t>(this)));
+    {
+        TraceFileWriter writer(tmp);
+        for (const TraceRecord &rec : records)
+            writer.append(rec);
+        writer.close();
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        chirp_warn("trace cache: cannot publish '", path, "'");
+    }
+}
+
+void
+TraceStore::drop(const WorkloadConfig &config)
+{
+    const std::uint64_t key = workloadTraceKey(config);
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.erase(key);
+}
+
+std::size_t
+TraceStore::residentTraces() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace chirp

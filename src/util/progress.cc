@@ -1,19 +1,27 @@
 #include "util/progress.hh"
 
+#include <algorithm>
 #include <cstdio>
+
+#include <unistd.h>
 
 namespace chirp
 {
 
-ProgressReporter::ProgressReporter(std::string label, std::size_t total)
-    : label_(std::move(label)), total_(total)
+ProgressReporter::ProgressReporter(std::string label, std::size_t total,
+                                   Mode mode)
+    : label_(std::move(label)), total_(total), mode_(mode),
+      stride_(std::max<std::size_t>(1, total / 10))
 {
+    if (mode_ == Mode::Auto) {
+        mode_ = ::isatty(::fileno(stderr)) ? Mode::Tty : Mode::Lines;
+    }
 }
 
 ProgressReporter::~ProgressReporter()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!label_.empty() && done_ > 0)
+    if (!label_.empty() && done_ > 0 && mode_ == Mode::Tty)
         std::fprintf(stderr, "\n");
 }
 
@@ -24,9 +32,19 @@ ProgressReporter::tick()
     ++done_;
     if (label_.empty())
         return;
-    std::fprintf(stderr, "\r  [%s] %zu/%zu workloads", label_.c_str(),
-                 done_, total_);
-    std::fflush(stderr);
+    if (mode_ == Mode::Tty) {
+        std::fprintf(stderr, "\r  [%s] %zu/%zu workloads", label_.c_str(),
+                     done_, total_);
+        std::fflush(stderr);
+        return;
+    }
+    // Line mode: one complete line every `stride_` ticks and one at
+    // the end, so a full batch logs ~11 lines however large it is.
+    if (done_ % stride_ == 0 || done_ == total_) {
+        std::fprintf(stderr, "  [%s] %zu/%zu workloads\n", label_.c_str(),
+                     done_, total_);
+        std::fflush(stderr);
+    }
 }
 
 std::size_t

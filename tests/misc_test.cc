@@ -6,6 +6,7 @@
 #include "tlb/efficiency.hh"
 #include "trace/synthetic/code_layout.hh"
 #include "util/logging.hh"
+#include "util/progress.hh"
 
 namespace chirp
 {
@@ -135,6 +136,43 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<unsigned, unsigned>{40, 4},
                       std::pair<unsigned, unsigned>{24, 8},
                       std::pair<unsigned, unsigned>{16, 2}));
+
+TEST(ProgressReporter, AutoResolvesToLinesWhenNotATty)
+{
+    // Under ctest stderr is a pipe, so Auto must pick the CI-safe
+    // line mode rather than the \r redraw.
+    ProgressReporter progress("auto", 4);
+    EXPECT_EQ(progress.mode(), ProgressReporter::Mode::Lines);
+}
+
+TEST(ProgressReporter, LinesModePrintsStrideAndFinal)
+{
+    ::testing::internal::CaptureStderr();
+    {
+        ProgressReporter progress("batch", 20,
+                                  ProgressReporter::Mode::Lines);
+        for (int i = 0; i < 20; ++i)
+            progress.tick();
+        EXPECT_EQ(progress.done(), 20u);
+    }
+    const std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("[batch] 2/20"), std::string::npos);
+    EXPECT_NE(out.find("[batch] 20/20"), std::string::npos);
+    EXPECT_EQ(out.find('\r'), std::string::npos)
+        << "line mode never uses carriage-return redraws";
+}
+
+TEST(ProgressReporter, EmptyLabelIsSilent)
+{
+    ::testing::internal::CaptureStderr();
+    {
+        ProgressReporter progress("", 5,
+                                  ProgressReporter::Mode::Lines);
+        for (int i = 0; i < 5; ++i)
+            progress.tick();
+    }
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
 
 } // namespace
 } // namespace chirp

@@ -9,10 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "core/policy_factory.hh"
 #include "sim/runner.hh"
+#include "sim/simulator.hh"
 
 namespace chirp
 {
@@ -140,6 +143,88 @@ TEST(RunnerParallel, AggregateIsOrderIndependent)
     EXPECT_EQ(forward.tableReads, backward.tableReads);
     EXPECT_EQ(forward.walkCycles, backward.walkCycles);
     EXPECT_GT(forward.instructions, 0u);
+}
+
+TEST(RunnerMulti, MatchesPerPolicyRunSuite)
+{
+    // The materialized-replay sweep must be bit-identical to running
+    // each policy standalone through the generator, serial or not.
+    const auto suite = smallSuite(6);
+    const std::vector<PolicyFactory> factories = {
+        Runner::factoryFor(PolicyKind::Lru),
+        Runner::factoryFor(PolicyKind::Srrip),
+        Runner::factoryFor(PolicyKind::Ghrp),
+        Runner::factoryFor(PolicyKind::Chirp),
+    };
+    const Runner serial(fastConfig(), 1);
+    const Runner parallel(fastConfig(), 4);
+    const auto multi_serial = serial.runSuiteMulti(suite, factories);
+    const auto multi_parallel = parallel.runSuiteMulti(suite, factories);
+    ASSERT_EQ(multi_serial.size(), factories.size());
+    ASSERT_EQ(multi_parallel.size(), factories.size());
+    for (std::size_t p = 0; p < factories.size(); ++p) {
+        SCOPED_TRACE("policy " + std::to_string(p));
+        const auto standalone = serial.runSuite(suite, factories[p]);
+        expectIdenticalResults(standalone, multi_serial[p]);
+        expectIdenticalResults(standalone, multi_parallel[p]);
+    }
+}
+
+TEST(RunnerMulti, GeneratesEachWorkloadOnce)
+{
+    const auto suite = smallSuite(5);
+    const std::vector<PolicyFactory> factories = {
+        Runner::factoryFor(PolicyKind::Lru),
+        Runner::factoryFor(PolicyKind::Random),
+        Runner::factoryFor(PolicyKind::Ship),
+    };
+    const Runner runner(fastConfig(), 2);
+    runner.runSuiteMulti(suite, factories);
+    EXPECT_EQ(runner.traceStore().generated(), suite.size())
+        << "one materialization per workload, not per policy job";
+    EXPECT_EQ(runner.traceStore().residentTraces(), 0u)
+        << "all traces dropped after their last policy job";
+}
+
+TEST(RunnerMulti, ObserverSeesEveryJob)
+{
+    const auto suite = smallSuite(4);
+    const std::vector<PolicyFactory> factories = {
+        Runner::factoryFor(PolicyKind::Lru),
+        Runner::factoryFor(PolicyKind::Chirp),
+    };
+    std::mutex mutex;
+    std::vector<std::pair<std::size_t, std::size_t>> seen;
+    const SimObserver observer = [&](std::size_t p, std::size_t w,
+                                     const Simulator &sim) {
+        EXPECT_GT(sim.tlbs().l2().accesses(), 0u);
+        std::lock_guard<std::mutex> lock(mutex);
+        seen.emplace_back(p, w);
+    };
+    const Runner runner(fastConfig(), 3);
+    runner.runSuiteMulti(suite, factories, "", observer);
+    ASSERT_EQ(seen.size(), factories.size() * suite.size());
+    std::sort(seen.begin(), seen.end());
+    for (std::size_t p = 0; p < factories.size(); ++p)
+        for (std::size_t w = 0; w < suite.size(); ++w)
+            EXPECT_EQ(seen[p * suite.size() + w],
+                      std::make_pair(p, w));
+}
+
+TEST(RunnerMulti, RunReplayMatchesGeneratorRun)
+{
+    const auto suite = smallSuite(1);
+    const Runner runner(fastConfig(), 1);
+    const auto factory = Runner::factoryFor(PolicyKind::Srrip);
+    const auto reference = runner.runSuite(suite, factory);
+
+    const SharedTrace trace = runner.traceStore().get(suite[0]);
+    const SimStats replayed =
+        runner.runReplay(suite[0], trace, factory);
+    EXPECT_EQ(replayed.instructions, reference[0].stats.instructions);
+    EXPECT_EQ(replayed.cycles, reference[0].stats.cycles);
+    EXPECT_EQ(replayed.l2TlbMisses, reference[0].stats.l2TlbMisses);
+    EXPECT_EQ(replayed.l2Efficiency, reference[0].stats.l2Efficiency);
 }
 
 TEST(RunnerParallel, MergeSumsCounters)

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 
 #include "trace/trace_file.hh"
 
@@ -116,6 +117,86 @@ TEST(TraceFile, ChecksumDetectsCorruption)
         },
         ::testing::ExitedWithCode(1), "checksum");
     std::remove(path.c_str());
+}
+
+TEST(TraceFile, VerifyChecksumAcceptsIntactFiles)
+{
+    const std::string path = ::testing::TempDir() + "verify_ok.chtr";
+    const auto records = sampleRecords();
+    {
+        TraceFileWriter writer(path);
+        for (const auto &rec : records)
+            writer.append(rec);
+    }
+    TraceFileSource source(path);
+    EXPECT_TRUE(source.verifyChecksum());
+    // Verification must not disturb the read position: the full
+    // stream still replays.
+    TraceRecord rec;
+    std::size_t i = 0;
+    while (source.next(rec))
+        EXPECT_EQ(rec, records[i++]);
+    EXPECT_EQ(i, records.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, VerifyChecksumRejectsCorruption)
+{
+    const std::string path = ::testing::TempDir() + "verify_bad.chtr";
+    {
+        TraceFileWriter writer(path);
+        for (const auto &rec : sampleRecords())
+            writer.append(rec);
+    }
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 16 + 26 * 42, SEEK_SET);
+        const int c = std::fgetc(f);
+        std::fseek(f, -1, SEEK_CUR);
+        std::fputc(c ^ 0x01, f);
+        std::fclose(f);
+    }
+    TraceFileSource source(path);
+    EXPECT_FALSE(source.verifyChecksum())
+        << "eager verification flags the flipped byte";
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ProbeClassifiesFiles)
+{
+    const std::string good = ::testing::TempDir() + "probe_good.chtr";
+    {
+        TraceFileWriter writer(good);
+        for (const auto &rec : sampleRecords())
+            writer.append(rec);
+    }
+    EXPECT_TRUE(TraceFileSource::probe(good));
+
+    const std::string garbage = ::testing::TempDir() + "probe_bad.chtr";
+    {
+        std::FILE *f = std::fopen(garbage.c_str(), "wb");
+        std::fputs("not a trace at all", f);
+        std::fclose(f);
+    }
+    EXPECT_FALSE(TraceFileSource::probe(garbage));
+
+    // Truncated payload: header claims more records than the file
+    // holds.
+    const std::string truncated =
+        ::testing::TempDir() + "probe_trunc.chtr";
+    std::filesystem::copy_file(
+        good, truncated,
+        std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(truncated, 16 + 26 * 50);
+    EXPECT_FALSE(TraceFileSource::probe(truncated));
+
+    EXPECT_FALSE(TraceFileSource::probe(
+        ::testing::TempDir() + "does_not_exist.chtr"));
+
+    std::remove(good.c_str());
+    std::remove(garbage.c_str());
+    std::remove(truncated.c_str());
 }
 
 TEST(TraceFile, RejectsGarbageFiles)
