@@ -8,9 +8,19 @@
  * keep its per-access work (and hence the modeled energy) close to
  * LRU's, unlike per-access predictors.  Absolute numbers are host
  * timings of the simulator, not hardware latencies.
+ *
+ * Besides the usual console table, writes BENCH_policy_overhead.json
+ * (ns/access per policy, stable schema) so CI can archive the perf
+ * trajectory of the policy hot paths and soft-gate regressions
+ * against the committed baseline.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/policy_factory.hh"
 #include "tlb/tlb.hh"
@@ -111,7 +121,91 @@ BM_ChirpSignature(benchmark::State &state)
 }
 BENCHMARK(BM_ChirpSignature);
 
+/**
+ * Console reporting as usual, plus capture of each benchmark's
+ * per-iteration real time for the JSON summary.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (!run.error_occurred)
+                captured_.emplace_back(run.benchmark_name(),
+                                       run.GetAdjustedRealTime());
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    /** (benchmark name, ns per iteration) in run order. */
+    const std::vector<std::pair<std::string, double>> &
+    captured() const
+    {
+        return captured_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, double>> captured_;
+};
+
+/**
+ * Write the stable-schema summary: one "policies" key per benchmark,
+ * value ns/access (ns/update for the two CHiRP component benches).
+ */
+void
+writeJson(const CapturingReporter &reporter, const char *path)
+{
+    // Stable JSON keys for the benchmark functions above.
+    static const std::pair<const char *, const char *> kNames[] = {
+        {"BM_Lru", "lru"},
+        {"BM_Random", "random"},
+        {"BM_Srrip", "srrip"},
+        {"BM_Ship", "ship"},
+        {"BM_Ghrp", "ghrp"},
+        {"BM_Chirp", "chirp"},
+        {"BM_ChirpHistoryUpdate", "chirp_history_update"},
+        {"BM_ChirpSignature", "chirp_signature"},
+    };
+    std::FILE *json = std::fopen(path, "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write '%s'\n", path);
+        return;
+    }
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"micro_policy_overhead\",\n"
+                 "  \"unit\": \"ns_per_access\",\n"
+                 "  \"policies\": {\n");
+    bool first = true;
+    for (const auto &[bench, key] : kNames) {
+        for (const auto &[name, ns] : reporter.captured()) {
+            if (name != bench)
+                continue;
+            std::fprintf(json, "%s    \"%s\": %.2f",
+                         first ? "" : ",\n", key, ns);
+            first = false;
+            break;
+        }
+    }
+    std::fprintf(json, "\n  }\n}\n");
+    std::fclose(json);
+    std::printf("JSON written to %s\n", path);
+}
+
 } // namespace
 } // namespace chirp
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    chirp::CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    chirp::writeJson(reporter, "BENCH_policy_overhead.json");
+    return 0;
+}

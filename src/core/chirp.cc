@@ -1,6 +1,7 @@
 #include "core/chirp.hh"
 
-#include "util/bitfield.hh"
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace chirp
@@ -11,7 +12,9 @@ ChirpPolicy::ChirpPolicy(std::uint32_t num_sets, std::uint32_t assoc,
     : ReplacementPolicy("chirp", num_sets, assoc), config_(config),
       history_(config.history),
       table_(config.tableEntries, config.counterBits, config.hash),
-      meta_(static_cast<std::size_t>(num_sets) * assoc),
+      sig_(static_cast<std::size_t>(num_sets) * assoc, 0),
+      dead_(static_cast<std::size_t>(num_sets) * assoc, 0),
+      firstHit_(static_cast<std::size_t>(num_sets) * assoc, 0),
       stack_(num_sets, assoc)
 {
     if (config.signatureBits == 0 || config.signatureBits > 32)
@@ -23,159 +26,16 @@ ChirpPolicy::reset()
 {
     history_.reset();
     table_.reset();
-    for (auto &m : meta_)
-        m = Meta{};
+    std::fill(sig_.begin(), sig_.end(), 0);
+    std::fill(dead_.begin(), dead_.end(), 0);
+    std::fill(firstHit_.begin(), firstHit_.end(), 0);
     stack_.reset();
     lastSet_ = ~0u;
     deadVictims_ = 0;
     lruVictims_ = 0;
+    memoValid_ = false;
+    sigIdx_ = 0; // an attached signature stream restarts with us
     resetTableCounters();
-}
-
-void
-ChirpPolicy::onBranchRetired(Addr pc, InstClass cls, bool taken)
-{
-    (void)taken; // CHiRP uses branch PCs, not outcomes (§IV-B).
-    if (cls == InstClass::CondBranch)
-        history_.onCondBranch(pc);
-    else if (cls == InstClass::UncondIndirect)
-        history_.onUncondIndirectBranch(pc);
-}
-
-void
-ChirpPolicy::onInstRetired(Addr pc, InstClass cls)
-{
-    // The global path history follows the retired-instruction path
-    // (Algorithm 5 line 22 / UpdatePathHist), filtered to the
-    // configured instruction classes.
-    switch (config_.history.pathFilter) {
-      case PathFilter::All:
-        break;
-      case PathFilter::Memory:
-        if (!isMemory(cls))
-            return;
-        break;
-      case PathFilter::Branch:
-        if (!isBranch(cls))
-            return;
-        break;
-    }
-    history_.onAccess(pc);
-}
-
-std::uint16_t
-ChirpPolicy::currentSignature(Addr pc) const
-{
-    return static_cast<std::uint16_t>(
-        foldXor(history_.signature(pc), config_.signatureBits));
-}
-
-bool
-ChirpPolicy::hitShouldTrain(const Meta &meta, std::uint32_t set) const
-{
-    switch (config_.hitUpdate) {
-      case HitUpdateMode::Every:
-        return true;
-      case HitUpdateMode::FirstHit:
-        return meta.firstHit;
-      case HitUpdateMode::FirstHitDiffSet:
-        return meta.firstHit && set != lastSet_;
-    }
-    return false;
-}
-
-void
-ChirpPolicy::onHit(std::uint32_t set, std::uint32_t way,
-                   const AccessInfo &info)
-{
-    stack_.touch(set, way);
-    Meta &meta = meta_[idx(set, way)];
-    const std::uint16_t new_sig = currentSignature(info.pc);
-
-    if (config_.victimPrefersDead && hitShouldTrain(meta, set)) {
-        // The entry proved live: decrement at its stored signature
-        // (Algorithm 5 lines 16-17) ...
-        countTableWrite();
-        table_.decrement(meta.sig);
-        // ... and refresh the dead prediction under the new context
-        // (lines 7 and 18).
-        countTableRead();
-        meta.dead = table_.read(new_sig) > config_.deadThreshold;
-        meta.firstHit = false;
-    }
-    // The signature always tracks the most recent context (line 20);
-    // this costs no table access, only entry metadata.
-    meta.sig = new_sig;
-}
-
-std::uint32_t
-ChirpPolicy::selectVictim(std::uint32_t set, const AccessInfo &)
-{
-    std::uint32_t victim = ~0u;
-    if (config_.victimPrefersDead) {
-        // Among dead-predicted entries, take the least recently used
-        // one: a freshly inserted entry flagged dead may still see a
-        // near-term touch, while a dead entry deep in the stack has
-        // had every chance.
-        std::uint32_t deepest = 0;
-        for (std::uint32_t way = 0; way < assoc(); ++way) {
-            if (!meta_[idx(set, way)].dead)
-                continue;
-            const std::uint32_t pos = stack_.position(set, way);
-            if (victim == ~0u || pos > deepest) {
-                victim = way;
-                deepest = pos;
-            }
-        }
-    }
-    const bool lru_fallback = victim == ~0u;
-    if (lru_fallback) {
-        victim = stack_.lruWay(set);
-        ++lruVictims_;
-    } else {
-        ++deadVictims_;
-    }
-
-    if (config_.victimPrefersDead &&
-        (lru_fallback || !config_.trainOnLruEvictionOnly)) {
-        // An entry the predictor believed live is being evicted:
-        // dead evidence at its stored signature (lines 10-12).
-        countTableWrite();
-        table_.increment(meta_[idx(set, victim)].sig);
-    }
-    return victim;
-}
-
-void
-ChirpPolicy::onFill(std::uint32_t set, std::uint32_t way,
-                    const AccessInfo &info)
-{
-    stack_.touch(set, way);
-    Meta &meta = meta_[idx(set, way)];
-    meta.sig = currentSignature(info.pc);
-    meta.firstHit = true;
-    if (config_.victimPrefersDead) {
-        // Prediction metadata update for the incoming entry: read the
-        // counter under the new signature and threshold it.
-        countTableRead();
-        meta.dead = table_.read(meta.sig) > config_.deadThreshold;
-    } else {
-        meta.dead = false;
-    }
-}
-
-void
-ChirpPolicy::onInvalidate(std::uint32_t set, std::uint32_t way)
-{
-    stack_.demote(set, way);
-    meta_[idx(set, way)] = Meta{};
-}
-
-void
-ChirpPolicy::onAccessEnd(std::uint32_t set, const AccessInfo &info)
-{
-    (void)info;
-    lastSet_ = set;
 }
 
 std::uint64_t

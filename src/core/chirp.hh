@@ -25,6 +25,14 @@
  * back to LRU.  Every deviation from this default (history
  * components, zero injection, update filters, table geometry) is a
  * ChirpConfig knob so the Fig 2/6/9 ablations are configuration-only.
+ *
+ * Hot-path layout: per-entry metadata is stored structure-of-arrays
+ * (signatures, dead bits and first-hit bits each in their own
+ * contiguous per-set run) so the victim scan walks one small array,
+ * and the per-access signature is composed once in onAccessBegin and
+ * memoized across the hit/victim/fill hooks of the same access.  The
+ * hook bodies are inline so the TLB's devirtualized dispatch can
+ * flatten the whole event sequence into its access loop.
  */
 
 #ifndef CHIRP_CORE_CHIRP_HH
@@ -68,23 +76,167 @@ struct ChirpConfig
 };
 
 /** The CHiRP replacement policy. */
-class ChirpPolicy : public ReplacementPolicy
+class ChirpPolicy final : public ReplacementPolicy
 {
   public:
     ChirpPolicy(std::uint32_t num_sets, std::uint32_t assoc,
                 const ChirpConfig &config = {});
 
     void reset() override;
-    void onBranchRetired(Addr pc, InstClass cls, bool taken) override;
-    void onInstRetired(Addr pc, InstClass cls) override;
-    void onHit(std::uint32_t set, std::uint32_t way,
-               const AccessInfo &info) override;
-    std::uint32_t selectVictim(std::uint32_t set,
-                               const AccessInfo &info) override;
-    void onFill(std::uint32_t set, std::uint32_t way,
-                const AccessInfo &info) override;
-    void onInvalidate(std::uint32_t set, std::uint32_t way) override;
-    void onAccessEnd(std::uint32_t set, const AccessInfo &info) override;
+
+    void
+    onBranchRetired(Addr pc, InstClass cls, bool taken) override
+    {
+        (void)taken; // CHiRP uses branch PCs, not outcomes (§IV-B).
+        if (cls == InstClass::CondBranch) {
+            history_.onCondBranch(pc);
+            memoValid_ = false;
+        } else if (cls == InstClass::UncondIndirect) {
+            history_.onUncondIndirectBranch(pc);
+            memoValid_ = false;
+        }
+    }
+
+    void
+    onInstRetired(Addr pc, InstClass cls) override
+    {
+        // The global path history follows the retired-instruction path
+        // (Algorithm 5 line 22 / UpdatePathHist), filtered to the
+        // configured instruction classes.
+        switch (config_.history.pathFilter) {
+          case PathFilter::All:
+            break;
+          case PathFilter::Memory:
+            if (!isMemory(cls))
+                return;
+            break;
+          case PathFilter::Branch:
+            if (!isBranch(cls))
+                return;
+            break;
+        }
+        history_.onAccess(pc);
+        memoValid_ = false;
+    }
+
+    void
+    onAccessBegin(const AccessInfo &info) override
+    {
+        // Compose the signature once; the hit/victim/fill hooks of
+        // this access reuse it instead of re-reducing the histories.
+        if (sigStream_) {
+            // Replay mode: the signatures this policy would compose
+            // were precomputed from the retire stream, one per access
+            // in order, so the histories need not be evolved at all.
+            memoSig_ = sigStream_[sigIdx_++];
+        } else {
+            memoSig_ = computeSignature(info.pc);
+        }
+        memoPc_ = info.pc;
+        memoValid_ = true;
+    }
+
+    void
+    onHit(std::uint32_t set, std::uint32_t way,
+          const AccessInfo &info) override
+    {
+        stack_.touch(set, way);
+        const std::size_t entry = idx(set, way);
+        const std::uint16_t new_sig = memoizedSignature(info.pc);
+
+        if (config_.victimPrefersDead && hitShouldTrain(entry, set)) {
+            // The entry proved live: decrement at its stored signature
+            // (Algorithm 5 lines 16-17) ...
+            countTableWrite();
+            table_.decrement(sig_[entry]);
+            // ... and refresh the dead prediction under the new
+            // context (lines 7 and 18).
+            countTableRead();
+            dead_[entry] = table_.read(new_sig) > config_.deadThreshold;
+            firstHit_[entry] = false;
+        }
+        // The signature always tracks the most recent context (line
+        // 20); this costs no table access, only entry metadata.
+        sig_[entry] = new_sig;
+    }
+
+    std::uint32_t
+    selectVictim(std::uint32_t set, const AccessInfo &) override
+    {
+        std::uint32_t victim = ~0u;
+        if (config_.victimPrefersDead) {
+            // Among dead-predicted entries, take the least recently
+            // used one: a freshly inserted entry flagged dead may
+            // still see a near-term touch, while a dead entry deep in
+            // the stack has had every chance.  The dead bits of the
+            // set are one contiguous assoc-byte run, so this scan
+            // touches a single cache line.
+            const std::uint8_t *dead = dead_.data() + idx(set, 0);
+            std::uint32_t deepest = 0;
+            for (std::uint32_t way = 0; way < assoc(); ++way) {
+                if (!dead[way])
+                    continue;
+                const std::uint32_t pos = stack_.position(set, way);
+                if (victim == ~0u || pos > deepest) {
+                    victim = way;
+                    deepest = pos;
+                }
+            }
+        }
+        const bool lru_fallback = victim == ~0u;
+        if (lru_fallback) {
+            victim = stack_.lruWay(set);
+            ++lruVictims_;
+        } else {
+            ++deadVictims_;
+        }
+
+        if (config_.victimPrefersDead &&
+            (lru_fallback || !config_.trainOnLruEvictionOnly)) {
+            // An entry the predictor believed live is being evicted:
+            // dead evidence at its stored signature (lines 10-12).
+            countTableWrite();
+            table_.increment(sig_[idx(set, victim)]);
+        }
+        return victim;
+    }
+
+    void
+    onFill(std::uint32_t set, std::uint32_t way,
+           const AccessInfo &info) override
+    {
+        stack_.touch(set, way);
+        const std::size_t entry = idx(set, way);
+        const std::uint16_t sig = memoizedSignature(info.pc);
+        sig_[entry] = sig;
+        firstHit_[entry] = true;
+        if (config_.victimPrefersDead) {
+            // Prediction metadata update for the incoming entry: read
+            // the counter under the new signature and threshold it.
+            countTableRead();
+            dead_[entry] = table_.read(sig) > config_.deadThreshold;
+        } else {
+            dead_[entry] = false;
+        }
+    }
+
+    void
+    onInvalidate(std::uint32_t set, std::uint32_t way) override
+    {
+        stack_.demote(set, way);
+        const std::size_t entry = idx(set, way);
+        sig_[entry] = 0;
+        dead_[entry] = false;
+        firstHit_[entry] = false;
+    }
+
+    void
+    onAccessEnd(std::uint32_t set, const AccessInfo &info) override
+    {
+        (void)info;
+        lastSet_ = set;
+    }
+
     std::uint64_t storageBits() const override;
 
     const ChirpConfig &config() const { return config_; }
@@ -93,20 +245,24 @@ class ChirpPolicy : public ReplacementPolicy
     const ControlFlowHistory &histories() const { return history_; }
 
     /** 16-bit signature CHiRP would assign to an access by @p pc now. */
-    std::uint16_t currentSignature(Addr pc) const;
+    std::uint16_t
+    currentSignature(Addr pc) const
+    {
+        return computeSignature(pc);
+    }
 
     /** Dead bit of an entry (tests, efficiency analysis). */
     bool
     isDead(std::uint32_t set, std::uint32_t way) const
     {
-        return meta_[idx(set, way)].dead;
+        return dead_[idx(set, way)];
     }
 
     /** Stored signature of an entry (tests). */
     std::uint16_t
     storedSignature(std::uint32_t set, std::uint32_t way) const
     {
-        return meta_[idx(set, way)].sig;
+        return sig_[idx(set, way)];
     }
 
     /** Evictions that used a dead-predicted victim (diagnostics). */
@@ -122,25 +278,80 @@ class ChirpPolicy : public ReplacementPolicy
         return stack_.position(set, way);
     }
 
-  private:
-    struct Meta
+    /**
+     * Event-replay support: take per-access signatures from @p sigs
+     * (one per access, in access order) instead of composing them
+     * from the live histories, which then need not be fed the retire
+     * stream.  The values must equal what computeSignature would have
+     * produced at each access; signature-config-equal variants can
+     * share one stream.  The array must outlive the policy's use;
+     * reset() rewinds to its start.  Null reverts to live histories.
+     */
+    void
+    setSignatureStream(const std::uint16_t *sigs)
     {
-        std::uint16_t sig = 0;
-        bool dead = false;
-        bool firstHit = false;
-    };
+        sigStream_ = sigs;
+        sigIdx_ = 0;
+    }
+
+    /** Is a replay signature stream attached? */
+    bool hasSignatureStream() const { return sigStream_ != nullptr; }
+
+  private:
+    std::uint16_t
+    computeSignature(Addr pc) const
+    {
+        return static_cast<std::uint16_t>(
+            foldXor(history_.signature(pc), config_.signatureBits));
+    }
+
+    /**
+     * The per-access signature: the onAccessBegin memo when it is
+     * valid for @p pc (the histories have not advanced since), a
+     * fresh composition otherwise (tests drive hooks directly).
+     */
+    std::uint16_t
+    memoizedSignature(Addr pc) const
+    {
+        if (memoValid_ && memoPc_ == pc)
+            return memoSig_;
+        return computeSignature(pc);
+    }
 
     /** Should this hit touch the prediction table? */
-    bool hitShouldTrain(const Meta &meta, std::uint32_t set) const;
+    bool
+    hitShouldTrain(std::size_t entry, std::uint32_t set) const
+    {
+        switch (config_.hitUpdate) {
+          case HitUpdateMode::Every:
+            return true;
+          case HitUpdateMode::FirstHit:
+            return firstHit_[entry];
+          case HitUpdateMode::FirstHitDiffSet:
+            return firstHit_[entry] && set != lastSet_;
+        }
+        return false;
+    }
 
     ChirpConfig config_;
     ControlFlowHistory history_;
     PredictionTable table_;
-    std::vector<Meta> meta_;
+    // Structure-of-arrays entry metadata, each indexed by idx(set,
+    // way): 16-bit stored signature, dead bit, first-hit bit.
+    std::vector<std::uint16_t> sig_;
+    std::vector<std::uint8_t> dead_;
+    std::vector<std::uint8_t> firstHit_;
     LruStack stack_;
     std::uint32_t lastSet_ = ~0u;
     std::uint64_t deadVictims_ = 0;
     std::uint64_t lruVictims_ = 0;
+    // Per-access signature memo (see onAccessBegin).
+    bool memoValid_ = false;
+    Addr memoPc_ = 0;
+    std::uint16_t memoSig_ = 0;
+    // Replay signature stream (see setSignatureStream).
+    const std::uint16_t *sigStream_ = nullptr;
+    std::size_t sigIdx_ = 0;
 };
 
 } // namespace chirp

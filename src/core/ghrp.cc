@@ -1,6 +1,7 @@
 #include "core/ghrp.hh"
 
-#include "util/bitfield.hh"
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace chirp
@@ -9,8 +10,11 @@ namespace chirp
 GhrpPolicy::GhrpPolicy(std::uint32_t num_sets, std::uint32_t assoc,
                        const GhrpConfig &config)
     : ReplacementPolicy("ghrp", num_sets, assoc), config_(config),
-      meta_(static_cast<std::size_t>(num_sets) * assoc),
-      stack_(num_sets, assoc)
+      sigs_(static_cast<std::size_t>(num_sets) * assoc * config.numTables,
+            0),
+      sigValid_(static_cast<std::size_t>(num_sets) * assoc, 0),
+      dead_(static_cast<std::size_t>(num_sets) * assoc, 0),
+      stack_(num_sets, assoc), memoSigs_(config.numTables, 0)
 {
     if (config.numTables == 0)
         chirp_fatal("ghrp needs at least one table");
@@ -31,127 +35,13 @@ GhrpPolicy::reset()
 {
     for (auto &t : tables_)
         t.reset();
-    for (auto &m : meta_)
-        m = Meta{};
+    std::fill(sigs_.begin(), sigs_.end(), 0);
+    std::fill(sigValid_.begin(), sigValid_.end(), 0);
+    std::fill(dead_.begin(), dead_.end(), 0);
     stack_.reset();
     history_ = 0;
+    memoValid_ = false;
     resetTableCounters();
-}
-
-void
-GhrpPolicy::onBranchRetired(Addr pc, InstClass cls, bool taken)
-{
-    if (cls != InstClass::CondBranch)
-        return;
-    // Outcome bit plus low-order branch address bits, as in the
-    // original GHRP history.
-    const std::uint64_t event =
-        (bits(pc, config_.historyShift, 2) << 1) | (taken ? 1 : 0);
-    history_ = (history_ << config_.historyShift) | event;
-}
-
-std::uint16_t
-GhrpPolicy::signatureOf(Addr pc, unsigned table) const
-{
-    const std::uint64_t hist =
-        history_ & maskBits(config_.tableHistoryBits[table]);
-    return static_cast<std::uint16_t>(
-        foldXor((pc >> 2) ^ hist, config_.signatureBits));
-}
-
-std::vector<std::uint16_t>
-GhrpPolicy::signaturesOf(Addr pc) const
-{
-    std::vector<std::uint16_t> sigs(config_.numTables);
-    for (unsigned t = 0; t < config_.numTables; ++t)
-        sigs[t] = signatureOf(pc, t);
-    return sigs;
-}
-
-unsigned
-GhrpPolicy::readSum(const std::vector<std::uint16_t> &sigs)
-{
-    unsigned sum = 0;
-    for (unsigned t = 0; t < tables_.size(); ++t) {
-        countTableRead();
-        sum += tables_[t].read(sigs[t]);
-    }
-    return sum;
-}
-
-void
-GhrpPolicy::trainLive(const std::vector<std::uint16_t> &sigs)
-{
-    for (unsigned t = 0; t < tables_.size(); ++t) {
-        countTableWrite();
-        tables_[t].decrement(sigs[t]);
-    }
-}
-
-void
-GhrpPolicy::trainDead(const std::vector<std::uint16_t> &sigs)
-{
-    for (unsigned t = 0; t < tables_.size(); ++t) {
-        countTableWrite();
-        tables_[t].increment(sigs[t]);
-    }
-}
-
-void
-GhrpPolicy::onHit(std::uint32_t set, std::uint32_t way,
-                  const AccessInfo &info)
-{
-    stack_.touch(set, way);
-    Meta &meta = meta_[idx(set, way)];
-    // The entry proved live under its previous signature.
-    if (!meta.sig.empty())
-        trainLive(meta.sig);
-    // Re-tag with the current context and refresh the prediction.
-    meta.sig = signaturesOf(info.pc);
-    const bool dead = readSum(meta.sig) > config_.deadThreshold;
-    // A hit is direct evidence of liveness: predictions may only
-    // clear the dead bit here, never set it on an entry in active
-    // use (refreshing to dead on hits churns hot entries).
-    if (!dead)
-        meta.dead = false;
-}
-
-std::uint32_t
-GhrpPolicy::selectVictim(std::uint32_t set, const AccessInfo &)
-{
-    std::uint32_t victim = ~0u;
-    for (std::uint32_t way = 0; way < assoc(); ++way) {
-        if (meta_[idx(set, way)].dead) {
-            victim = way;
-            break;
-        }
-    }
-    if (victim == ~0u)
-        victim = stack_.lruWay(set);
-    // The victim is leaving the TLB: dead evidence for its signature.
-    // Entries the predictor itself chose are skipped so its own
-    // decisions do not self-reinforce (SDBP-style training).
-    const Meta &meta = meta_[idx(set, victim)];
-    if (!meta.dead && !meta.sig.empty())
-        trainDead(meta.sig);
-    return victim;
-}
-
-void
-GhrpPolicy::onFill(std::uint32_t set, std::uint32_t way,
-                   const AccessInfo &info)
-{
-    stack_.touch(set, way);
-    Meta &meta = meta_[idx(set, way)];
-    meta.sig = signaturesOf(info.pc);
-    meta.dead = readSum(meta.sig) > config_.deadThreshold;
-}
-
-void
-GhrpPolicy::onInvalidate(std::uint32_t set, std::uint32_t way)
-{
-    stack_.demote(set, way);
-    meta_[idx(set, way)] = Meta{};
 }
 
 std::uint64_t

@@ -11,6 +11,14 @@
  * entries are preferred victims.  Unlike CHiRP, GHRP reads and
  * trains its tables on *every* access, which is what Fig 11
  * measures.
+ *
+ * Hot-path layout: the per-entry signatures (one per table) are
+ * flattened into a single contiguous array instead of a
+ * vector-per-entry, the dead bits form their own per-set runs, and
+ * the per-access signatures are composed once in onAccessBegin and
+ * memoized across the hit/victim/fill hooks.  The hook bodies are
+ * inline so the TLB's devirtualized dispatch can flatten them into
+ * its access loop.
  */
 
 #ifndef CHIRP_CORE_GHRP_HH
@@ -20,6 +28,7 @@
 
 #include "core/prediction_table.hh"
 #include "core/replacement_policy.hh"
+#include "util/bitfield.hh"
 
 namespace chirp
 {
@@ -52,21 +61,104 @@ struct GhrpConfig
 };
 
 /** GHRP replacement for the TLB. */
-class GhrpPolicy : public ReplacementPolicy
+class GhrpPolicy final : public ReplacementPolicy
 {
   public:
     GhrpPolicy(std::uint32_t num_sets, std::uint32_t assoc,
                const GhrpConfig &config = {});
 
     void reset() override;
-    void onBranchRetired(Addr pc, InstClass cls, bool taken) override;
-    void onHit(std::uint32_t set, std::uint32_t way,
-               const AccessInfo &info) override;
-    std::uint32_t selectVictim(std::uint32_t set,
-                               const AccessInfo &info) override;
-    void onFill(std::uint32_t set, std::uint32_t way,
-                const AccessInfo &info) override;
-    void onInvalidate(std::uint32_t set, std::uint32_t way) override;
+
+    void
+    onBranchRetired(Addr pc, InstClass cls, bool taken) override
+    {
+        if (cls != InstClass::CondBranch)
+            return;
+        // Outcome bit plus low-order branch address bits, as in the
+        // original GHRP history.
+        const std::uint64_t event =
+            (bits(pc, config_.historyShift, 2) << 1) | (taken ? 1 : 0);
+        history_ = (history_ << config_.historyShift) | event;
+        memoValid_ = false;
+    }
+
+    void
+    onAccessBegin(const AccessInfo &info) override
+    {
+        // Compose the per-table signatures once; the hit/fill hooks
+        // of this access reuse them.
+        computeSignatures(info.pc, memoSigs_.data());
+        memoPc_ = info.pc;
+        memoValid_ = true;
+    }
+
+    void
+    onHit(std::uint32_t set, std::uint32_t way,
+          const AccessInfo &info) override
+    {
+        stack_.touch(set, way);
+        const std::size_t entry = idx(set, way);
+        std::uint16_t *stored = storedSigs(entry);
+        // The entry proved live under its previous signature.
+        if (sigValid_[entry])
+            trainLive(stored);
+        // Re-tag with the current context and refresh the prediction.
+        setSigs(entry, memoizedSignatures(info.pc));
+        const bool dead = readSum(stored) > config_.deadThreshold;
+        // A hit is direct evidence of liveness: predictions may only
+        // clear the dead bit here, never set it on an entry in active
+        // use (refreshing to dead on hits churns hot entries).
+        if (!dead)
+            dead_[entry] = false;
+    }
+
+    std::uint32_t
+    selectVictim(std::uint32_t set, const AccessInfo &) override
+    {
+        std::uint32_t victim = ~0u;
+        // The dead bits of the set are one contiguous assoc-byte run,
+        // so this scan touches a single cache line.
+        const std::uint8_t *dead = dead_.data() + idx(set, 0);
+        for (std::uint32_t way = 0; way < assoc(); ++way) {
+            if (dead[way]) {
+                victim = way;
+                break;
+            }
+        }
+        if (victim == ~0u)
+            victim = stack_.lruWay(set);
+        // The victim is leaving the TLB: dead evidence for its
+        // signature.  Entries the predictor itself chose are skipped
+        // so its own decisions do not self-reinforce (SDBP-style
+        // training).
+        const std::size_t entry = idx(set, victim);
+        if (!dead_[entry] && sigValid_[entry])
+            trainDead(storedSigs(entry));
+        return victim;
+    }
+
+    void
+    onFill(std::uint32_t set, std::uint32_t way,
+           const AccessInfo &info) override
+    {
+        stack_.touch(set, way);
+        const std::size_t entry = idx(set, way);
+        setSigs(entry, memoizedSignatures(info.pc));
+        dead_[entry] = readSum(storedSigs(entry)) > config_.deadThreshold;
+    }
+
+    void
+    onInvalidate(std::uint32_t set, std::uint32_t way) override
+    {
+        stack_.demote(set, way);
+        const std::size_t entry = idx(set, way);
+        std::uint16_t *stored = storedSigs(entry);
+        for (unsigned t = 0; t < config_.numTables; ++t)
+            stored[t] = 0;
+        sigValid_[entry] = 0;
+        dead_[entry] = false;
+    }
+
     std::uint64_t storageBits() const override;
 
     const GhrpConfig &config() const { return config_; }
@@ -78,28 +170,102 @@ class GhrpPolicy : public ReplacementPolicy
     bool
     isDead(std::uint32_t set, std::uint32_t way) const
     {
-        return meta_[idx(set, way)].dead;
+        return dead_[idx(set, way)];
     }
 
   private:
-    struct Meta
+    std::uint16_t
+    signatureOf(Addr pc, unsigned table) const
     {
-        /** One stored signature per table (different history lengths). */
-        std::vector<std::uint16_t> sig;
-        bool dead = false;
-    };
+        const std::uint64_t hist =
+            history_ & maskBits(config_.tableHistoryBits[table]);
+        return static_cast<std::uint16_t>(
+            foldXor((pc >> 2) ^ hist, config_.signatureBits));
+    }
 
-    std::uint16_t signatureOf(Addr pc, unsigned table) const;
-    std::vector<std::uint16_t> signaturesOf(Addr pc) const;
-    unsigned readSum(const std::vector<std::uint16_t> &sigs);
-    void trainLive(const std::vector<std::uint16_t> &sigs);
-    void trainDead(const std::vector<std::uint16_t> &sigs);
+    /** Compose all per-table signatures for @p pc into @p out. */
+    void
+    computeSignatures(Addr pc, std::uint16_t *out) const
+    {
+        for (unsigned t = 0; t < config_.numTables; ++t)
+            out[t] = signatureOf(pc, t);
+    }
+
+    /**
+     * The per-access signatures: the onAccessBegin memo when it is
+     * valid for @p pc (the history has not advanced since), a fresh
+     * composition otherwise (tests drive hooks directly).
+     */
+    const std::uint16_t *
+    memoizedSignatures(Addr pc)
+    {
+        if (!memoValid_ || memoPc_ != pc) {
+            computeSignatures(pc, memoSigs_.data());
+            memoPc_ = pc;
+            memoValid_ = true;
+        }
+        return memoSigs_.data();
+    }
+
+    /** The flattened stored-signature run of one entry. */
+    std::uint16_t *
+    storedSigs(std::size_t entry)
+    {
+        return sigs_.data() + entry * config_.numTables;
+    }
+
+    void
+    setSigs(std::size_t entry, const std::uint16_t *sigs)
+    {
+        std::uint16_t *stored = storedSigs(entry);
+        for (unsigned t = 0; t < config_.numTables; ++t)
+            stored[t] = sigs[t];
+        sigValid_[entry] = 1;
+    }
+
+    unsigned
+    readSum(const std::uint16_t *sigs)
+    {
+        unsigned sum = 0;
+        for (unsigned t = 0; t < tables_.size(); ++t) {
+            countTableRead();
+            sum += tables_[t].read(sigs[t]);
+        }
+        return sum;
+    }
+
+    void
+    trainLive(const std::uint16_t *sigs)
+    {
+        for (unsigned t = 0; t < tables_.size(); ++t) {
+            countTableWrite();
+            tables_[t].decrement(sigs[t]);
+        }
+    }
+
+    void
+    trainDead(const std::uint16_t *sigs)
+    {
+        for (unsigned t = 0; t < tables_.size(); ++t) {
+            countTableWrite();
+            tables_[t].increment(sigs[t]);
+        }
+    }
 
     GhrpConfig config_;
     std::vector<PredictionTable> tables_;
-    std::vector<Meta> meta_;
+    // Structure-of-arrays entry metadata: the stored signatures of
+    // entry e occupy sigs_[e*numTables .. e*numTables+numTables), the
+    // has-signature and dead flags their own byte arrays.
+    std::vector<std::uint16_t> sigs_;
+    std::vector<std::uint8_t> sigValid_;
+    std::vector<std::uint8_t> dead_;
     LruStack stack_;
     std::uint64_t history_ = 0;
+    // Per-access signature memo (see onAccessBegin).
+    std::vector<std::uint16_t> memoSigs_;
+    bool memoValid_ = false;
+    Addr memoPc_ = 0;
 };
 
 } // namespace chirp

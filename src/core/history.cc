@@ -1,6 +1,5 @@
 #include "core/history.hh"
 
-#include "util/bitfield.hh"
 #include "util/logging.hh"
 
 namespace chirp
@@ -8,7 +7,8 @@ namespace chirp
 
 WideShiftHistory::WideShiftHistory(unsigned events, unsigned shift_per_event)
     : events_(events), shift_(shift_per_event),
-      widthBits_(events * shift_per_event)
+      widthBits_(events * shift_per_event), single_(widthBits_ <= 64),
+      widthMask_(maskBits(widthBits_ % 64 == 0 ? 64 : widthBits_ % 64))
 {
     if (events == 0 || shift_per_event == 0 || shift_per_event > 32)
         chirp_fatal("history register needs events >= 1 and a shift of "
@@ -17,30 +17,25 @@ WideShiftHistory::WideShiftHistory(unsigned events, unsigned shift_per_event)
 }
 
 void
-WideShiftHistory::push(std::uint64_t value)
+WideShiftHistory::pushWide(std::uint64_t value)
 {
     // Multi-word left shift by shift_ bits, oldest bits fall off the
-    // top word.
+    // top word.  The fold is re-derived in the same pass over words_,
+    // so folded() stays a plain load afterwards.
     std::uint64_t carry = value & maskBits(shift_);
+    std::uint64_t folded = 0;
     for (auto &word : words_) {
         const std::uint64_t next_carry =
             shift_ < 64 ? (word >> (64 - shift_)) : word;
         word = (word << shift_) | carry;
         carry = next_carry;
-    }
-    // Trim the top word to the register width.
-    const unsigned top_bits = widthBits_ % 64;
-    if (top_bits != 0)
-        words_.back() &= maskBits(top_bits);
-}
-
-std::uint64_t
-WideShiftHistory::folded() const
-{
-    std::uint64_t folded = 0;
-    for (std::uint64_t word : words_)
         folded ^= word;
-    return folded;
+    }
+    // Trim the top word to the register width; the fold must drop the
+    // trimmed bits as well.
+    const std::uint64_t top = words_.back();
+    words_.back() &= widthMask_;
+    folded_ = folded ^ top ^ words_.back();
 }
 
 void
@@ -48,6 +43,7 @@ WideShiftHistory::reset()
 {
     for (auto &word : words_)
         word = 0;
+    folded_ = 0;
 }
 
 ControlFlowHistory::ControlFlowHistory(const HistoryConfig &config)
@@ -56,48 +52,6 @@ ControlFlowHistory::ControlFlowHistory(const HistoryConfig &config)
       cond_(config.branchEvents, config.branchPcBits),
       uncond_(config.branchEvents, config.branchPcBits)
 {
-}
-
-void
-ControlFlowHistory::onAccess(Addr pc)
-{
-    // Shift in PC[lo+n-1 : lo]; the injected zeros come from the
-    // register shifting further than the pushed value is wide.
-    const std::uint64_t chunk =
-        bits(pc, config_.pathPcLowBit + config_.pathPcBits - 1,
-             config_.pathPcLowBit);
-    path_.push(chunk);
-}
-
-void
-ControlFlowHistory::onCondBranch(Addr pc)
-{
-    if (!config_.useCondHist)
-        return;
-    cond_.push(bits(pc, config_.branchPcLowBit + config_.branchPcBits - 1,
-                    config_.branchPcLowBit));
-}
-
-void
-ControlFlowHistory::onUncondIndirectBranch(Addr pc)
-{
-    if (!config_.useUncondHist)
-        return;
-    uncond_.push(bits(pc,
-                      config_.branchPcLowBit + config_.branchPcBits - 1,
-                      config_.branchPcLowBit));
-}
-
-std::uint64_t
-ControlFlowHistory::signature(Addr pc) const
-{
-    std::uint64_t sign = pc >> 2;
-    sign ^= path_.folded();
-    if (config_.useCondHist)
-        sign ^= cond_.folded();
-    if (config_.useUncondHist)
-        sign ^= uncond_.folded();
-    return sign;
 }
 
 void

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/bitfield.hh"
 #include "util/types.hh"
 
 namespace chirp
@@ -32,6 +33,12 @@ namespace chirp
 /**
  * A left-shifting history register of arbitrary width, folded to
  * 64 bits on demand for signature composition.
+ *
+ * The 64-bit XOR-fold is maintained *incrementally*: push() updates
+ * it while it already has every word in hand, so folded() is a plain
+ * load on the signature-composition hot path instead of a fresh
+ * reduction over words_.  Registers no wider than 64 bits (every
+ * paper configuration) take a branch-free single-word path.
  */
 class WideShiftHistory
 {
@@ -43,10 +50,22 @@ class WideShiftHistory
     WideShiftHistory(unsigned events, unsigned shift_per_event);
 
     /** Shift in the low @p shift bits of @p value. */
-    void push(std::uint64_t value);
+    void
+    push(std::uint64_t value)
+    {
+        if (single_) {
+            // Whole register in one word: shift, mask to width, done.
+            // The fold of one word is the word itself.
+            words_[0] = ((words_[0] << shift_) | (value & maskBits(shift_))) &
+                        widthMask_;
+            folded_ = words_[0];
+            return;
+        }
+        pushWide(value);
+    }
 
     /** XOR-fold of all words: the 64-bit view used in signatures. */
-    std::uint64_t folded() const;
+    std::uint64_t folded() const { return folded_; }
 
     /** Lowest 64 bits (exact register value when width <= 64). */
     std::uint64_t low64() const { return words_.empty() ? 0 : words_[0]; }
@@ -61,9 +80,15 @@ class WideShiftHistory
     unsigned shiftPerEvent() const { return shift_; }
 
   private:
+    /** Multi-word shift for registers wider than 64 bits. */
+    void pushWide(std::uint64_t value);
+
     unsigned events_;
     unsigned shift_;
     unsigned widthBits_;
+    bool single_;             //!< widthBits_ <= 64: one-word fast path
+    std::uint64_t widthMask_; //!< mask of the top (partial) word
+    std::uint64_t folded_ = 0;
     std::vector<std::uint64_t> words_;
 };
 
@@ -100,6 +125,13 @@ struct HistoryConfig
     /** Branch PC slice: bits [11:4] (paper). */
     unsigned branchPcLowBit = 4;
     unsigned branchPcBits = 8;
+
+    /**
+     * Equal configurations evolve identical history state from the
+     * same retire stream — the property replay signature-stream
+     * sharing rests on.
+     */
+    bool operator==(const HistoryConfig &) const = default;
 };
 
 /**
@@ -112,19 +144,52 @@ class ControlFlowHistory
     explicit ControlFlowHistory(const HistoryConfig &config);
 
     /** An L2 TLB access by the instruction at @p pc retired. */
-    void onAccess(Addr pc);
+    void
+    onAccess(Addr pc)
+    {
+        // Shift in PC[lo+n-1 : lo]; the injected zeros come from the
+        // register shifting further than the pushed value is wide.
+        path_.push(bits(pc, config_.pathPcLowBit + config_.pathPcBits - 1,
+                        config_.pathPcLowBit));
+    }
 
     /** A conditional branch at @p pc retired. */
-    void onCondBranch(Addr pc);
+    void
+    onCondBranch(Addr pc)
+    {
+        if (!config_.useCondHist)
+            return;
+        cond_.push(bits(pc, config_.branchPcLowBit + config_.branchPcBits - 1,
+                        config_.branchPcLowBit));
+    }
 
     /** An unconditional indirect branch at @p pc retired. */
-    void onUncondIndirectBranch(Addr pc);
+    void
+    onUncondIndirectBranch(Addr pc)
+    {
+        if (!config_.useUncondHist)
+            return;
+        uncond_.push(bits(pc,
+                          config_.branchPcLowBit + config_.branchPcBits - 1,
+                          config_.branchPcLowBit));
+    }
 
     /**
      * Compose the 64-bit signature for an access by @p pc using the
-     * *current* (pre-update) history contents.
+     * *current* (pre-update) history contents.  With incremental
+     * folds this is three loads and three XORs.
      */
-    std::uint64_t signature(Addr pc) const;
+    std::uint64_t
+    signature(Addr pc) const
+    {
+        std::uint64_t sign = pc >> 2;
+        sign ^= path_.folded();
+        if (config_.useCondHist)
+            sign ^= cond_.folded();
+        if (config_.useUncondHist)
+            sign ^= uncond_.folded();
+        return sign;
+    }
 
     /** Clear all three registers. */
     void reset();

@@ -13,7 +13,7 @@ namespace chirp
 {
 
 /** Least-recently-used replacement over exact recency stacks. */
-class LruPolicy : public ReplacementPolicy
+class LruPolicy final : public ReplacementPolicy
 {
   public:
     LruPolicy(std::uint32_t num_sets, std::uint32_t assoc);

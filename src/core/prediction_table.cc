@@ -1,5 +1,7 @@
 #include "core/prediction_table.hh"
 
+#include <algorithm>
+
 #include "util/bitfield.hh"
 #include "util/logging.hh"
 
@@ -8,57 +10,28 @@ namespace chirp
 
 PredictionTable::PredictionTable(std::size_t entries, unsigned counter_bits,
                                  HashKind kind, std::uint64_t salt)
-    : counters_(entries, SatCounter(counter_bits)),
+    : values_(entries, 0),
+      max_(static_cast<std::uint16_t>((1u << counter_bits) - 1)),
       counterBits_(counter_bits), kind_(kind), salt_(salt)
 {
     if (!isPowerOfTwo(entries))
         chirp_fatal("prediction table size ", entries,
                     " must be a power of two");
+    if (counter_bits == 0 || counter_bits > 16)
+        chirp_fatal("prediction table counters must be 1..16 bits");
     indexBits_ = floorLog2(entries);
-}
-
-std::size_t
-PredictionTable::indexOf(std::uint64_t signature) const
-{
-    return static_cast<std::size_t>(
-        hashBy(kind_, signature ^ salt_, indexBits_));
-}
-
-std::uint16_t
-PredictionTable::read(std::uint64_t signature) const
-{
-    return counters_[indexOf(signature)].value();
-}
-
-void
-PredictionTable::increment(std::uint64_t signature)
-{
-    counters_[indexOf(signature)].increment();
-}
-
-void
-PredictionTable::decrement(std::uint64_t signature)
-{
-    counters_[indexOf(signature)].decrement();
 }
 
 void
 PredictionTable::reset()
 {
-    for (auto &c : counters_)
-        c.set(0);
-}
-
-std::uint16_t
-PredictionTable::counterMax() const
-{
-    return counters_.empty() ? 0 : counters_.front().max();
+    std::fill(values_.begin(), values_.end(), 0);
 }
 
 std::uint64_t
 PredictionTable::storageBits() const
 {
-    return static_cast<std::uint64_t>(counters_.size()) * counterBits_;
+    return static_cast<std::uint64_t>(values_.size()) * counterBits_;
 }
 
 } // namespace chirp

@@ -11,7 +11,6 @@
 #include <vector>
 
 #include "util/hashing.hh"
-#include "util/sat_counter.hh"
 
 namespace chirp
 {
@@ -20,6 +19,11 @@ namespace chirp
  * A power-of-two table of n-bit saturating counters.  Indexing hashes
  * the caller's signature down to log2(entries) bits; callers that
  * want distinct hash behavior (GHRP's three tables) pass a salt.
+ *
+ * Counters are stored as raw values in one contiguous array (all
+ * counters share a width, so the saturation bound lives once in the
+ * table, not per counter) and the read/train operations are inline:
+ * they sit on the per-access path of every predictor policy.
  */
 class PredictionTable
 {
@@ -35,31 +39,53 @@ class PredictionTable
                     std::uint64_t salt = 0);
 
     /** Index for @p signature. */
-    std::size_t indexOf(std::uint64_t signature) const;
+    std::size_t
+    indexOf(std::uint64_t signature) const
+    {
+        return static_cast<std::size_t>(
+            hashBy(kind_, signature ^ salt_, indexBits_));
+    }
 
     /** Counter value at @p signature's slot. */
-    std::uint16_t read(std::uint64_t signature) const;
+    std::uint16_t
+    read(std::uint64_t signature) const
+    {
+        return values_[indexOf(signature)];
+    }
 
     /** Increment (dead evidence) the slot for @p signature. */
-    void increment(std::uint64_t signature);
+    void
+    increment(std::uint64_t signature)
+    {
+        std::uint16_t &value = values_[indexOf(signature)];
+        if (value < max_)
+            ++value;
+    }
 
     /** Decrement (live evidence) the slot for @p signature. */
-    void decrement(std::uint64_t signature);
+    void
+    decrement(std::uint64_t signature)
+    {
+        std::uint16_t &value = values_[indexOf(signature)];
+        if (value > 0)
+            --value;
+    }
 
     /** Zero all counters. */
     void reset();
 
-    std::size_t entries() const { return counters_.size(); }
+    std::size_t entries() const { return values_.size(); }
     unsigned counterBits() const { return counterBits_; }
 
     /** Maximum counter value. */
-    std::uint16_t counterMax() const;
+    std::uint16_t counterMax() const { return max_; }
 
     /** Total storage in bits. */
     std::uint64_t storageBits() const;
 
   private:
-    std::vector<SatCounter> counters_;
+    std::vector<std::uint16_t> values_;
+    std::uint16_t max_;
     unsigned counterBits_;
     unsigned indexBits_;
     HashKind kind_;

@@ -6,9 +6,9 @@
  * and is driven by the structure through the event hooks below.  The
  * call sequence for one access is:
  *
- *   hit : onHit(set, way)            -> onAccessEnd(set)
- *   miss: selectVictim(set) [if the set is full]
- *         onFill(set, way)           -> onAccessEnd(set)
+ *   hit : onAccessBegin -> onHit(set, way)  -> onAccessEnd(set)
+ *   miss: onAccessBegin -> selectVictim(set) [if the set is full]
+ *         -> onFill(set, way)               -> onAccessEnd(set)
  *
  * onBranchRetired is delivered by the simulator for *every* retired
  * branch instruction, independent of structure accesses — CHiRP and
@@ -85,6 +85,18 @@ class ReplacementPolicy
      * (LRU, PLRU, Random, SRRIP, DRRIP, SHiP) opt out.
      */
     virtual bool wantsRetireEvents() const { return true; }
+
+    /**
+     * Called once per access before hit/miss handling.  Signature
+     * policies use it to compose their per-access signature exactly
+     * once and reuse it across the onHit / selectVictim / onFill
+     * hooks of the same access; the default does nothing.
+     */
+    virtual void
+    onAccessBegin(const AccessInfo &info)
+    {
+        (void)info;
+    }
 
     /** The access hit way @p way of set @p set. */
     virtual void onHit(std::uint32_t set, std::uint32_t way,

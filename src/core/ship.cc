@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/bitfield.hh"
 #include "util/logging.hh"
 
 namespace chirp
@@ -27,11 +26,15 @@ ShipPolicy::ShipPolicy(std::uint32_t num_sets, std::uint32_t assoc,
                        const ShipConfig &config)
     : ReplacementPolicy("ship", num_sets, assoc), config_(config),
       shct_(config.shctEntries, config.counterBits),
-      meta_(static_cast<std::size_t>(num_sets) * assoc),
+      unlimited_(config.counterBits),
+      sig_(static_cast<std::size_t>(num_sets) * assoc, 0),
+      outcome_(static_cast<std::size_t>(num_sets) * assoc, 0),
       stack_(num_sets, assoc)
 {
     if (config.signatureBits == 0 || config.signatureBits > 32)
         chirp_fatal("ship: signature width out of range");
+    if (config.unlimitedTable)
+        wideSig_.assign(static_cast<std::size_t>(num_sets) * assoc, 0);
     const double fraction =
         std::clamp(config.predictedSetsFraction, 0.0, 1.0);
     predictedSets_ = static_cast<std::uint32_t>(
@@ -43,140 +46,12 @@ ShipPolicy::reset()
 {
     shct_.reset();
     unlimited_.clear();
-    for (auto &m : meta_)
-        m = Meta{};
+    std::fill(sig_.begin(), sig_.end(), 0);
+    std::fill(wideSig_.begin(), wideSig_.end(), 0);
+    std::fill(outcome_.begin(), outcome_.end(), 0);
     stack_.reset();
     lastSet_ = ~0u;
     resetTableCounters();
-}
-
-bool
-ShipPolicy::predicted(std::uint32_t set) const
-{
-    return set < predictedSets_;
-}
-
-std::uint64_t
-ShipPolicy::signatureOf(Addr pc) const
-{
-    if (config_.unlimitedTable)
-        return pc >> 2;
-    return foldXor(pc >> 2, config_.signatureBits);
-}
-
-std::uint16_t
-ShipPolicy::readCounter(const Meta &meta)
-{
-    countTableRead();
-    if (config_.unlimitedTable) {
-        const auto it = unlimited_.find(meta.wideSig);
-        return it == unlimited_.end() ? 0 : it->second.value();
-    }
-    return shct_.read(meta.sig);
-}
-
-void
-ShipPolicy::trainLive(const Meta &meta)
-{
-    countTableWrite();
-    if (config_.unlimitedTable) {
-        auto [it, inserted] = unlimited_.try_emplace(
-            meta.wideSig, SatCounter(config_.counterBits));
-        it->second.increment();
-        (void)inserted;
-    } else {
-        shct_.increment(meta.sig);
-    }
-}
-
-void
-ShipPolicy::trainDead(const Meta &meta)
-{
-    countTableWrite();
-    if (config_.unlimitedTable) {
-        auto [it, inserted] = unlimited_.try_emplace(
-            meta.wideSig, SatCounter(config_.counterBits));
-        it->second.decrement();
-        (void)inserted;
-    } else {
-        shct_.decrement(meta.sig);
-    }
-}
-
-void
-ShipPolicy::onHit(std::uint32_t set, std::uint32_t way,
-                  const AccessInfo &info)
-{
-    (void)info;
-    stack_.touch(set, way);
-    if (!predicted(set))
-        return;
-
-    Meta &meta = meta_[idx(set, way)];
-    bool train = false;
-    switch (config_.hitUpdate) {
-      case HitUpdateMode::Every:
-        train = true;
-        break;
-      case HitUpdateMode::FirstHit:
-        train = !meta.outcome;
-        break;
-      case HitUpdateMode::FirstHitDiffSet:
-        train = !meta.outcome && set != lastSet_;
-        break;
-    }
-    if (train)
-        trainLive(meta);
-    meta.outcome = true;
-}
-
-std::uint32_t
-ShipPolicy::selectVictim(std::uint32_t set, const AccessInfo &)
-{
-    const std::uint32_t way = stack_.lruWay(set);
-    if (predicted(set)) {
-        const Meta &meta = meta_[idx(set, way)];
-        // Eviction without re-reference is the dead-signature
-        // evidence.
-        if (!meta.outcome)
-            trainDead(meta);
-    }
-    return way;
-}
-
-void
-ShipPolicy::onFill(std::uint32_t set, std::uint32_t way,
-                   const AccessInfo &info)
-{
-    stack_.touch(set, way);
-    Meta &meta = meta_[idx(set, way)];
-    meta.outcome = false;
-    if (config_.unlimitedTable)
-        meta.wideSig = signatureOf(info.pc);
-    else
-        meta.sig = static_cast<std::uint16_t>(signatureOf(info.pc));
-
-    if (!predicted(set))
-        return;
-    // Placement steering: a collapsed counter predicts no
-    // re-reference, so the entry goes straight to the LRU position
-    // where it is the next victim; everything else inserts at MRU.
-    const std::uint16_t counter = readCounter(meta);
-    if (counter == 0)
-        stack_.demote(set, way);
-}
-
-void
-ShipPolicy::onInvalidate(std::uint32_t set, std::uint32_t way)
-{
-    stack_.demote(set, way);
-    meta_[idx(set, way)] = Meta{};
-}
-
-void
-ShipPolicy::onAccessEnd(std::uint32_t set, const AccessInfo &)
-{
-    lastSet_ = set;
 }
 
 std::uint64_t
@@ -194,10 +69,8 @@ ShipPolicy::storageBits() const
 std::uint16_t
 ShipPolicy::counterFor(Addr pc) const
 {
-    if (config_.unlimitedTable) {
-        const auto it = unlimited_.find(pc >> 2);
-        return it == unlimited_.end() ? 0 : it->second.value();
-    }
+    if (config_.unlimitedTable)
+        return unlimited_.value(pc >> 2);
     return shct_.read(foldXor(pc >> 2, config_.signatureBits));
 }
 

@@ -18,16 +18,23 @@
  * diagnosis of why PC-only prediction fails: an unlimited prediction
  * table (no aliasing), prediction restricted to a subset of sets,
  * and the Selective Hit Update training filter.
+ *
+ * Hot-path layout: per-entry metadata is structure-of-arrays (the
+ * 16-bit signature, wide signature and outcome bit each live in
+ * their own contiguous array), the unlimited-mode table is a
+ * reserved open-addressing FlatCounterMap instead of an
+ * unordered_map, and the hook bodies are inline so the TLB's
+ * devirtualized dispatch can flatten them into its access loop.
  */
 
 #ifndef CHIRP_CORE_SHIP_HH
 #define CHIRP_CORE_SHIP_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "core/prediction_table.hh"
 #include "core/replacement_policy.hh"
+#include "util/flat_counter_map.hh"
 
 namespace chirp
 {
@@ -65,21 +72,94 @@ struct ShipConfig
 };
 
 /** SHiP replacement for the TLB (LRU base + insertion steering). */
-class ShipPolicy : public ReplacementPolicy
+class ShipPolicy final : public ReplacementPolicy
 {
   public:
     ShipPolicy(std::uint32_t num_sets, std::uint32_t assoc,
                const ShipConfig &config = {});
 
     void reset() override;
-    void onHit(std::uint32_t set, std::uint32_t way,
-               const AccessInfo &info) override;
-    std::uint32_t selectVictim(std::uint32_t set,
-                               const AccessInfo &info) override;
-    void onFill(std::uint32_t set, std::uint32_t way,
-                const AccessInfo &info) override;
-    void onInvalidate(std::uint32_t set, std::uint32_t way) override;
-    void onAccessEnd(std::uint32_t set, const AccessInfo &info) override;
+
+    void
+    onHit(std::uint32_t set, std::uint32_t way,
+          const AccessInfo &info) override
+    {
+        (void)info;
+        stack_.touch(set, way);
+        if (!predicted(set))
+            return;
+
+        const std::size_t entry = idx(set, way);
+        bool train = false;
+        switch (config_.hitUpdate) {
+          case HitUpdateMode::Every:
+            train = true;
+            break;
+          case HitUpdateMode::FirstHit:
+            train = !outcome_[entry];
+            break;
+          case HitUpdateMode::FirstHitDiffSet:
+            train = !outcome_[entry] && set != lastSet_;
+            break;
+        }
+        if (train)
+            trainLive(entry);
+        outcome_[entry] = 1;
+    }
+
+    std::uint32_t
+    selectVictim(std::uint32_t set, const AccessInfo &) override
+    {
+        const std::uint32_t way = stack_.lruWay(set);
+        if (predicted(set)) {
+            const std::size_t entry = idx(set, way);
+            // Eviction without re-reference is the dead-signature
+            // evidence.
+            if (!outcome_[entry])
+                trainDead(entry);
+        }
+        return way;
+    }
+
+    void
+    onFill(std::uint32_t set, std::uint32_t way,
+           const AccessInfo &info) override
+    {
+        stack_.touch(set, way);
+        const std::size_t entry = idx(set, way);
+        outcome_[entry] = 0;
+        if (config_.unlimitedTable)
+            wideSig_[entry] = signatureOf(info.pc);
+        else
+            sig_[entry] = static_cast<std::uint16_t>(signatureOf(info.pc));
+
+        if (!predicted(set))
+            return;
+        // Placement steering: a collapsed counter predicts no
+        // re-reference, so the entry goes straight to the LRU position
+        // where it is the next victim; everything else inserts at MRU.
+        const std::uint16_t counter = readCounter(entry);
+        if (counter == 0)
+            stack_.demote(set, way);
+    }
+
+    void
+    onInvalidate(std::uint32_t set, std::uint32_t way) override
+    {
+        stack_.demote(set, way);
+        const std::size_t entry = idx(set, way);
+        sig_[entry] = 0;
+        outcome_[entry] = 0;
+        if (!wideSig_.empty())
+            wideSig_[entry] = 0;
+    }
+
+    void
+    onAccessEnd(std::uint32_t set, const AccessInfo &) override
+    {
+        lastSet_ = set;
+    }
+
     std::uint64_t storageBits() const override;
     bool wantsRetireEvents() const override { return false; }
 
@@ -96,25 +176,55 @@ class ShipPolicy : public ReplacementPolicy
     }
 
   private:
-    struct Meta
-    {
-        std::uint16_t sig = 0;
-        std::uint64_t wideSig = 0; //!< full signature (unlimited mode)
-        bool outcome = false;      //!< re-referenced since insertion?
-    };
-
     /** Is @p set managed by the predictor (vs the LRU fallback)? */
-    bool predicted(std::uint32_t set) const;
+    bool predicted(std::uint32_t set) const { return set < predictedSets_; }
 
-    std::uint64_t signatureOf(Addr pc) const;
-    std::uint16_t readCounter(const Meta &meta);
-    void trainLive(const Meta &meta);
-    void trainDead(const Meta &meta);
+    std::uint64_t
+    signatureOf(Addr pc) const
+    {
+        if (config_.unlimitedTable)
+            return pc >> 2;
+        return foldXor(pc >> 2, config_.signatureBits);
+    }
+
+    std::uint16_t
+    readCounter(std::size_t entry)
+    {
+        countTableRead();
+        if (config_.unlimitedTable)
+            return unlimited_.value(wideSig_[entry]);
+        return shct_.read(sig_[entry]);
+    }
+
+    void
+    trainLive(std::size_t entry)
+    {
+        countTableWrite();
+        if (config_.unlimitedTable)
+            unlimited_.increment(wideSig_[entry]);
+        else
+            shct_.increment(sig_[entry]);
+    }
+
+    void
+    trainDead(std::size_t entry)
+    {
+        countTableWrite();
+        if (config_.unlimitedTable)
+            unlimited_.decrement(wideSig_[entry]);
+        else
+            shct_.decrement(sig_[entry]);
+    }
 
     ShipConfig config_;
     PredictionTable shct_;
-    std::unordered_map<std::uint64_t, SatCounter> unlimited_;
-    std::vector<Meta> meta_;
+    FlatCounterMap unlimited_;
+    // Structure-of-arrays entry metadata, indexed by idx(set, way).
+    // wideSig_ (full signatures, unlimited mode only) stays empty in
+    // the common SHCT mode.
+    std::vector<std::uint16_t> sig_;
+    std::vector<std::uint64_t> wideSig_;
+    std::vector<std::uint8_t> outcome_; //!< re-referenced since fill?
     LruStack stack_;
     std::uint32_t predictedSets_;
     std::uint32_t lastSet_ = ~0u;

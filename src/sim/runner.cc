@@ -4,7 +4,9 @@
 #include <atomic>
 #include <future>
 
+#include "core/chirp.hh"
 #include "sim/simulator.hh"
+#include "util/hashing.hh"
 #include "util/logging.hh"
 #include "util/progress.hh"
 #include "util/stats.hh"
@@ -12,6 +14,64 @@
 
 namespace chirp
 {
+
+namespace
+{
+
+/**
+ * Precompute the signature ChirpPolicy would compose at every L2
+ * event: walk the retire stream evolving a private history set with
+ * exactly the policy's update rules (onInstRetired's path filter,
+ * onBranchRetired's class split) and capture
+ * foldXor(history.signature(pc), signatureBits) at each event, which
+ * uses the pre-update histories just as onAccessBegin does.
+ *
+ * The stream depends only on (HistoryConfig, signatureBits) — table
+ * geometry, hash, thresholds and training knobs never touch the
+ * histories — so configuration-sweep variants sharing those fields
+ * share one stream.
+ */
+std::vector<std::uint16_t>
+chirpSignatureStream(const HistoryConfig &history_config,
+                     unsigned signature_bits,
+                     const std::vector<TraceRecord> &records,
+                     const std::vector<L2Event> &events)
+{
+    std::vector<std::uint16_t> sigs;
+    sigs.reserve(events.size());
+    ControlFlowHistory history(history_config);
+    std::size_t e = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        while (e < events.size() && events[e].now == i) {
+            sigs.push_back(static_cast<std::uint16_t>(foldXor(
+                history.signature(events[e].pc), signature_bits)));
+            ++e;
+        }
+        if (e == events.size())
+            break; // trailing records can no longer matter
+        const TraceRecord &rec = records[i];
+        bool on_path = true;
+        switch (history_config.pathFilter) {
+          case PathFilter::All:
+            break;
+          case PathFilter::Memory:
+            on_path = isMemory(rec.cls);
+            break;
+          case PathFilter::Branch:
+            on_path = isBranch(rec.cls);
+            break;
+        }
+        if (on_path)
+            history.onAccess(rec.pc);
+        if (rec.cls == InstClass::CondBranch)
+            history.onCondBranch(rec.pc);
+        else if (rec.cls == InstClass::UncondIndirect)
+            history.onUncondIndirectBranch(rec.pc);
+    }
+    return sigs;
+}
+
+} // namespace
 
 Runner::Runner(const SimConfig &config, unsigned jobs)
     : config_(config), jobs_(jobs),
@@ -62,57 +122,149 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
 
     const std::uint32_t sets =
         config_.tlbs.l2.entries / config_.tlbs.l2.assoc;
+    const std::uint32_t assoc = config_.tlbs.l2.assoc;
     TraceStore &store = *store_;
     ProgressReporter progress(label, suite.size() * factories.size());
-
-    // One job per (workload, policy).  The job body replays the
-    // workload's shared stream; the last policy done with a workload
-    // evicts it from the store so peak residency tracks the in-flight
-    // window, not the suite.
-    auto run_job = [&](std::size_t w, std::size_t p) {
-        const SharedTrace trace = store.get(suite[w]);
-        MemoryTraceSource source(trace, suite[w].name);
-        Simulator sim(config_,
-                      factories[p](sets, config_.tlbs.l2.assoc));
-        results[p][w] = {suite[w], sim.run(source)};
-        if (observer)
-            observer(p, w, sim);
-        progress.tick();
-    };
 
     unsigned jobs = jobs_;
     if (jobs == 0)
         jobs = ThreadPool::defaultConcurrency();
-    const std::size_t total = suite.size() * factories.size();
 
-    if (jobs <= 1 || total <= 1) {
-        for (std::size_t w = 0; w < suite.size(); ++w) {
-            for (std::size_t p = 0; p < factories.size(); ++p)
-                run_job(w, p);
-            store.drop(suite[w]);
+    if (forceVirtualDispatch()) {
+        // Legacy path (CHIRP_FORCE_VIRTUAL): full simulation of every
+        // (workload, policy) pair.  The equality tests diff this
+        // against the record/replay fast path below, so it must stay
+        // the reference implementation.
+        auto run_job = [&](std::size_t w, std::size_t p) {
+            const SharedTrace trace = store.get(suite[w]);
+            MemoryTraceSource source(trace, suite[w].name);
+            Simulator sim(config_, factories[p](sets, assoc));
+            results[p][w] = {suite[w], sim.run(source)};
+            if (observer)
+                observer(p, w, sim);
+            progress.tick();
+        };
+        const std::size_t total = suite.size() * factories.size();
+        if (jobs <= 1 || total <= 1) {
+            for (std::size_t w = 0; w < suite.size(); ++w) {
+                for (std::size_t p = 0; p < factories.size(); ++p)
+                    run_job(w, p);
+                store.drop(suite[w]);
+            }
+            return results;
         }
+        ThreadPool pool(std::min<std::size_t>(jobs, total));
+        // remaining[w] counts policies still to replay workload w;
+        // the job that takes it to zero drops the store's reference.
+        // Jobs are submitted workload-major, so a FIFO pool keeps
+        // only about ceil(jobs / P) + 1 traces materialized at once.
+        std::vector<std::atomic<std::size_t>> remaining(suite.size());
+        for (auto &count : remaining)
+            count.store(factories.size());
+        std::vector<std::future<void>> pending;
+        pending.reserve(total);
+        for (std::size_t w = 0; w < suite.size(); ++w) {
+            for (std::size_t p = 0; p < factories.size(); ++p) {
+                pending.push_back(pool.submit([&, w, p] {
+                    run_job(w, p);
+                    if (remaining[w].fetch_sub(1) == 1)
+                        store.drop(suite[w]);
+                }));
+            }
+        }
+        // get() rethrows the first job failure; the pool destructor
+        // then abandons unstarted jobs so teardown stays prompt.
+        for (std::future<void> &job : pending)
+            job.get();
         return results;
     }
 
-    ThreadPool pool(std::min<std::size_t>(jobs, total));
-    // remaining[w] counts policies still to replay workload w; the
-    // job that takes it to zero drops the store's reference.  Jobs
-    // are submitted workload-major, so a FIFO pool keeps only about
-    // ceil(jobs / P) + 1 traces materialized at once.
-    std::vector<std::atomic<std::size_t>> remaining(suite.size());
-    for (auto &count : remaining)
-        count.store(factories.size());
-    std::vector<std::future<void>> pending;
-    pending.reserve(total);
-    for (std::size_t w = 0; w < suite.size(); ++w) {
-        for (std::size_t p = 0; p < factories.size(); ++p) {
-            pending.push_back(pool.submit([&, w, p] {
-                run_job(w, p);
-                if (remaining[w].fetch_sub(1) == 1)
-                    store.drop(suite[w]);
-            }));
+    // Fast path: one full simulation per workload (the recorder, a
+    // throwaway LRU whose results are discarded) captures the L2
+    // event stream, which is policy-independent because the plain-LRU
+    // L1 TLBs never consult the L2.  Every requested policy then
+    // replays just that stream — a small fraction of the records —
+    // through Simulator::replayL2, which reconstructs bit-identical
+    // full-run statistics from the recorder's baseline.
+    auto run_workload = [&](std::size_t w) {
+        const SharedTrace trace = store.get(suite[w]);
+        std::vector<L2Event> events;
+        SimStats base;
+        {
+            MemoryTraceSource source(trace, suite[w].name);
+            Simulator recorder(config_,
+                               makePolicy(PolicyKind::Lru, sets, assoc));
+            recorder.tlbs().setL2EventSink(&events);
+            base = recorder.run(source);
         }
+        // Construct every policy up front: CHiRP variants whose
+        // signatures are configured identically (same history shape
+        // and signature width — the common case in parameter sweeps)
+        // share one precomputed signature stream, so the retire
+        // stream is walked once per distinct configuration instead of
+        // once per variant.
+        std::vector<std::unique_ptr<ReplacementPolicy>> policies(
+            factories.size());
+        std::vector<ChirpPolicy *> chirps(factories.size(), nullptr);
+        for (std::size_t p = 0; p < factories.size(); ++p) {
+            policies[p] = factories[p](sets, assoc);
+            chirps[p] = dynamic_cast<ChirpPolicy *>(policies[p].get());
+        }
+        struct SigGroup
+        {
+            HistoryConfig history;
+            unsigned signatureBits;
+            std::vector<std::uint16_t> sigs;
+        };
+        std::vector<SigGroup> groups;
+        std::vector<std::size_t> group_of(factories.size(), 0);
+        for (std::size_t p = 0; p < factories.size(); ++p) {
+            if (!chirps[p])
+                continue;
+            const ChirpConfig &cfg = chirps[p]->config();
+            std::size_t g = 0;
+            while (g < groups.size() &&
+                   !(groups[g].history == cfg.history &&
+                     groups[g].signatureBits == cfg.signatureBits))
+                ++g;
+            if (g == groups.size()) {
+                groups.push_back(
+                    {cfg.history, cfg.signatureBits,
+                     chirpSignatureStream(cfg.history, cfg.signatureBits,
+                                          *trace, events)});
+            }
+            group_of[p] = g;
+        }
+        for (std::size_t p = 0; p < factories.size(); ++p) {
+            if (chirps[p])
+                chirps[p]->setSignatureStream(
+                    groups[group_of[p]].sigs.data());
+            Simulator sim(config_, std::move(policies[p]));
+            results[p][w] = {suite[w],
+                             sim.replayL2(*trace, events, base)};
+            if (observer)
+                observer(p, w, sim);
+            progress.tick();
+        }
+        store.drop(suite[w]);
+    };
+
+    if (jobs <= 1 || suite.size() <= 1) {
+        for (std::size_t w = 0; w < suite.size(); ++w)
+            run_workload(w);
+        return results;
     }
+
+    // One job per workload: recording and the replays that reuse its
+    // event stream stay on one worker, so the stream lives exactly as
+    // long as the job and no cross-thread handoff is needed.  Slot-
+    // indexed writes keep the merged results bit-identical to the
+    // serial order no matter which worker finishes first.
+    ThreadPool pool(std::min<std::size_t>(jobs, suite.size()));
+    std::vector<std::future<void>> pending;
+    pending.reserve(suite.size());
+    for (std::size_t w = 0; w < suite.size(); ++w)
+        pending.push_back(pool.submit([&, w] { run_workload(w); }));
     // get() rethrows the first job failure; the pool destructor then
     // abandons unstarted jobs so teardown stays prompt.
     for (std::future<void> &job : pending)

@@ -77,6 +77,110 @@ Simulator::runInterleaved(const std::vector<TraceSource *> &sources,
 }
 
 SimStats
+Simulator::replayL2(const std::vector<TraceRecord> &records,
+                    const std::vector<L2Event> &events,
+                    const SimStats &base)
+{
+    tlbs_->reset();
+
+    const InstCount total = records.size();
+    const InstCount warmup = static_cast<InstCount>(
+        static_cast<double>(total) * config_.warmupFraction);
+
+    Tlb &l2 = tlbs_->l2();
+    PageWalker &walker = tlbs_->walker();
+    const auto deliver = [&](const L2Event &event) {
+        AccessInfo info;
+        info.pc = event.pc;
+        info.vaddr = event.vaddr;
+        info.cls = event.cls;
+        info.isInstr = event.isInstr != 0;
+        if (!l2.access(info, /*asid=*/1, event.now, event.pageShift))
+            walker.walk(event.vaddr);
+    };
+
+    // Policy-dependent counter values at the warmup boundary (all
+    // zero when the whole run is measured), mirroring runImpl's
+    // snapshot, which is taken just before record `warmup` executes:
+    // events of that record carry now == warmup and land after it.
+    std::uint64_t snapAcc = 0, snapHit = 0, snapMiss = 0;
+    std::uint64_t snapReads = 0, snapWrites = 0;
+    Cycles snapWalk = 0;
+    const auto snapshot = [&] {
+        snapAcc = l2.accesses();
+        snapHit = l2.hits();
+        snapMiss = l2.misses();
+        snapReads = l2.policy().tableReads();
+        snapWrites = l2.policy().tableWrites();
+        snapWalk = walker.totalCycles();
+    };
+
+    // A CHiRP instance fed a precomputed signature stream consumes
+    // nothing from the retire stream: the stream already encodes the
+    // history evolution.
+    bool wants_retire = l2.policy().wantsRetireEvents();
+    if (wants_retire) {
+        const auto *streamed =
+            dynamic_cast<const ChirpPolicy *>(&l2.policy());
+        if (streamed && streamed->hasSignatureStream())
+            wants_retire = false;
+    }
+
+    if (wants_retire) {
+        // History-based policy: interleave the event stream with the
+        // retire stream exactly as step() does — every translation of
+        // a record precedes its retire hooks.
+        std::size_t e = 0;
+        for (InstCount i = 0; i < total; ++i) {
+            if (i == warmup && warmup != 0)
+                snapshot();
+            while (e < events.size() && events[e].now == i)
+                deliver(events[e++]);
+            const TraceRecord &rec = records[i];
+            tlbs_->onInstRetired(rec.pc, rec.cls);
+            if (isBranch(rec.cls))
+                tlbs_->onBranchRetired(rec.pc, rec.cls, rec.taken);
+        }
+    } else {
+        // Retire-blind policy: only the events themselves matter.
+        std::size_t e = 0;
+        if (warmup > 0 && warmup < total) {
+            const auto boundary = std::lower_bound(
+                events.begin(), events.end(), warmup,
+                [](const L2Event &event, InstCount limit) {
+                    return event.now < limit;
+                });
+            const auto warm =
+                static_cast<std::size_t>(boundary - events.begin());
+            for (; e < warm; ++e)
+                deliver(events[e]);
+            snapshot();
+        }
+        for (; e < events.size(); ++e)
+            deliver(events[e]);
+    }
+
+    tlbs_->finalizeEfficiency(total);
+
+    SimStats stats = base;
+    stats.l2TlbAccesses = l2.accesses() - snapAcc;
+    stats.l2TlbHits = l2.hits() - snapHit;
+    stats.l2TlbMisses = l2.misses() - snapMiss;
+    stats.tableReads = l2.policy().tableReads() - snapReads;
+    stats.tableWrites = l2.policy().tableWrites() - snapWrites;
+    stats.walkCycles = walker.totalCycles() - snapWalk;
+    // Every record costs the same under every policy except for the
+    // L2-dependent stalls: hitLatency per L2 access plus the page
+    // walks.  Swap the recording run's contribution for this one's.
+    const Cycles hitLat = config_.tlbs.l2.hitLatency;
+    stats.cycles = base.cycles - hitLat * base.l2TlbAccesses -
+                   base.walkCycles + hitLat * stats.l2TlbAccesses +
+                   stats.walkCycles;
+    stats.l2Efficiency = l2.efficiency().efficiency();
+    return stats;
+}
+
+SimStats
 Simulator::runImpl(const std::vector<TraceSource *> &sources,
                    InstCount quantum, bool flush_on_switch)
 {

@@ -61,6 +61,24 @@ class Simulator
     SimStats runInterleaved(const std::vector<TraceSource *> &sources,
                             InstCount quantum, bool flush_on_switch);
 
+    /**
+     * Replay a pre-recorded L2 event stream instead of re-simulating
+     * the full pipeline.  @p events is the L2 access sequence some
+     * recording run of @p records captured via
+     * TlbHierarchy::setL2EventSink, and @p base that run's statistics.
+     *
+     * The L1 TLBs, caches and branch unit evolve independently of the
+     * L2 replacement policy, so only the L2 (and, for history-based
+     * policies, the retire hooks) needs to run per policy; every
+     * policy-independent statistic is taken from @p base and the
+     * cycle count is reassembled from its policy-independent part
+     * plus this policy's L2 stalls.  The result is bit-identical to
+     * run() over @p records with the same policy.
+     */
+    SimStats replayL2(const std::vector<TraceRecord> &records,
+                      const std::vector<L2Event> &events,
+                      const SimStats &base);
+
     /** The TLB hierarchy (inspection in tests/examples). */
     TlbHierarchy &tlbs() { return *tlbs_; }
     const TlbHierarchy &tlbs() const { return *tlbs_; }

@@ -1,12 +1,27 @@
 #include "tlb/tlb.hh"
 
+#include <cstdlib>
+#include <type_traits>
 #include <typeinfo>
 
+#include "core/chirp.hh"
+#include "core/ghrp.hh"
 #include "core/lru.hh"
+#include "core/ship.hh"
 #include "util/logging.hh"
 
 namespace chirp
 {
+
+bool
+forceVirtualDispatch()
+{
+    // Read fresh each call (construction-time only): the equality
+    // tests setenv/unsetenv between simulator builds in one process.
+    const char *value = std::getenv("CHIRP_FORCE_VIRTUAL");
+    return value != nullptr && value[0] != '\0' &&
+           !(value[0] == '0' && value[1] == '\0');
+}
 
 Tlb::Tlb(const TlbConfig &config,
          std::unique_ptr<ReplacementPolicy> policy)
@@ -27,51 +42,62 @@ Tlb::Tlb(const TlbConfig &config,
                     " does not match TLB geometry ", array_.numSets(), "x",
                     array_.assoc());
     }
-    // Exact-type check: a subclass could override hooks the memo
-    // fast path skips, so LruPolicy derivatives don't qualify.
-    plainLru_ = typeid(*policy_) == typeid(LruPolicy);
+    // Exact-type checks (the devirtualized instantiations assume the
+    // dynamic type, and all four classes are final so no subclass can
+    // slip through them anyway).
+    if (!forceVirtualDispatch()) {
+        const auto &id = typeid(*policy_);
+        if (id == typeid(LruPolicy))
+            kind_ = PolicyKind::Lru;
+        else if (id == typeid(ChirpPolicy))
+            kind_ = PolicyKind::Chirp;
+        else if (id == typeid(ShipPolicy))
+            kind_ = PolicyKind::Ship;
+        else if (id == typeid(GhrpPolicy))
+            kind_ = PolicyKind::Ghrp;
+    }
 }
 
+/**
+ * The full hit/miss sequence with every policy hook bound to Policy.
+ * For the concrete (final) policy types the unqualified calls
+ * devirtualize and inline; for Policy = ReplacementPolicy this is the
+ * generic virtual-dispatch path.  The event order is identical in
+ * every instantiation: onAccessBegin -> onHit|({selectVictim} ->
+ * onFill) -> onAccessEnd.
+ */
+template <typename Policy>
 bool
-Tlb::accessSlow(const AccessInfo &info, Asid asid, std::uint64_t now,
-                Addr key)
+Tlb::accessSlowImpl(Policy *policy, const AccessInfo &info, Asid asid,
+                    std::uint64_t now, Addr key)
 {
+    constexpr bool kLru = std::is_same_v<Policy, LruPolicy>;
     const std::uint32_t set = array_.setIndex(key);
     const Addr tag = array_.tagOf(key);
-
-    // Qualified calls on the exact type bypass the vtable (and let
-    // the stack update inline) for the ubiquitous LRU case; the
-    // onAccessEnd default is an empty body, so skipping it for plain
-    // LRU changes nothing.
-    LruPolicy *const lru =
-        plainLru_ ? static_cast<LruPolicy *>(policy_.get()) : nullptr;
+    policy->onAccessBegin(info);
 
     int way = array_.findWay(set, tag);
     if (way >= 0) {
         ++hits_;
         auto &slot = array_.at(set, way);
         slot.data.lastHitTime = now;
-        if (lru) {
-            lru->LruPolicy::onHit(set, static_cast<std::uint32_t>(way),
-                                  info);
+        policy->onHit(set, static_cast<std::uint32_t>(way), info);
+        policy->onAccessEnd(set, info);
+        if constexpr (kLru) {
             hotKey_ = key;
             hotSet_ = set;
             hotWay_ = way;
-        } else {
-            policy_->onHit(set, static_cast<std::uint32_t>(way), info);
-            policy_->onAccessEnd(set, info);
         }
         return true;
     }
 
     ++misses_;
     // The fill below may evict any way, including the memoized one.
-    hotWay_ = -1;
+    if constexpr (kLru)
+        hotWay_ = -1;
     way = array_.invalidWay(set);
     if (way < 0) {
-        way = static_cast<int>(
-            lru ? lru->LruPolicy::selectVictim(set, info)
-                : policy_->selectVictim(set, info));
+        way = static_cast<int>(policy->selectVictim(set, info));
         if (way < 0 || static_cast<std::uint32_t>(way) >= array_.assoc())
             chirp_panic("tlb '", config_.name, "': policy '",
                         policy_->name(), "' chose invalid way ", way);
@@ -86,14 +112,32 @@ Tlb::accessSlow(const AccessInfo &info, Asid asid, std::uint64_t now,
     slot.data.asid = asid;
     slot.data.fillTime = now;
     slot.data.lastHitTime = now;
-    if (lru) {
-        lru->LruPolicy::onFill(set, static_cast<std::uint32_t>(way),
-                               info);
-    } else {
-        policy_->onFill(set, static_cast<std::uint32_t>(way), info);
-        policy_->onAccessEnd(set, info);
-    }
+    policy->onFill(set, static_cast<std::uint32_t>(way), info);
+    policy->onAccessEnd(set, info);
     return false;
+}
+
+bool
+Tlb::accessSlow(const AccessInfo &info, Asid asid, std::uint64_t now,
+                Addr key)
+{
+    switch (kind_) {
+      case PolicyKind::Lru:
+        return accessSlowImpl(static_cast<LruPolicy *>(policy_.get()),
+                              info, asid, now, key);
+      case PolicyKind::Chirp:
+        return accessSlowImpl(static_cast<ChirpPolicy *>(policy_.get()),
+                              info, asid, now, key);
+      case PolicyKind::Ship:
+        return accessSlowImpl(static_cast<ShipPolicy *>(policy_.get()),
+                              info, asid, now, key);
+      case PolicyKind::Ghrp:
+        return accessSlowImpl(static_cast<GhrpPolicy *>(policy_.get()),
+                              info, asid, now, key);
+      case PolicyKind::Generic:
+        break;
+    }
+    return accessSlowImpl(policy_.get(), info, asid, now, key);
 }
 
 bool

@@ -22,6 +22,15 @@
 namespace chirp
 {
 
+/**
+ * Is generic virtual policy dispatch forced via the
+ * CHIRP_FORCE_VIRTUAL environment variable?  Read at construction
+ * time by Tlb and TlbHierarchy; the equality tests flip it to prove
+ * the devirtualized event sequences are state-identical to the
+ * virtual ones.  Set (non-empty, not "0") means forced.
+ */
+bool forceVirtualDispatch();
+
 /** Geometry and latency of one TLB level. */
 struct TlbConfig
 {
@@ -107,9 +116,32 @@ class Tlb
     std::uint64_t validCount() const { return array_.validCount(); }
 
   private:
+    /**
+     * Resolved dynamic type of the policy, fixed at construction.
+     * accessSlow branches on it once per access and then runs a
+     * policy-specific instantiation whose hook calls the compiler
+     * devirtualizes and inlines (all concrete policies are final and
+     * keep their hot hooks in their headers).  Generic is the plain
+     * virtual-dispatch path: subclasses of the known policies, and
+     * every policy when CHIRP_FORCE_VIRTUAL is set.
+     */
+    enum class PolicyKind : std::uint8_t
+    {
+        Generic,
+        Lru,
+        Chirp,
+        Ship,
+        Ghrp,
+    };
+
     /** General hit/miss handling once the memo fast path declined. */
     bool accessSlow(const AccessInfo &info, Asid asid,
                     std::uint64_t now, Addr key);
+
+    /** The access sequence with hooks bound to @p Policy. */
+    template <typename Policy>
+    bool accessSlowImpl(Policy *policy, const AccessInfo &info,
+                        Asid asid, std::uint64_t now, Addr key);
 
     /** Per-entry payload. */
     struct Entry
@@ -138,14 +170,15 @@ class Tlb
     SetAssocArray<Entry> array_;
     std::unique_ptr<ReplacementPolicy> policy_;
     EfficiencyTracker efficiency_;
-    // Last-hit memo: when the policy is exactly LruPolicy, a repeat
-    // hit on the immediately-preceding entry is a provable no-op for
-    // the policy (the way is already MRU, so touch() does nothing and
-    // onAccessEnd is the empty default), letting the hot sequential
-    // case skip the set scan and both virtual calls.  The memo holds
-    // the full key, so ASID and page-size mismatches fall through.
-    // Any miss, flush or reset clears it.
-    bool plainLru_ = false;
+    PolicyKind kind_ = PolicyKind::Generic;
+    // Last-hit memo (LRU only): a repeat hit on the immediately-
+    // preceding entry is a provable no-op for plain LRU (the way is
+    // already MRU, so touch() does nothing and onAccessEnd is the
+    // empty default), letting the hot sequential case skip the set
+    // scan and all policy calls.  The memo holds the full key, so
+    // ASID and page-size mismatches fall through.  Any miss, flush
+    // or reset clears it, and only the Lru dispatch kind ever sets
+    // it.
     int hotWay_ = -1; //!< <0 = no memo
     std::uint32_t hotSet_ = 0;
     Addr hotKey_ = 0;

@@ -9,8 +9,12 @@
 #ifndef CHIRP_TLB_TLB_HIERARCHY_HH
 #define CHIRP_TLB_TLB_HIERARCHY_HH
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "core/chirp.hh"
+#include "core/ghrp.hh"
 #include "tlb/page_walker.hh"
 #include "tlb/tlb.hh"
 
@@ -31,6 +35,28 @@ struct TranslateResult
     bool l1Hit = false;
     bool l2Hit = false; //!< meaningful when !l1Hit
     Cycles stall = 0;   //!< cycles beyond the hidden L1 hit latency
+};
+
+/**
+ * One L2 TLB access as observed during a recording run: everything
+ * translate() hands the L2 on an L1 miss, plus the instruction index
+ * it happened at.
+ *
+ * The L1 TLBs are plain LRU and never consult the L2, so the L1-miss
+ * sequence — and with it this event stream — depends only on the
+ * trace, not on the L2 replacement policy.  Recording it once per
+ * workload lets every further policy replay just these events (plus
+ * the retire stream for history-based policies) instead of
+ * re-simulating both L1 TLBs for every record.
+ */
+struct L2Event
+{
+    Addr pc = 0;             //!< accessing instruction
+    Addr vaddr = 0;          //!< address being translated
+    std::uint64_t now = 0;   //!< instruction index of the access
+    InstClass cls = InstClass::Alu;
+    std::uint8_t isInstr = 0;   //!< i-side (1) or d-side (0) access
+    std::uint8_t pageShift = 0; //!< log2 page size of the mapping
 };
 
 /** L1 i/d TLBs + unified L2 TLB + page walker. */
@@ -70,6 +96,11 @@ class TlbHierarchy
         }
 
         // L1 miss: probe the unified L2.
+        if (l2Sink_) {
+            l2Sink_->push_back({info.pc, info.vaddr, now, info.cls,
+                                static_cast<std::uint8_t>(info.isInstr),
+                                static_cast<std::uint8_t>(page_shift)});
+        }
         result.stall += l2_.config().hitLatency;
         if (l2_.access(info, asid, now, page_shift)) {
             result.l2Hit = true;
@@ -91,22 +122,47 @@ class TlbHierarchy
     void setPageMap(const PageMap *map) { pageMap_ = map; }
 
     /**
+     * Append every L2 access to @p sink (null disables).  Used by
+     * recording runs to capture the policy-independent L2 event
+     * stream; the check sits on the L1-miss path only, so ordinary
+     * runs pay nothing for it.  The sink must outlive the run.
+     */
+    void setL2EventSink(std::vector<L2Event> *sink) { l2Sink_ = sink; }
+
+    /**
      * Deliver a retired branch to the L2 policy (CHiRP/GHRP build
      * their branch histories from the full instruction stream).
-     * Skipped entirely for retire-blind policies.
+     * Skipped entirely for retire-blind policies; delivered through
+     * a typed pointer (devirtualized, hooks inline) when the policy
+     * is known to be exactly CHiRP or GHRP.
      */
     void
     onBranchRetired(Addr pc, InstClass cls, bool taken)
     {
+        if (l2Chirp_) {
+            l2Chirp_->onBranchRetired(pc, cls, taken);
+            return;
+        }
+        if (l2Ghrp_) {
+            l2Ghrp_->onBranchRetired(pc, cls, taken);
+            return;
+        }
         if (l2WantsRetire_)
             l2_.policy().onBranchRetired(pc, cls, taken);
     }
 
     /** Deliver every retired instruction to the L2 policy (path
-     *  history updates).  Skipped for retire-blind policies. */
+     *  history updates).  Skipped for retire-blind policies;
+     *  devirtualized for CHiRP (GHRP ignores non-branch retires). */
     void
     onInstRetired(Addr pc, InstClass cls)
     {
+        if (l2Chirp_) {
+            l2Chirp_->onInstRetired(pc, cls);
+            return;
+        }
+        if (l2Ghrp_)
+            return; // GHRP only consumes onBranchRetired
         if (l2WantsRetire_)
             l2_.policy().onInstRetired(pc, cls);
     }
@@ -131,9 +187,15 @@ class TlbHierarchy
 
     TlbHierarchyConfig config_;
     const PageMap *pageMap_ = nullptr;
+    std::vector<L2Event> *l2Sink_ = nullptr;
     //! Cached wantsRetireEvents() of the L2 policy: skips two virtual
     //! calls per retired instruction for retire-blind policies.
     bool l2WantsRetire_ = true;
+    //! Exact-type L2 policy views for the retire fast paths (both
+    //! classes are final, so the calls devirtualize).  Null when the
+    //! policy is any other type or CHIRP_FORCE_VIRTUAL is set.
+    ChirpPolicy *l2Chirp_ = nullptr;
+    GhrpPolicy *l2Ghrp_ = nullptr;
     Tlb l1i_;
     Tlb l1d_;
     Tlb l2_;

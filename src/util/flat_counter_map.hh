@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Open-addressing hash map from 64-bit keys to small saturating
+ * counters.
+ *
+ * SHiP's unlimited-SHCT mode used to keep one SatCounter per distinct
+ * signature in a std::unordered_map, which costs a node allocation
+ * per new signature and a rehash of the whole node graph as the
+ * working set grows.  This map stores keys and counter values in two
+ * flat arrays with linear probing, reserves its capacity up front,
+ * and grows by doubling — no per-entry allocation, and clear() keeps
+ * the capacity so a policy reset never re-allocates.
+ *
+ * Only the operations the predictors need exist: read a counter
+ * (absent keys read as zero) and increment/decrement with saturation.
+ */
+
+#ifndef CHIRP_UTIL_FLAT_COUNTER_MAP_HH
+#define CHIRP_UTIL_FLAT_COUNTER_MAP_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitfield.hh"
+#include "util/hashing.hh"
+
+namespace chirp
+{
+
+/** Flat hash table of n-bit saturating counters keyed by uint64. */
+class FlatCounterMap
+{
+  public:
+    /**
+     * @param counter_bits width of each counter (1..16)
+     * @param initial_capacity starting slot count (rounded up to a
+     *        power of two; the table grows past it by doubling)
+     */
+    explicit FlatCounterMap(unsigned counter_bits,
+                            std::size_t initial_capacity = 4096)
+        : max_(static_cast<std::uint16_t>((1u << counter_bits) - 1))
+    {
+        std::size_t capacity = 16;
+        while (capacity < initial_capacity)
+            capacity *= 2;
+        keys_.assign(capacity, 0);
+        values_.assign(capacity, 0);
+        used_.assign(capacity, 0);
+    }
+
+    /** Counter value for @p key; absent keys read as zero. */
+    std::uint16_t
+    value(std::uint64_t key) const
+    {
+        const std::size_t slot = find(key);
+        return used_[slot] ? values_[slot] : 0;
+    }
+
+    /** Increment @p key's counter, saturating at the maximum. */
+    void
+    increment(std::uint64_t key)
+    {
+        std::uint16_t &value = slotFor(key);
+        if (value < max_)
+            ++value;
+    }
+
+    /** Decrement @p key's counter, saturating at zero. */
+    void
+    decrement(std::uint64_t key)
+    {
+        std::uint16_t &value = slotFor(key);
+        if (value > 0)
+            --value;
+    }
+
+    /** Drop every entry; capacity (and so reservations) is kept. */
+    void
+    clear()
+    {
+        std::fill(used_.begin(), used_.end(), 0);
+        size_ = 0;
+    }
+
+    /** Number of distinct keys present. */
+    std::size_t size() const { return size_; }
+
+    /** Current slot count. */
+    std::size_t capacity() const { return keys_.size(); }
+
+    /** Maximum counter value. */
+    std::uint16_t counterMax() const { return max_; }
+
+  private:
+    /** Slot of @p key, or the empty slot where it would be inserted. */
+    std::size_t
+    find(std::uint64_t key) const
+    {
+        const std::size_t mask = keys_.size() - 1;
+        std::size_t slot = static_cast<std::size_t>(mix64(key)) & mask;
+        while (used_[slot] && keys_[slot] != key)
+            slot = (slot + 1) & mask;
+        return slot;
+    }
+
+    /** Value slot for @p key, inserting (at zero) when absent. */
+    std::uint16_t &
+    slotFor(std::uint64_t key)
+    {
+        std::size_t slot = find(key);
+        if (!used_[slot]) {
+            // Keep load factor below 3/4 so probe chains stay short.
+            if ((size_ + 1) * 4 > keys_.size() * 3) {
+                grow();
+                slot = find(key);
+            }
+            used_[slot] = 1;
+            keys_[slot] = key;
+            values_[slot] = 0;
+            ++size_;
+        }
+        return values_[slot];
+    }
+
+    void
+    grow()
+    {
+        std::vector<std::uint64_t> old_keys = std::move(keys_);
+        std::vector<std::uint16_t> old_values = std::move(values_);
+        std::vector<std::uint8_t> old_used = std::move(used_);
+        const std::size_t capacity = old_keys.size() * 2;
+        keys_.assign(capacity, 0);
+        values_.assign(capacity, 0);
+        used_.assign(capacity, 0);
+        for (std::size_t i = 0; i < old_keys.size(); ++i) {
+            if (!old_used[i])
+                continue;
+            const std::size_t slot = find(old_keys[i]);
+            used_[slot] = 1;
+            keys_[slot] = old_keys[i];
+            values_[slot] = old_values[i];
+        }
+    }
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint16_t> values_;
+    std::vector<std::uint8_t> used_;
+    std::size_t size_ = 0;
+    std::uint16_t max_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_FLAT_COUNTER_MAP_HH

@@ -1,25 +1,7 @@
 #include "util/hashing.hh"
 
-#include "util/bitfield.hh"
-#include "util/logging.hh"
-
 namespace chirp
 {
-
-std::uint64_t
-indexHash(std::uint64_t value, unsigned nbits)
-{
-    // An odd multiplicative constant spreads nearby signatures across
-    // the table; the fold keeps every input bit relevant to the index.
-    const std::uint64_t mixed = value * 0x9e3779b97f4a7c15ull;
-    return foldXor(mixed, nbits);
-}
-
-std::uint64_t
-foldHash(std::uint64_t value, unsigned nbits)
-{
-    return foldXor(value, nbits);
-}
 
 namespace
 {
@@ -51,20 +33,6 @@ crcHash(std::uint64_t value, unsigned nbits)
     if (nbits >= 16)
         return crc;
     return foldXor(crc, nbits);
-}
-
-std::uint64_t
-hashBy(HashKind kind, std::uint64_t value, unsigned nbits)
-{
-    switch (kind) {
-      case HashKind::Index:
-        return indexHash(value, nbits);
-      case HashKind::Fold:
-        return foldHash(value, nbits);
-      case HashKind::Crc:
-        return crcHash(value, nbits);
-    }
-    chirp_panic("unknown HashKind ", static_cast<int>(kind));
 }
 
 const char *

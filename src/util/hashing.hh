@@ -13,6 +13,8 @@
 
 #include <cstdint>
 
+#include "util/bitfield.hh"
+
 namespace chirp
 {
 
@@ -41,11 +43,23 @@ hashCombine(std::uint64_t seed, std::uint64_t value)
 /**
  * Hardware-plausible index hash: multiply by an odd constant and
  * XOR-fold to @p nbits.  This is the default `Hash` of Algorithm 5.
+ * Inline: this sits on the prediction-table index path of every
+ * predictor policy.
  */
-std::uint64_t indexHash(std::uint64_t value, unsigned nbits);
+inline std::uint64_t
+indexHash(std::uint64_t value, unsigned nbits)
+{
+    // An odd multiplicative constant spreads nearby signatures across
+    // the table; the fold keeps every input bit relevant to the index.
+    return foldXor(value * 0x9e3779b97f4a7c15ull, nbits);
+}
 
 /** Pure XOR-fold index hash (no multiply), the cheapest option. */
-std::uint64_t foldHash(std::uint64_t value, unsigned nbits);
+inline std::uint64_t
+foldHash(std::uint64_t value, unsigned nbits)
+{
+    return foldXor(value, nbits);
+}
 
 /** CRC-16/CCITT over the 8 bytes of @p value, truncated to @p nbits. */
 std::uint64_t crcHash(std::uint64_t value, unsigned nbits);
@@ -59,7 +73,19 @@ enum class HashKind
 };
 
 /** Dispatch on @p kind; used by configurable predictor tables. */
-std::uint64_t hashBy(HashKind kind, std::uint64_t value, unsigned nbits);
+inline std::uint64_t
+hashBy(HashKind kind, std::uint64_t value, unsigned nbits)
+{
+    switch (kind) {
+      case HashKind::Index:
+        return indexHash(value, nbits);
+      case HashKind::Fold:
+        return foldHash(value, nbits);
+      case HashKind::Crc:
+        return crcHash(value, nbits);
+    }
+    return indexHash(value, nbits);
+}
 
 /** Human-readable name for a HashKind (bench/report output). */
 const char *hashKindName(HashKind kind);

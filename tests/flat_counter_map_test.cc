@@ -1,0 +1,119 @@
+/**
+ * @file
+ * FlatCounterMap (the open-addressing table behind SHiP's unlimited
+ * SHCT) against a std::unordered_map reference: identical counter
+ * values under random increment/decrement/read mixes, identical
+ * distinct-key counts, correct growth past the load-factor bound,
+ * and a capacity-preserving clear().
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/flat_counter_map.hh"
+#include "util/random.hh"
+
+namespace chirp
+{
+namespace
+{
+
+TEST(FlatCounterMap, MatchesUnorderedMapReference)
+{
+    constexpr unsigned kBits = 3; // saturate at 7
+    FlatCounterMap map(kBits, 16);
+    std::unordered_map<std::uint64_t, int> reference;
+    const int max = (1 << kBits) - 1;
+
+    Rng rng(0xF1A7);
+    for (int op = 0; op < 20000; ++op) {
+        // Small key pool: plenty of revisits and probe collisions.
+        const std::uint64_t key = rng.below(512) * 0x9E3779B97F4A7C15ull;
+        switch (rng.below(3)) {
+          case 0: {
+            map.increment(key);
+            int &value = reference[key]; // inserts at zero, like slotFor
+            if (value < max)
+                ++value;
+            break;
+          }
+          case 1: {
+            map.decrement(key);
+            int &value = reference[key];
+            if (value > 0)
+                --value;
+            break;
+          }
+          default: {
+            const auto it = reference.find(key);
+            const int expected = it == reference.end() ? 0 : it->second;
+            ASSERT_EQ(map.value(key), expected) << "op " << op;
+            break;
+          }
+        }
+    }
+
+    EXPECT_EQ(map.size(), reference.size());
+    for (const auto &[key, value] : reference)
+        ASSERT_EQ(map.value(key), value);
+}
+
+TEST(FlatCounterMap, GrowsPastInitialCapacity)
+{
+    FlatCounterMap map(2, 16);
+    const std::size_t initial = map.capacity();
+    // Far more distinct keys than the initial slot count; every value
+    // must survive the rehashes.
+    for (std::uint64_t key = 1; key <= 1000; ++key) {
+        map.increment(key);
+        map.increment(key);
+    }
+    EXPECT_EQ(map.size(), 1000u);
+    EXPECT_GT(map.capacity(), initial);
+    // Load factor stays below 3/4 after growth.
+    EXPECT_LT(map.size() * 4, map.capacity() * 3 + 4);
+    for (std::uint64_t key = 1; key <= 1000; ++key)
+        ASSERT_EQ(map.value(key), 2);
+    EXPECT_EQ(map.value(12345), 0) << "absent keys read as zero";
+}
+
+TEST(FlatCounterMap, SaturatesBothEnds)
+{
+    FlatCounterMap map(2, 16);
+    EXPECT_EQ(map.counterMax(), 3);
+    for (int i = 0; i < 10; ++i)
+        map.increment(7);
+    EXPECT_EQ(map.value(7), 3);
+    for (int i = 0; i < 10; ++i)
+        map.decrement(7);
+    EXPECT_EQ(map.value(7), 0);
+    // Decrement of an absent key materializes it at zero (the
+    // behaviour SHiP's reference unordered_map table had).
+    map.decrement(99);
+    EXPECT_EQ(map.value(99), 0);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatCounterMap, ClearKeepsCapacity)
+{
+    FlatCounterMap map(2, 16);
+    for (std::uint64_t key = 0; key < 500; ++key)
+        map.increment(key * 3);
+    const std::size_t grown = map.capacity();
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.capacity(), grown)
+        << "clear() must not shed capacity (policy resets would "
+           "re-allocate)";
+    for (std::uint64_t key = 0; key < 500; ++key)
+        ASSERT_EQ(map.value(key * 3), 0);
+    // Reusable after clear.
+    map.increment(42);
+    EXPECT_EQ(map.value(42), 1);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+} // namespace
+} // namespace chirp

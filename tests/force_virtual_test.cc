@@ -1,0 +1,168 @@
+/**
+ * @file
+ * CHIRP_FORCE_VIRTUAL equality: the devirtualized fast path — typed
+ * policy dispatch in the TLB, retire-hook devirtualization, and the
+ * record-once/replay-many L2 event stream with shared CHiRP
+ * signature streams — must produce bit-identical statistics to the
+ * legacy generic-virtual, full-simulation path it replaced.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/policy_factory.hh"
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+#include "tlb/tlb.hh"
+
+namespace chirp
+{
+namespace
+{
+
+SimConfig
+fastConfig()
+{
+    SimConfig config;
+    config.simulateCaches = false;
+    config.simulateBranch = false;
+    return config;
+}
+
+std::vector<WorkloadConfig>
+smallSuite(std::size_t size = 5)
+{
+    SuiteOptions options;
+    options.size = size;
+    options.traceLength = 60000;
+    return makeSuite(options);
+}
+
+/** The paper policy set with every dispatch specialization. */
+std::vector<PolicyFactory>
+specializedFactories()
+{
+    return {
+        Runner::factoryFor(PolicyKind::Lru),
+        Runner::factoryFor(PolicyKind::Ship),
+        Runner::factoryFor(PolicyKind::Ghrp),
+        Runner::factoryFor(PolicyKind::Chirp),
+    };
+}
+
+void
+expectIdenticalStats(const std::vector<std::vector<WorkloadResult>> &a,
+                     const std::vector<std::vector<WorkloadResult>> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t p = 0; p < a.size(); ++p) {
+        ASSERT_EQ(a[p].size(), b[p].size());
+        for (std::size_t w = 0; w < a[p].size(); ++w) {
+            SCOPED_TRACE("policy " + std::to_string(p) + " workload " +
+                         a[p][w].workload.name);
+            const SimStats &x = a[p][w].stats;
+            const SimStats &y = b[p][w].stats;
+            EXPECT_EQ(x.instructions, y.instructions);
+            EXPECT_EQ(x.cycles, y.cycles);
+            EXPECT_EQ(x.l1iTlbMisses, y.l1iTlbMisses);
+            EXPECT_EQ(x.l1dTlbMisses, y.l1dTlbMisses);
+            EXPECT_EQ(x.l2TlbAccesses, y.l2TlbAccesses);
+            EXPECT_EQ(x.l2TlbHits, y.l2TlbHits);
+            EXPECT_EQ(x.l2TlbMisses, y.l2TlbMisses);
+            EXPECT_EQ(x.tableReads, y.tableReads);
+            EXPECT_EQ(x.tableWrites, y.tableWrites);
+            EXPECT_EQ(x.walkCycles, y.walkCycles);
+            // Bit-identical doubles: both paths run the same
+            // deterministic computation.
+            EXPECT_EQ(x.l2Efficiency, y.l2Efficiency);
+        }
+    }
+}
+
+/** RAII environment flip so a failing ASSERT cannot leak the flag. */
+class ForcedVirtual
+{
+  public:
+    ForcedVirtual() { ::setenv("CHIRP_FORCE_VIRTUAL", "1", 1); }
+    ~ForcedVirtual() { ::unsetenv("CHIRP_FORCE_VIRTUAL"); }
+};
+
+TEST(ForceVirtual, EnvParsing)
+{
+    ::unsetenv("CHIRP_FORCE_VIRTUAL");
+    EXPECT_FALSE(forceVirtualDispatch());
+    ::setenv("CHIRP_FORCE_VIRTUAL", "", 1);
+    EXPECT_FALSE(forceVirtualDispatch()) << "empty means unset";
+    ::setenv("CHIRP_FORCE_VIRTUAL", "0", 1);
+    EXPECT_FALSE(forceVirtualDispatch()) << "explicit zero means off";
+    ::setenv("CHIRP_FORCE_VIRTUAL", "1", 1);
+    EXPECT_TRUE(forceVirtualDispatch());
+    ::setenv("CHIRP_FORCE_VIRTUAL", "yes", 1);
+    EXPECT_TRUE(forceVirtualDispatch());
+    ::unsetenv("CHIRP_FORCE_VIRTUAL");
+}
+
+TEST(ForceVirtual, LegacySerialMatchesFastSerial)
+{
+    const auto suite = smallSuite();
+    const auto factories = specializedFactories();
+    const Runner runner(fastConfig(), 1);
+
+    std::vector<std::vector<WorkloadResult>> forced;
+    {
+        ForcedVirtual guard;
+        forced = runner.runSuiteMulti(suite, factories);
+    }
+    const auto fast = runner.runSuiteMulti(suite, factories);
+    expectIdenticalStats(forced, fast);
+}
+
+TEST(ForceVirtual, LegacyParallelMatchesFastParallel)
+{
+    const auto suite = smallSuite();
+    const auto factories = specializedFactories();
+    const Runner runner(fastConfig(), 4);
+
+    std::vector<std::vector<WorkloadResult>> forced;
+    {
+        ForcedVirtual guard;
+        forced = runner.runSuiteMulti(suite, factories);
+    }
+    const auto fast = runner.runSuiteMulti(suite, factories);
+    expectIdenticalStats(forced, fast);
+}
+
+TEST(ForceVirtual, StandaloneRunMatchesUnderForcedDispatch)
+{
+    // A plain Simulator::run must be unaffected by the flag too: the
+    // devirtualized access loop is state-identical to generic
+    // dispatch, not just the suite runner.
+    const auto suite = smallSuite(2);
+    const Runner runner(fastConfig(), 1);
+    for (const PolicyKind kind :
+         {PolicyKind::Lru, PolicyKind::Ship, PolicyKind::Ghrp,
+          PolicyKind::Chirp}) {
+        SCOPED_TRACE(policyKindName(kind));
+        const auto factory = Runner::factoryFor(kind);
+        std::vector<WorkloadResult> forced;
+        {
+            ForcedVirtual guard;
+            forced = runner.runSuite(suite, factory);
+        }
+        const auto fast = runner.runSuite(suite, factory);
+        ASSERT_EQ(forced.size(), fast.size());
+        for (std::size_t w = 0; w < forced.size(); ++w) {
+            EXPECT_EQ(forced[w].stats.cycles, fast[w].stats.cycles);
+            EXPECT_EQ(forced[w].stats.l2TlbMisses,
+                      fast[w].stats.l2TlbMisses);
+            EXPECT_EQ(forced[w].stats.tableReads,
+                      fast[w].stats.tableReads);
+            EXPECT_EQ(forced[w].stats.tableWrites,
+                      fast[w].stats.tableWrites);
+        }
+    }
+}
+
+} // namespace
+} // namespace chirp
