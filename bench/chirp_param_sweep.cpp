@@ -137,5 +137,5 @@ main(int argc, char **argv)
     }
     table.print();
     std::printf("\nCSV written to chirp_param_sweep.csv\n");
-    return 0;
+    return finish(ctx);
 }

@@ -83,5 +83,5 @@ main(int argc, char **argv)
     table.print();
     std::printf("\naverage L2 TLB MPKI per pair of co-scheduled "
                 "workloads.\nCSV written to context_switch_study.csv\n");
-    return 0;
+    return finish(ctx);
 }

@@ -51,5 +51,5 @@ main(int argc, char **argv)
     }
     table.print();
     std::printf("\nCSV written to extra_policies.csv\n");
-    return 0;
+    return finish(ctx);
 }

@@ -84,5 +84,5 @@ main(int argc, char **argv)
     summary.print();
     std::printf("\nheat-map rows (workload x policy, scaled by LRU) "
                 "written to fig01_tlb_efficiency.csv\n");
-    return 0;
+    return finish(ctx);
 }

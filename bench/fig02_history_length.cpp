@@ -62,5 +62,5 @@ main(int argc, char **argv)
     std::printf("\npaper shape: the PC-only curve saturates near "
                 "length 15; the combined curve keeps rising past 30.\n");
     std::printf("CSV written to fig02_history_length.csv\n");
-    return 0;
+    return finish(ctx);
 }

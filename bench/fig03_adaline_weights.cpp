@@ -89,5 +89,5 @@ main(int argc, char **argv)
                 "correlation (instruction-slot identity inside a "
                 "16-byte group).\n");
     std::printf("CSV written to fig03_adaline_weights.csv\n");
-    return 0;
+    return finish(ctx);
 }

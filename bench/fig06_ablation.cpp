@@ -141,5 +141,5 @@ main(int argc, char **argv)
                "0.00", "0.00"});
     table.print();
     std::printf("\nCSV written to fig06_ablation.csv\n");
-    return 0;
+    return finish(ctx);
 }

@@ -102,5 +102,5 @@ main(int argc, char **argv)
                 "absolute MPKI differs by design — see EXPERIMENTS.md):\n");
     summary.print();
     std::printf("\nCSV written to fig07_mpki_scurve.csv\n");
-    return 0;
+    return finish(ctx);
 }

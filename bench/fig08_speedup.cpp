@@ -72,5 +72,5 @@ main(int argc, char **argv)
     }
     summary.print();
     std::printf("\nCSV written to fig08_speedup.csv\n");
-    return 0;
+    return finish(ctx);
 }

@@ -69,5 +69,5 @@ main(int argc, char **argv)
     }
     table.print();
     std::printf("\nCSV written to fig09_table_size.csv\n");
-    return 0;
+    return finish(ctx);
 }

@@ -66,5 +66,5 @@ main(int argc, char **argv)
     std::printf("\npaper reference: CHiRP 4.8%% at 150 cycles, >10%% at "
                 "320 cycles; other policies stay low.\n");
     std::printf("CSV written to fig10_penalty_sweep.csv\n");
-    return 0;
+    return finish(ctx);
 }

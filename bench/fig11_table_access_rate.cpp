@@ -68,5 +68,5 @@ main(int argc, char **argv)
     std::printf("\n(rates are table accesses per L2 TLB access; >1 "
                 "means multiple reads+writes per access)\n");
     std::printf("CSV written to fig11_table_access_rate.csv\n");
-    return 0;
+    return finish(ctx);
 }

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 
+#include "util/hashing.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -23,6 +24,28 @@ parseJobs(const char *text)
         chirp_fatal("--jobs expects a non-negative integer, got '", text,
                     "'");
     return static_cast<unsigned>(value);
+}
+
+std::uint64_t
+parseCount(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        chirp_fatal(flag, " expects a non-negative integer, got '",
+                    text, "'");
+    return value;
+}
+
+/** "<argv0 basename>.csv.journal" — the sidecar of the bench's CSV. */
+std::string
+defaultJournalPath(const char *argv0)
+{
+    std::string name = argv0 ? argv0 : "bench";
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name.erase(0, slash + 1);
+    return name + ".csv.journal";
 }
 
 } // namespace
@@ -48,7 +71,31 @@ makeContext(std::size_t default_suite_size, bool mpki_only)
         ctx.config.simulateCaches = false;
         ctx.config.simulateBranch = false;
     }
+    if (const char *env = std::getenv("CHIRP_RETRIES"); env && *env) {
+        ctx.resilience.retries = static_cast<unsigned>(
+            parseCount("CHIRP_RETRIES", env));
+    }
+    if (const char *env = std::getenv("CHIRP_JOB_TIMEOUT_MS");
+        env && *env) {
+        ctx.resilience.jobTimeoutMs =
+            parseCount("CHIRP_JOB_TIMEOUT_MS", env);
+    }
     return ctx;
+}
+
+std::uint64_t
+BenchContext::fingerprint() const
+{
+    std::uint64_t fp = mix64(0x43484952ull /* "CHIR" */);
+    fp = hashCombine(fp, suite.size());
+    fp = hashCombine(fp, options.traceLength);
+    fp = hashCombine(fp, options.baseSeed);
+    fp = hashCombine(fp, static_cast<std::uint64_t>(
+                             options.onlyCategory + 1));
+    fp = hashCombine(fp, config.simulateCaches ? 1 : 0);
+    fp = hashCombine(fp, config.simulateBranch ? 1 : 0);
+    fp = hashCombine(fp, config.tlbs.l2.entries);
+    return hashCombine(fp, config.tlbs.l2.assoc);
 }
 
 BenchContext
@@ -56,6 +103,8 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
             bool mpki_only)
 {
     BenchContext ctx = makeContext(default_suite_size, mpki_only);
+    ctx.journalPath = defaultJournalPath(argc > 0 ? argv[0] : nullptr);
+    bool no_journal = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--jobs" || arg == "-j") {
@@ -74,10 +123,39 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
         } else if (arg == "--no-trace-store") {
             ctx.shareTraces = false;
             ctx.traceCacheDir.clear();
+        } else if (arg == "--retries") {
+            if (i + 1 >= argc)
+                chirp_fatal(arg, " needs a value");
+            ctx.resilience.retries = static_cast<unsigned>(
+                parseCount("--retries", argv[++i]));
+        } else if (arg.rfind("--retries=", 0) == 0) {
+            ctx.resilience.retries = static_cast<unsigned>(parseCount(
+                "--retries", arg.c_str() + std::strlen("--retries=")));
+        } else if (arg == "--job-timeout") {
+            if (i + 1 >= argc)
+                chirp_fatal(arg, " needs a value");
+            ctx.resilience.jobTimeoutMs =
+                parseCount("--job-timeout", argv[++i]);
+        } else if (arg.rfind("--job-timeout=", 0) == 0) {
+            ctx.resilience.jobTimeoutMs = parseCount(
+                "--job-timeout",
+                arg.c_str() + std::strlen("--job-timeout="));
+        } else if (arg == "--resume") {
+            ctx.resume = true;
+        } else if (arg == "--journal") {
+            if (i + 1 >= argc)
+                chirp_fatal(arg, " needs a path");
+            ctx.journalPath = argv[++i];
+        } else if (arg.rfind("--journal=", 0) == 0) {
+            ctx.journalPath = arg.substr(std::strlen("--journal="));
+        } else if (arg == "--no-journal") {
+            no_journal = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--jobs N] [--trace-cache DIR] "
                 "[--no-trace-store]\n"
+                "       [--retries N] [--job-timeout MS] [--resume]\n"
+                "       [--journal PATH] [--no-journal]\n"
                 "  --jobs N, -j N     suite-runner worker threads\n"
                 "                     (default: hardware concurrency or\n"
                 "                     CHIRP_JOBS; 1 = serial)\n"
@@ -85,15 +163,53 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
                 "                     (default: CHIRP_TRACE_CACHE)\n"
                 "  --no-trace-store   regenerate the trace for every\n"
                 "                     policy (legacy path)\n"
+                "  --retries N        extra attempts for jobs failing\n"
+                "                     transiently (default 1, or\n"
+                "                     CHIRP_RETRIES)\n"
+                "  --job-timeout MS   flag jobs running longer than MS\n"
+                "                     as hung (default off, or\n"
+                "                     CHIRP_JOB_TIMEOUT_MS)\n"
+                "  --resume           skip jobs already completed in the\n"
+                "                     journal of an interrupted run\n"
+                "  --journal PATH     journal location (default:\n"
+                "                     <binary>.csv.journal)\n"
+                "  --no-journal       disable job journaling\n"
                 "Suite fidelity scales via CHIRP_SUITE_SIZE,\n"
-                "CHIRP_TRACE_LEN and CHIRP_SEED.\n",
+                "CHIRP_TRACE_LEN and CHIRP_SEED; CHIRP_FAULT injects\n"
+                "deterministic faults for resilience testing.\n",
                 argv[0]);
             std::exit(0);
         } else {
             chirp_fatal("unknown argument '", arg, "' (try --help)");
         }
     }
+    if (no_journal)
+        ctx.journalPath.clear();
+    if (ctx.resume && ctx.journalPath.empty())
+        chirp_fatal("--resume needs a journal (drop --no-journal)");
     return ctx;
+}
+
+int
+finish(const BenchContext &ctx)
+{
+    const SuiteHealth &health = *ctx.health;
+    if (health.resumedJobs() || health.retriedJobs() ||
+        health.hungJobs()) {
+        chirp_inform("jobs: ", health.okJobs(), "/", health.totalJobs(),
+                     " ok (", health.resumedJobs(), " resumed, ",
+                     health.retriedJobs(), " retried, ",
+                     health.hungJobs(), " hung)");
+    }
+    const std::size_t failed = health.failureCount();
+    if (failed == 0)
+        return 0;
+    chirp_warn(failed, " of ", health.totalJobs(),
+               " jobs failed; results are incomplete",
+               ctx.journal ? " (rerun with --resume to retry only "
+                             "the failed jobs)"
+                           : "");
+    return 1;
 }
 
 void
@@ -124,9 +240,13 @@ runAllPolicies(const BenchContext &ctx)
         return results;
     }
     std::vector<PolicyFactory> factories;
-    for (const PolicyKind kind : allPolicyKinds())
+    std::vector<std::string> tags;
+    for (const PolicyKind kind : allPolicyKinds()) {
         factories.push_back(Runner::factoryFor(kind));
-    auto all = runner.runSuiteMulti(ctx.suite, factories, "policies");
+        tags.push_back(policyKindName(kind));
+    }
+    auto all = runner.runSuiteMulti(ctx.suite, factories, "policies",
+                                    {}, tags);
     std::size_t i = 0;
     for (const PolicyKind kind : allPolicyKinds())
         results[kind] = std::move(all[i++]);

@@ -14,15 +14,26 @@
  * persists those traces on disk across runs, and `--no-trace-store`
  * restores the legacy regenerate-per-policy path.  CSVs are
  * bit-identical across all of those modes at any job count.
+ *
+ * Resilience: a failing job no longer aborts a bench.  Failures are
+ * isolated per job, retried when transient (`--retries N`), flagged
+ * when overrunning `--job-timeout MS`, journaled to
+ * "<output>.csv.journal" as they complete, and summarized at exit;
+ * the bench then exits non-zero via finish().  `--resume` reloads the
+ * journal and skips every already-completed job, reproducing the CSVs
+ * byte-identically.  CHIRP_FAULT injects deterministic faults (see
+ * util/fault_injection.hh).
  */
 
 #ifndef CHIRP_BENCH_HARNESS_HH
 #define CHIRP_BENCH_HARNESS_HH
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/run_journal.hh"
 #include "sim/runner.hh"
 #include "util/csv.hh"
 #include "util/table.hh"
@@ -42,6 +53,24 @@ struct BenchContext
     std::string traceCacheDir;
     /** Share one materialization across policies (runSuiteMulti). */
     bool shareTraces = true;
+    /** Retry/watchdog knobs forwarded to every Runner. */
+    ResilienceOptions resilience;
+    /** Sidecar journal of completed jobs ("" disables journaling). */
+    std::string journalPath;
+    /** Skip jobs already present in the journal. */
+    bool resume = false;
+    /** Job-outcome ledger shared by every Runner of this bench. */
+    std::shared_ptr<SuiteHealth> health =
+        std::make_shared<SuiteHealth>();
+    /** Lazily opened by runner() so all Runners share one journal. */
+    mutable std::shared_ptr<RunJournal> journal;
+
+    /**
+     * Fingerprint of everything that determines job results (suite
+     * shape and sim config); guards the journal against resuming a
+     * run with different parameters.
+     */
+    std::uint64_t fingerprint() const;
 
     Runner
     runner() const
@@ -49,6 +78,15 @@ struct BenchContext
         Runner runner(config, jobs);
         if (!traceCacheDir.empty())
             runner.setTraceCacheDir(traceCacheDir);
+        runner.setResilience(resilience);
+        runner.setHealth(health);
+        if (!journalPath.empty()) {
+            if (!journal) {
+                journal = std::make_shared<RunJournal>(
+                    journalPath, fingerprint(), resume);
+            }
+            runner.setJournal(journal);
+        }
         return runner;
     }
 };
@@ -66,10 +104,22 @@ BenchContext makeContext(std::size_t default_suite_size, bool mpki_only);
  * `-j N`, `--jobs=N`) selects the suite-runner worker count,
  * `--trace-cache DIR` enables the on-disk trace tier,
  * `--no-trace-store` regenerates traces per policy (legacy path),
- * and `--help` prints usage.  Unknown arguments are fatal.
+ * `--retries N` / `--job-timeout MS` tune failure handling,
+ * `--resume` continues an interrupted run from its journal,
+ * `--journal PATH` / `--no-journal` override the default
+ * "<binary>.csv.journal" sidecar, and `--help` prints usage.
+ * Unknown arguments are fatal.
  */
 BenchContext makeContext(int argc, char **argv,
                          std::size_t default_suite_size, bool mpki_only);
+
+/**
+ * Standard bench epilogue: report resumed/retried/hung job counts
+ * when any, re-print the per-job failure summary, and return the
+ * bench's exit code — 1 when any job failed (results incomplete),
+ * else 0.  Call as `return finish(ctx);`.
+ */
+int finish(const BenchContext &ctx);
 
 /**
  * Worker count from CHIRP_JOBS, defaulting to hardware concurrency

@@ -24,6 +24,7 @@
 
 #include "core/policy_factory.hh"
 #include "tlb/tlb.hh"
+#include "util/atomic_file.hh"
 #include "util/random.hh"
 
 namespace chirp
@@ -168,29 +169,30 @@ writeJson(const CapturingReporter &reporter, const char *path)
         {"BM_ChirpHistoryUpdate", "chirp_history_update"},
         {"BM_ChirpSignature", "chirp_signature"},
     };
-    std::FILE *json = std::fopen(path, "w");
-    if (!json) {
-        std::fprintf(stderr, "cannot write '%s'\n", path);
-        return;
-    }
-    std::fprintf(json,
-                 "{\n"
-                 "  \"bench\": \"micro_policy_overhead\",\n"
-                 "  \"unit\": \"ns_per_access\",\n"
-                 "  \"policies\": {\n");
+    std::string json = "{\n"
+                       "  \"bench\": \"micro_policy_overhead\",\n"
+                       "  \"unit\": \"ns_per_access\",\n"
+                       "  \"policies\": {\n";
     bool first = true;
     for (const auto &[bench, key] : kNames) {
         for (const auto &[name, ns] : reporter.captured()) {
             if (name != bench)
                 continue;
-            std::fprintf(json, "%s    \"%s\": %.2f",
-                         first ? "" : ",\n", key, ns);
+            char line[128];
+            std::snprintf(line, sizeof(line), "%s    \"%s\": %.2f",
+                          first ? "" : ",\n", key, ns);
+            json += line;
             first = false;
             break;
         }
     }
-    std::fprintf(json, "\n  }\n}\n");
-    std::fclose(json);
+    json += "\n  }\n}\n";
+    std::string error;
+    if (!atomicWriteFile(path, json, &error)) {
+        std::fprintf(stderr, "cannot write '%s': %s\n", path,
+                     error.c_str());
+        return;
+    }
     std::printf("JSON written to %s\n", path);
 }
 

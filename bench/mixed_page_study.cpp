@@ -99,5 +99,5 @@ main(int argc, char **argv)
                 "replacement-policy margin;\nworkloads that cannot use "
                 "them (the paper's motivation) keep the full gap.\n");
     std::printf("CSV written to mixed_page_study.csv\n");
-    return 0;
+    return finish(ctx);
 }

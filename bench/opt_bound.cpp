@@ -58,5 +58,5 @@ main(int argc, char **argv)
     std::printf("\nCHiRP captures %.1f%% of the OPT headroom.\n",
                 100.0 * (lru_sum - chirp_sum) / (lru_sum - opt_sum));
     std::printf("CSV written to opt_bound.csv\n");
-    return 0;
+    return finish(ctx);
 }

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "trace/trace_store.hh"
+#include "util/atomic_file.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -158,11 +159,9 @@ main(int argc, char **argv)
     row("memory batched nextBatch()", batched_rate);
     table.print();
 
-    std::FILE *json = std::fopen(out.c_str(), "w");
-    if (!json)
-        chirp_fatal("cannot write '", out, "'");
-    std::fprintf(
-        json,
+    char json[768];
+    std::snprintf(
+        json, sizeof(json),
         "{\n"
         "  \"bench\": \"trace_replay_throughput\",\n"
         "  \"records\": %llu,\n"
@@ -176,7 +175,9 @@ main(int argc, char **argv)
         "}\n",
         static_cast<unsigned long long>(records), reps, gen_rate,
         scalar_rate, batched_rate, batched_rate / gen_rate);
-    std::fclose(json);
+    std::string error;
+    if (!atomicWriteFile(out, json, &error))
+        chirp_fatal("cannot write '", out, "': ", error);
     std::printf("\nJSON written to %s\n", out.c_str());
     return 0;
 }

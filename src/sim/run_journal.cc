@@ -1,0 +1,198 @@
+#include "sim/run_journal.hh"
+
+#include <cinttypes>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "trace/trace_store.hh"
+#include "util/hashing.hh"
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+namespace
+{
+
+constexpr char kMagic[] = "CHIRPJRNL";
+constexpr unsigned kVersion = 1;
+
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : text) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+std::string
+encodeSimStats(const SimStats &stats)
+{
+    std::uint64_t eff_bits = 0;
+    static_assert(sizeof(eff_bits) == sizeof(stats.l2Efficiency));
+    std::memcpy(&eff_bits, &stats.l2Efficiency, sizeof(eff_bits));
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+        " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+        " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %016" PRIx64
+        " %" PRIu64 " %" PRIu64,
+        static_cast<std::uint64_t>(stats.instructions),
+        static_cast<std::uint64_t>(stats.warmupInstructions),
+        static_cast<std::uint64_t>(stats.cycles), stats.l1iTlbAccesses,
+        stats.l1iTlbMisses, stats.l1dTlbAccesses, stats.l1dTlbMisses,
+        stats.l2TlbAccesses, stats.l2TlbHits, stats.l2TlbMisses,
+        stats.branches, stats.branchMispredicts, stats.tableReads,
+        stats.tableWrites, eff_bits,
+        static_cast<std::uint64_t>(stats.walkCycles),
+        static_cast<std::uint64_t>(stats.walkLatency));
+    return buf;
+}
+
+bool
+decodeSimStats(const std::string &text, SimStats &stats)
+{
+    std::uint64_t f[14];
+    std::uint64_t eff_bits = 0;
+    std::uint64_t walk_cycles = 0;
+    std::uint64_t walk_latency = 0;
+    const int got = std::sscanf(
+        text.c_str(),
+        "%" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+        " %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+        " %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNx64
+        " %" SCNu64 " %" SCNu64,
+        &f[0], &f[1], &f[2], &f[3], &f[4], &f[5], &f[6], &f[7], &f[8],
+        &f[9], &f[10], &f[11], &f[12], &f[13], &eff_bits, &walk_cycles,
+        &walk_latency);
+    if (got != 17)
+        return false;
+    stats.instructions = f[0];
+    stats.warmupInstructions = f[1];
+    stats.cycles = f[2];
+    stats.l1iTlbAccesses = f[3];
+    stats.l1iTlbMisses = f[4];
+    stats.l1dTlbAccesses = f[5];
+    stats.l1dTlbMisses = f[6];
+    stats.l2TlbAccesses = f[7];
+    stats.l2TlbHits = f[8];
+    stats.l2TlbMisses = f[9];
+    stats.branches = f[10];
+    stats.branchMispredicts = f[11];
+    stats.tableReads = f[12];
+    stats.tableWrites = f[13];
+    std::memcpy(&stats.l2Efficiency, &eff_bits, sizeof(eff_bits));
+    stats.walkCycles = walk_cycles;
+    stats.walkLatency = walk_latency;
+    return true;
+}
+
+RunJournal::RunJournal(std::string path, std::uint64_t fingerprint,
+                       bool resume)
+    : path_(std::move(path))
+{
+    if (resume) {
+        if (std::FILE *in = std::fopen(path_.c_str(), "rb")) {
+            char line[640];
+            bool header_ok = false;
+            if (std::fgets(line, sizeof(line), in)) {
+                char magic[16];
+                unsigned version = 0;
+                std::uint64_t fp = 0;
+                if (std::sscanf(line, "%15s %u %" SCNx64, magic,
+                                &version, &fp) == 3 &&
+                    std::strcmp(magic, kMagic) == 0 &&
+                    version == kVersion && fp == fingerprint) {
+                    header_ok = true;
+                }
+            }
+            if (header_ok) {
+                while (std::fgets(line, sizeof(line), in)) {
+                    std::uint64_t key = 0;
+                    int off = 0;
+                    if (std::sscanf(line, "J %" SCNx64 " %n", &key,
+                                    &off) != 1 ||
+                        off == 0) {
+                        break; // torn trailing line: stop here
+                    }
+                    SimStats stats;
+                    if (!decodeSimStats(line + off, stats))
+                        break;
+                    entries_[key] = stats;
+                }
+                loaded_ = entries_.size();
+            } else {
+                chirp_warn("journal '", path_,
+                           "' does not match this run "
+                           "(different suite/config); restarting it");
+            }
+            std::fclose(in);
+        }
+    }
+    if (loaded_ > 0) {
+        file_ = std::fopen(path_.c_str(), "ab");
+    } else {
+        file_ = std::fopen(path_.c_str(), "wb");
+        if (file_) {
+            std::fprintf(file_, "%s %u %016" PRIx64 "\n", kMagic,
+                         kVersion, fingerprint);
+            std::fflush(file_);
+            ::fsync(::fileno(file_));
+        }
+    }
+    if (!file_)
+        chirp_warn("cannot open journal '", path_,
+                   "'; this run will not be resumable");
+}
+
+RunJournal::~RunJournal()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+std::uint64_t
+RunJournal::jobKey(std::uint64_t suite_seq,
+                   const WorkloadConfig &workload,
+                   std::size_t policy_idx)
+{
+    std::uint64_t key = mix64(suite_seq + 0x9e3779b97f4a7c15ull);
+    key = hashCombine(key, workloadTraceKey(workload));
+    key = hashCombine(key, fnv1a(workload.name));
+    return hashCombine(key, policy_idx);
+}
+
+bool
+RunJournal::lookup(std::uint64_t key, SimStats &stats) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    stats = it->second;
+    return true;
+}
+
+void
+RunJournal::record(std::uint64_t key, const SimStats &stats)
+{
+    const std::string fields = encodeSimStats(stats);
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[key] = stats;
+    if (!file_)
+        return;
+    // One fprintf per entry so a crash tears at most the final line,
+    // and an fsync so "journaled" means "on disk".
+    std::fprintf(file_, "J %016" PRIx64 " %s\n", key, fields.c_str());
+    std::fflush(file_);
+    ::fsync(::fileno(file_));
+}
+
+} // namespace chirp

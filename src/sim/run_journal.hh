@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Crash-safe journal of completed suite jobs.
+ *
+ * A suite run appends one line per finished (workload, policy) job to
+ * a sidecar file next to the bench's output ("<output>.journal"),
+ * fsyncing each entry.  When a run is killed mid-suite, relaunching
+ * with --resume reloads the journal and the Runner skips every job
+ * that already completed, so the rerun only pays for the missing
+ * jobs yet produces byte-identical CSVs: stats round-trip bit-exactly
+ * (doubles are stored as their IEEE-754 bit patterns).
+ *
+ * Format (plain text, one record per line):
+ *
+ *   CHIRPJRNL 1 <fingerprint hex16>
+ *   J <job key hex16> <17 SimStats fields>
+ *
+ * The fingerprint hashes everything that determines job results
+ * (suite shape, sim config); a journal with a stale fingerprint is
+ * silently discarded rather than resumed against the wrong grid.  A
+ * torn final line (crash mid-append) is ignored.
+ */
+
+#ifndef CHIRP_SIM_RUN_JOURNAL_HH
+#define CHIRP_SIM_RUN_JOURNAL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/sim_stats.hh"
+#include "trace/synthetic/workload_factory.hh"
+
+namespace chirp
+{
+
+/**
+ * Space-separated, bit-exact serialization of every SimStats field
+ * (integers in decimal, l2Efficiency as a 16-digit hex bit pattern).
+ */
+std::string encodeSimStats(const SimStats &stats);
+
+/** Inverse of encodeSimStats; false when fields are missing/garbled. */
+bool decodeSimStats(const std::string &text, SimStats &stats);
+
+/** Append-only journal of completed jobs; see the file comment. */
+class RunJournal
+{
+  public:
+    /**
+     * Open the journal at @p path.  With @p resume set, entries from
+     * an existing journal whose header fingerprint equals
+     * @p fingerprint are loaded for lookup() and new entries append;
+     * otherwise (or on mismatch) the journal restarts empty.
+     */
+    RunJournal(std::string path, std::uint64_t fingerprint, bool resume);
+
+    ~RunJournal();
+
+    RunJournal(const RunJournal &) = delete;
+    RunJournal &operator=(const RunJournal &) = delete;
+
+    /** Whether the journal file could be opened for appending. */
+    bool valid() const { return file_ != nullptr; }
+
+    /** Entries loaded from a resumed journal. */
+    std::size_t loaded() const { return loaded_; }
+
+    /** Journal file path. */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Monotonic sequence number distinguishing the successive suite
+     * runs a bench issues (benches run their suites in a fixed order,
+     * so the numbering is deterministic across runs of one binary).
+     */
+    std::uint64_t nextSuiteSeq() { return suiteSeq_.fetch_add(1); }
+
+    /**
+     * Stable key for one (suite run, workload, policy) job, combining
+     * @p suite_seq with the workload's trace key + name and the
+     * policy's index in the factory list.
+     */
+    static std::uint64_t jobKey(std::uint64_t suite_seq,
+                                const WorkloadConfig &workload,
+                                std::size_t policy_idx);
+
+    /** Fetch a previously journaled result; false when absent. */
+    bool lookup(std::uint64_t key, SimStats &stats) const;
+
+    /** Append one completed job (fsynced before returning). */
+    void record(std::uint64_t key, const SimStats &stats);
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::size_t loaded_ = 0;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, SimStats> entries_;
+    std::atomic<std::uint64_t> suiteSeq_{0};
+};
+
+} // namespace chirp
+
+#endif // CHIRP_SIM_RUN_JOURNAL_HH

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <future>
+#include <thread>
 
 #include "core/chirp.hh"
+#include "sim/run_journal.hh"
 #include "sim/simulator.hh"
+#include "util/fault_injection.hh"
 #include "util/hashing.hh"
 #include "util/logging.hh"
 #include "util/progress.hh"
@@ -71,12 +76,286 @@ chirpSignatureStream(const HistoryConfig &history_config,
     return sigs;
 }
 
+/**
+ * Flags jobs whose current attempt exceeds the --job-timeout budget.
+ * One slot per concurrently-guarded job; a scan thread wakes a few
+ * times per timeout period and warns once per overrunning attempt.
+ * The watchdog never kills anything — a flagged job keeps running and
+ * its eventual outcome is simply marked hung in the summary.  Inert
+ * (no thread, no locking) when the timeout is 0.
+ */
+class Watchdog
+{
+  public:
+    Watchdog(std::uint64_t timeout_ms, std::size_t slots)
+        : timeoutMs_(timeout_ms), slots_(slots)
+    {
+        if (timeoutMs_ == 0)
+            return;
+        scanner_ = std::thread([this] { scan(); });
+    }
+
+    ~Watchdog()
+    {
+        if (!scanner_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        scanner_.join();
+    }
+
+    /** Begin timing one attempt of the job in @p slot. */
+    void
+    start(std::size_t slot, const std::string &desc)
+    {
+        if (timeoutMs_ == 0)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        slots_[slot] = {Clock::now(), desc, true, false};
+    }
+
+    /** Stop timing @p slot; true when the attempt was flagged. */
+    bool
+    finish(std::size_t slot)
+    {
+        if (timeoutMs_ == 0)
+            return false;
+        std::lock_guard<std::mutex> lock(mutex_);
+        slots_[slot].running = false;
+        return slots_[slot].flagged;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Slot
+    {
+        Clock::time_point start{};
+        std::string desc;
+        bool running = false;
+        bool flagged = false;
+    };
+
+    void
+    scan()
+    {
+        const auto period = std::chrono::milliseconds(
+            std::max<std::uint64_t>(10, timeoutMs_ / 4));
+        const auto budget = std::chrono::milliseconds(timeoutMs_);
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stopping_) {
+            cv_.wait_for(lock, period);
+            const auto now = Clock::now();
+            for (Slot &slot : slots_) {
+                if (!slot.running || slot.flagged)
+                    continue;
+                if (now - slot.start >= budget) {
+                    slot.flagged = true;
+                    chirp_warn("watchdog: job '", slot.desc,
+                               "' exceeded --job-timeout (", timeoutMs_,
+                               " ms); flagging as hung");
+                }
+            }
+        }
+    }
+
+    const std::uint64_t timeoutMs_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Slot> slots_;
+    bool stopping_ = false;
+    std::thread scanner_;
+};
+
+/** What runGuarded observed across every attempt of one job. */
+struct GuardOutcome
+{
+    bool ok = false;
+    bool hung = false;
+    unsigned attempts = 0;
+    std::uint64_t wallNs = 0;
+    std::string error;
+};
+
+/**
+ * Run @p body under the suite isolation contract: catch everything,
+ * retry TransientError up to @p retries extra attempts, time each
+ * attempt under the watchdog.  @p body must be idempotent — it runs
+ * once per attempt and must not observe partial state from a failed
+ * previous attempt.
+ */
+template <typename Body>
+GuardOutcome
+runGuarded(unsigned retries, Watchdog &dog, std::size_t slot,
+           const std::string &desc, Body &&body)
+{
+    GuardOutcome out;
+    for (;;) {
+        ++out.attempts;
+        dog.start(slot, desc);
+        const auto begin = std::chrono::steady_clock::now();
+        bool transient = false;
+        try {
+            FaultInjector::instance().onJobStart();
+            body();
+            out.ok = true;
+            out.error.clear();
+        } catch (const TransientError &err) {
+            transient = true;
+            out.error = err.what();
+        } catch (const std::exception &err) {
+            out.error = err.what();
+        } catch (...) {
+            out.error = "unknown exception";
+        }
+        out.wallNs += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - begin)
+                .count());
+        out.hung |= dog.finish(slot);
+        if (out.ok || !transient || out.attempts > retries)
+            return out;
+    }
+}
+
+/**
+ * Per-suite-run collector: forwards every outcome to the shared
+ * SuiteHealth ledger and prints one failure summary when the run
+ * finishes, so a long bench says what broke right where it broke.
+ */
+class RunLedger
+{
+  public:
+    RunLedger(std::string label, std::shared_ptr<SuiteHealth> health,
+              bool journaled)
+        : label_(std::move(label)), health_(std::move(health)),
+          journaled_(journaled)
+    {
+    }
+
+    void
+    add(JobResult job)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++total_;
+        if (health_)
+            health_->add(job);
+        if (!job.ok)
+            failures_.push_back(std::move(job));
+    }
+
+    void
+    summarize() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (failures_.empty())
+            return;
+        chirp_warn("suite '", label_, "': ", failures_.size(), " of ",
+                   total_, " jobs failed");
+        for (const JobResult &job : failures_) {
+            chirp_warn("  ", job.workload, " x ", job.policy, ": ",
+                       job.error, " (", job.attempts, " attempt",
+                       job.attempts == 1 ? "" : "s", ", ",
+                       job.wallNs / 1000000, " ms)",
+                       job.hung ? " [hung]" : "");
+        }
+        if (journaled_)
+            chirp_warn("  rerun with --resume to retry only the "
+                       "failed jobs");
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::string label_;
+    std::shared_ptr<SuiteHealth> health_;
+    bool journaled_;
+    std::vector<JobResult> failures_;
+    std::uint64_t total_ = 0;
+};
+
 } // namespace
+
+void
+SuiteHealth::add(const JobResult &job)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++total_;
+    if (job.ok)
+        ++ok_;
+    if (job.resumed)
+        ++resumed_;
+    if (job.hung)
+        ++hung_;
+    if (job.attempts > 1)
+        ++retried_;
+    if (!job.ok)
+        failures_.push_back(job);
+}
+
+std::uint64_t
+SuiteHealth::totalJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+}
+
+std::uint64_t
+SuiteHealth::okJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ok_;
+}
+
+std::uint64_t
+SuiteHealth::resumedJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resumed_;
+}
+
+std::uint64_t
+SuiteHealth::hungJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hung_;
+}
+
+std::uint64_t
+SuiteHealth::retriedJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retried_;
+}
+
+std::vector<JobResult>
+SuiteHealth::failures() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return failures_;
+}
+
+std::size_t
+SuiteHealth::failureCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return failures_.size();
+}
 
 Runner::Runner(const SimConfig &config, unsigned jobs)
     : config_(config), jobs_(jobs),
-      store_(std::make_shared<TraceStore>())
+      store_(std::make_shared<TraceStore>()),
+      health_(std::make_shared<SuiteHealth>())
 {
+}
+
+void
+Runner::setHealth(std::shared_ptr<SuiteHealth> health)
+{
+    health_ = health ? std::move(health)
+                     : std::make_shared<SuiteHealth>();
 }
 
 SimStats
@@ -112,7 +391,8 @@ std::vector<std::vector<WorkloadResult>>
 Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
                       const std::vector<PolicyFactory> &factories,
                       const std::string &label,
-                      const SimObserver &observer) const
+                      const SimObserver &observer,
+                      const std::vector<std::string> &tags) const
 {
     std::vector<std::vector<WorkloadResult>> results(factories.size());
     if (factories.empty() || suite.empty())
@@ -130,52 +410,120 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
     if (jobs == 0)
         jobs = ThreadPool::defaultConcurrency();
 
+    // An observer disables the journal for this call: resumed jobs
+    // skip simulation entirely, so observer-derived data (diagnostic
+    // counters read off the live policy) would silently go missing.
+    RunJournal *journal = observer ? nullptr : journal_.get();
+    const std::uint64_t seq = journal ? journal->nextSuiteSeq() : 0;
+    RunLedger ledger(label.empty() ? "policies" : label, health_,
+                     journal != nullptr);
+    Watchdog dog(resilience_.jobTimeoutMs,
+                 suite.size() * factories.size());
+    auto tag_of = [&](std::size_t p) {
+        return p < tags.size() ? tags[p] : "p" + std::to_string(p);
+    };
+    auto add_outcome = [&](std::size_t w, std::size_t p,
+                           const GuardOutcome &out) {
+        JobResult job;
+        job.workload = suite[w].name;
+        job.policy = tag_of(p);
+        job.ok = out.ok;
+        job.hung = out.hung;
+        job.attempts = out.attempts;
+        job.wallNs = out.wallNs;
+        job.error = out.error;
+        ledger.add(std::move(job));
+        progress.tick();
+    };
+    auto add_resumed = [&](std::size_t w, std::size_t p) {
+        JobResult job;
+        job.workload = suite[w].name;
+        job.policy = tag_of(p);
+        job.ok = true;
+        job.resumed = true;
+        ledger.add(std::move(job));
+        progress.tick();
+    };
+
     if (forceVirtualDispatch()) {
         // Legacy path (CHIRP_FORCE_VIRTUAL): full simulation of every
         // (workload, policy) pair.  The equality tests diff this
         // against the record/replay fast path below, so it must stay
         // the reference implementation.
+        std::vector<std::vector<bool>> done(
+            factories.size(), std::vector<bool>(suite.size(), false));
+        std::vector<std::size_t> missing(suite.size(), 0);
+        for (std::size_t w = 0; w < suite.size(); ++w) {
+            for (std::size_t p = 0; p < factories.size(); ++p) {
+                results[p][w].workload = suite[w];
+                if (journal &&
+                    journal->lookup(
+                        RunJournal::jobKey(seq, suite[w], p),
+                        results[p][w].stats)) {
+                    done[p][w] = true;
+                    add_resumed(w, p);
+                } else {
+                    ++missing[w];
+                }
+            }
+        }
         auto run_job = [&](std::size_t w, std::size_t p) {
-            const SharedTrace trace = store.get(suite[w]);
-            MemoryTraceSource source(trace, suite[w].name);
-            Simulator sim(config_, factories[p](sets, assoc));
-            results[p][w] = {suite[w], sim.run(source)};
-            if (observer)
-                observer(p, w, sim);
-            progress.tick();
+            const GuardOutcome out = runGuarded(
+                resilience_.retries, dog,
+                w * factories.size() + p,
+                suite[w].name + " x " + tag_of(p), [&] {
+                    const SharedTrace trace = store.get(suite[w]);
+                    MemoryTraceSource source(trace, suite[w].name);
+                    Simulator sim(config_, factories[p](sets, assoc));
+                    results[p][w] = {suite[w], sim.run(source)};
+                    if (observer)
+                        observer(p, w, sim);
+                });
+            if (out.ok && journal) {
+                journal->record(RunJournal::jobKey(seq, suite[w], p),
+                                results[p][w].stats);
+            }
+            add_outcome(w, p, out);
         };
         const std::size_t total = suite.size() * factories.size();
         if (jobs <= 1 || total <= 1) {
             for (std::size_t w = 0; w < suite.size(); ++w) {
-                for (std::size_t p = 0; p < factories.size(); ++p)
-                    run_job(w, p);
+                for (std::size_t p = 0; p < factories.size(); ++p) {
+                    if (!done[p][w])
+                        run_job(w, p);
+                }
                 store.drop(suite[w]);
             }
-            return results;
-        }
-        ThreadPool pool(std::min<std::size_t>(jobs, total));
-        // remaining[w] counts policies still to replay workload w;
-        // the job that takes it to zero drops the store's reference.
-        // Jobs are submitted workload-major, so a FIFO pool keeps
-        // only about ceil(jobs / P) + 1 traces materialized at once.
-        std::vector<std::atomic<std::size_t>> remaining(suite.size());
-        for (auto &count : remaining)
-            count.store(factories.size());
-        std::vector<std::future<void>> pending;
-        pending.reserve(total);
-        for (std::size_t w = 0; w < suite.size(); ++w) {
-            for (std::size_t p = 0; p < factories.size(); ++p) {
-                pending.push_back(pool.submit([&, w, p] {
-                    run_job(w, p);
-                    if (remaining[w].fetch_sub(1) == 1)
-                        store.drop(suite[w]);
-                }));
+        } else {
+            ThreadPool pool(std::min<std::size_t>(jobs, total));
+            // remaining[w] counts policies still to replay workload
+            // w; the job that takes it to zero drops the store's
+            // reference.  Jobs are submitted workload-major, so a
+            // FIFO pool keeps only about ceil(jobs / P) + 1 traces
+            // materialized at once.
+            std::vector<std::atomic<std::size_t>> remaining(
+                suite.size());
+            for (std::size_t w = 0; w < suite.size(); ++w)
+                remaining[w].store(missing[w]);
+            std::vector<std::future<void>> pending;
+            pending.reserve(total);
+            for (std::size_t w = 0; w < suite.size(); ++w) {
+                for (std::size_t p = 0; p < factories.size(); ++p) {
+                    if (done[p][w])
+                        continue;
+                    pending.push_back(pool.submit([&, w, p] {
+                        run_job(w, p);
+                        if (remaining[w].fetch_sub(1) == 1)
+                            store.drop(suite[w]);
+                    }));
+                }
             }
+            // Jobs never throw (failures land in the ledger), so
+            // get() here is pure synchronization.
+            for (std::future<void> &job : pending)
+                job.get();
         }
-        // get() rethrows the first job failure; the pool destructor
-        // then abandons unstarted jobs so teardown stays prompt.
-        for (std::future<void> &job : pending)
-            job.get();
+        ledger.summarize();
         return results;
     }
 
@@ -187,29 +535,55 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
     // through Simulator::replayL2, which reconstructs bit-identical
     // full-run statistics from the recorder's baseline.
     auto run_workload = [&](std::size_t w) {
-        const SharedTrace trace = store.get(suite[w]);
+        std::vector<bool> done(factories.size(), false);
+        std::size_t missing = factories.size();
+        for (std::size_t p = 0; p < factories.size(); ++p) {
+            results[p][w].workload = suite[w];
+            if (journal &&
+                journal->lookup(RunJournal::jobKey(seq, suite[w], p),
+                                results[p][w].stats)) {
+                done[p] = true;
+                --missing;
+                add_resumed(w, p);
+            }
+        }
+        if (missing == 0)
+            return; // fully resumed: skip materialization entirely
+
+        SharedTrace trace;
         std::vector<L2Event> events;
         SimStats base;
-        {
-            MemoryTraceSource source(trace, suite[w].name);
-            Simulator recorder(config_,
-                               makePolicy(PolicyKind::Lru, sets, assoc));
-            recorder.tlbs().setL2EventSink(&events);
-            base = recorder.run(source);
+        const GuardOutcome rec_out = runGuarded(
+            resilience_.retries, dog, w * factories.size(),
+            suite[w].name + " (recorder)", [&] {
+                // A retried attempt must not see the previous one's
+                // partial event stream.
+                events.clear();
+                trace = store.get(suite[w]);
+                MemoryTraceSource source(trace, suite[w].name);
+                Simulator recorder(
+                    config_, makePolicy(PolicyKind::Lru, sets, assoc));
+                recorder.tlbs().setL2EventSink(&events);
+                base = recorder.run(source);
+            });
+        if (!rec_out.ok) {
+            // No event stream: every pending policy of this workload
+            // fails with the recorder's error.
+            for (std::size_t p = 0; p < factories.size(); ++p) {
+                if (!done[p])
+                    add_outcome(w, p, rec_out);
+            }
+            store.drop(suite[w]);
+            return;
         }
-        // Construct every policy up front: CHiRP variants whose
-        // signatures are configured identically (same history shape
-        // and signature width — the common case in parameter sweeps)
-        // share one precomputed signature stream, so the retire
-        // stream is walked once per distinct configuration instead of
-        // once per variant.
-        std::vector<std::unique_ptr<ReplacementPolicy>> policies(
-            factories.size());
-        std::vector<ChirpPolicy *> chirps(factories.size(), nullptr);
-        for (std::size_t p = 0; p < factories.size(); ++p) {
-            policies[p] = factories[p](sets, assoc);
-            chirps[p] = dynamic_cast<ChirpPolicy *>(policies[p].get());
-        }
+        // Probe one throwaway instance per pending policy: CHiRP
+        // variants whose signatures are configured identically (same
+        // history shape and signature width — the common case in
+        // parameter sweeps) share one precomputed signature stream,
+        // so the retire stream is walked once per distinct
+        // configuration instead of once per variant.  The instances
+        // actually simulated are constructed fresh inside each
+        // guarded job so a retried attempt starts from scratch.
         struct SigGroup
         {
             HistoryConfig history;
@@ -218,10 +592,17 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
         };
         std::vector<SigGroup> groups;
         std::vector<std::size_t> group_of(factories.size(), 0);
+        std::vector<bool> is_chirp(factories.size(), false);
         for (std::size_t p = 0; p < factories.size(); ++p) {
-            if (!chirps[p])
+            if (done[p])
                 continue;
-            const ChirpConfig &cfg = chirps[p]->config();
+            const auto probe = factories[p](sets, assoc);
+            const auto *chirp =
+                dynamic_cast<const ChirpPolicy *>(probe.get());
+            if (!chirp)
+                continue;
+            is_chirp[p] = true;
+            const ChirpConfig &cfg = chirp->config();
             std::size_t g = 0;
             while (g < groups.size() &&
                    !(groups[g].history == cfg.history &&
@@ -236,15 +617,28 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
             group_of[p] = g;
         }
         for (std::size_t p = 0; p < factories.size(); ++p) {
-            if (chirps[p])
-                chirps[p]->setSignatureStream(
-                    groups[group_of[p]].sigs.data());
-            Simulator sim(config_, std::move(policies[p]));
-            results[p][w] = {suite[w],
-                             sim.replayL2(*trace, events, base)};
-            if (observer)
-                observer(p, w, sim);
-            progress.tick();
+            if (done[p])
+                continue;
+            const GuardOutcome out = runGuarded(
+                resilience_.retries, dog, w * factories.size() + p,
+                suite[w].name + " x " + tag_of(p), [&, p] {
+                    auto policy = factories[p](sets, assoc);
+                    if (is_chirp[p]) {
+                        static_cast<ChirpPolicy *>(policy.get())
+                            ->setSignatureStream(
+                                groups[group_of[p]].sigs.data());
+                    }
+                    Simulator sim(config_, std::move(policy));
+                    results[p][w] = {suite[w],
+                                     sim.replayL2(*trace, events, base)};
+                    if (observer)
+                        observer(p, w, sim);
+                });
+            if (out.ok && journal) {
+                journal->record(RunJournal::jobKey(seq, suite[w], p),
+                                results[p][w].stats);
+            }
+            add_outcome(w, p, out);
         }
         store.drop(suite[w]);
     };
@@ -252,6 +646,7 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
     if (jobs <= 1 || suite.size() <= 1) {
         for (std::size_t w = 0; w < suite.size(); ++w)
             run_workload(w);
+        ledger.summarize();
         return results;
     }
 
@@ -265,10 +660,11 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
     pending.reserve(suite.size());
     for (std::size_t w = 0; w < suite.size(); ++w)
         pending.push_back(pool.submit([&, w] { run_workload(w); }));
-    // get() rethrows the first job failure; the pool destructor then
-    // abandons unstarted jobs so teardown stays prompt.
+    // Jobs never throw (failures land in the ledger), so get() here
+    // is pure synchronization.
     for (std::future<void> &job : pending)
         job.get();
+    ledger.summarize();
     return results;
 }
 
@@ -289,38 +685,59 @@ Runner::runSuiteParallel(const std::vector<WorkloadConfig> &suite,
         jobs = ThreadPool::defaultConcurrency();
 
     ProgressReporter progress(label, suite.size());
+    const std::string tag = label.empty() ? "policy" : label;
+    RunJournal *journal = journal_.get();
+    const std::uint64_t seq = journal ? journal->nextSuiteSeq() : 0;
+    RunLedger ledger(tag, health_, journal != nullptr);
+    Watchdog dog(resilience_.jobTimeoutMs, suite.size());
+
+    // Every job writes only its own slot, so the merged vector is in
+    // suite order and bit-identical to the serial path no matter
+    // which worker finishes first, and a failed job leaves only its
+    // own slot zeroed.
+    std::vector<WorkloadResult> results(suite.size());
+    auto run_job = [&](std::size_t i) {
+        results[i].workload = suite[i];
+        const std::uint64_t key =
+            journal ? RunJournal::jobKey(seq, suite[i], 0) : 0;
+        JobResult job;
+        job.workload = suite[i].name;
+        job.policy = tag;
+        if (journal && journal->lookup(key, results[i].stats)) {
+            job.ok = true;
+            job.resumed = true;
+        } else {
+            const GuardOutcome out = runGuarded(
+                resilience_.retries, dog, i, suite[i].name,
+                [&] { results[i].stats = runOne(suite[i], factory); });
+            if (out.ok && journal)
+                journal->record(key, results[i].stats);
+            job.ok = out.ok;
+            job.hung = out.hung;
+            job.attempts = out.attempts;
+            job.wallNs = out.wallNs;
+            job.error = out.error;
+        }
+        ledger.add(std::move(job));
+        progress.tick();
+    };
 
     if (jobs <= 1 || suite.size() <= 1) {
         // Legacy serial path: one job after another on this thread.
-        std::vector<WorkloadResult> results;
-        results.reserve(suite.size());
-        for (const WorkloadConfig &workload : suite) {
-            results.push_back({workload, runOne(workload, factory)});
-            progress.tick();
-        }
-        return results;
+        for (std::size_t i = 0; i < suite.size(); ++i)
+            run_job(i);
+    } else {
+        ThreadPool pool(std::min<std::size_t>(jobs, suite.size()));
+        std::vector<std::future<void>> pending;
+        pending.reserve(suite.size());
+        for (std::size_t i = 0; i < suite.size(); ++i)
+            pending.push_back(pool.submit([&, i] { run_job(i); }));
+        // Jobs never throw (failures land in the ledger), so get()
+        // here is pure synchronization.
+        for (std::future<void> &job : pending)
+            job.get();
     }
-
-    // Shard one job per (workload) across the pool.  Every job
-    // builds its own Program and policy instance from the workload
-    // seed, writes only its own slot, and ticks the shared reporter;
-    // slot-indexed writes mean the merged vector is in suite order
-    // and bit-identical to the serial path no matter which worker
-    // finishes first.
-    std::vector<WorkloadResult> results(suite.size());
-    ThreadPool pool(std::min<std::size_t>(jobs, suite.size()));
-    std::vector<std::future<void>> pending;
-    pending.reserve(suite.size());
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-        pending.push_back(pool.submit([&, i] {
-            results[i] = {suite[i], runOne(suite[i], factory)};
-            progress.tick();
-        }));
-    }
-    // get() rethrows the first job failure; the pool destructor then
-    // abandons unstarted jobs so teardown stays prompt.
-    for (std::future<void> &job : pending)
-        job.get();
+    ledger.summarize();
     return results;
 }
 

@@ -7,8 +7,10 @@
 #ifndef CHIRP_SIM_RUNNER_HH
 #define CHIRP_SIM_RUNNER_HH
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@
 namespace chirp
 {
 
+class RunJournal;
 class Simulator;
 
 /** Creates a fresh policy instance for a given TLB geometry. */
@@ -45,6 +48,60 @@ struct WorkloadResult
     SimStats stats;
 };
 
+/** Per-job outcome recorded by the suite runner's isolation layer. */
+struct JobResult
+{
+    std::string workload;       //!< workload display name
+    std::string policy;         //!< policy tag / suite label
+    bool ok = false;            //!< stats are valid
+    bool resumed = false;       //!< satisfied from the run journal
+    bool hung = false;          //!< flagged by the --job-timeout watchdog
+    unsigned attempts = 0;      //!< execution attempts (0 when resumed)
+    std::uint64_t wallNs = 0;   //!< wall time across all attempts
+    std::string error;          //!< what() of the last failure
+};
+
+/** Knobs for the suite runner's failure handling. */
+struct ResilienceOptions
+{
+    /** Extra attempts granted to jobs failing with TransientError. */
+    unsigned retries = 1;
+    /** Wall-time budget per job attempt; 0 disables the watchdog. */
+    std::uint64_t jobTimeoutMs = 0;
+};
+
+/**
+ * Thread-safe ledger of every job outcome across a process's suite
+ * runs.  Benches share one instance across all their Runner calls and
+ * use failureCount() to pick their exit code: a suite with failed
+ * jobs still completes and reports, but must not exit 0.
+ */
+class SuiteHealth
+{
+  public:
+    /** Fold one job outcome into the ledger. */
+    void add(const JobResult &job);
+
+    std::uint64_t totalJobs() const;
+    std::uint64_t okJobs() const;
+    std::uint64_t resumedJobs() const;
+    std::uint64_t hungJobs() const;
+    std::uint64_t retriedJobs() const;
+
+    /** Outcomes of every failed job, in completion order. */
+    std::vector<JobResult> failures() const;
+    std::size_t failureCount() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<JobResult> failures_;
+    std::uint64_t total_ = 0;
+    std::uint64_t ok_ = 0;
+    std::uint64_t resumed_ = 0;
+    std::uint64_t hung_ = 0;
+    std::uint64_t retried_ = 0;
+};
+
 /** Drives suites of workloads through the simulator. */
 class Runner
 {
@@ -67,6 +124,13 @@ class Runner
      * bit-identical whatever the job count: each job gets a fresh
      * policy instance and an independent RNG stream keyed by the
      * workload seed, so no state is shared across jobs.
+     *
+     * Failure isolation: a throwing job never aborts the suite.  The
+     * failed slot keeps zeroed stats, the outcome (error text,
+     * attempts, wall time, hung flag) is recorded in the shared
+     * SuiteHealth ledger, and a per-job failure summary is logged at
+     * the end of the run.  Jobs failing with TransientError are
+     * retried per the ResilienceOptions.
      */
     std::vector<WorkloadResult>
     runSuite(const std::vector<WorkloadConfig> &suite,
@@ -92,13 +156,19 @@ class Runner
      * count.  The store's reference to a workload is dropped as soon
      * as all policies have replayed it, so peak memory is bounded by
      * the in-flight jobs, not the suite.  @p observer, when set, is
-     * invoked after each job (see SimObserver).
+     * invoked after each job (see SimObserver) and disables the run
+     * journal for this call: resumed jobs skip simulation, so any
+     * observer-derived data would silently go missing.  @p tags,
+     * when non-empty, names each factory in failure summaries
+     * (defaults to "p<idx>").  Failure isolation as in runSuite; a
+     * recorder failure fails every pending policy of that workload.
      */
     std::vector<std::vector<WorkloadResult>>
     runSuiteMulti(const std::vector<WorkloadConfig> &suite,
                   const std::vector<PolicyFactory> &factories,
                   const std::string &label = "",
-                  const SimObserver &observer = {}) const;
+                  const SimObserver &observer = {},
+                  const std::vector<std::string> &tags = {}) const;
 
     /** Replay one materialized workload with a fresh policy. */
     SimStats runReplay(const WorkloadConfig &workload,
@@ -123,14 +193,42 @@ class Runner
     /** Change the worker count used by runSuite (see constructor). */
     void setJobs(unsigned jobs) { jobs_ = jobs; }
 
+    /** Retry/watchdog knobs for subsequent suite runs. */
+    void setResilience(const ResilienceOptions &opts)
+    {
+        resilience_ = opts;
+    }
+    const ResilienceOptions &resilience() const { return resilience_; }
+
+    /**
+     * Attach a journal: completed jobs are recorded to it, and jobs
+     * it already holds are skipped (resume).  nullptr detaches.
+     */
+    void setJournal(std::shared_ptr<RunJournal> journal)
+    {
+        journal_ = std::move(journal);
+    }
+
+    /** Replace the health ledger job outcomes are reported to. */
+    void setHealth(std::shared_ptr<SuiteHealth> health);
+
+    /** The health ledger for this runner's suite runs. */
+    const std::shared_ptr<SuiteHealth> &health() const
+    {
+        return health_;
+    }
+
     /** Factory for a default-configured policy of @p kind. */
     static PolicyFactory factoryFor(PolicyKind kind);
 
   private:
     SimConfig config_;
     unsigned jobs_ = 1;
+    ResilienceOptions resilience_;
     /** Shared so copies of a Runner reuse one materialization cache. */
     std::shared_ptr<TraceStore> store_;
+    std::shared_ptr<RunJournal> journal_;
+    std::shared_ptr<SuiteHealth> health_;
 };
 
 /**

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include <unistd.h>
+
 #include "util/logging.hh"
 
 namespace chirp
@@ -159,17 +161,24 @@ TraceFileWriter::append(const TraceRecord &rec)
     ++count_;
 }
 
-void
+bool
 TraceFileWriter::close()
 {
     if (closed_)
-        return;
+        return true;
     put64(file_, checksum_);
     std::fseek(file_, 8, SEEK_SET);
     put64(file_, count_);
-    std::fclose(file_);
+    // Surface any buffered write failure (disk full, I/O error) and
+    // make the bytes durable before the caller publishes the file.
+    bool ok = std::fflush(file_) == 0 && std::ferror(file_) == 0;
+    if (ok && ::fsync(::fileno(file_)) != 0)
+        ok = false;
+    if (std::fclose(file_) != 0)
+        ok = false;
     file_ = nullptr;
     closed_ = true;
+    return ok;
 }
 
 TraceFileSource::TraceFileSource(const std::string &path)
@@ -197,26 +206,42 @@ TraceFileSource::~TraceFileSource()
 }
 
 bool
-TraceFileSource::probe(const std::string &path)
+TraceFileSource::probe(const std::string &path, std::string *reason)
 {
+    const auto refuse = [&](const std::string &why) {
+        if (reason)
+            *reason = why;
+        return false;
+    };
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        return false;
+        return refuse("unreadable");
     bool ok = false;
+    std::string why;
     char magic[4];
     std::uint32_t version = 0;
     std::uint64_t count = 0;
-    if (std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
-        std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
-        get32(f, version) && version == kTraceFormatVersion &&
-        get64(f, count) && std::fseek(f, 0, SEEK_END) == 0) {
+    if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        why = "bad magic (not a chirp trace)";
+    } else if (!get32(f, version) || version != kTraceFormatVersion) {
+        why = detail::concat("unsupported version ", version);
+    } else if (!get64(f, count)) {
+        why = "truncated header (no record count)";
+    } else if (std::fseek(f, 0, SEEK_END) != 0) {
+        why = "unseekable";
+    } else {
         const long size = std::ftell(f);
         const std::uint64_t expected = static_cast<std::uint64_t>(
             kHeaderBytes) + count * kRecordBytes + 8;
         ok = size >= 0 && static_cast<std::uint64_t>(size) == expected;
+        if (!ok) {
+            why = detail::concat("size ", size, " != expected ",
+                                 expected, " for ", count, " records");
+        }
     }
     std::fclose(f);
-    return ok;
+    return ok ? true : refuse(why);
 }
 
 bool

@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "trace/trace_file.hh"
+#include "util/fault_injection.hh"
 #include "util/hashing.hh"
 #include "util/logging.hh"
 
@@ -121,25 +122,55 @@ TraceStore::loadFromDisk(const WorkloadConfig &config,
     std::error_code ec;
     if (!fs::exists(path, ec))
         return nullptr;
-    if (!TraceFileSource::probe(path)) {
-        rejected_.fetch_add(1);
+    std::string reason;
+    if (!TraceFileSource::probe(path, &reason)) {
+        quarantine(path, reason);
         return nullptr;
     }
-    TraceFileSource source(path);
-    if (source.count() != config.length || !source.verifyChecksum()) {
-        rejected_.fetch_add(1);
-        return nullptr;
+    // Quarantine only after the TraceFileSource has closed the file.
+    {
+        TraceFileSource source(path);
+        if (source.count() != config.length) {
+            // Stale rather than corrupt (a key collision across
+            // different lengths), but quarantining is still the right
+            // recovery: keep the evidence, regenerate the trace.
+            reason = detail::concat("record count ", source.count(),
+                                    " != expected ", config.length);
+        } else if (!source.verifyChecksum()) {
+            reason = "checksum mismatch";
+        } else {
+            auto records = std::make_shared<std::vector<TraceRecord>>(
+                static_cast<std::size_t>(source.count()));
+            const std::size_t got =
+                source.nextBatch(records->data(), records->size());
+            if (got == records->size()) {
+                diskLoads_.fetch_add(1);
+                return records;
+            }
+            reason = "short read";
+        }
     }
-    auto records = std::make_shared<std::vector<TraceRecord>>(
-        static_cast<std::size_t>(source.count()));
-    const std::size_t got =
-        source.nextBatch(records->data(), records->size());
-    if (got != records->size()) {
-        rejected_.fetch_add(1);
-        return nullptr;
+    quarantine(path, reason);
+    return nullptr;
+}
+
+void
+TraceStore::quarantine(const std::string &path, const std::string &reason)
+{
+    namespace fs = std::filesystem;
+    const std::string target = path + ".corrupt";
+    std::error_code ec;
+    fs::remove(target, ec);
+    fs::rename(path, target, ec);
+    if (ec) {
+        // Renaming failed (e.g. read-only cache dir); removing keeps
+        // the next run from tripping over the same bad file.
+        fs::remove(path, ec);
     }
-    diskLoads_.fetch_add(1);
-    return records;
+    chirp_warn("trace cache: quarantined '", path, "' -> '", target,
+               "' (", reason, "); regenerating");
+    rejected_.fetch_add(1);
+    quarantined_.fetch_add(1);
 }
 
 void
@@ -164,13 +195,22 @@ TraceStore::saveToDisk(const std::vector<TraceRecord> &records,
         TraceFileWriter writer(tmp);
         for (const TraceRecord &rec : records)
             writer.append(rec);
-        writer.close();
+        if (!writer.close()) {
+            fs::remove(tmp, ec);
+            chirp_warn("trace cache: write to '", tmp,
+                       "' failed, caching disabled for this trace");
+            return;
+        }
     }
     fs::rename(tmp, path, ec);
     if (ec) {
         fs::remove(tmp, ec);
         chirp_warn("trace cache: cannot publish '", path, "'");
+        return;
     }
+    // Give the fault harness a window to corrupt the freshly
+    // published file, exercising the quarantine path end to end.
+    FaultInjector::instance().onCachePublish(path);
 }
 
 void

@@ -13,8 +13,9 @@
  * the TraceFileWriter format under a cache directory
  * (CHIRP_TRACE_CACHE or --trace-cache DIR) so repeated bench runs
  * skip generation entirely.  Cached files are checksum-verified
- * eagerly before being trusted and silently regenerated when
- * corrupt.
+ * eagerly before being trusted; a corrupt candidate is quarantined
+ * (renamed to "<file>.corrupt" with a logged reason) and the trace is
+ * regenerated, so one bad file can never wedge a suite.
  *
  * Memory: records are 32 B each in RAM (26 B on disk), so a default
  * 500k-instruction workload costs ~16 MB resident / ~13 MB cached.
@@ -145,6 +146,8 @@ class TraceStore
     std::uint64_t diskLoads() const { return diskLoads_.load(); }
     /** Disk-cache candidates rejected as corrupt/stale. */
     std::uint64_t rejectedCaches() const { return rejected_.load(); }
+    /** Rejected candidates renamed aside as "<file>.corrupt". */
+    std::uint64_t quarantinedCaches() const { return quarantined_.load(); }
 
   private:
     SharedTrace load(const WorkloadConfig &config);
@@ -152,6 +155,7 @@ class TraceStore
                              const std::string &path);
     void saveToDisk(const std::vector<TraceRecord> &records,
                     const std::string &path) const;
+    void quarantine(const std::string &path, const std::string &reason);
 
     std::string cacheDir_;
     mutable std::mutex mutex_;
@@ -159,6 +163,7 @@ class TraceStore
     std::atomic<std::uint64_t> generated_{0};
     std::atomic<std::uint64_t> diskLoads_{0};
     std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> quarantined_{0};
 };
 
 } // namespace chirp

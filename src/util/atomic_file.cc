@@ -1,0 +1,106 @@
+#include "util/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace chirp
+{
+
+AtomicFile::AtomicFile(std::string path) : path_(std::move(path))
+{
+    // Pid-qualified temp name: concurrent processes targeting the
+    // same file never write through each other's temp.
+    temp_ = path_ + ".tmp." + std::to_string(::getpid());
+    file_ = std::fopen(temp_.c_str(), "wb");
+    if (!file_)
+        fail("cannot open temp file '" + temp_ + "'");
+}
+
+AtomicFile::~AtomicFile()
+{
+    if (file_ || !temp_.empty())
+        discard();
+}
+
+void
+AtomicFile::fail(const std::string &what)
+{
+    if (!error_.empty())
+        return; // first error wins
+    error_ = what + ": " + std::strerror(errno);
+}
+
+bool
+AtomicFile::write(const void *data, std::size_t size)
+{
+    if (!valid())
+        return false;
+    if (std::fwrite(data, 1, size, file_) != size) {
+        fail("short write to '" + temp_ + "'");
+        return false;
+    }
+    return true;
+}
+
+bool
+AtomicFile::commit()
+{
+    if (!file_) {
+        if (error_.empty())
+            error_ = "commit after commit/discard of '" + path_ + "'";
+        return false;
+    }
+    if (error_.empty() && std::fflush(file_) != 0)
+        fail("cannot flush '" + temp_ + "'");
+    // fsync before rename: the rename must never become visible
+    // ahead of the data it names.
+    if (error_.empty() && ::fsync(::fileno(file_)) != 0)
+        fail("cannot fsync '" + temp_ + "'");
+    if (std::fclose(file_) != 0 && error_.empty())
+        fail("cannot close '" + temp_ + "'");
+    file_ = nullptr;
+    if (!error_.empty()) {
+        std::remove(temp_.c_str());
+        temp_.clear();
+        return false;
+    }
+    if (std::rename(temp_.c_str(), path_.c_str()) != 0) {
+        fail("cannot publish '" + path_ + "'");
+        std::remove(temp_.c_str());
+        temp_.clear();
+        return false;
+    }
+    temp_.clear();
+    return true;
+}
+
+void
+AtomicFile::discard()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    if (!temp_.empty()) {
+        std::remove(temp_.c_str());
+        temp_.clear();
+    }
+}
+
+bool
+atomicWriteFile(const std::string &path, std::string_view content,
+                std::string *error)
+{
+    AtomicFile file(path);
+    file.write(content);
+    if (file.commit())
+        return true;
+    if (error)
+        *error = file.error();
+    return false;
+}
+
+} // namespace chirp

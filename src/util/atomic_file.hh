@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Crash-safe file publication: write a private temp file, then
+ * commit() flushes, fsyncs, and renames it over the target in one
+ * step.  Readers -- and reruns after a crash or Ctrl-C -- only ever
+ * observe either the previous complete file or the new complete
+ * file, never a truncated half-written one.  Every CSV/JSON emitter
+ * in the tree goes through this class (directly or via CsvWriter) so
+ * a suite run killed mid-write cannot clobber results already on
+ * disk.
+ */
+
+#ifndef CHIRP_UTIL_ATOMIC_FILE_HH
+#define CHIRP_UTIL_ATOMIC_FILE_HH
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace chirp
+{
+
+/**
+ * One atomic write of a target path.  Errors are sticky and
+ * reported, never ignored: any failed write() poisons the commit,
+ * and commit() reports exactly why it could not publish.
+ */
+class AtomicFile
+{
+  public:
+    /**
+     * Open the temp file next to @p path.  Check valid() -- a
+     * failure (unwritable directory, permissions) is reported via
+     * error(), not thrown.
+     */
+    explicit AtomicFile(std::string path);
+
+    /** Discards the temp file if commit() was never reached. */
+    ~AtomicFile();
+
+    AtomicFile(const AtomicFile &) = delete;
+    AtomicFile &operator=(const AtomicFile &) = delete;
+
+    /** False when the temp file could not be opened or a write failed. */
+    bool valid() const { return file_ != nullptr && error_.empty(); }
+
+    /** Human-readable reason valid()/commit() went false ("" if none). */
+    const std::string &error() const { return error_; }
+
+    /** Buffered write; false (with error() set) on failure. */
+    bool write(const void *data, std::size_t size);
+
+    /** Convenience text write. */
+    bool write(std::string_view text) { return write(text.data(), text.size()); }
+
+    /**
+     * Flush + fsync the temp file and rename it over the target.
+     * False (with error() set, temp removed) on any failure; true
+     * exactly when the complete content is durably at path().
+     */
+    bool commit();
+
+    /** Drop the temp file without touching the target. */
+    void discard();
+
+    /** Final target path. */
+    const std::string &path() const { return path_; }
+
+    /** The private temp path being written ("" after commit/discard). */
+    const std::string &tempPath() const { return temp_; }
+
+  private:
+    void fail(const std::string &what);
+
+    std::string path_;
+    std::string temp_;
+    std::string error_;
+    std::FILE *file_ = nullptr;
+};
+
+/**
+ * Atomically replace @p path with @p content.  On failure returns
+ * false and, when @p error is non-null, stores the reason.
+ */
+bool atomicWriteFile(const std::string &path, std::string_view content,
+                     std::string *error = nullptr);
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_ATOMIC_FILE_HH

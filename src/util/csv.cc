@@ -6,16 +6,28 @@ namespace chirp
 {
 
 CsvWriter::CsvWriter(const std::string &path)
-    : path_(path), file_(std::fopen(path.c_str(), "w"))
+    : path_(path), file_(std::make_unique<AtomicFile>(path))
 {
-    if (!file_)
-        chirp_fatal("cannot open CSV output file '", path, "'");
+    if (!file_->valid())
+        chirp_fatal("cannot open CSV output file '", path, "': ",
+                    file_->error());
 }
 
 CsvWriter::~CsvWriter()
 {
     if (file_)
-        std::fclose(file_);
+        close();
+}
+
+void
+CsvWriter::close()
+{
+    if (!file_)
+        return;
+    if (!file_->commit())
+        chirp_fatal("cannot publish CSV output file '", path_, "': ",
+                    file_->error());
+    file_.reset();
 }
 
 std::string
@@ -38,6 +50,8 @@ CsvWriter::escape(const std::string &cell)
 void
 CsvWriter::row(const std::vector<std::string> &cells)
 {
+    if (!file_)
+        chirp_fatal("row() after close() of CSV file '", path_, "'");
     std::string line;
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (i)
@@ -45,7 +59,9 @@ CsvWriter::row(const std::vector<std::string> &cells)
         line += escape(cells[i]);
     }
     line += '\n';
-    std::fwrite(line.data(), 1, line.size(), file_);
+    if (!file_->write(line))
+        chirp_fatal("cannot write CSV output file '", path_, "': ",
+                    file_->error());
 }
 
 } // namespace chirp

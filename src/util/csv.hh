@@ -7,9 +7,11 @@
 #ifndef CHIRP_UTIL_CSV_HH
 #define CHIRP_UTIL_CSV_HH
 
-#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "util/atomic_file.hh"
 
 namespace chirp
 {
@@ -17,19 +19,31 @@ namespace chirp
 /**
  * Writes RFC-4180-ish CSV: cells containing commas, quotes, or
  * newlines are quoted with internal quotes doubled.
+ *
+ * Rows accumulate in a private temp file and are published to the
+ * target path in one atomic rename at close() (or destruction), so a
+ * crashed run leaves any previous CSV intact instead of a truncated
+ * one.  Open, write, and publish failures are all fatal with the OS
+ * reason -- a bench must never exit 0 having silently dropped its
+ * results.
  */
 class CsvWriter
 {
   public:
-    /** Open @p path for writing; fatal on failure. */
+    /** Open the temp file for @p path; fatal on failure. */
     explicit CsvWriter(const std::string &path);
+
+    /** Publishes via close() if still open (fatal on failure). */
     ~CsvWriter();
 
     CsvWriter(const CsvWriter &) = delete;
     CsvWriter &operator=(const CsvWriter &) = delete;
 
-    /** Write one row. */
+    /** Write one row; fatal on I/O failure. */
     void row(const std::vector<std::string> &cells);
+
+    /** Flush, fsync, and atomically publish; fatal on failure. */
+    void close();
 
     /** Path this writer targets. */
     const std::string &path() const { return path_; }
@@ -38,7 +52,7 @@ class CsvWriter
     static std::string escape(const std::string &cell);
 
     std::string path_;
-    std::FILE *file_;
+    std::unique_ptr<AtomicFile> file_;
 };
 
 } // namespace chirp

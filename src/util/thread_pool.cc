@@ -57,7 +57,14 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        // submit() routes user exceptions into the job's future via
+        // packaged_task, so a throw escaping here would mean a raw
+        // enqueue()d task; swallow it rather than terminate the
+        // worker (and with it the process) mid-suite.
+        try {
+            task();
+        } catch (...) {
+        }
     }
 }
 

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * AtomicFile tests: temp-then-rename publication, crash-equivalent
+ * discard keeping the previous file intact, sticky error reporting,
+ * and the atomicWriteFile convenience wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/atomic_file.hh"
+
+namespace chirp
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+std::string
+tempTarget(const char *tag)
+{
+    return ::testing::TempDir() + "chirp_atomic_" + tag;
+}
+
+TEST(AtomicFile, PublishesOnCommit)
+{
+    const std::string path = tempTarget("publish");
+    std::filesystem::remove(path);
+    {
+        AtomicFile file(path);
+        ASSERT_TRUE(file.valid()) << file.error();
+        EXPECT_TRUE(file.write("hello "));
+        EXPECT_TRUE(file.write("world\n"));
+        EXPECT_FALSE(std::filesystem::exists(path))
+            << "target untouched until commit";
+        EXPECT_TRUE(file.commit()) << file.error();
+    }
+    EXPECT_EQ(slurp(path), "hello world\n");
+    std::filesystem::remove(path);
+}
+
+TEST(AtomicFile, DiscardLeavesPreviousFileIntact)
+{
+    const std::string path = tempTarget("discard");
+    ASSERT_TRUE(atomicWriteFile(path, "previous run\n"));
+    {
+        AtomicFile file(path);
+        ASSERT_TRUE(file.valid());
+        file.write("half-written garbage");
+        // No commit: destruction models a crash/early exit.
+    }
+    EXPECT_EQ(slurp(path), "previous run\n");
+    // No temp litter left next to the target.
+    std::size_t siblings = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(
+             std::filesystem::path(path).parent_path())) {
+        if (entry.path().string().rfind(path + ".tmp", 0) == 0)
+            ++siblings;
+    }
+    EXPECT_EQ(siblings, 0u);
+    std::filesystem::remove(path);
+}
+
+TEST(AtomicFile, UnwritableDirectoryReportsError)
+{
+    AtomicFile file("/nonexistent-dir-for-chirp/test.csv");
+    EXPECT_FALSE(file.valid());
+    EXPECT_FALSE(file.error().empty());
+    EXPECT_FALSE(file.commit());
+}
+
+TEST(AtomicFile, CommitTwiceIsAnError)
+{
+    const std::string path = tempTarget("twice");
+    AtomicFile file(path);
+    ASSERT_TRUE(file.valid());
+    file.write("once\n");
+    EXPECT_TRUE(file.commit());
+    EXPECT_FALSE(file.commit()) << "second commit has nothing to publish";
+    std::filesystem::remove(path);
+}
+
+TEST(AtomicFile, AtomicWriteFileReplacesContent)
+{
+    const std::string path = tempTarget("replace");
+    ASSERT_TRUE(atomicWriteFile(path, "v1"));
+    ASSERT_TRUE(atomicWriteFile(path, "v2 is longer"));
+    EXPECT_EQ(slurp(path), "v2 is longer");
+    std::string error;
+    EXPECT_FALSE(atomicWriteFile("/nonexistent-dir-for-chirp/x", "v",
+                                 &error));
+    EXPECT_FALSE(error.empty());
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace chirp

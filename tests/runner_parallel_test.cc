@@ -2,8 +2,8 @@
  * @file
  * Serial vs parallel suite runs must be indistinguishable: identical
  * WorkloadResult vectors (bit-identical stats, same order) at any job
- * count, order-independent aggregation, and exception propagation
- * out of failing jobs.
+ * count, order-independent aggregation, and per-job failure
+ * isolation (a throwing job must not abort the suite).
  */
 
 #include <gtest/gtest.h>
@@ -112,8 +112,11 @@ TEST(RunnerParallel, MoreJobsThanWorkloads)
         runner.runSuiteParallel(suite, factory, 16));
 }
 
-TEST(RunnerParallel, PropagatesJobExceptions)
+TEST(RunnerParallel, IsolatesJobExceptions)
 {
+    // A throwing job must not abort the suite: the run completes,
+    // the failure lands in the health ledger with the job's error,
+    // and only the failed slot carries empty stats.
     const Runner runner(fastConfig());
     const auto suite = smallSuite(6);
     const PolicyFactory throwing =
@@ -121,8 +124,17 @@ TEST(RunnerParallel, PropagatesJobExceptions)
         -> std::unique_ptr<ReplacementPolicy> {
         throw std::runtime_error("factory exploded");
     };
-    EXPECT_THROW(runner.runSuiteParallel(suite, throwing, 4),
-                 std::runtime_error);
+    const auto results = runner.runSuiteParallel(suite, throwing, 4);
+    ASSERT_EQ(results.size(), suite.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].workload.name, suite[i].name);
+        EXPECT_EQ(results[i].stats.instructions, 0u);
+    }
+    const SuiteHealth &health = *runner.health();
+    EXPECT_EQ(health.totalJobs(), suite.size());
+    EXPECT_EQ(health.okJobs(), 0u);
+    ASSERT_EQ(health.failureCount(), suite.size());
+    EXPECT_EQ(health.failures()[0].error, "factory exploded");
 }
 
 TEST(RunnerParallel, AggregateIsOrderIndependent)

@@ -11,6 +11,7 @@
 #include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.hh"
@@ -107,6 +108,78 @@ TEST(ThreadPool, DestructionDrainsRunningWork)
             pool.submit([&finished] { ++finished; }).get();
     }
     EXPECT_EQ(finished.load(), 8);
+}
+
+TEST(ThreadPool, ThrowingJobDoesNotStarveQueuedWork)
+{
+    // One worker: a throwing job at the head of the queue must not
+    // deadlock or abandon the jobs queued behind it.
+    ThreadPool pool(1);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("head of queue"); });
+    std::atomic<int> finished{0};
+    std::vector<std::future<void>> pending;
+    for (int i = 0; i < 16; ++i)
+        pending.push_back(pool.submit([&finished] { ++finished; }));
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    for (auto &job : pending)
+        job.get();
+    EXPECT_EQ(finished.load(), 16);
+}
+
+TEST(ThreadPool, AllJobsFailStillDeliversEveryException)
+{
+    ThreadPool pool(4);
+    std::vector<std::future<void>> pending;
+    for (int i = 0; i < 32; ++i) {
+        pending.push_back(pool.submit(
+            [] { throw std::runtime_error("every job fails"); }));
+    }
+    int delivered = 0;
+    for (auto &job : pending) {
+        try {
+            job.get();
+        } catch (const std::runtime_error &err) {
+            EXPECT_STREQ(err.what(), "every job fails");
+            ++delivered;
+        }
+    }
+    EXPECT_EQ(delivered, 32);
+    // The pool must still be healthy afterwards.
+    EXPECT_EQ(pool.submit([] { return 5; }).get(), 5);
+}
+
+TEST(ThreadPool, ShutdownWithThrowingAndQueuedJobs)
+{
+    // Destroying the pool while a throwing job runs and more work is
+    // queued must neither hang nor terminate: the running job's
+    // exception lands in its future and abandoned jobs surface as
+    // broken promises.
+    std::future<void> thrown;
+    std::vector<std::future<void>> queued;
+    {
+        ThreadPool pool(1);
+        std::atomic<bool> started{false};
+        thrown = pool.submit([&started] {
+            started = true;
+            throw std::runtime_error("mid-shutdown");
+        });
+        for (int i = 0; i < 8; ++i)
+            queued.push_back(pool.submit([] {}));
+        // Make sure the throwing job was picked up before shutdown;
+        // otherwise it would be abandoned with the queued ones.
+        while (!started)
+            std::this_thread::yield();
+    }
+    EXPECT_THROW(thrown.get(), std::runtime_error);
+    for (auto &job : queued) {
+        try {
+            job.get(); // ran before shutdown
+        } catch (const std::future_error &err) {
+            EXPECT_EQ(err.code(),
+                      std::future_errc::broken_promise); // abandoned
+        }
+    }
 }
 
 } // namespace

@@ -198,6 +198,71 @@ TEST(TraceStore, StaleLengthCacheIsRejected)
     std::filesystem::remove_all(dir);
 }
 
+TEST(TraceStore, TruncatedCacheIsQuarantined)
+{
+    const std::string dir = freshCacheDir("truncated");
+    const auto config = sampleConfig(Category::Web, 17, 3000);
+
+    TraceStore writer(dir);
+    const auto generated = writer.get(config);
+    const std::string path = writer.cachePath(config);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Cut the file in half: the probe's size check must refuse it,
+    // rename it aside as evidence, and regenerate.
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 2);
+
+    TraceStore reader(dir);
+    const auto regenerated = reader.get(config);
+    EXPECT_EQ(reader.quarantinedCaches(), 1u);
+    EXPECT_EQ(reader.rejectedCaches(), 1u);
+    EXPECT_EQ(reader.generated(), 1u);
+    EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"))
+        << "bad file kept for post-mortem";
+    EXPECT_TRUE(std::filesystem::exists(path))
+        << "fresh cache file re-published after regeneration";
+    EXPECT_EQ(*regenerated, *generated);
+
+    // The re-published replacement must satisfy a third store.
+    TraceStore again(dir);
+    again.get(config);
+    EXPECT_EQ(again.diskLoads(), 1u);
+    EXPECT_EQ(again.quarantinedCaches(), 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceStore, BitFlippedCacheIsQuarantined)
+{
+    const std::string dir = freshCacheDir("bitflip");
+    const auto config = sampleConfig(Category::Spec, 19, 3000);
+
+    TraceStore writer(dir);
+    const auto generated = writer.get(config);
+    const std::string path = writer.cachePath(config);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Single flipped bit mid-payload: structure stays plausible, so
+    // only the checksum pass can catch it.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 16 + 26 * 10, SEEK_SET);
+        const int c = std::fgetc(f);
+        std::fseek(f, -1, SEEK_CUR);
+        std::fputc(c ^ 0x01, f);
+        std::fclose(f);
+    }
+
+    TraceStore reader(dir);
+    const auto regenerated = reader.get(config);
+    EXPECT_EQ(reader.quarantinedCaches(), 1u);
+    EXPECT_EQ(reader.generated(), 1u);
+    EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+    EXPECT_EQ(*regenerated, *generated);
+    std::filesystem::remove_all(dir);
+}
+
 TEST(MemoryTraceSource, ReplaysSharedStream)
 {
     const auto config = sampleConfig(Category::Crypto, 5, 3000);
