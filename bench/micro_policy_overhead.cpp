@@ -22,10 +22,13 @@
 #include <utility>
 #include <vector>
 
+#include "core/chirp.hh"
+#include "core/ghrp.hh"
 #include "core/policy_factory.hh"
 #include "tlb/tlb.hh"
 #include "util/atomic_file.hh"
 #include "util/random.hh"
+#include "util/simd.hh"
 
 namespace chirp
 {
@@ -55,17 +58,36 @@ runAccessStream(benchmark::State &state, PolicyKind kind)
         stream.push_back(info);
     }
 
+    // Retire events are delivered the way TlbHierarchy delivers them
+    // in full runs: through a typed pointer when the policy is exactly
+    // CHiRP or GHRP (the hooks inline), skipped for retire-blind
+    // policies, virtual only for the generic remainder.
+    ReplacementPolicy &pol = tlb.policy();
+    auto *chirp_pol = dynamic_cast<ChirpPolicy *>(&pol);
+    auto *ghrp_pol = dynamic_cast<GhrpPolicy *>(&pol);
+    const bool wants_retire = pol.wantsRetireEvents();
+
     std::uint64_t now = 0;
     std::size_t pos = 0;
     for (auto _ : state) {
         const AccessInfo &info = stream[pos];
         benchmark::DoNotOptimize(tlb.access(info, 0, now++));
         // Branch/instruction events at a realistic ratio.
-        tlb.policy().onInstRetired(info.pc, InstClass::Load);
+        if (chirp_pol)
+            chirp_pol->onInstRetired(info.pc, InstClass::Load);
+        else if (!ghrp_pol && wants_retire)
+            pol.onInstRetired(info.pc, InstClass::Load);
         if ((now & 7) == 0) {
-            tlb.policy().onBranchRetired(info.pc + 60,
-                                         InstClass::CondBranch,
-                                         (now & 8) != 0);
+            const Addr bpc = info.pc + 60;
+            const bool taken = (now & 8) != 0;
+            if (chirp_pol)
+                chirp_pol->onBranchRetired(bpc, InstClass::CondBranch,
+                                           taken);
+            else if (ghrp_pol)
+                ghrp_pol->onBranchRetired(bpc, InstClass::CondBranch,
+                                          taken);
+            else if (wants_retire)
+                pol.onBranchRetired(bpc, InstClass::CondBranch, taken);
         }
         pos = (pos + 1) & 4095;
     }
@@ -172,7 +194,10 @@ writeJson(const CapturingReporter &reporter, const char *path)
     std::string json = "{\n"
                        "  \"bench\": \"micro_policy_overhead\",\n"
                        "  \"unit\": \"ns_per_access\",\n"
-                       "  \"policies\": {\n";
+                       "  \"note\": \"simd_backend=";
+    json += simd::backendName(simd::activeBackend());
+    json += "\",\n"
+            "  \"policies\": {\n";
     bool first = true;
     for (const auto &[bench, key] : kNames) {
         for (const auto &[name, ns] : reporter.captured()) {

@@ -22,7 +22,7 @@ Btb::predict(Addr pc) const
         return 0;
     }
     ++hits_;
-    return array_.at(set, way).data.target;
+    return array_.dataAt(set, way).target;
 }
 
 void
@@ -38,7 +38,7 @@ Btb::update(Addr pc, Addr target)
         if (way < 0) {
             std::uint64_t oldest = ~std::uint64_t{0};
             for (std::uint32_t w = 0; w < array_.assoc(); ++w) {
-                const std::uint64_t t = array_.at(set, w).data.lastUse;
+                const std::uint64_t t = array_.dataAt(set, w).lastUse;
                 if (t < oldest) {
                     oldest = t;
                     way = static_cast<int>(w);
@@ -46,11 +46,10 @@ Btb::update(Addr pc, Addr target)
             }
         }
     }
-    auto &slot = array_.at(set, way);
-    slot.valid = true;
-    slot.tag = tag;
-    slot.data.target = target;
-    slot.data.lastUse = tick_;
+    array_.fill(set, static_cast<std::uint32_t>(way), tag);
+    auto &entry = array_.dataAt(set, way);
+    entry.target = target;
+    entry.lastUse = tick_;
 }
 
 void

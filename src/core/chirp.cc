@@ -12,6 +12,7 @@ ChirpPolicy::ChirpPolicy(std::uint32_t num_sets, std::uint32_t assoc,
     : ReplacementPolicy("chirp", num_sets, assoc), config_(config),
       history_(config.history),
       table_(config.tableEntries, config.counterBits, config.hash),
+      sigPlan_(config.signatureBits),
       sig_(static_cast<std::size_t>(num_sets) * assoc, 0),
       dead_(static_cast<std::size_t>(num_sets) * assoc, 0),
       firstHit_(static_cast<std::size_t>(num_sets) * assoc, 0),

@@ -44,6 +44,7 @@
 #include "core/prediction_table.hh"
 #include "core/replacement_policy.hh"
 #include "core/ship.hh" // HitUpdateMode
+#include "util/simd.hh"
 
 namespace chirp
 {
@@ -168,20 +169,15 @@ class ChirpPolicy final : public ReplacementPolicy
             // Among dead-predicted entries, take the least recently
             // used one: a freshly inserted entry flagged dead may
             // still see a near-term touch, while a dead entry deep in
-            // the stack has had every chance.  The dead bits of the
-            // set are one contiguous assoc-byte run, so this scan
-            // touches a single cache line.
-            const std::uint8_t *dead = dead_.data() + idx(set, 0);
-            std::uint32_t deepest = 0;
-            for (std::uint32_t way = 0; way < assoc(); ++way) {
-                if (!dead[way])
-                    continue;
-                const std::uint32_t pos = stack_.position(set, way);
-                if (victim == ~0u || pos > deepest) {
-                    victim = way;
-                    deepest = pos;
-                }
-            }
+            // the stack has had every chance.  The dead bits and LRU
+            // ranks of the set are contiguous assoc-byte runs, so the
+            // whole scan is one SIMD kernel call over two cache-line
+            // resident arrays.
+            const std::size_t way = simd::deepestSetLane(
+                dead_.data() + idx(set, 0), stack_.positions(set),
+                assoc());
+            if (way < assoc())
+                victim = static_cast<std::uint32_t>(way);
         }
         const bool lru_fallback = victim == ~0u;
         if (lru_fallback) {
@@ -301,8 +297,10 @@ class ChirpPolicy final : public ReplacementPolicy
     std::uint16_t
     computeSignature(Addr pc) const
     {
+        // sigPlan_ is FoldPlan(signatureBits): identical to
+        // foldXor(.., signatureBits) with the ladder precomputed.
         return static_cast<std::uint16_t>(
-            foldXor(history_.signature(pc), config_.signatureBits));
+            sigPlan_.apply(history_.signature(pc)));
     }
 
     /**
@@ -336,6 +334,8 @@ class ChirpPolicy final : public ReplacementPolicy
     ChirpConfig config_;
     ControlFlowHistory history_;
     PredictionTable table_;
+    // Fold ladder for the signature width, built once.
+    simd::FoldPlan sigPlan_;
     // Structure-of-arrays entry metadata, each indexed by idx(set,
     // way): 16-bit stored signature, dead bit, first-hit bit.
     std::vector<std::uint16_t> sig_;

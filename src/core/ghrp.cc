@@ -12,30 +12,47 @@ GhrpPolicy::GhrpPolicy(std::uint32_t num_sets, std::uint32_t assoc,
     : ReplacementPolicy("ghrp", num_sets, assoc), config_(config),
       sigs_(static_cast<std::size_t>(num_sets) * assoc * config.numTables,
             0),
+      sigIdxs_(static_cast<std::size_t>(num_sets) * assoc *
+                   config.numTables,
+               0),
       sigValid_(static_cast<std::size_t>(num_sets) * assoc, 0),
       dead_(static_cast<std::size_t>(num_sets) * assoc, 0),
-      stack_(num_sets, assoc), memoSigs_(config.numTables, 0)
+      stack_(num_sets, assoc)
 {
     if (config.numTables == 0)
         chirp_fatal("ghrp needs at least one table");
+    if (config.numTables > kGhrpMaxTables)
+        chirp_fatal("ghrp supports at most ", kGhrpMaxTables,
+                    " tables, got ", config.numTables);
     if (config.tableHistoryBits.size() != config.numTables)
         chirp_fatal("ghrp needs one history length per table");
-    tables_.reserve(config.numTables);
+    if (!isPowerOfTwo(config.tableEntries))
+        chirp_fatal("ghrp table size ", config.tableEntries,
+                    " must be a power of two");
+    if (config.counterBits == 0 || config.counterBits > 16)
+        chirp_fatal("ghrp counters must be 1..16 bits");
     for (unsigned t = 0; t < config.numTables; ++t) {
         // Distinct salts make the three hashes independent, as in
         // the original skewed-table design.
-        tables_.emplace_back(config.tableEntries, config.counterBits,
-                             HashKind::Index,
-                             0x9b97f4a7c15ull * (t + 1));
+        salts_[t] = 0x9b97f4a7c15ull * (t + 1);
+        histMasks_[t] = maskBits(config.tableHistoryBits[t]);
     }
+    bank_ = PackedCounterArray(
+        static_cast<std::size_t>(config.numTables) * config.tableEntries,
+        config.counterBits);
+    counterMax_ =
+        static_cast<std::uint16_t>((1u << config.counterBits) - 1);
+    indexBits_ = floorLog2(config.tableEntries);
+    sigPlan_ = simd::FoldPlan(config.signatureBits);
+    idxPlan_ = simd::FoldPlan(indexBits_);
 }
 
 void
 GhrpPolicy::reset()
 {
-    for (auto &t : tables_)
-        t.reset();
+    bank_.reset();
     std::fill(sigs_.begin(), sigs_.end(), 0);
+    std::fill(sigIdxs_.begin(), sigIdxs_.end(), 0);
     std::fill(sigValid_.begin(), sigValid_.end(), 0);
     std::fill(dead_.begin(), dead_.end(), 0);
     stack_.reset();
@@ -52,8 +69,10 @@ GhrpPolicy::storageBits() const
     std::uint64_t bits =
         entries * (config_.numTables * config_.signatureBits + 1);
     bits += stack_.storageBits();
-    for (const auto &t : tables_)
-        bits += t.storageBits();
+    // The modeled table budget: counterBits per counter across all
+    // tables, independent of the packed bank's lane rounding.
+    bits += static_cast<std::uint64_t>(config_.numTables) *
+            config_.tableEntries * config_.counterBits;
     bits += 64; // history register
     return bits;
 }

@@ -16,7 +16,15 @@
  * flattened into a single contiguous array instead of a
  * vector-per-entry, the dead bits form their own per-set runs, and
  * the per-access signatures are composed once in onAccessBegin and
- * memoized across the hit/victim/fill hooks.  The hook bodies are
+ * memoized across the hit/victim/fill hooks.  Alongside each stored
+ * signature the policy caches the table index it hashes to, so
+ * training and voting on a stored signature is a direct packed-
+ * counter access with no hash recomputation — the per-access hash
+ * work drops from ~4 table-index computations per event to one
+ * vectorized composition (all tables' signatures and indices in SIMD
+ * lanes) in onAccessBegin.  The cached indices are simulation-speed
+ * state, not modeled storage: storageBits() counts only the
+ * architected signatures, flags and tables.  The hook bodies are
  * inline so the TLB's devirtualized dispatch can flatten them into
  * its access loop.
  */
@@ -24,14 +32,20 @@
 #ifndef CHIRP_CORE_GHRP_HH
 #define CHIRP_CORE_GHRP_HH
 
+#include <array>
 #include <vector>
 
-#include "core/prediction_table.hh"
 #include "core/replacement_policy.hh"
 #include "util/bitfield.hh"
+#include "util/hashing.hh"
+#include "util/packed_counters.hh"
+#include "util/simd.hh"
 
 namespace chirp
 {
+
+/** Upper bound on GHRP tables (sizes the fixed per-access memo). */
+inline constexpr unsigned kGhrpMaxTables = 8;
 
 /** GHRP configuration. */
 struct GhrpConfig
@@ -85,11 +99,9 @@ class GhrpPolicy final : public ReplacementPolicy
     void
     onAccessBegin(const AccessInfo &info) override
     {
-        // Compose the per-table signatures once; the hit/fill hooks
-        // of this access reuse them.
-        computeSignatures(info.pc, memoSigs_.data());
-        memoPc_ = info.pc;
-        memoValid_ = true;
+        // Compose the per-table signatures and table indices once;
+        // the hit/fill hooks of this access reuse them.
+        memoize(info.pc);
     }
 
     void
@@ -98,42 +110,55 @@ class GhrpPolicy final : public ReplacementPolicy
     {
         stack_.touch(set, way);
         const std::size_t entry = idx(set, way);
-        std::uint16_t *stored = storedSigs(entry);
-        // The entry proved live under its previous signature.
-        if (sigValid_[entry])
-            trainLive(stored);
-        // Re-tag with the current context and refresh the prediction.
-        setSigs(entry, memoizedSignatures(info.pc));
-        const bool dead = readSum(stored) > config_.deadThreshold;
+        memoize(info.pc);
+        // One fused pass per table: train live at the previous
+        // signature's index, re-tag with the current context, and
+        // read the vote under the new index.  Equivalent to the
+        // separate train/retag/vote loops — each table only ever
+        // sees its own old index (decrement) before its new one
+        // (read), in that order either way.
+        std::uint16_t *sigs = storedSigs(entry);
+        std::uint32_t *idxs = storedIdxs(entry);
+        const bool was_valid = sigValid_[entry] != 0;
+        const unsigned n = config_.numTables;
+        unsigned sum = 0;
+        if (was_valid) {
+            // The entry proved live under its previous signature.
+            countTableWrites(n);
+            for (unsigned t = 0; t < n; ++t)
+                bankDecrementAt(idxs[t]);
+        }
+        countTableReads(n);
+        for (unsigned t = 0; t < n; ++t) {
+            sigs[t] = memoSigs_[t];
+            idxs[t] = memoIdxs_[t];
+            sum += bank_.get(memoIdxs_[t]);
+        }
+        sigValid_[entry] = 1;
         // A hit is direct evidence of liveness: predictions may only
         // clear the dead bit here, never set it on an entry in active
         // use (refreshing to dead on hits churns hot entries).
-        if (!dead)
+        if (sum <= config_.deadThreshold)
             dead_[entry] = false;
     }
 
     std::uint32_t
     selectVictim(std::uint32_t set, const AccessInfo &) override
     {
-        std::uint32_t victim = ~0u;
-        // The dead bits of the set are one contiguous assoc-byte run,
-        // so this scan touches a single cache line.
-        const std::uint8_t *dead = dead_.data() + idx(set, 0);
-        for (std::uint32_t way = 0; way < assoc(); ++way) {
-            if (dead[way]) {
-                victim = way;
-                break;
-            }
-        }
-        if (victim == ~0u)
-            victim = stack_.lruWay(set);
+        // The dead bits of the set are one contiguous assoc-byte run:
+        // the first-dead scan is a single SIMD kernel call.
+        const std::size_t way =
+            simd::firstSetLane(dead_.data() + idx(set, 0), assoc());
+        const std::uint32_t victim = way < assoc()
+                                         ? static_cast<std::uint32_t>(way)
+                                         : stack_.lruWay(set);
         // The victim is leaving the TLB: dead evidence for its
         // signature.  Entries the predictor itself chose are skipped
         // so its own decisions do not self-reinforce (SDBP-style
         // training).
         const std::size_t entry = idx(set, victim);
         if (!dead_[entry] && sigValid_[entry])
-            trainDead(storedSigs(entry));
+            trainDead(entry);
         return victim;
     }
 
@@ -143,8 +168,20 @@ class GhrpPolicy final : public ReplacementPolicy
     {
         stack_.touch(set, way);
         const std::size_t entry = idx(set, way);
-        setSigs(entry, memoizedSignatures(info.pc));
-        dead_[entry] = readSum(storedSigs(entry)) > config_.deadThreshold;
+        memoize(info.pc);
+        // Fused retag + vote, as in onHit (no training on fills).
+        std::uint16_t *sigs = storedSigs(entry);
+        std::uint32_t *idxs = storedIdxs(entry);
+        const unsigned n = config_.numTables;
+        unsigned sum = 0;
+        countTableReads(n);
+        for (unsigned t = 0; t < n; ++t) {
+            sigs[t] = memoSigs_[t];
+            idxs[t] = memoIdxs_[t];
+            sum += bank_.get(memoIdxs_[t]);
+        }
+        sigValid_[entry] = 1;
+        dead_[entry] = sum > config_.deadThreshold;
     }
 
     void
@@ -174,6 +211,7 @@ class GhrpPolicy final : public ReplacementPolicy
     }
 
   private:
+    /** Scalar reference signature composition (debug checks/tests). */
     std::uint16_t
     signatureOf(Addr pc, unsigned table) const
     {
@@ -183,28 +221,77 @@ class GhrpPolicy final : public ReplacementPolicy
             foldXor((pc >> 2) ^ hist, config_.signatureBits));
     }
 
-    /** Compose all per-table signatures for @p pc into @p out. */
+    /**
+     * Compose every table's signature and table index for @p pc into
+     * the memo arrays, one SIMD lane per table: the history mask and
+     * XOR-fold for the signatures, then the multiplicative index hash
+     * of sig ^ salt for the indices — the same math PredictionTable::
+     * indexOf performs per call, done once for all tables.
+     */
     void
-    computeSignatures(Addr pc, std::uint16_t *out) const
+    composeSignatures(Addr pc)
     {
-        for (unsigned t = 0; t < config_.numTables; ++t)
-            out[t] = signatureOf(pc, t);
+        const unsigned n = config_.numTables;
+        const std::uint64_t base = pc >> 2;
+        if (n <= 4) {
+            // For a handful of tables (the paper's three) one fused
+            // scalar pass beats the lane kernels: no lane-array round
+            // trips, no dispatch, and the per-table chains overlap in
+            // the pipeline.  Bit-identical to the lane path —
+            // FoldPlan::apply IS foldXor of the same widths.
+            for (unsigned t = 0; t < n; ++t) {
+                // Index formation sees the stored (16-bit truncated)
+                // signature, exactly as indexOf(storedSig) would.
+                const std::uint16_t sig = static_cast<std::uint16_t>(
+                    sigPlan_.apply(base ^ (history_ & histMasks_[t])));
+                memoSigs_[t] = sig;
+                memoIdxs_[t] = bankIndex(
+                    t, idxPlan_.apply(
+                           (static_cast<std::uint64_t>(sig) ^
+                            salts_[t]) *
+                           kIndexHashMultiplier));
+            }
+        } else {
+            std::uint64_t *lanes = memoLanes_.data();
+            for (unsigned t = 0; t < n; ++t)
+                lanes[t] = base ^ (history_ & histMasks_[t]);
+            simd::xorFoldLanes(lanes, n, sigPlan_);
+            for (unsigned t = 0; t < n; ++t)
+                memoSigs_[t] = static_cast<std::uint16_t>(lanes[t]);
+            for (unsigned t = 0; t < n; ++t)
+                lanes[t] = static_cast<std::uint64_t>(memoSigs_[t]) ^
+                           salts_[t];
+            simd::mulXorFoldLanes(lanes, n, kIndexHashMultiplier,
+                                  idxPlan_);
+            for (unsigned t = 0; t < n; ++t)
+                memoIdxs_[t] = bankIndex(t, lanes[t]);
+        }
+#ifndef NDEBUG
+        for (unsigned t = 0; t < n; ++t) {
+            assert(memoSigs_[t] == signatureOf(pc, t));
+            assert(memoIdxs_[t] ==
+                   bankIndex(t, hashBy(HashKind::Index,
+                                       static_cast<std::uint64_t>(
+                                           memoSigs_[t]) ^
+                                           salts_[t],
+                                       indexBits_)));
+        }
+#endif
     }
 
     /**
-     * The per-access signatures: the onAccessBegin memo when it is
-     * valid for @p pc (the history has not advanced since), a fresh
-     * composition otherwise (tests drive hooks directly).
+     * Refresh the per-access memo for @p pc unless it is already
+     * valid (the history has not advanced since and the PC matches —
+     * tests drive hooks directly, so the hooks revalidate).
      */
-    const std::uint16_t *
-    memoizedSignatures(Addr pc)
+    void
+    memoize(Addr pc)
     {
         if (!memoValid_ || memoPc_ != pc) {
-            computeSignatures(pc, memoSigs_.data());
+            composeSignatures(pc);
             memoPc_ = pc;
             memoValid_ = true;
         }
-        return memoSigs_.data();
     }
 
     /** The flattened stored-signature run of one entry. */
@@ -214,56 +301,85 @@ class GhrpPolicy final : public ReplacementPolicy
         return sigs_.data() + entry * config_.numTables;
     }
 
-    void
-    setSigs(std::size_t entry, const std::uint16_t *sigs)
+    /** The cached table indices of one entry's stored signatures. */
+    std::uint32_t *
+    storedIdxs(std::size_t entry)
     {
-        std::uint16_t *stored = storedSigs(entry);
+        return sigIdxs_.data() + entry * config_.numTables;
+    }
+
+    void
+    trainDead(std::size_t entry)
+    {
+        const std::uint32_t *idxs = storedIdxs(entry);
+        countTableWrites(config_.numTables);
         for (unsigned t = 0; t < config_.numTables; ++t)
-            stored[t] = sigs[t];
-        sigValid_[entry] = 1;
+            bankIncrementAt(idxs[t]);
     }
 
-    unsigned
-    readSum(const std::uint16_t *sigs)
+    /**
+     * Flat bank index of table @p t's counter @p idx.  The memo and
+     * the per-entry index cache store these table-global indices so
+     * the train/vote loops address one contiguous array with no
+     * per-table base arithmetic.
+     */
+    std::uint32_t
+    bankIndex(unsigned t, std::uint64_t idx) const
     {
-        unsigned sum = 0;
-        for (unsigned t = 0; t < tables_.size(); ++t) {
-            countTableRead();
-            sum += tables_[t].read(sigs[t]);
-        }
-        return sum;
+        return static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(t) << indexBits_) | idx);
     }
 
+    /** Saturating increment of one bank counter. */
     void
-    trainLive(const std::uint16_t *sigs)
+    bankIncrementAt(std::uint32_t flat)
     {
-        for (unsigned t = 0; t < tables_.size(); ++t) {
-            countTableWrite();
-            tables_[t].decrement(sigs[t]);
-        }
+        const std::uint16_t value = bank_.get(flat);
+        if (value < counterMax_)
+            bank_.set(flat, value + 1);
     }
 
+    /** Saturating decrement of one bank counter. */
     void
-    trainDead(const std::uint16_t *sigs)
+    bankDecrementAt(std::uint32_t flat)
     {
-        for (unsigned t = 0; t < tables_.size(); ++t) {
-            countTableWrite();
-            tables_[t].increment(sigs[t]);
-        }
+        const std::uint16_t value = bank_.get(flat);
+        if (value > 0)
+            bank_.set(flat, value - 1);
     }
 
     GhrpConfig config_;
-    std::vector<PredictionTable> tables_;
+    // All tables' counters in one contiguous packed array: table t's
+    // counter i lives at flat index (t << indexBits_) | i.  One base
+    // pointer serves every train/vote op — no per-table object or
+    // per-table heap block on the hot path.  The modeled budget is
+    // unchanged: storageBits() counts numTables * entries counters.
+    PackedCounterArray bank_;
+    std::uint16_t counterMax_ = 0;
     // Structure-of-arrays entry metadata: the stored signatures of
     // entry e occupy sigs_[e*numTables .. e*numTables+numTables), the
-    // has-signature and dead flags their own byte arrays.
+    // cached table indices the matching u32 run, and the
+    // has-signature and dead flags their own byte arrays.  The index
+    // cache mirrors indexOf(stored sig) and is simulator state only
+    // (not counted in storageBits).
     std::vector<std::uint16_t> sigs_;
+    std::vector<std::uint32_t> sigIdxs_;
     std::vector<std::uint8_t> sigValid_;
     std::vector<std::uint8_t> dead_;
     LruStack stack_;
     std::uint64_t history_ = 0;
-    // Per-access signature memo (see onAccessBegin).
-    std::vector<std::uint16_t> memoSigs_;
+    unsigned indexBits_ = 0;
+    // Fold ladders for the signature and index widths, built once.
+    simd::FoldPlan sigPlan_;
+    simd::FoldPlan idxPlan_;
+    // Per-table constants and the per-access signature/index memo
+    // (see onAccessBegin), all fixed-size arrays so the per-access
+    // composition runs with no heap indirection.
+    std::array<std::uint64_t, kGhrpMaxTables> histMasks_{};
+    std::array<std::uint64_t, kGhrpMaxTables> salts_{};
+    std::array<std::uint16_t, kGhrpMaxTables> memoSigs_{};
+    std::array<std::uint32_t, kGhrpMaxTables> memoIdxs_{};
+    std::array<std::uint64_t, kGhrpMaxTables> memoLanes_{};
     bool memoValid_ = false;
     Addr memoPc_ = 0;
 };

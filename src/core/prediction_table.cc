@@ -10,7 +10,7 @@ namespace chirp
 
 PredictionTable::PredictionTable(std::size_t entries, unsigned counter_bits,
                                  HashKind kind, std::uint64_t salt)
-    : values_(entries, 0),
+    : counters_(entries, counter_bits),
       max_(static_cast<std::uint16_t>((1u << counter_bits) - 1)),
       counterBits_(counter_bits), kind_(kind), salt_(salt)
 {
@@ -25,13 +25,15 @@ PredictionTable::PredictionTable(std::size_t entries, unsigned counter_bits,
 void
 PredictionTable::reset()
 {
-    std::fill(values_.begin(), values_.end(), 0);
+    counters_.reset();
 }
 
 std::uint64_t
 PredictionTable::storageBits() const
 {
-    return static_cast<std::uint64_t>(values_.size()) * counterBits_;
+    // The modeled hardware budget: counterBits per entry, independent
+    // of the power-of-two lane width the packed array rounds up to.
+    return static_cast<std::uint64_t>(counters_.size()) * counterBits_;
 }
 
 } // namespace chirp

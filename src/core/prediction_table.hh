@@ -8,9 +8,8 @@
 #ifndef CHIRP_CORE_PREDICTION_TABLE_HH
 #define CHIRP_CORE_PREDICTION_TABLE_HH
 
-#include <vector>
-
 #include "util/hashing.hh"
+#include "util/packed_counters.hh"
 
 namespace chirp
 {
@@ -20,10 +19,15 @@ namespace chirp
  * the caller's signature down to log2(entries) bits; callers that
  * want distinct hash behavior (GHRP's three tables) pass a salt.
  *
- * Counters are stored as raw values in one contiguous array (all
- * counters share a width, so the saturation bound lives once in the
- * table, not per counter) and the read/train operations are inline:
- * they sit on the per-access path of every predictor policy.
+ * Counters are bit-packed at their natural width (a 4K x 2-bit table
+ * is 1KB of simulator memory instead of 8KB of uint16, keeping all of
+ * a predictor's tables L1-resident) and the read/train operations are
+ * inline: they sit on the per-access path of every predictor policy.
+ *
+ * Callers that retain a signature across events (GHRP keeps one per
+ * entry per table) can capture indexOf() once and use the *At
+ * accessors, skipping the hash recomputation on every later
+ * train/read of the same stored signature.
  */
 class PredictionTable
 {
@@ -50,31 +54,52 @@ class PredictionTable
     std::uint16_t
     read(std::uint64_t signature) const
     {
-        return values_[indexOf(signature)];
+        return readAt(indexOf(signature));
     }
 
     /** Increment (dead evidence) the slot for @p signature. */
     void
     increment(std::uint64_t signature)
     {
-        std::uint16_t &value = values_[indexOf(signature)];
-        if (value < max_)
-            ++value;
+        incrementAt(indexOf(signature));
     }
 
     /** Decrement (live evidence) the slot for @p signature. */
     void
     decrement(std::uint64_t signature)
     {
-        std::uint16_t &value = values_[indexOf(signature)];
+        decrementAt(indexOf(signature));
+    }
+
+    /** Counter value at a previously computed index. */
+    std::uint16_t
+    readAt(std::size_t index) const
+    {
+        return counters_.get(index);
+    }
+
+    /** Saturating increment at a previously computed index. */
+    void
+    incrementAt(std::size_t index)
+    {
+        const std::uint16_t value = counters_.get(index);
+        if (value < max_)
+            counters_.set(index, value + 1);
+    }
+
+    /** Saturating decrement at a previously computed index. */
+    void
+    decrementAt(std::size_t index)
+    {
+        const std::uint16_t value = counters_.get(index);
         if (value > 0)
-            --value;
+            counters_.set(index, value - 1);
     }
 
     /** Zero all counters. */
     void reset();
 
-    std::size_t entries() const { return values_.size(); }
+    std::size_t entries() const { return counters_.size(); }
     unsigned counterBits() const { return counterBits_; }
 
     /** Maximum counter value. */
@@ -84,7 +109,7 @@ class PredictionTable
     std::uint64_t storageBits() const;
 
   private:
-    std::vector<std::uint16_t> values_;
+    PackedCounterArray counters_;
     std::uint16_t max_;
     unsigned counterBits_;
     unsigned indexBits_;

@@ -147,6 +147,9 @@ class ReplacementPolicy
   protected:
     void countTableRead() { ++tableReads_; }
     void countTableWrite() { ++tableWrites_; }
+    /** Bulk accounting for loops with a known table-op count. */
+    void countTableReads(unsigned n) { tableReads_ += n; }
+    void countTableWrites(unsigned n) { tableWrites_ += n; }
 
     /** Reset the table traffic counters (called from reset()). */
     void
@@ -210,6 +213,17 @@ class LruStack
 
     /** Stack position of @p way (0 = MRU). */
     std::uint32_t position(std::uint32_t set, std::uint32_t way) const;
+
+    /**
+     * The contiguous rank run of @p set: assoc bytes, way w's rank at
+     * offset w, 0 == MRU.  Victim scans hand this straight to the
+     * SIMD lane kernels.
+     */
+    const std::uint8_t *
+    positions(std::uint32_t set) const
+    {
+        return position_.data() + static_cast<std::size_t>(set) * assoc_;
+    }
 
     /** Force @p way to LRU position (used on invalidation). */
     void demote(std::uint32_t set, std::uint32_t way);

@@ -7,13 +7,7 @@ namespace chirp
 
 SrripPolicy::SrripPolicy(std::uint32_t num_sets, std::uint32_t assoc,
                          unsigned rrpv_bits)
-    : SrripPolicy("srrip", num_sets, assoc, rrpv_bits)
-{
-}
-
-SrripPolicy::SrripPolicy(std::string name, std::uint32_t num_sets,
-                         std::uint32_t assoc, unsigned rrpv_bits)
-    : ReplacementPolicy(std::move(name), num_sets, assoc),
+    : ReplacementPolicy("srrip", num_sets, assoc),
       rrpvBits_(rrpv_bits),
       maxRrpv_(static_cast<std::uint8_t>((1u << rrpv_bits) - 1)),
       rrpv_(static_cast<std::size_t>(num_sets) * assoc, 0)
@@ -31,41 +25,6 @@ SrripPolicy::reset()
     for (auto &v : rrpv_)
         v = maxRrpv_;
     resetTableCounters();
-}
-
-void
-SrripPolicy::onHit(std::uint32_t set, std::uint32_t way, const AccessInfo &)
-{
-    // Hit promotion: near-immediate re-reference.
-    rrpv_[idx(set, way)] = 0;
-}
-
-std::uint32_t
-SrripPolicy::selectVictim(std::uint32_t set, const AccessInfo &)
-{
-    // Find a distant entry; if none, age the whole set and retry.
-    // Termination: each aging pass increments every RRPV below max,
-    // so at most maxRrpv_ passes are needed.
-    for (;;) {
-        for (std::uint32_t way = 0; way < assoc(); ++way) {
-            if (rrpv_[idx(set, way)] >= maxRrpv_)
-                return way;
-        }
-        for (std::uint32_t way = 0; way < assoc(); ++way)
-            ++rrpv_[idx(set, way)];
-    }
-}
-
-void
-SrripPolicy::onFill(std::uint32_t set, std::uint32_t way, const AccessInfo &)
-{
-    fillWithRrpv(set, way, longRrpv());
-}
-
-void
-SrripPolicy::onInvalidate(std::uint32_t set, std::uint32_t way)
-{
-    rrpv_[idx(set, way)] = maxRrpv_;
 }
 
 std::uint64_t

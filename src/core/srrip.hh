@@ -8,6 +8,15 @@
  * (RRPV = max-1), hits promote to "near-immediate" (RRPV = 0), and
  * victims are entries with "distant" prediction (RRPV = max); when
  * none exists all RRPVs in the set age until one does.
+ *
+ * The RRPVs of a set are one contiguous assoc-byte run, so the victim
+ * scan is a SIMD kernel call, and the textbook age-and-retry loop is
+ * collapsed into a single aging step: the first pass that terminates
+ * is the one lifting the set's maximum RRPV to the distant value, so
+ * adding (max - set_maximum) to every way in one shot leaves the set
+ * in the identical state and the identical way wins.  The hot hooks
+ * are inline and the class is final so the TLB's devirtualized
+ * dispatch can flatten them into its access loop.
  */
 
 #ifndef CHIRP_CORE_SRRIP_HH
@@ -16,12 +25,13 @@
 #include <vector>
 
 #include "core/replacement_policy.hh"
+#include "util/simd.hh"
 
 namespace chirp
 {
 
 /** SRRIP replacement. */
-class SrripPolicy : public ReplacementPolicy
+class SrripPolicy final : public ReplacementPolicy
 {
   public:
     /** @param rrpv_bits width of the re-reference prediction value. */
@@ -29,13 +39,48 @@ class SrripPolicy : public ReplacementPolicy
                 unsigned rrpv_bits = 2);
 
     void reset() override;
-    void onHit(std::uint32_t set, std::uint32_t way,
-               const AccessInfo &info) override;
-    std::uint32_t selectVictim(std::uint32_t set,
-                               const AccessInfo &info) override;
-    void onFill(std::uint32_t set, std::uint32_t way,
-                const AccessInfo &info) override;
-    void onInvalidate(std::uint32_t set, std::uint32_t way) override;
+
+    void
+    onHit(std::uint32_t set, std::uint32_t way,
+          const AccessInfo &) override
+    {
+        // Hit promotion: near-immediate re-reference.
+        rrpv_[idx(set, way)] = 0;
+    }
+
+    std::uint32_t
+    selectVictim(std::uint32_t set, const AccessInfo &) override
+    {
+        std::uint8_t *rrpv = rrpv_.data() + idx(set, 0);
+        const std::size_t n = assoc();
+        const std::size_t way =
+            simd::firstLaneAtLeast(rrpv, n, maxRrpv_);
+        if (way < n)
+            return static_cast<std::uint32_t>(way);
+        // No distant entry: age every way by the shared deficit (the
+        // number of +1 rounds the retry loop would have run) and take
+        // the first way reaching distant — the first holder of the
+        // set's old maximum, as in the per-round scan.
+        const std::uint8_t deficit =
+            static_cast<std::uint8_t>(maxRrpv_ - simd::maxLane(rrpv, n));
+        simd::addToLanes(rrpv, n, deficit);
+        return static_cast<std::uint32_t>(
+            simd::firstLaneAtLeast(rrpv, n, maxRrpv_));
+    }
+
+    void
+    onFill(std::uint32_t set, std::uint32_t way,
+           const AccessInfo &) override
+    {
+        rrpv_[idx(set, way)] = longRrpv();
+    }
+
+    void
+    onInvalidate(std::uint32_t set, std::uint32_t way) override
+    {
+        rrpv_[idx(set, way)] = maxRrpv_;
+    }
+
     std::uint64_t storageBits() const override;
     bool wantsRetireEvents() const override { return false; }
 
@@ -48,18 +93,6 @@ class SrripPolicy : public ReplacementPolicy
 
     /** The "distant future" RRPV value (2^bits - 1). */
     std::uint8_t maxRrpv() const { return maxRrpv_; }
-
-  protected:
-    /** For subclasses (SHiP) that reuse the RRIP machinery. */
-    SrripPolicy(std::string name, std::uint32_t num_sets,
-                std::uint32_t assoc, unsigned rrpv_bits);
-
-    /** Insertion RRPV hook so SHiP can override per-prediction. */
-    void
-    fillWithRrpv(std::uint32_t set, std::uint32_t way, std::uint8_t value)
-    {
-        rrpv_[idx(set, way)] = value;
-    }
 
     /** The default long-re-reference insertion value (max - 1). */
     std::uint8_t longRrpv() const { return maxRrpv_ - 1; }

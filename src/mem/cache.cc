@@ -44,7 +44,7 @@ Cache::access(Addr addr, bool write)
 
     const int way = array_.findWay(set, tag);
     if (way >= 0) {
-        array_.at(set, way).data.lastUse = tick_;
+        array_.dataAt(set, way).lastUse = tick_;
         ++hits_;
         return true;
     }
@@ -55,17 +55,15 @@ Cache::access(Addr addr, bool write)
         // LRU by recency tick.
         std::uint64_t oldest = ~std::uint64_t{0};
         for (std::uint32_t w = 0; w < array_.assoc(); ++w) {
-            const std::uint64_t t = array_.at(set, w).data.lastUse;
+            const std::uint64_t t = array_.dataAt(set, w).lastUse;
             if (t < oldest) {
                 oldest = t;
                 victim = static_cast<int>(w);
             }
         }
     }
-    auto &slot = array_.at(set, victim);
-    slot.valid = true;
-    slot.tag = tag;
-    slot.data.lastUse = tick_;
+    array_.fill(set, static_cast<std::uint32_t>(victim), tag);
+    array_.dataAt(set, victim).lastUse = tick_;
     return false;
 }
 

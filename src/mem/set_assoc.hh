@@ -5,16 +5,24 @@
  * The array manages tags, valid bits and a per-slot payload; callers
  * layer replacement on top (caches use the built-in recency tick,
  * TLBs delegate to a ReplacementPolicy).
+ *
+ * Storage is structure-of-arrays: the valid bytes and tags of a set
+ * are contiguous runs, so the per-access tag match and invalid-way
+ * probe are single SIMD kernel calls over the set's lanes instead of
+ * a strided walk over Slot records.  The payload lives in its own
+ * parallel array and is only touched on the matched way.
  */
 
 #ifndef CHIRP_MEM_SET_ASSOC_HH
 #define CHIRP_MEM_SET_ASSOC_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "util/bitfield.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "util/types.hh"
 
 namespace chirp
@@ -25,17 +33,11 @@ template <typename Entry>
 class SetAssocArray
 {
   public:
-    /** One way of one set. */
-    struct Slot
-    {
-        bool valid = false;
-        Addr tag = 0;
-        Entry data{};
-    };
-
     SetAssocArray(std::uint32_t num_sets, std::uint32_t assoc)
         : numSets_(num_sets), assoc_(assoc),
-          slots_(static_cast<std::size_t>(num_sets) * assoc)
+          valid_(static_cast<std::size_t>(num_sets) * assoc, 0),
+          tags_(static_cast<std::size_t>(num_sets) * assoc, 0),
+          data_(static_cast<std::size_t>(num_sets) * assoc)
     {
         if (num_sets == 0 || assoc == 0)
             chirp_fatal("set-assoc array needs nonzero geometry");
@@ -62,45 +64,72 @@ class SetAssocArray
     int
     findWay(std::uint32_t set, Addr tag) const
     {
-        const std::size_t base = static_cast<std::size_t>(set) * assoc_;
-        for (std::uint32_t w = 0; w < assoc_; ++w) {
-            const Slot &slot = slots_[base + w];
-            if (slot.valid && slot.tag == tag)
-                return static_cast<int>(w);
-        }
-        return -1;
+        const std::size_t base = baseOf(set);
+        const std::size_t way = simd::matchTagLane(
+            tags_.data() + base, valid_.data() + base, assoc_, tag);
+        return way < assoc_ ? static_cast<int>(way) : -1;
     }
 
     /** First invalid way in @p set, or -1 when the set is full. */
     int
     invalidWay(std::uint32_t set) const
     {
-        const std::size_t base = static_cast<std::size_t>(set) * assoc_;
-        for (std::uint32_t w = 0; w < assoc_; ++w) {
-            if (!slots_[base + w].valid)
-                return static_cast<int>(w);
-        }
-        return -1;
+        const std::size_t way =
+            simd::firstClearLane(valid_.data() + baseOf(set), assoc_);
+        return way < assoc_ ? static_cast<int>(way) : -1;
     }
 
-    Slot &
-    at(std::uint32_t set, std::uint32_t way)
+    bool
+    valid(std::uint32_t set, std::uint32_t way) const
     {
-        return slots_[static_cast<std::size_t>(set) * assoc_ + way];
+        return valid_[baseOf(set) + way] != 0;
     }
 
-    const Slot &
-    at(std::uint32_t set, std::uint32_t way) const
+    Addr
+    tag(std::uint32_t set, std::uint32_t way) const
     {
-        return slots_[static_cast<std::size_t>(set) * assoc_ + way];
+        return tags_[baseOf(set) + way];
+    }
+
+    /** Payload of one way (valid or not). */
+    Entry &
+    dataAt(std::uint32_t set, std::uint32_t way)
+    {
+        return data_[baseOf(set) + way];
+    }
+
+    const Entry &
+    dataAt(std::uint32_t set, std::uint32_t way) const
+    {
+        return data_[baseOf(set) + way];
+    }
+
+    /** Mark @p way valid and holding @p tag; payload is untouched. */
+    void
+    fill(std::uint32_t set, std::uint32_t way, Addr tag)
+    {
+        const std::size_t i = baseOf(set) + way;
+        valid_[i] = 1;
+        tags_[i] = tag;
+    }
+
+    /** Invalidate one way and reset its payload. */
+    void
+    invalidate(std::uint32_t set, std::uint32_t way)
+    {
+        const std::size_t i = baseOf(set) + way;
+        valid_[i] = 0;
+        tags_[i] = 0;
+        data_[i] = Entry{};
     }
 
     /** Invalidate every slot. */
     void
     invalidateAll()
     {
-        for (auto &slot : slots_)
-            slot = Slot{};
+        std::fill(valid_.begin(), valid_.end(), 0);
+        std::fill(tags_.begin(), tags_.end(), 0);
+        std::fill(data_.begin(), data_.end(), Entry{});
     }
 
     std::uint32_t numSets() const { return numSets_; }
@@ -111,16 +140,24 @@ class SetAssocArray
     validCount() const
     {
         std::uint64_t n = 0;
-        for (const auto &slot : slots_)
-            n += slot.valid ? 1 : 0;
+        for (const std::uint8_t v : valid_)
+            n += v != 0 ? 1 : 0;
         return n;
     }
 
   private:
+    std::size_t
+    baseOf(std::uint32_t set) const
+    {
+        return static_cast<std::size_t>(set) * assoc_;
+    }
+
     std::uint32_t numSets_;
     std::uint32_t assoc_;
     Addr setMask_;
-    std::vector<Slot> slots_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<Addr> tags_;
+    std::vector<Entry> data_;
 };
 
 } // namespace chirp

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <future>
 #include <thread>
 
@@ -74,6 +75,19 @@ chirpSignatureStream(const HistoryConfig &history_config,
             history.onUncondIndirectBranch(rec.pc);
     }
     return sigs;
+}
+
+/**
+ * Is the policy-parallel batch replay enabled?  On by default; set
+ * CHIRP_POLICY_PARALLEL=0 to force the legacy one-replay-per-policy
+ * walk (the CI equality leg diffs the two).  Read per suite call so
+ * tests can flip it between runs in one process.
+ */
+bool
+policyParallelReplay()
+{
+    const char *value = std::getenv("CHIRP_POLICY_PARALLEL");
+    return !(value != nullptr && value[0] == '0' && value[1] == '\0');
 }
 
 /**
@@ -616,19 +630,67 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
             }
             group_of[p] = g;
         }
+        // Policy-parallel batch replay (CHIRP_POLICY_PARALLEL):
+        // evaluate every pending policy's table updates in one pass
+        // over the shared event stream.  The pass is speculative and
+        // unguarded — it consumes no fault-injection job event and no
+        // watchdog slot, so the per-policy jobs below keep the exact
+        // event numbering and failure isolation of the legacy path;
+        // they merely publish precomputed results when the batch
+        // succeeded, and fall back to an individual replayL2 when it
+        // did not (or when a policy's own job must re-simulate).
+        std::vector<std::size_t> pend;
         for (std::size_t p = 0; p < factories.size(); ++p) {
-            if (done[p])
-                continue;
+            if (!done[p])
+                pend.push_back(p);
+        }
+        const auto make_policy = [&](std::size_t p) {
+            auto policy = factories[p](sets, assoc);
+            if (is_chirp[p]) {
+                static_cast<ChirpPolicy *>(policy.get())
+                    ->setSignatureStream(
+                        groups[group_of[p]].sigs.data());
+            }
+            return policy;
+        };
+        std::vector<std::unique_ptr<Simulator>> batch_sims;
+        std::vector<SimStats> batch_stats;
+        bool batch_ok = false;
+        if (policyParallelReplay() && pend.size() > 1) {
+            try {
+                std::vector<Simulator *> raw;
+                batch_sims.reserve(pend.size());
+                raw.reserve(pend.size());
+                for (const std::size_t p : pend) {
+                    batch_sims.push_back(std::make_unique<Simulator>(
+                        config_, make_policy(p)));
+                    raw.push_back(batch_sims.back().get());
+                }
+                batch_stats =
+                    Simulator::replayL2Multi(raw, *trace, events, base);
+                batch_ok = true;
+            } catch (const std::exception &err) {
+                chirp_warn("policy-parallel replay of '", suite[w].name,
+                           "' failed (", err.what(),
+                           "); falling back to per-policy replay");
+            } catch (...) {
+                chirp_warn("policy-parallel replay of '", suite[w].name,
+                           "' failed; falling back to per-policy "
+                           "replay");
+            }
+        }
+        for (std::size_t k = 0; k < pend.size(); ++k) {
+            const std::size_t p = pend[k];
             const GuardOutcome out = runGuarded(
                 resilience_.retries, dog, w * factories.size() + p,
-                suite[w].name + " x " + tag_of(p), [&, p] {
-                    auto policy = factories[p](sets, assoc);
-                    if (is_chirp[p]) {
-                        static_cast<ChirpPolicy *>(policy.get())
-                            ->setSignatureStream(
-                                groups[group_of[p]].sigs.data());
+                suite[w].name + " x " + tag_of(p), [&, k, p] {
+                    if (batch_ok) {
+                        results[p][w] = {suite[w], batch_stats[k]};
+                        if (observer)
+                            observer(p, w, *batch_sims[k]);
+                        return;
                     }
-                    Simulator sim(config_, std::move(policy));
+                    Simulator sim(config_, make_policy(p));
                     results[p][w] = {suite[w],
                                      sim.replayL2(*trace, events, base)};
                     if (observer)

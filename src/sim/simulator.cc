@@ -180,6 +180,160 @@ Simulator::replayL2(const std::vector<TraceRecord> &records,
     return stats;
 }
 
+std::vector<SimStats>
+Simulator::replayL2Multi(const std::vector<Simulator *> &sims,
+                         const std::vector<TraceRecord> &records,
+                         const std::vector<L2Event> &events,
+                         const SimStats &base)
+{
+    // Must mirror replayL2 exactly: same per-simulator event/retire
+    // interleaving, same warmup-snapshot boundaries, same statistics
+    // assembly.  replayL2 stays the (tested) reference; the equality
+    // tests diff this batch path against it.
+    std::vector<SimStats> out(sims.size(), base);
+    if (sims.empty())
+        return out;
+
+    const InstCount total = records.size();
+
+    // Per-policy replay state: concrete pointers into one simulator
+    // plus its warmup boundary and counter snapshot.
+    struct Lane
+    {
+        TlbHierarchy *tlbs = nullptr;
+        Tlb *l2 = nullptr;
+        PageWalker *walker = nullptr;
+        InstCount warmup = 0;
+        bool wantsRetire = false;
+        bool snapped = false;
+        std::uint64_t snapAcc = 0, snapHit = 0, snapMiss = 0;
+        std::uint64_t snapReads = 0, snapWrites = 0;
+        Cycles snapWalk = 0;
+    };
+    std::vector<Lane> lanes(sims.size());
+    bool any_retire = false;
+    for (std::size_t s = 0; s < sims.size(); ++s) {
+        if (!sims[s])
+            chirp_fatal("replayL2Multi: null simulator");
+        Simulator &sim = *sims[s];
+        sim.tlbs_->reset();
+        Lane &lane = lanes[s];
+        lane.tlbs = sim.tlbs_.get();
+        lane.l2 = &sim.tlbs_->l2();
+        lane.walker = &sim.tlbs_->walker();
+        lane.warmup = static_cast<InstCount>(
+            static_cast<double>(total) * sim.config_.warmupFraction);
+        // As in replayL2: a CHiRP instance fed a precomputed
+        // signature stream consumes nothing from the retire stream.
+        bool wants = lane.l2->policy().wantsRetireEvents();
+        if (wants) {
+            const auto *streamed =
+                dynamic_cast<const ChirpPolicy *>(&lane.l2->policy());
+            if (streamed && streamed->hasSignatureStream())
+                wants = false;
+        }
+        lane.wantsRetire = wants;
+        any_retire |= wants;
+    }
+
+    const auto deliver = [](Lane &lane, const AccessInfo &info,
+                            const L2Event &event) {
+        if (!lane.l2->access(info, /*asid=*/1, event.now,
+                             event.pageShift))
+            lane.walker->walk(event.vaddr);
+    };
+    const auto snapshot = [](Lane &lane) {
+        lane.snapAcc = lane.l2->accesses();
+        lane.snapHit = lane.l2->hits();
+        lane.snapMiss = lane.l2->misses();
+        lane.snapReads = lane.l2->policy().tableReads();
+        lane.snapWrites = lane.l2->policy().tableWrites();
+        lane.snapWalk = lane.walker->totalCycles();
+        lane.snapped = true;
+    };
+    const auto info_of = [](const L2Event &event) {
+        AccessInfo info;
+        info.pc = event.pc;
+        info.vaddr = event.vaddr;
+        info.cls = event.cls;
+        info.isInstr = event.isInstr != 0;
+        return info;
+    };
+
+    if (any_retire) {
+        // At least one policy consumes the retire stream: walk the
+        // records once, interleaving each record's L2 events before
+        // its retire hooks exactly as step() (and replayL2) does.
+        // Retire-blind lanes ride along, receiving only the events;
+        // their snapshot lands at the same counter values as the
+        // pure-event path below (all events of instructions before
+        // the boundary, none at or after it).
+        std::size_t e = 0;
+        for (InstCount i = 0; i < total; ++i) {
+            for (Lane &lane : lanes) {
+                if (!lane.snapped && i == lane.warmup &&
+                    lane.warmup != 0)
+                    snapshot(lane);
+            }
+            while (e < events.size() && events[e].now == i) {
+                const AccessInfo info = info_of(events[e]);
+                for (Lane &lane : lanes)
+                    deliver(lane, info, events[e]);
+                ++e;
+            }
+            const TraceRecord &rec = records[i];
+            const bool branch = isBranch(rec.cls);
+            for (Lane &lane : lanes) {
+                if (!lane.wantsRetire)
+                    continue;
+                lane.tlbs->onInstRetired(rec.pc, rec.cls);
+                if (branch)
+                    lane.tlbs->onBranchRetired(rec.pc, rec.cls,
+                                               rec.taken);
+            }
+        }
+    } else {
+        // Every policy is retire-blind: only the events themselves
+        // matter.  Snapshot each lane when its boundary passes; a
+        // lane whose boundary lies beyond the last event snapshots
+        // after the loop (matching replayL2, which snapshots after
+        // delivering every pre-boundary event).
+        for (const L2Event &event : events) {
+            const AccessInfo info = info_of(event);
+            for (Lane &lane : lanes) {
+                if (!lane.snapped && lane.warmup > 0 &&
+                    lane.warmup < total && event.now >= lane.warmup)
+                    snapshot(lane);
+                deliver(lane, info, event);
+            }
+        }
+        for (Lane &lane : lanes) {
+            if (!lane.snapped && lane.warmup > 0 && lane.warmup < total)
+                snapshot(lane);
+        }
+    }
+
+    for (std::size_t s = 0; s < sims.size(); ++s) {
+        Lane &lane = lanes[s];
+        lane.tlbs->finalizeEfficiency(total);
+        SimStats &stats = out[s];
+        stats.l2TlbAccesses = lane.l2->accesses() - lane.snapAcc;
+        stats.l2TlbHits = lane.l2->hits() - lane.snapHit;
+        stats.l2TlbMisses = lane.l2->misses() - lane.snapMiss;
+        stats.tableReads =
+            lane.l2->policy().tableReads() - lane.snapReads;
+        stats.tableWrites =
+            lane.l2->policy().tableWrites() - lane.snapWrites;
+        stats.walkCycles = lane.walker->totalCycles() - lane.snapWalk;
+        const Cycles hitLat = sims[s]->config_.tlbs.l2.hitLatency;
+        stats.cycles = base.cycles - hitLat * base.l2TlbAccesses -
+                       base.walkCycles + hitLat * stats.l2TlbAccesses +
+                       stats.walkCycles;
+        stats.l2Efficiency = lane.l2->efficiency().efficiency();
+    }
+    return out;
+}
+
 SimStats
 Simulator::runImpl(const std::vector<TraceSource *> &sources,
                    InstCount quantum, bool flush_on_switch)

@@ -79,6 +79,25 @@ class Simulator
                       const std::vector<L2Event> &events,
                       const SimStats &base);
 
+    /**
+     * Policy-parallel replay: evaluate several policies' table
+     * updates in ONE pass over the shared L2 event stream (and, for
+     * history-fed policies, the retire stream), instead of one walk
+     * per policy.  Each simulator in @p sims is reset and driven with
+     * exactly the event/retire interleaving replayL2 would give it,
+     * so per-simulator results are bit-identical to calling
+     * sims[i]->replayL2(records, events, base) one by one; the win is
+     * that the record walk — the bulk of a replay's memory traffic —
+     * is amortized over all policies.  Simulators may differ in
+     * policy and warmup fraction; retire-blind lanes simply skip the
+     * retire hooks.  Throws only on misuse (empty @p sims entries).
+     */
+    static std::vector<SimStats>
+    replayL2Multi(const std::vector<Simulator *> &sims,
+                  const std::vector<TraceRecord> &records,
+                  const std::vector<L2Event> &events,
+                  const SimStats &base);
+
     /** The TLB hierarchy (inspection in tests/examples). */
     TlbHierarchy &tlbs() { return *tlbs_; }
     const TlbHierarchy &tlbs() const { return *tlbs_; }

@@ -8,6 +8,7 @@
 #include "core/ghrp.hh"
 #include "core/lru.hh"
 #include "core/ship.hh"
+#include "core/srrip.hh"
 #include "util/logging.hh"
 
 namespace chirp
@@ -55,6 +56,8 @@ Tlb::Tlb(const TlbConfig &config,
             kind_ = PolicyKind::Ship;
         else if (id == typeid(GhrpPolicy))
             kind_ = PolicyKind::Ghrp;
+        else if (id == typeid(SrripPolicy))
+            kind_ = PolicyKind::Srrip;
     }
 }
 
@@ -79,8 +82,7 @@ Tlb::accessSlowImpl(Policy *policy, const AccessInfo &info, Asid asid,
     int way = array_.findWay(set, tag);
     if (way >= 0) {
         ++hits_;
-        auto &slot = array_.at(set, way);
-        slot.data.lastHitTime = now;
+        array_.dataAt(set, way).lastHitTime = now;
         policy->onHit(set, static_cast<std::uint32_t>(way), info);
         policy->onAccessEnd(set, info);
         if constexpr (kLru) {
@@ -101,17 +103,16 @@ Tlb::accessSlowImpl(Policy *policy, const AccessInfo &info, Asid asid,
         if (way < 0 || static_cast<std::uint32_t>(way) >= array_.assoc())
             chirp_panic("tlb '", config_.name, "': policy '",
                         policy_->name(), "' chose invalid way ", way);
-        auto &victim = array_.at(set, way);
+        const Entry &victim = array_.dataAt(set, way);
         ++evictions_;
-        efficiency_.recordGeneration(victim.data.fillTime,
-                                     victim.data.lastHitTime, now);
+        efficiency_.recordGeneration(victim.fillTime,
+                                     victim.lastHitTime, now);
     }
-    auto &slot = array_.at(set, way);
-    slot.valid = true;
-    slot.tag = tag;
-    slot.data.asid = asid;
-    slot.data.fillTime = now;
-    slot.data.lastHitTime = now;
+    array_.fill(set, static_cast<std::uint32_t>(way), tag);
+    Entry &entry = array_.dataAt(set, way);
+    entry.asid = asid;
+    entry.fillTime = now;
+    entry.lastHitTime = now;
     policy->onFill(set, static_cast<std::uint32_t>(way), info);
     policy->onAccessEnd(set, info);
     return false;
@@ -134,6 +135,9 @@ Tlb::accessSlow(const AccessInfo &info, Asid asid, std::uint64_t now,
       case PolicyKind::Ghrp:
         return accessSlowImpl(static_cast<GhrpPolicy *>(policy_.get()),
                               info, asid, now, key);
+      case PolicyKind::Srrip:
+        return accessSlowImpl(static_cast<SrripPolicy *>(policy_.get()),
+                              info, asid, now, key);
       case PolicyKind::Generic:
         break;
     }
@@ -153,12 +157,12 @@ Tlb::flushAll(std::uint64_t now)
     hotWay_ = -1;
     for (std::uint32_t set = 0; set < array_.numSets(); ++set) {
         for (std::uint32_t way = 0; way < array_.assoc(); ++way) {
-            auto &slot = array_.at(set, way);
-            if (!slot.valid)
+            if (!array_.valid(set, way))
                 continue;
-            efficiency_.recordGeneration(slot.data.fillTime,
-                                         slot.data.lastHitTime, now);
-            slot = {};
+            const Entry &entry = array_.dataAt(set, way);
+            efficiency_.recordGeneration(entry.fillTime,
+                                         entry.lastHitTime, now);
+            array_.invalidate(set, way);
             policy_->onInvalidate(set, way);
         }
     }
@@ -170,12 +174,13 @@ Tlb::flushAsid(Asid asid, std::uint64_t now)
     hotWay_ = -1;
     for (std::uint32_t set = 0; set < array_.numSets(); ++set) {
         for (std::uint32_t way = 0; way < array_.assoc(); ++way) {
-            auto &slot = array_.at(set, way);
-            if (!slot.valid || slot.data.asid != asid)
+            if (!array_.valid(set, way) ||
+                array_.dataAt(set, way).asid != asid)
                 continue;
-            efficiency_.recordGeneration(slot.data.fillTime,
-                                         slot.data.lastHitTime, now);
-            slot = {};
+            const Entry &entry = array_.dataAt(set, way);
+            efficiency_.recordGeneration(entry.fillTime,
+                                         entry.lastHitTime, now);
+            array_.invalidate(set, way);
             policy_->onInvalidate(set, way);
         }
     }
@@ -186,11 +191,11 @@ Tlb::finalizeEfficiency(std::uint64_t now)
 {
     for (std::uint32_t set = 0; set < array_.numSets(); ++set) {
         for (std::uint32_t way = 0; way < array_.assoc(); ++way) {
-            const auto &slot = array_.at(set, way);
-            if (!slot.valid)
+            if (!array_.valid(set, way))
                 continue;
-            efficiency_.recordGeneration(slot.data.fillTime,
-                                         slot.data.lastHitTime, now);
+            const Entry &entry = array_.dataAt(set, way);
+            efficiency_.recordGeneration(entry.fillTime,
+                                         entry.lastHitTime, now);
         }
     }
 }

@@ -74,7 +74,7 @@ class Tlb
             // policy calls are no-ops by construction (see the memo
             // comment below).
             ++hits_;
-            array_.at(hotSet_, hotWay_).data.lastHitTime = now;
+            array_.dataAt(hotSet_, hotWay_).lastHitTime = now;
             return true;
         }
         return accessSlow(info, asid, now, key);
@@ -132,6 +132,7 @@ class Tlb
         Chirp,
         Ship,
         Ghrp,
+        Srrip,
     };
 
     /** General hit/miss handling once the memo fast path declined. */

@@ -83,20 +83,31 @@ ceilLog2(std::uint64_t value)
 }
 
 /**
- * Fold a 64-bit value down to @p nbits by repeated XOR of
- * @p nbits-wide chunks.  This is the cheap hardware-style hash the
- * predictor tables use for index formation.
+ * Fold a 64-bit value down to @p nbits by XOR of @p nbits-wide
+ * chunks.  This is the cheap hardware-style hash the predictor tables
+ * use for index formation.
+ *
+ * Evaluated as a shift ladder: each step XORs the upper half of the
+ * live chunks onto the lower half, halving the chunk count, so the
+ * whole fold is log2(64/nbits) steps with no loop-carried shift of
+ * the value itself.  XOR associativity makes this bit-identical to
+ * the naive walk over all chunks — the SIMD lane kernels use the same
+ * ladder, so scalar and vector hashes agree by construction.
  */
 constexpr std::uint64_t
 foldXor(std::uint64_t value, unsigned nbits)
 {
     assert(nbits > 0 && nbits < 64);
-    std::uint64_t folded = 0;
-    while (value != 0) {
-        folded ^= value & maskBits(nbits);
-        value >>= nbits;
+    unsigned chunks = (64 + nbits - 1) / nbits;
+    while (chunks > 1) {
+        const unsigned half = (chunks + 1) / 2;
+        const unsigned shift = half * nbits;
+        if (shift < 64)
+            value ^= value >> shift;
+        value &= maskBits(shift);
+        chunks = half;
     }
-    return folded;
+    return value;
 }
 
 } // namespace chirp

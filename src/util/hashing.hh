@@ -41,6 +41,13 @@ hashCombine(std::uint64_t seed, std::uint64_t value)
 }
 
 /**
+ * The odd multiplicative constant of indexHash, exposed so callers
+ * composing several indices in SIMD lanes (GHRP's per-table hashes)
+ * can reproduce the hash exactly.
+ */
+constexpr std::uint64_t kIndexHashMultiplier = 0x9e3779b97f4a7c15ull;
+
+/**
  * Hardware-plausible index hash: multiply by an odd constant and
  * XOR-fold to @p nbits.  This is the default `Hash` of Algorithm 5.
  * Inline: this sits on the prediction-table index path of every
@@ -51,7 +58,7 @@ indexHash(std::uint64_t value, unsigned nbits)
 {
     // An odd multiplicative constant spreads nearby signatures across
     // the table; the fold keeps every input bit relevant to the index.
-    return foldXor(value * 0x9e3779b97f4a7c15ull, nbits);
+    return foldXor(value * kIndexHashMultiplier, nbits);
 }
 
 /** Pure XOR-fold index hash (no multiply), the cheapest option. */

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Bit-packed array of small saturating-counter values.
+ *
+ * The prediction tables store thousands of 2- and 3-bit counters; as
+ * plain uint16_t a 4K-entry table is 8KB, spilling the predictor
+ * working set out of L1 once three tables and the TLB metadata
+ * compete for it.  Packing counters at their natural width keeps the
+ * same table in 1-2KB.  Lanes are widened to the next power of two so
+ * no counter ever straddles a word — get/set are one shift+mask on a
+ * single uint64, with no cross-word carry cases.
+ *
+ * This models the hardware budget too: storageBits() of a table is
+ * entries * counterBits regardless of the packing, so the packing is
+ * purely a simulation-speed layout choice.
+ */
+
+#ifndef CHIRP_UTIL_PACKED_COUNTERS_HH
+#define CHIRP_UTIL_PACKED_COUNTERS_HH
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitfield.hh"
+
+namespace chirp
+{
+
+/** A fixed-size array of @c n unsigned values of @c counterBits each. */
+class PackedCounterArray
+{
+  public:
+    PackedCounterArray() = default;
+
+    PackedCounterArray(std::size_t n, unsigned counter_bits)
+        : size_(n), laneBits_(lanesFor(counter_bits)),
+          laneMask_(maskBits(lanesFor(counter_bits))),
+          lanesPerWordLog2_(floorLog2(64 / lanesFor(counter_bits))),
+          laneIndexMask_((64 / lanesFor(counter_bits)) - 1),
+          words_((n + (64 / lanesFor(counter_bits)) - 1) /
+                 (64 / lanesFor(counter_bits)))
+    {
+        assert(counter_bits > 0 && counter_bits <= 16);
+    }
+
+    std::uint16_t
+    get(std::size_t i) const
+    {
+        assert(i < size_);
+        return static_cast<std::uint16_t>(
+            (words_[i >> lanesPerWordLog2_] >> shiftOf(i)) & laneMask_);
+    }
+
+    void
+    set(std::size_t i, std::uint16_t value)
+    {
+        assert(i < size_ && value <= laneMask_);
+        std::uint64_t &word = words_[i >> lanesPerWordLog2_];
+        const unsigned shift = shiftOf(i);
+        word = (word & ~(laneMask_ << shift)) |
+               (static_cast<std::uint64_t>(value) << shift);
+    }
+
+    /** Zero every counter. */
+    void
+    reset()
+    {
+        std::fill(words_.begin(), words_.end(), 0);
+    }
+
+    std::size_t size() const { return size_; }
+
+    /** Bits a counter occupies in the packed layout (power of two). */
+    unsigned laneBits() const { return laneBits_; }
+
+    /** Bytes of simulator memory backing the array. */
+    std::size_t footprintBytes() const { return words_.size() * 8; }
+
+  private:
+    static constexpr unsigned
+    lanesFor(unsigned counter_bits)
+    {
+        unsigned lane = 1;
+        while (lane < counter_bits)
+            lane *= 2;
+        return lane;
+    }
+
+    unsigned
+    shiftOf(std::size_t i) const
+    {
+        return static_cast<unsigned>(i & laneIndexMask_) * laneBits_;
+    }
+
+    std::size_t size_ = 0;
+    unsigned laneBits_ = 1;
+    std::uint64_t laneMask_ = 1;
+    unsigned lanesPerWordLog2_ = 6;
+    std::size_t laneIndexMask_ = 63;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_PACKED_COUNTERS_HH

@@ -1,0 +1,310 @@
+#include "util/simd.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace chirp
+{
+namespace simd
+{
+namespace
+{
+
+bool
+forceScalarRequested()
+{
+    const char *env = std::getenv("CHIRP_FORCE_SCALAR");
+    return env != nullptr && *env != '\0' &&
+           std::strcmp(env, "0") != 0;
+}
+
+Backend
+detectBackend()
+{
+    if (forceScalarRequested())
+        return Backend::Scalar;
+#if defined(CHIRP_SIMD_X86)
+    if (__builtin_cpu_supports("avx2"))
+        return Backend::Avx2;
+    return Backend::Sse2; // baseline for x86-64
+#elif defined(CHIRP_SIMD_NEON)
+    return Backend::Neon; // baseline for aarch64
+#else
+    return Backend::Scalar;
+#endif
+}
+
+} // namespace
+
+namespace detail
+{
+// Zero-initialized (= Scalar) until this dynamic initializer runs, so
+// kernel calls from other translation units' static initializers are
+// safe in any link order.
+Backend g_backend = detectBackend();
+} // namespace detail
+
+const char *
+backendName(Backend backend)
+{
+    switch (backend) {
+      case Backend::Scalar:
+        return "scalar";
+      case Backend::Sse2:
+        return "sse2";
+      case Backend::Avx2:
+        return "avx2";
+      case Backend::Neon:
+        return "neon";
+    }
+    return "scalar";
+}
+
+void
+refreshBackend()
+{
+    detail::g_backend = detectBackend();
+}
+
+#ifdef CHIRP_SIMD_X86
+
+namespace detail
+{
+
+/*
+ * AVX2 variants — compiled with a per-function target attribute so
+ * the translation unit itself needs no -mavx2, and guarded at runtime
+ * by cpuid in detectBackend().  The inline dispatchers in simd.hh
+ * enter these only when the input fills at least one 256-bit vector;
+ * every tail delegates back to the (header-inline) SSE2 bodies, so
+ * results are bit-identical to the SSE2 and scalar paths at any size.
+ */
+
+#define CHIRP_AVX2 __attribute__((target("avx2")))
+
+CHIRP_AVX2 std::size_t
+firstSetAvx2(const std::uint8_t *v, std::size_t n)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v + i));
+        const unsigned set = ~static_cast<unsigned>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(x, zero)));
+        if (set != 0)
+            return i + static_cast<unsigned>(__builtin_ctz(set));
+    }
+    return i + firstSetSse2(v + i, n - i);
+}
+
+CHIRP_AVX2 std::size_t
+firstClearAvx2(const std::uint8_t *v, std::size_t n)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v + i));
+        const unsigned zeros = static_cast<unsigned>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(x, zero)));
+        if (zeros != 0)
+            return i + static_cast<unsigned>(__builtin_ctz(zeros));
+    }
+    return i + firstClearSse2(v + i, n - i);
+}
+
+CHIRP_AVX2 std::size_t
+firstAtLeastAvx2(const std::uint8_t *v, std::size_t n,
+                 std::uint8_t limit)
+{
+    const __m256i lim = _mm256_set1_epi8(static_cast<char>(limit));
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v + i));
+        const unsigned ge =
+            static_cast<unsigned>(_mm256_movemask_epi8(
+                _mm256_cmpeq_epi8(_mm256_max_epu8(x, lim), x)));
+        if (ge != 0)
+            return i + static_cast<unsigned>(__builtin_ctz(ge));
+    }
+    return i + firstAtLeastSse2(v + i, n - i, limit);
+}
+
+namespace
+{
+
+CHIRP_AVX2 inline __m256i
+maskedRankAvx2(const std::uint8_t *flags, const std::uint8_t *rank,
+               std::size_t i)
+{
+    const __m256i f =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(flags + i));
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(rank + i));
+    const __m256i dead = _mm256_cmpeq_epi8(f, _mm256_setzero_si256());
+    return _mm256_andnot_si256(
+        dead, _mm256_add_epi8(r, _mm256_set1_epi8(1)));
+}
+
+CHIRP_AVX2 inline std::uint8_t
+horizontalMaxU8Avx2(__m256i x)
+{
+    const __m128i folded = _mm_max_epu8(
+        _mm256_castsi256_si128(x), _mm256_extracti128_si256(x, 1));
+    return horizontalMaxU8(folded);
+}
+
+CHIRP_AVX2 inline __m256i
+mul64Avx2(__m256i a, __m256i b)
+{
+    const __m256i ll = _mm256_mul_epu32(a, b);
+    const __m256i hl = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+    const __m256i lh = _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
+    return _mm256_add_epi64(
+        ll, _mm256_slli_epi64(_mm256_add_epi64(hl, lh), 32));
+}
+
+CHIRP_AVX2 inline __m256i
+foldLadderAvx2(__m256i v, unsigned nbits)
+{
+    unsigned chunks = (64 + nbits - 1) / nbits;
+    while (chunks > 1) {
+        const unsigned half = (chunks + 1) / 2;
+        const unsigned shift = half * nbits;
+        const __m256i mask = _mm256_set1_epi64x(
+            static_cast<long long>(maskBits(shift)));
+        if (shift < 64)
+            v = _mm256_xor_si256(v, _mm256_srli_epi64(v, shift));
+        v = _mm256_and_si256(v, mask);
+        chunks = half;
+    }
+    return v;
+}
+
+} // namespace
+
+CHIRP_AVX2 std::size_t
+deepestSetAvx2(const std::uint8_t *flags, const std::uint8_t *rank,
+               std::size_t n)
+{
+    __m256i vmax = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32)
+        vmax = _mm256_max_epu8(vmax, maskedRankAvx2(flags, rank, i));
+    std::uint8_t best = horizontalMaxU8Avx2(vmax);
+    for (std::size_t j = i; j < n; ++j) {
+        const std::uint8_t key =
+            flags[j] != 0 ? static_cast<std::uint8_t>(rank[j] + 1) : 0;
+        if (key > best)
+            best = key;
+    }
+    if (best == 0)
+        return n;
+    const __m256i want = _mm256_set1_epi8(static_cast<char>(best));
+    for (i = 0; i + 32 <= n; i += 32) {
+        const unsigned hit =
+            static_cast<unsigned>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(
+                maskedRankAvx2(flags, rank, i), want)));
+        if (hit != 0)
+            return i + static_cast<unsigned>(__builtin_ctz(hit));
+    }
+    for (; i < n; ++i) {
+        const std::uint8_t key =
+            flags[i] != 0 ? static_cast<std::uint8_t>(rank[i] + 1) : 0;
+        if (key == best)
+            return i;
+    }
+    return n;
+}
+
+CHIRP_AVX2 std::uint8_t
+maxLaneAvx2(const std::uint8_t *v, std::size_t n)
+{
+    __m256i vmax = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32)
+        vmax = _mm256_max_epu8(
+            vmax, _mm256_loadu_si256(
+                      reinterpret_cast<const __m256i *>(v + i)));
+    std::uint8_t best = horizontalMaxU8Avx2(vmax);
+    for (; i < n; ++i)
+        if (v[i] > best)
+            best = v[i];
+    return best;
+}
+
+CHIRP_AVX2 void
+addToLanesAvx2(std::uint8_t *v, std::size_t n, std::uint8_t delta)
+{
+    const __m256i d = _mm256_set1_epi8(static_cast<char>(delta));
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        __m256i *p = reinterpret_cast<__m256i *>(v + i);
+        _mm256_storeu_si256(p, _mm256_add_epi8(_mm256_loadu_si256(p), d));
+    }
+    addToLanesSse2(v + i, n - i, delta);
+}
+
+CHIRP_AVX2 std::size_t
+matchTagAvx2(const Addr *tags, const std::uint8_t *valid,
+             std::size_t n, Addr tag)
+{
+    const __m256i want =
+        _mm256_set1_epi64x(static_cast<long long>(tag));
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i t = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tags + i));
+        unsigned hit = static_cast<unsigned>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(t, want))));
+        while (hit != 0) {
+            const std::size_t lane =
+                i + static_cast<unsigned>(__builtin_ctz(hit));
+            if (valid[lane] != 0)
+                return lane;
+            hit &= hit - 1;
+        }
+    }
+    for (; i < n; ++i)
+        if (valid[i] != 0 && tags[i] == tag)
+            return i;
+    return n;
+}
+
+CHIRP_AVX2 void
+xorFoldAvx2(std::uint64_t *v, std::size_t n, unsigned nbits)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i *p = reinterpret_cast<__m256i *>(v + i);
+        _mm256_storeu_si256(
+            p, foldLadderAvx2(_mm256_loadu_si256(p), nbits));
+    }
+    xorFoldSse2(v + i, n - i, nbits);
+}
+
+CHIRP_AVX2 void
+mulXorFoldAvx2(std::uint64_t *v, std::size_t n, std::uint64_t k,
+               unsigned nbits)
+{
+    const __m256i kv = _mm256_set1_epi64x(static_cast<long long>(k));
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i *p = reinterpret_cast<__m256i *>(v + i);
+        _mm256_storeu_si256(
+            p, foldLadderAvx2(mul64Avx2(_mm256_loadu_si256(p), kv),
+                              nbits));
+    }
+    mulXorFoldSse2(v + i, n - i, k, nbits);
+}
+
+#undef CHIRP_AVX2
+
+} // namespace detail
+
+#endif // CHIRP_SIMD_X86
+
+} // namespace simd
+} // namespace chirp

@@ -31,12 +31,12 @@ TEST(SetAssocArray, FindAfterInstall)
     EXPECT_EQ(array.findWay(set, array.tagOf(key)), -1);
     const int way = array.invalidWay(set);
     ASSERT_GE(way, 0);
-    auto &slot = array.at(set, way);
-    slot.valid = true;
-    slot.tag = array.tagOf(key);
-    slot.data.value = 42;
+    array.fill(set, static_cast<std::uint32_t>(way), array.tagOf(key));
+    array.dataAt(set, way).value = 42;
     EXPECT_EQ(array.findWay(set, array.tagOf(key)), way);
-    EXPECT_EQ(array.at(set, way).data.value, 42);
+    EXPECT_TRUE(array.valid(set, way));
+    EXPECT_EQ(array.tag(set, way), array.tagOf(key));
+    EXPECT_EQ(array.dataAt(set, way).value, 42);
 }
 
 TEST(SetAssocArray, InvalidWayExhaustion)
@@ -44,10 +44,24 @@ TEST(SetAssocArray, InvalidWayExhaustion)
     SetAssocArray<Payload> array(4, 2);
     const std::uint32_t set = 1;
     EXPECT_EQ(array.invalidWay(set), 0);
-    array.at(set, 0).valid = true;
+    array.fill(set, 0, 0x1);
     EXPECT_EQ(array.invalidWay(set), 1);
-    array.at(set, 1).valid = true;
+    array.fill(set, 1, 0x2);
     EXPECT_EQ(array.invalidWay(set), -1);
+}
+
+TEST(SetAssocArray, InvalidatedWayDoesNotMatchItsOldTag)
+{
+    SetAssocArray<Payload> array(4, 2);
+    const std::uint32_t set = 2;
+    array.fill(set, 0, 0x9);
+    array.dataAt(set, 0).value = 7;
+    ASSERT_EQ(array.findWay(set, 0x9), 0);
+    array.invalidate(set, 0);
+    EXPECT_EQ(array.findWay(set, 0x9), -1);
+    EXPECT_FALSE(array.valid(set, 0));
+    EXPECT_EQ(array.dataAt(set, 0).value, 0) << "payload reset";
+    EXPECT_EQ(array.invalidWay(set), 0);
 }
 
 TEST(SetAssocArray, DistinctTagsDistinctSlots)
@@ -63,8 +77,8 @@ TEST(SetAssocArray, DistinctTagsDistinctSlots)
 TEST(SetAssocArray, InvalidateAllAndValidCount)
 {
     SetAssocArray<Payload> array(4, 2);
-    array.at(0, 0).valid = true;
-    array.at(3, 1).valid = true;
+    array.fill(0, 0, 0x1);
+    array.fill(3, 1, 0x2);
     EXPECT_EQ(array.validCount(), 2u);
     array.invalidateAll();
     EXPECT_EQ(array.validCount(), 0u);

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Randomized scalar-vs-vector equivalence for every simd kernel.
+ *
+ * The scalar reference is the semantic contract (scan order,
+ * tie-breaking, n == 0 sentinel); the ISA variants must return
+ * bit-identical results for every lane count and tail shape.  Each
+ * test runs the same inputs twice — once under CHIRP_FORCE_SCALAR=1
+ * and once with the native backend — via refreshBackend() round
+ * trips, and additionally checks the scalar contract against a naive
+ * reference written here, so a bug shared by both dispatch paths
+ * cannot hide.
+ *
+ * Lane counts sweep 0..kMaxLanes, crossing every dispatch threshold
+ * (SSE2 16-byte blocks, AVX2 32-byte blocks, 2/4-word lanes for the
+ * 64-bit kernels) and every tail length on each side of them.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bitfield.hh"
+#include "util/simd.hh"
+#include "util/types.hh"
+
+namespace chirp
+{
+namespace
+{
+
+/** Past two AVX2 blocks plus an odd tail. */
+constexpr std::size_t kMaxLanes = 70;
+constexpr int kTrialsPerSize = 8;
+
+/**
+ * Saves the CHIRP_FORCE_SCALAR state, flips it as asked, and
+ * refreshes the cached backend; restores both on destruction.
+ */
+class ScopedBackend
+{
+  public:
+    explicit ScopedBackend(bool force_scalar)
+    {
+        const char *old = std::getenv("CHIRP_FORCE_SCALAR");
+        had_old_ = old != nullptr;
+        if (had_old_)
+            old_ = old;
+        if (force_scalar)
+            setenv("CHIRP_FORCE_SCALAR", "1", 1);
+        else
+            unsetenv("CHIRP_FORCE_SCALAR");
+        simd::refreshBackend();
+    }
+
+    ~ScopedBackend()
+    {
+        if (had_old_)
+            setenv("CHIRP_FORCE_SCALAR", old_.c_str(), 1);
+        else
+            unsetenv("CHIRP_FORCE_SCALAR");
+        simd::refreshBackend();
+    }
+
+  private:
+    bool had_old_ = false;
+    std::string old_;
+};
+
+/** Runs @p fn under the scalar backend, then the native one. */
+template <typename Fn>
+void
+underBothBackends(Fn &&fn)
+{
+    {
+        ScopedBackend scalar(true);
+        ASSERT_EQ(simd::activeBackend(), simd::Backend::Scalar);
+        fn(simd::Backend::Scalar);
+    }
+    {
+        ScopedBackend native(false);
+        fn(simd::activeBackend());
+    }
+}
+
+std::vector<std::uint8_t>
+randomBytes(std::mt19937_64 &rng, std::size_t n, std::uint8_t lo,
+            std::uint8_t hi)
+{
+    std::uniform_int_distribution<int> dist(lo, hi);
+    std::vector<std::uint8_t> v(n);
+    for (auto &b : v)
+        b = static_cast<std::uint8_t>(dist(rng));
+    return v;
+}
+
+// ---- naive references (independent of src/util/simd.hh) ----
+
+std::size_t
+refFirstSet(const std::uint8_t *v, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (v[i] != 0)
+            return i;
+    return n;
+}
+
+std::size_t
+refFirstClear(const std::uint8_t *v, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (v[i] == 0)
+            return i;
+    return n;
+}
+
+std::size_t
+refFirstAtLeast(const std::uint8_t *v, std::size_t n, std::uint8_t lim)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (v[i] >= lim)
+            return i;
+    return n;
+}
+
+std::size_t
+refDeepestSet(const std::uint8_t *flags, const std::uint8_t *rank,
+              std::size_t n)
+{
+    std::size_t best = n;
+    int best_rank = -1;
+    for (std::size_t i = 0; i < n; ++i)
+        if (flags[i] != 0 && static_cast<int>(rank[i]) > best_rank) {
+            best_rank = rank[i];
+            best = i;
+        }
+    return best;
+}
+
+std::uint8_t
+refMaxLane(const std::uint8_t *v, std::size_t n)
+{
+    std::uint8_t best = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        best = std::max(best, v[i]);
+    return best;
+}
+
+std::size_t
+refMatchTag(const Addr *tags, const std::uint8_t *valid, std::size_t n,
+            Addr tag)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (valid[i] != 0 && tags[i] == tag)
+            return i;
+    return n;
+}
+
+TEST(SimdBackend, NameIsKnownAndScalarIsForced)
+{
+    {
+        ScopedBackend scalar(true);
+        EXPECT_STREQ(simd::backendName(simd::activeBackend()), "scalar");
+    }
+    ScopedBackend native(false);
+    const std::string name = simd::backendName(simd::activeBackend());
+    EXPECT_TRUE(name == "scalar" || name == "sse2" || name == "avx2" ||
+                name == "neon")
+        << name;
+}
+
+TEST(SimdScan, FirstSetClearAtLeastMatchScalar)
+{
+    std::mt19937_64 rng(0xC0FFEE01);
+    for (std::size_t n = 0; n <= kMaxLanes; ++n) {
+        for (int trial = 0; trial < kTrialsPerSize; ++trial) {
+            // Small value range: plenty of zero lanes and ties.
+            const auto v = randomBytes(rng, n, 0, 3);
+            const std::uint8_t lim =
+                static_cast<std::uint8_t>(rng() % 5);
+            underBothBackends([&](simd::Backend b) {
+                SCOPED_TRACE(std::string("backend=") +
+                             simd::backendName(b) +
+                             " n=" + std::to_string(n));
+                EXPECT_EQ(simd::firstSetLane(v.data(), n),
+                          refFirstSet(v.data(), n));
+                EXPECT_EQ(simd::firstClearLane(v.data(), n),
+                          refFirstClear(v.data(), n));
+                EXPECT_EQ(simd::firstLaneAtLeast(v.data(), n, lim),
+                          refFirstAtLeast(v.data(), n, lim));
+            });
+        }
+    }
+}
+
+TEST(SimdScan, AllZeroAndAllSetEdges)
+{
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{15},
+                          std::size_t{16}, std::size_t{17},
+                          std::size_t{31}, std::size_t{32},
+                          std::size_t{33}, std::size_t{64},
+                          kMaxLanes}) {
+        const std::vector<std::uint8_t> zeros(n, 0);
+        const std::vector<std::uint8_t> ones(n, 1);
+        underBothBackends([&](simd::Backend) {
+            EXPECT_EQ(simd::firstSetLane(zeros.data(), n), n);
+            EXPECT_EQ(simd::firstClearLane(ones.data(), n), n);
+            EXPECT_EQ(simd::firstSetLane(ones.data(), n),
+                      n == 0 ? n : 0u);
+            EXPECT_EQ(simd::firstClearLane(zeros.data(), n),
+                      n == 0 ? n : 0u);
+            EXPECT_EQ(simd::firstLaneAtLeast(zeros.data(), n, 1), n);
+            EXPECT_EQ(simd::maxLane(zeros.data(), n), 0u);
+        });
+    }
+}
+
+TEST(SimdScan, DeepestSetTieBreaksOnEarliestMaximum)
+{
+    std::mt19937_64 rng(0xC0FFEE02);
+    for (std::size_t n = 0; n <= kMaxLanes; ++n) {
+        for (int trial = 0; trial < kTrialsPerSize; ++trial) {
+            const auto flags = randomBytes(rng, n, 0, 1);
+            // Tiny rank alphabet forces duplicate maxima.
+            const auto rank = randomBytes(rng, n, 0, 2);
+            underBothBackends([&](simd::Backend b) {
+                SCOPED_TRACE(std::string("backend=") +
+                             simd::backendName(b) +
+                             " n=" + std::to_string(n));
+                EXPECT_EQ(
+                    simd::deepestSetLane(flags.data(), rank.data(), n),
+                    refDeepestSet(flags.data(), rank.data(), n));
+            });
+        }
+    }
+    // Max legal rank at both ends of a vector block.
+    std::vector<std::uint8_t> flags(33, 1);
+    std::vector<std::uint8_t> rank(33, 0);
+    rank[0] = 254;
+    rank[32] = 254;
+    underBothBackends([&](simd::Backend) {
+        EXPECT_EQ(simd::deepestSetLane(flags.data(), rank.data(), 33),
+                  0u);
+    });
+}
+
+TEST(SimdScan, MaxLaneAndAddToLanesMatchScalar)
+{
+    std::mt19937_64 rng(0xC0FFEE03);
+    for (std::size_t n = 0; n <= kMaxLanes; ++n) {
+        for (int trial = 0; trial < kTrialsPerSize; ++trial) {
+            const auto v = randomBytes(rng, n, 0, 200);
+            const std::uint8_t delta =
+                static_cast<std::uint8_t>(rng() % 7);
+            underBothBackends([&](simd::Backend b) {
+                SCOPED_TRACE(std::string("backend=") +
+                             simd::backendName(b) +
+                             " n=" + std::to_string(n));
+                EXPECT_EQ(simd::maxLane(v.data(), n),
+                          refMaxLane(v.data(), n));
+                auto mutated = v;
+                simd::addToLanes(mutated.data(), n, delta);
+                for (std::size_t i = 0; i < n; ++i)
+                    ASSERT_EQ(mutated[i],
+                              static_cast<std::uint8_t>(v[i] + delta));
+            });
+        }
+    }
+}
+
+TEST(SimdScan, MatchTagFindsFirstValidMatchOnly)
+{
+    std::mt19937_64 rng(0xC0FFEE04);
+    for (std::size_t n = 0; n <= kMaxLanes; ++n) {
+        for (int trial = 0; trial < kTrialsPerSize; ++trial) {
+            std::vector<Addr> tags(n);
+            // Four-value tag alphabet: frequent duplicates, so the
+            // first-match tie-break is exercised constantly.
+            for (auto &t : tags)
+                t = 0xABCD0000u + (rng() % 4);
+            const auto valid = randomBytes(rng, n, 0, 1);
+            const Addr probe = 0xABCD0000u + (rng() % 4);
+            underBothBackends([&](simd::Backend b) {
+                SCOPED_TRACE(std::string("backend=") +
+                             simd::backendName(b) +
+                             " n=" + std::to_string(n));
+                EXPECT_EQ(simd::matchTagLane(tags.data(), valid.data(),
+                                             n, probe),
+                          refMatchTag(tags.data(), valid.data(), n,
+                                      probe));
+            });
+        }
+    }
+    // An invalid lane holding the probe tag must not match.
+    std::vector<Addr> tags(5, 0x42);
+    std::vector<std::uint8_t> valid = {0, 0, 1, 0, 1};
+    underBothBackends([&](simd::Backend) {
+        EXPECT_EQ(simd::matchTagLane(tags.data(), valid.data(), 5,
+                                     Addr{0x42}),
+                  2u);
+    });
+}
+
+TEST(SimdFold, FoldPlanApplyEqualsFoldXorAtEveryWidth)
+{
+    std::mt19937_64 rng(0xC0FFEE05);
+    for (unsigned nbits = 1; nbits < 64; ++nbits) {
+        const simd::FoldPlan plan(nbits);
+        for (int trial = 0; trial < 32; ++trial) {
+            const std::uint64_t v = rng();
+            ASSERT_EQ(plan.apply(v), foldXor(v, nbits))
+                << "nbits=" << nbits << " v=" << v;
+        }
+    }
+}
+
+TEST(SimdFold, LaneFoldsMatchPerElementFoldXor)
+{
+    std::mt19937_64 rng(0xC0FFEE06);
+    constexpr std::uint64_t kMul = 0x9e3779b97f4a7c15ull;
+    // Widths around the word-halving boundaries plus the GHRP ones.
+    const unsigned widths[] = {1, 3, 7, 8, 10, 12, 16, 21, 31, 32, 33,
+                               48, 63};
+    for (unsigned nbits : widths) {
+        const simd::FoldPlan plan(nbits);
+        for (std::size_t n = 0; n <= 9; ++n) {
+            std::vector<std::uint64_t> input(n);
+            for (auto &v : input)
+                v = rng();
+            std::vector<std::uint64_t> fold_ref(n), mul_ref(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                fold_ref[i] = foldXor(input[i], nbits);
+                mul_ref[i] = foldXor(input[i] * kMul, nbits);
+            }
+            underBothBackends([&](simd::Backend b) {
+                SCOPED_TRACE(std::string("backend=") +
+                             simd::backendName(b) + " nbits=" +
+                             std::to_string(nbits) +
+                             " n=" + std::to_string(n));
+                auto a = input;
+                simd::xorFoldLanes(a.data(), n, nbits);
+                EXPECT_EQ(a, fold_ref);
+                auto bv = input;
+                simd::xorFoldLanes(bv.data(), n, plan);
+                EXPECT_EQ(bv, fold_ref);
+                auto c = input;
+                simd::mulXorFoldLanes(c.data(), n, kMul, nbits);
+                EXPECT_EQ(c, mul_ref);
+                auto d = input;
+                simd::mulXorFoldLanes(d.data(), n, kMul, plan);
+                EXPECT_EQ(d, mul_ref);
+            });
+        }
+    }
+}
+
+} // namespace
+} // namespace chirp
