@@ -1,10 +1,15 @@
 #include "bench/harness.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/fault_injection.hh"
 #include "util/hashing.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -37,15 +42,121 @@ parseCount(const char *flag, const char *text)
     return value;
 }
 
-/** "<argv0 basename>.csv.journal" — the sidecar of the bench's CSV. */
 std::string
-defaultJournalPath(const char *argv0)
+benchBasename(const char *argv0)
 {
     std::string name = argv0 ? argv0 : "bench";
     const std::size_t slash = name.find_last_of('/');
     if (slash != std::string::npos)
         name.erase(0, slash + 1);
-    return name + ".csv.journal";
+    return name;
+}
+
+/** "<argv0 basename>.csv.journal" — the sidecar of the bench's CSV. */
+std::string
+defaultJournalPath(const char *argv0)
+{
+    return benchBasename(argv0) + ".csv.journal";
+}
+
+std::string
+absolutePath(const std::string &path)
+{
+    if (path.empty() || path[0] == '/')
+        return path;
+    char cwd[4096];
+    if (!::getcwd(cwd, sizeof(cwd)))
+        chirp_fatal("getcwd: ", std::strerror(errno));
+    return std::string(cwd) + "/" + path;
+}
+
+/**
+ * Turn this process into sweep-fabric worker: attach the wire,
+ * target the fault injector, silence journaling, and relocate into a
+ * per-worker scratch directory so the worker's CSVs can never
+ * clobber the coordinator's.
+ */
+void
+enterWorkerMode(BenchContext &ctx, int worker_fd, unsigned worker_id,
+                const std::string &connect_path)
+{
+    const dist::FabricOptions opts = dist::fabricOptionsFromEnv();
+    std::shared_ptr<dist::SweepFabric> fabric;
+    if (worker_fd >= 0)
+        fabric = dist::SweepFabric::makeWorker(worker_fd, worker_id,
+                                               opts);
+    else
+        fabric = dist::SweepFabric::connectWorker(connect_path, opts);
+    FaultInjector::instance().setWorkerId(
+        static_cast<int>(fabric->workerId()));
+    // Only the coordinator journals and resumes; a worker journal
+    // would race it on the same sidecar.
+    ctx.journalPath.clear();
+    ctx.resume = false;
+    // The scratch chdir below must not strand a shared trace cache.
+    ctx.traceCacheDir = absolutePath(ctx.traceCacheDir);
+    const std::string root = "chirp-workers";
+    if (::mkdir(root.c_str(), 0777) != 0 && errno != EEXIST)
+        chirp_fatal("mkdir ", root, ": ", std::strerror(errno));
+    const std::string dir =
+        root + "/w" + std::to_string(fabric->workerId());
+    if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST)
+        chirp_fatal("mkdir ", dir, ": ", std::strerror(errno));
+    if (::chdir(dir.c_str()) != 0)
+        chirp_fatal("chdir ", dir, ": ", std::strerror(errno));
+    // Ship every warn/inform/progress line to the coordinator, which
+    // prefixes it with this worker's id on one serialized stderr.
+    std::shared_ptr<dist::SweepFabric> sink = fabric;
+    setLogSink([sink](const std::string &line) {
+        sink->emitLog(line);
+    });
+    ctx.fabric = std::move(fabric);
+}
+
+/**
+ * Make this process the sweep coordinator: open the fabric (with the
+ * shard ledger next to the journal) and fork the requested local
+ * workers as re-executions of this binary.
+ */
+void
+enterCoordinatorMode(BenchContext &ctx, const char *argv0,
+                     unsigned workers,
+                     const std::string &socket_path)
+{
+    dist::FabricOptions opts = dist::fabricOptionsFromEnv();
+    opts.socketPath = socket_path;
+    if (!ctx.journalPath.empty()) {
+        opts.ledgerPath = ctx.journalPath + ".shards";
+        opts.ledgerFingerprint = ctx.fingerprint();
+        opts.ledgerResume = ctx.resume;
+    }
+    ctx.fabric = dist::SweepFabric::makeCoordinator(opts);
+
+    // Workers re-execute this binary: same environment, so the same
+    // suite; fabric-free argv plus the worker flags spawnWorker
+    // appends.  execv needs a real path — argv[0] without a slash
+    // (PATH lookup) won't do, so fall back to /proc/self/exe.
+    std::string self = argv0 ? argv0 : "";
+    if (self.find('/') == std::string::npos)
+        self = "/proc/self/exe";
+    std::vector<std::string> argv{self, "--jobs", "1", "--no-journal"};
+    argv.push_back("--retries");
+    argv.push_back(std::to_string(ctx.resilience.retries));
+    if (ctx.resilience.jobTimeoutMs) {
+        argv.push_back("--job-timeout");
+        argv.push_back(std::to_string(ctx.resilience.jobTimeoutMs));
+    }
+    if (!ctx.traceCacheDir.empty()) {
+        argv.push_back("--trace-cache");
+        argv.push_back(absolutePath(ctx.traceCacheDir));
+    }
+    if (!ctx.shareTraces)
+        argv.push_back("--no-trace-store");
+    for (unsigned i = 0; i < workers; ++i) {
+        if (!ctx.fabric->spawnWorker(argv))
+            chirp_warn("failed to spawn worker ", i,
+                       "; continuing with fewer");
+    }
 }
 
 } // namespace
@@ -83,19 +194,29 @@ makeContext(std::size_t default_suite_size, bool mpki_only)
     return ctx;
 }
 
+JournalIdentity
+BenchContext::identity() const
+{
+    JournalIdentity id;
+    id.suite = benchName;
+    std::uint64_t sh = mix64(0x43484952ull /* "CHIR" */);
+    sh = hashCombine(sh, suite.size());
+    sh = hashCombine(sh, options.traceLength);
+    sh = hashCombine(sh, options.baseSeed);
+    id.suiteHash = hashCombine(sh, static_cast<std::uint64_t>(
+                                       options.onlyCategory + 1));
+    std::uint64_t ch = mix64(0x434647ull /* "CFG" */);
+    ch = hashCombine(ch, config.simulateCaches ? 1 : 0);
+    ch = hashCombine(ch, config.simulateBranch ? 1 : 0);
+    ch = hashCombine(ch, config.tlbs.l2.entries);
+    id.configHash = hashCombine(ch, config.tlbs.l2.assoc);
+    return id;
+}
+
 std::uint64_t
 BenchContext::fingerprint() const
 {
-    std::uint64_t fp = mix64(0x43484952ull /* "CHIR" */);
-    fp = hashCombine(fp, suite.size());
-    fp = hashCombine(fp, options.traceLength);
-    fp = hashCombine(fp, options.baseSeed);
-    fp = hashCombine(fp, static_cast<std::uint64_t>(
-                             options.onlyCategory + 1));
-    fp = hashCombine(fp, config.simulateCaches ? 1 : 0);
-    fp = hashCombine(fp, config.simulateBranch ? 1 : 0);
-    fp = hashCombine(fp, config.tlbs.l2.entries);
-    return hashCombine(fp, config.tlbs.l2.assoc);
+    return identity().fingerprint();
 }
 
 BenchContext
@@ -103,8 +224,14 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
             bool mpki_only)
 {
     BenchContext ctx = makeContext(default_suite_size, mpki_only);
+    ctx.benchName = benchBasename(argc > 0 ? argv[0] : nullptr);
     ctx.journalPath = defaultJournalPath(argc > 0 ? argv[0] : nullptr);
     bool no_journal = false;
+    unsigned workers = 0;
+    std::string coordinator_path;
+    std::string worker_path;
+    int worker_fd = -1;
+    unsigned worker_id = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--jobs" || arg == "-j") {
@@ -150,12 +277,44 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
             ctx.journalPath = arg.substr(std::strlen("--journal="));
         } else if (arg == "--no-journal") {
             no_journal = true;
+        } else if (arg == "--workers") {
+            if (i + 1 >= argc)
+                chirp_fatal(arg, " needs a value");
+            workers = static_cast<unsigned>(
+                parseCount("--workers", argv[++i]));
+        } else if (arg.rfind("--workers=", 0) == 0) {
+            workers = static_cast<unsigned>(parseCount(
+                "--workers", arg.c_str() + std::strlen("--workers=")));
+        } else if (arg == "--coordinator") {
+            if (i + 1 >= argc)
+                chirp_fatal(arg, " needs a socket path");
+            coordinator_path = argv[++i];
+        } else if (arg.rfind("--coordinator=", 0) == 0) {
+            coordinator_path =
+                arg.substr(std::strlen("--coordinator="));
+        } else if (arg == "--worker") {
+            if (i + 1 >= argc)
+                chirp_fatal(arg, " needs a socket path");
+            worker_path = argv[++i];
+        } else if (arg.rfind("--worker=", 0) == 0) {
+            worker_path = arg.substr(std::strlen("--worker="));
+        } else if (arg == "--worker-fd") {
+            if (i + 1 >= argc)
+                chirp_fatal(arg, " needs a value");
+            worker_fd = static_cast<int>(
+                parseCount("--worker-fd", argv[++i]));
+        } else if (arg == "--worker-id") {
+            if (i + 1 >= argc)
+                chirp_fatal(arg, " needs a value");
+            worker_id = static_cast<unsigned>(
+                parseCount("--worker-id", argv[++i]));
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--jobs N] [--trace-cache DIR] "
                 "[--no-trace-store]\n"
                 "       [--retries N] [--job-timeout MS] [--resume]\n"
-                "       [--journal PATH] [--no-journal]\n"
+                "       [--journal PATH] [--no-journal] [--workers N]\n"
+                "       [--coordinator PATH] [--worker PATH]\n"
                 "  --jobs N, -j N     suite-runner worker threads\n"
                 "                     (default: hardware concurrency or\n"
                 "                     CHIRP_JOBS; 1 = serial)\n"
@@ -166,17 +325,28 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
                 "  --retries N        extra attempts for jobs failing\n"
                 "                     transiently (default 1, or\n"
                 "                     CHIRP_RETRIES)\n"
-                "  --job-timeout MS   flag jobs running longer than MS\n"
-                "                     as hung (default off, or\n"
+                "  --job-timeout MS   cancel jobs running longer than\n"
+                "                     MS and record them as timed out\n"
+                "                     (default off, or\n"
                 "                     CHIRP_JOB_TIMEOUT_MS)\n"
                 "  --resume           skip jobs already completed in the\n"
                 "                     journal of an interrupted run\n"
                 "  --journal PATH     journal location (default:\n"
                 "                     <binary>.csv.journal)\n"
                 "  --no-journal       disable job journaling\n"
+                "  --workers N        fork N worker processes and shard\n"
+                "                     multi-policy sweeps across them\n"
+                "                     (crash-tolerant; CSVs stay\n"
+                "                     byte-identical to a serial run)\n"
+                "  --coordinator PATH also accept external workers on\n"
+                "                     AF_UNIX socket PATH\n"
+                "  --worker PATH      run as a worker attached to the\n"
+                "                     coordinator at socket PATH\n"
                 "Suite fidelity scales via CHIRP_SUITE_SIZE,\n"
                 "CHIRP_TRACE_LEN and CHIRP_SEED; CHIRP_FAULT injects\n"
-                "deterministic faults for resilience testing.\n",
+                "deterministic faults for resilience testing;\n"
+                "CHIRP_DIST_* tunes the sweep fabric (see\n"
+                "dist/fabric.hh).\n",
                 argv[0]);
             std::exit(0);
         } else {
@@ -187,6 +357,18 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
         ctx.journalPath.clear();
     if (ctx.resume && ctx.journalPath.empty())
         chirp_fatal("--resume needs a journal (drop --no-journal)");
+    const bool is_worker = worker_fd >= 0 || !worker_path.empty();
+    if (is_worker && (workers || !coordinator_path.empty()))
+        chirp_fatal("a process is either a worker or a coordinator, "
+                    "not both");
+    if (worker_fd >= 0 && !worker_path.empty())
+        chirp_fatal("--worker-fd and --worker are mutually exclusive");
+    if (is_worker)
+        enterWorkerMode(ctx, worker_fd, worker_id, worker_path);
+    else if (workers || !coordinator_path.empty()) {
+        enterCoordinatorMode(ctx, argc > 0 ? argv[0] : nullptr,
+                             workers, coordinator_path);
+    }
     return ctx;
 }
 
@@ -195,11 +377,20 @@ finish(const BenchContext &ctx)
 {
     const SuiteHealth &health = *ctx.health;
     if (health.resumedJobs() || health.retriedJobs() ||
-        health.hungJobs()) {
+        health.hungJobs() || health.timedOutJobs()) {
         chirp_inform("jobs: ", health.okJobs(), "/", health.totalJobs(),
                      " ok (", health.resumedJobs(), " resumed, ",
                      health.retriedJobs(), " retried, ",
-                     health.hungJobs(), " hung)");
+                     health.hungJobs(), " hung, ",
+                     health.timedOutJobs(), " timed out)");
+    }
+    if (ctx.fabric && ctx.fabric->isCoordinator()) {
+        const dist::FabricStats fs = ctx.fabric->stats();
+        chirp_inform("fabric: ", fs.remoteResults, " remote jobs from ",
+                     fs.workersSpawned + fs.workersAttached,
+                     " workers (", fs.workersLost, " lost, ",
+                     fs.shardsRequeued, " shards requeued, ",
+                     fs.shardsLocal, " run locally)");
     }
     const std::size_t failed = health.failureCount();
     if (failed == 0)

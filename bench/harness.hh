@@ -16,13 +16,23 @@
  * bit-identical across all of those modes at any job count.
  *
  * Resilience: a failing job no longer aborts a bench.  Failures are
- * isolated per job, retried when transient (`--retries N`), flagged
- * when overrunning `--job-timeout MS`, journaled to
- * "<output>.csv.journal" as they complete, and summarized at exit;
- * the bench then exits non-zero via finish().  `--resume` reloads the
- * journal and skips every already-completed job, reproducing the CSVs
- * byte-identically.  CHIRP_FAULT injects deterministic faults (see
- * util/fault_injection.hh).
+ * isolated per job, retried when transient (`--retries N`), cancelled
+ * and recorded as timed-out when overrunning `--job-timeout MS`,
+ * journaled to "<output>.csv.journal" as they complete, and
+ * summarized at exit; the bench then exits non-zero via finish().
+ * `--resume` reloads the journal and skips every already-completed
+ * job, reproducing the CSVs byte-identically.  CHIRP_FAULT injects
+ * deterministic faults (see util/fault_injection.hh).
+ *
+ * Distributed sweeps: `--workers N` forks N worker processes
+ * (re-executions of the same binary) and shards multi-policy suite
+ * runs across them through the crash-tolerant sweep fabric (see
+ * dist/fabric.hh); `--coordinator PATH` additionally accepts external
+ * workers over an AF_UNIX socket, and `--worker PATH` turns this
+ * process into such a worker.  The merged CSVs are byte-identical to
+ * a single-process run, even when workers are killed mid-shard.
+ * `--worker-fd FD --worker-id N` are the internal flags a spawned
+ * worker is launched with.
  */
 
 #ifndef CHIRP_BENCH_HARNESS_HH
@@ -33,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/fabric.hh"
 #include "sim/run_journal.hh"
 #include "sim/runner.hh"
 #include "util/csv.hh"
@@ -59,6 +70,10 @@ struct BenchContext
     std::string journalPath;
     /** Skip jobs already present in the journal. */
     bool resume = false;
+    /** Bench binary basename, naming the journal's identity. */
+    std::string benchName = "bench";
+    /** Sweep-fabric end (coordinator or worker); null = in-process. */
+    std::shared_ptr<dist::SweepFabric> fabric;
     /** Job-outcome ledger shared by every Runner of this bench. */
     std::shared_ptr<SuiteHealth> health =
         std::make_shared<SuiteHealth>();
@@ -66,10 +81,14 @@ struct BenchContext
     mutable std::shared_ptr<RunJournal> journal;
 
     /**
-     * Fingerprint of everything that determines job results (suite
-     * shape and sim config); guards the journal against resuming a
-     * run with different parameters.
+     * Field-wise identity of this run (bench name, workload-grid
+     * hash, sim-config hash, row schema); guards the journal against
+     * resuming a run with different parameters and lets a mismatch
+     * report name the diverging field.
      */
+    JournalIdentity identity() const;
+
+    /** Combined hash of identity(); stamps the shard ledger too. */
     std::uint64_t fingerprint() const;
 
     Runner
@@ -83,10 +102,12 @@ struct BenchContext
         if (!journalPath.empty()) {
             if (!journal) {
                 journal = std::make_shared<RunJournal>(
-                    journalPath, fingerprint(), resume);
+                    journalPath, identity(), resume);
             }
             runner.setJournal(journal);
         }
+        if (fabric)
+            runner.setFabric(fabric);
         return runner;
     }
 };
@@ -107,17 +128,22 @@ BenchContext makeContext(std::size_t default_suite_size, bool mpki_only);
  * `--retries N` / `--job-timeout MS` tune failure handling,
  * `--resume` continues an interrupted run from its journal,
  * `--journal PATH` / `--no-journal` override the default
- * "<binary>.csv.journal" sidecar, and `--help` prints usage.
- * Unknown arguments are fatal.
+ * "<binary>.csv.journal" sidecar, `--workers N` /
+ * `--coordinator PATH` / `--worker PATH` engage the distributed
+ * sweep fabric (see the file comment), and `--help` prints usage.
+ * Unknown arguments are fatal.  Worker mode relocates the process
+ * into a "chirp-workers/w<id>/" scratch directory and disables its
+ * journal: only the coordinator's CSVs are real.
  */
 BenchContext makeContext(int argc, char **argv,
                          std::size_t default_suite_size, bool mpki_only);
 
 /**
- * Standard bench epilogue: report resumed/retried/hung job counts
- * when any, re-print the per-job failure summary, and return the
- * bench's exit code — 1 when any job failed (results incomplete),
- * else 0.  Call as `return finish(ctx);`.
+ * Standard bench epilogue: report resumed/retried/hung/timed-out job
+ * counts when any, summarize the sweep fabric's orchestration (lost
+ * workers, requeued shards) on a coordinator, and return the bench's
+ * exit code — 1 when any job failed (results incomplete), else 0.
+ * Call as `return finish(ctx);`.
  */
 int finish(const BenchContext &ctx);
 

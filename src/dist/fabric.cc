@@ -1,0 +1,1031 @@
+#include "dist/fabric.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/fault_injection.hh"
+#include "util/logging.hh"
+#include "util/subprocess.hh"
+
+namespace chirp::dist
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration
+millis(std::uint64_t ms)
+{
+    return std::chrono::milliseconds(ms);
+}
+
+/** Worker id a connectWorker() end sends before it has one. */
+constexpr unsigned kUnassignedId = 65535;
+
+/** Poll period of the coordinator service loop. */
+constexpr int kServiceTickMs = 50;
+
+/** Worker-side blocking-recv slice (keeps exit latency bounded). */
+constexpr int kWorkerRecvMs = 500;
+
+void
+envU64(const char *name, std::uint64_t &slot)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end != value && *end == '\0')
+        slot = parsed;
+}
+
+} // namespace
+
+FabricOptions
+fabricOptionsFromEnv()
+{
+    FabricOptions opts;
+    std::uint64_t shard = opts.shardWorkloads;
+    std::uint64_t attempts = opts.maxShardAttempts;
+    envU64("CHIRP_DIST_SHARD", shard);
+    envU64("CHIRP_DIST_HEARTBEAT_MS", opts.heartbeatMs);
+    envU64("CHIRP_DIST_WORKER_TIMEOUT_MS", opts.workerTimeoutMs);
+    envU64("CHIRP_DIST_LEASE_MS", opts.leaseMs);
+    envU64("CHIRP_DIST_BACKOFF_MS", opts.backoffMs);
+    envU64("CHIRP_DIST_MAX_ATTEMPTS", attempts);
+    opts.shardWorkloads = static_cast<unsigned>(shard);
+    opts.maxShardAttempts =
+        std::max(1u, static_cast<unsigned>(attempts));
+    return opts;
+}
+
+/** One worker connection, as the coordinator sees it. */
+struct SweepFabric::WorkerConn
+{
+    WorkerConn(int fd_in, int slot_in)
+        : reader(fd_in), fd(fd_in), slot(slot_in),
+          lastSeen(Clock::now())
+    {
+    }
+
+    FrameReader reader;
+    int fd;
+    int slot; //!< index in workers_ (stable; conns are never erased)
+    pid_t pid = -1;
+    unsigned id = 0;
+    bool alive = true;
+    bool helloDone = false;
+    Clock::time_point lastSeen;
+
+    // Announce parked until its suite call is registered.
+    bool hasPendingAnnounce = false;
+    std::uint64_t pendingSeq = 0;
+    std::size_t pendingWorkloads = 0;
+    std::size_t pendingPolicies = 0;
+    std::uint64_t pendingFp = 0;
+
+    // Participation in the currently active suite.
+    bool announced = false;
+    std::uint64_t announcedSeq = 0;
+    int shard = -1; //!< shard index this worker is executing, -1 idle
+};
+
+/** One leased unit of work: a contiguous set of workload indices. */
+struct SweepFabric::Shard
+{
+    std::vector<std::size_t> workloads;
+    unsigned attempts = 0; //!< dispatches so far
+    bool done = false;     //!< all results merged
+    bool local = false;    //!< given up on workers; runner executes it
+    int owner = -1;        //!< slot of the latest lease holder
+    Clock::time_point notBefore{}; //!< backoff gate for re-dispatch
+    Clock::time_point leaseExpiry{};
+};
+
+struct SweepFabric::ActiveSuite
+{
+    std::uint64_t seq = 0;
+    std::size_t workloads = 0;
+    std::size_t policies = 0;
+    std::uint64_t fp = 0;
+    std::vector<Shard> shards;
+    std::vector<char> delivered; //!< per (workload, policy) job
+    RemoteDelivery deliver;
+    Clock::time_point startedAt;
+    bool complete = false;
+    bool anyAnnounced = false;
+};
+
+SweepFabric::SweepFabric(Role role) : role_(role) {}
+
+std::shared_ptr<SweepFabric>
+SweepFabric::makeCoordinator(const FabricOptions &opts)
+{
+    std::shared_ptr<SweepFabric> fabric(
+        new SweepFabric(Role::Coordinator));
+    fabric->opts_ = opts;
+    ignoreSigpipe();
+
+    if (!opts.ledgerPath.empty()) {
+        fabric->ledger_ = std::make_unique<ShardLedger>(
+            opts.ledgerPath, opts.ledgerFingerprint,
+            opts.ledgerResume);
+        if (fabric->ledger_->priorDone() > 0)
+            chirp_inform("shard ledger: resuming past ",
+                         fabric->ledger_->priorDone(),
+                         " settled shard(s)");
+    }
+
+    if (::pipe2(fabric->selfPipe_, O_CLOEXEC | O_NONBLOCK) != 0) {
+        chirp_warn("sweep fabric: pipe2 failed (",
+                   std::strerror(errno),
+                   "); degrading to in-process execution");
+        fabric->degraded_ = true;
+        return fabric;
+    }
+
+    if (!opts.socketPath.empty()) {
+        std::string error;
+        fabric->listenFd_ = listenUnix(opts.socketPath, &error);
+        if (fabric->listenFd_ < 0)
+            chirp_warn("sweep fabric: cannot listen on '",
+                       opts.socketPath, "': ", error);
+        else
+            ::fcntl(fabric->listenFd_, F_SETFL,
+                    ::fcntl(fabric->listenFd_, F_GETFL, 0) |
+                        O_NONBLOCK);
+    }
+
+    fabric->service_ =
+        std::thread(&SweepFabric::serviceLoop, fabric.get());
+    return fabric;
+}
+
+std::shared_ptr<SweepFabric>
+SweepFabric::makeWorker(int fd, unsigned worker_id,
+                        const FabricOptions &opts)
+{
+    std::shared_ptr<SweepFabric> fabric(
+        new SweepFabric(Role::Worker));
+    fabric->opts_ = opts;
+    fabric->fd_ = fd;
+    fabric->workerId_ = worker_id;
+    fabric->reader_ = std::make_unique<FrameReader>(fd);
+    ignoreSigpipe();
+
+    {
+        std::lock_guard<std::mutex> lock(fabric->sendMutex_);
+        char hello[32];
+        std::snprintf(hello, sizeof(hello), "id %u", worker_id);
+        if (!sendFrame(fd, FrameType::Hello, hello))
+            fabric->coordinatorGone("hello write failed");
+    }
+    fabric->heartbeat_ =
+        std::thread(&SweepFabric::heartbeatLoop, fabric.get());
+    return fabric;
+}
+
+std::shared_ptr<SweepFabric>
+SweepFabric::connectWorker(const std::string &socket_path,
+                           const FabricOptions &opts)
+{
+    std::string error;
+    const int fd = connectUnix(socket_path, 10000, &error);
+    if (fd < 0) {
+        chirp_warn("sweep fabric: cannot attach to '", socket_path,
+                   "': ", error);
+        return nullptr;
+    }
+    auto fabric = makeWorker(fd, kUnassignedId, opts);
+
+    // Block for the coordinator-assigned id before doing anything
+    // else; every later frame carries it implicitly.
+    const auto deadline = Clock::now() + millis(15000);
+    while (Clock::now() < deadline) {
+        Frame frame;
+        bool got = false;
+        const auto status =
+            fabric->reader_->recv(frame, got, kWorkerRecvMs);
+        if (status != FrameReader::Status::Ok)
+            fabric->coordinatorGone("lost while attaching");
+        if (!got || frame.type != FrameType::HelloAck)
+            continue;
+        unsigned assigned = 0;
+        if (std::sscanf(frame.payload.c_str(), "id %u", &assigned) ==
+            1) {
+            fabric->workerId_ = assigned;
+            return fabric;
+        }
+    }
+    fabric->coordinatorGone("no HelloAck within 15s");
+}
+
+SweepFabric::~SweepFabric()
+{
+    if (role_ == Role::Coordinator) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wakeService();
+        cv_.notify_all();
+        if (service_.joinable())
+            service_.join();
+        for (auto &conn : workers_)
+            if (conn->fd >= 0)
+                ::close(conn->fd);
+        if (listenFd_ >= 0) {
+            ::close(listenFd_);
+            ::unlink(opts_.socketPath.c_str());
+        }
+        for (int fd : selfPipe_)
+            if (fd >= 0)
+                ::close(fd);
+    } else {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            heartbeatStop_ = true;
+        }
+        heartbeatCv_.notify_all();
+        if (heartbeat_.joinable())
+            heartbeat_.join();
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------
+
+void
+SweepFabric::wakeService()
+{
+    if (selfPipe_[1] >= 0) {
+        const char byte = 'w';
+        [[maybe_unused]] ssize_t n = ::write(selfPipe_[1], &byte, 1);
+    }
+}
+
+bool
+SweepFabric::spawnWorker(const std::vector<std::string> &argv)
+{
+    if (degraded_)
+        return false;
+    autoReapChildren();
+
+    int fds[2];
+    std::string error;
+    if (!makeSocketPair(fds, &error)) {
+        chirp_warn("sweep fabric: socketpair failed: ", error);
+        return false;
+    }
+
+    unsigned id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        id = nextWorkerId_++;
+    }
+
+    std::vector<std::string> full = argv;
+    full.push_back("--worker-fd");
+    full.push_back(std::to_string(fds[1]));
+    full.push_back("--worker-id");
+    full.push_back(std::to_string(id));
+
+    const pid_t pid = spawnWithFd(full, fds[1], &error);
+    ::close(fds[1]);
+    if (pid < 0) {
+        ::close(fds[0]);
+        chirp_warn("sweep fabric: cannot spawn worker ", id, ": ",
+                   error);
+        return false;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto conn = std::make_unique<WorkerConn>(
+        fds[0], static_cast<int>(workers_.size()));
+    conn->pid = pid;
+    conn->id = id;
+    workers_.push_back(std::move(conn));
+    ++stats_.workersSpawned;
+    wakeService();
+    return true;
+}
+
+void
+SweepFabric::adoptWorker(int fd)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    workers_.push_back(std::make_unique<WorkerConn>(
+        fd, static_cast<int>(workers_.size())));
+    wakeService();
+}
+
+std::size_t
+SweepFabric::liveWorkersLocked() const
+{
+    std::size_t live = 0;
+    for (const auto &conn : workers_)
+        live += conn->alive ? 1 : 0;
+    return live;
+}
+
+std::size_t
+SweepFabric::liveWorkers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return liveWorkersLocked();
+}
+
+FabricStats
+SweepFabric::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+SweepFabric::skipSuite(std::uint64_t seq)
+{
+    if (role_ != Role::Coordinator || degraded_)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    dispositions_.emplace_back(seq, Disposition::Skipped);
+    wakeService();
+}
+
+std::vector<std::size_t>
+SweepFabric::coordinateSuite(
+    std::uint64_t seq, std::size_t workloads, std::size_t policies,
+    std::uint64_t fingerprint,
+    const std::vector<std::size_t> &pending_workloads,
+    const RemoteDelivery &deliver)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (degraded_ || stop_) {
+        dispositions_.emplace_back(seq, Disposition::Finished);
+        return pending_workloads;
+    }
+    if (pending_workloads.empty()) {
+        dispositions_.emplace_back(seq, Disposition::Finished);
+        wakeService();
+        return {};
+    }
+
+    // Shard size: explicit knob, or enough shards to keep every
+    // known worker busy ~4 times over (small shards amortize loss:
+    // a kill -9 forfeits one shard's worth of replay work, not a
+    // worker's whole share of the suite).
+    std::size_t per_shard = opts_.shardWorkloads;
+    if (per_shard == 0) {
+        const std::size_t known = std::max<std::size_t>(
+            1, std::max<std::size_t>(nextWorkerId_,
+                                     liveWorkersLocked()));
+        const std::size_t target = 4 * known;
+        per_shard = std::max<std::size_t>(
+            1, (pending_workloads.size() + target - 1) / target);
+    }
+
+    auto suite = std::make_unique<ActiveSuite>();
+    suite->seq = seq;
+    suite->workloads = workloads;
+    suite->policies = policies;
+    suite->fp = fingerprint;
+    suite->delivered.assign(workloads * policies, 0);
+    suite->deliver = deliver;
+    suite->startedAt = Clock::now();
+    for (std::size_t i = 0; i < pending_workloads.size();
+         i += per_shard) {
+        Shard shard;
+        const std::size_t end =
+            std::min(pending_workloads.size(), i + per_shard);
+        shard.workloads.assign(pending_workloads.begin() + i,
+                               pending_workloads.begin() + end);
+        suite->shards.push_back(std::move(shard));
+    }
+    active_ = std::move(suite);
+    dispositions_.emplace_back(seq, Disposition::Active);
+    wakeService();
+
+    cv_.wait(lock,
+             [this] { return stop_ || active_->complete; });
+
+    // Anything not merged remotely comes back to the caller.
+    std::vector<std::size_t> leftovers;
+    for (const Shard &shard : active_->shards)
+        if (!shard.done)
+            leftovers.insert(leftovers.end(),
+                             shard.workloads.begin(),
+                             shard.workloads.end());
+    for (auto &entry : dispositions_)
+        if (entry.first == seq)
+            entry.second = Disposition::Finished;
+    active_.reset();
+    wakeService(); // release workers parked on later suites
+    std::sort(leftovers.begin(), leftovers.end());
+    return leftovers;
+}
+
+void
+SweepFabric::serviceLoop()
+{
+    std::vector<struct pollfd> pfds;
+    std::vector<int> slots; // conn slot per pfd; -1 selfpipe, -2 listen
+    while (true) {
+        pfds.clear();
+        slots.clear();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stop_)
+                return;
+            sweepLocked();
+            pfds.push_back({selfPipe_[0], POLLIN, 0});
+            slots.push_back(-1);
+            if (listenFd_ >= 0) {
+                pfds.push_back({listenFd_, POLLIN, 0});
+                slots.push_back(-2);
+            }
+            for (const auto &conn : workers_) {
+                if (!conn->alive || conn->fd < 0)
+                    continue;
+                pfds.push_back({conn->fd, POLLIN, 0});
+                slots.push_back(conn->slot);
+            }
+        }
+
+        ::poll(pfds.data(), pfds.size(), kServiceTickMs);
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_)
+            return;
+        for (std::size_t i = 0; i < pfds.size(); ++i) {
+            if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            if (slots[i] == -1) {
+                char drain[64];
+                while (::read(selfPipe_[0], drain, sizeof(drain)) > 0) {
+                }
+                continue;
+            }
+            if (slots[i] == -2) {
+                const int fd = ::accept4(listenFd_, nullptr, nullptr,
+                                         SOCK_CLOEXEC);
+                if (fd >= 0)
+                    workers_.push_back(std::make_unique<WorkerConn>(
+                        fd, static_cast<int>(workers_.size())));
+                continue;
+            }
+            WorkerConn &conn = *workers_[slots[i]];
+            if (!conn.alive || conn.fd != pfds[i].fd)
+                continue; // replaced/closed since the snapshot
+            const auto status = conn.reader.feed();
+            Frame frame;
+            while (conn.alive && conn.reader.next(frame))
+                handleFrameLocked(conn, frame);
+            if (!conn.alive)
+                continue;
+            if (conn.reader.corrupt() ||
+                status == FrameReader::Status::Corrupt)
+                markDeadLocked(conn, "protocol stream corrupt");
+            else if (status == FrameReader::Status::Eof)
+                markDeadLocked(conn, "connection closed");
+        }
+    }
+}
+
+void
+SweepFabric::handleFrameLocked(WorkerConn &conn, const Frame &frame)
+{
+    const auto now = Clock::now();
+    conn.lastSeen = now;
+    switch (frame.type) {
+    case FrameType::Hello: {
+        unsigned id = 0;
+        if (std::sscanf(frame.payload.c_str(), "id %u", &id) != 1) {
+            markDeadLocked(conn, "malformed hello");
+            return;
+        }
+        if (id == kUnassignedId) {
+            conn.id = nextWorkerId_++;
+            ++stats_.workersAttached;
+        } else {
+            conn.id = id;
+            nextWorkerId_ = std::max(nextWorkerId_, id + 1);
+            if (conn.pid < 0)
+                ++stats_.workersAttached;
+        }
+        conn.helloDone = true;
+        char ack[32];
+        std::snprintf(ack, sizeof(ack), "id %u", conn.id);
+        if (!sendFrame(conn.fd, FrameType::HelloAck, ack))
+            markDeadLocked(conn, "hello-ack write failed");
+        return;
+    }
+    case FrameType::Announce: {
+        std::uint64_t seq = 0, fp = 0;
+        std::size_t workloads = 0, policies = 0;
+        if (std::sscanf(frame.payload.c_str(),
+                        "%" SCNu64 " %zu %zu %" SCNx64, &seq,
+                        &workloads, &policies, &fp) != 4) {
+            markDeadLocked(conn, "malformed announce");
+            return;
+        }
+        conn.hasPendingAnnounce = true;
+        conn.pendingSeq = seq;
+        conn.pendingWorkloads = workloads;
+        conn.pendingPolicies = policies;
+        conn.pendingFp = fp;
+        resolveParkedLocked();
+        return;
+    }
+    case FrameType::Result: {
+        if (!active_)
+            return void(++stats_.staleResults);
+        std::uint64_t seq = 0, wall = 0;
+        std::size_t w = 0, p = 0;
+        int ok = 0, timed_out = 0, hung = 0;
+        unsigned attempts = 0;
+        int off = -1;
+        if (std::sscanf(frame.payload.c_str(),
+                        "%" SCNu64 " %zu %zu %d %d %d %u %" SCNu64
+                        "%n",
+                        &seq, &w, &p, &ok, &timed_out, &hung,
+                        &attempts, &wall, &off) != 8 ||
+            off < 0) {
+            markDeadLocked(conn, "malformed result");
+            return;
+        }
+        if (seq != active_->seq || active_->complete ||
+            w >= active_->workloads || p >= active_->policies)
+            return void(++stats_.staleResults);
+        if (timed_out) {
+            // Not merged and not marked delivered: the job comes
+            // back via shard requeue or the local leftover pass.
+            ++stats_.remoteTimeouts;
+            return;
+        }
+        const std::size_t slot = w * active_->policies + p;
+        if (active_->delivered[slot])
+            return void(++stats_.duplicateResults);
+        active_->delivered[slot] = 1;
+        ++stats_.remoteResults;
+        RemoteOutcome outcome;
+        outcome.ok = ok != 0;
+        outcome.timedOut = false;
+        outcome.hung = hung != 0;
+        outcome.attempts = attempts;
+        outcome.wallNs = wall;
+        const auto payload_off = static_cast<std::size_t>(off);
+        if (payload_off + 1 < frame.payload.size())
+            outcome.payload = frame.payload.substr(payload_off + 1);
+        if (active_->deliver)
+            active_->deliver(w, p, outcome);
+        return;
+    }
+    case FrameType::ShardDone: {
+        std::uint64_t seq = 0, shard_idx = 0;
+        int timed_out = 0;
+        if (std::sscanf(frame.payload.c_str(),
+                        "%" SCNu64 " %" SCNu64 " %d", &seq,
+                        &shard_idx, &timed_out) != 3) {
+            markDeadLocked(conn, "malformed shard-done");
+            return;
+        }
+        if (!active_ || seq != active_->seq) {
+            conn.shard = -1; // straggler ack for a settled suite
+            return;
+        }
+        if (shard_idx >= active_->shards.size())
+            return;
+        Shard &shard = active_->shards[shard_idx];
+        if (conn.shard == static_cast<int>(shard_idx))
+            conn.shard = -1;
+        if (shard.owner == conn.slot)
+            shard.owner = -1;
+        if (shard.done || shard.local)
+            return; // late duplicate; results were deduped already
+        if (!timed_out) {
+            // Clean completion is authoritative no matter who sent
+            // it: every job was merged (or deduped) on receipt.
+            shard.done = true;
+            if (ledger_)
+                ledger_->recordDone(seq, shard_idx);
+            checkCompleteLocked();
+        } else if (shard.owner < 0) {
+            // The lease holder itself hit job timeouts; try again
+            // elsewhere (or locally once attempts are exhausted).
+            requeueShardLocked(static_cast<std::size_t>(shard_idx),
+                               "worker reported job timeouts");
+        }
+        return;
+    }
+    case FrameType::Ping:
+        return;
+    case FrameType::Log:
+        // The coordinator's stderr is the one serialization point
+        // for all worker output; the prefix makes interleaving
+        // attributable.
+        std::fprintf(stderr, "[w%u] %s\n", conn.id,
+                     frame.payload.c_str());
+        return;
+    default:
+        return; // coordinator-bound stream never carries the rest
+    }
+}
+
+void
+SweepFabric::markDeadLocked(WorkerConn &conn,
+                            const std::string &reason)
+{
+    if (!conn.alive)
+        return;
+    conn.alive = false;
+    if (conn.fd >= 0) {
+        ::close(conn.fd);
+        conn.fd = -1;
+    }
+    // A worker hanging up between suites is a normal departure (its
+    // main just finished); only mid-suite losses are worth flagging.
+    if ((active_ && !active_->complete) || conn.shard >= 0) {
+        ++stats_.workersLost;
+        chirp_warn("sweep fabric: worker ", conn.id, " lost (",
+                   reason, ")");
+    }
+    if (conn.shard >= 0 && active_ && !active_->complete) {
+        Shard &shard =
+            active_->shards[static_cast<std::size_t>(conn.shard)];
+        if (shard.owner == conn.slot)
+            shard.owner = -1;
+        if (shard.owner < 0)
+            requeueShardLocked(static_cast<std::size_t>(conn.shard),
+                               reason);
+    }
+    conn.shard = -1;
+    conn.announced = false;
+    conn.hasPendingAnnounce = false;
+}
+
+void
+SweepFabric::requeueShardLocked(std::size_t shard_idx,
+                                const std::string &reason)
+{
+    Shard &shard = active_->shards[shard_idx];
+    if (shard.done || shard.local)
+        return;
+    shard.owner = -1;
+    if (shard.attempts >= opts_.maxShardAttempts) {
+        shard.local = true;
+        ++stats_.shardsLocal;
+        if (ledger_)
+            ledger_->recordRequeue(active_->seq, shard_idx,
+                                   shard.attempts,
+                                   reason + "; going local");
+        checkCompleteLocked();
+        return;
+    }
+    const unsigned exponent =
+        shard.attempts > 0 ? shard.attempts - 1 : 0;
+    shard.notBefore =
+        Clock::now() + millis(opts_.backoffMs << exponent);
+    ++stats_.shardsRequeued;
+    if (ledger_)
+        ledger_->recordRequeue(active_->seq, shard_idx,
+                               shard.attempts, reason);
+}
+
+void
+SweepFabric::resolveParkedLocked()
+{
+    for (auto &conn_ptr : workers_) {
+        WorkerConn &conn = *conn_ptr;
+        if (!conn.alive || !conn.hasPendingAnnounce)
+            continue;
+        const Disposition *disposition = nullptr;
+        for (const auto &entry : dispositions_)
+            if (entry.first == conn.pendingSeq)
+                disposition = &entry.second;
+        if (!disposition)
+            continue; // suite call not reached yet; stay parked
+        conn.hasPendingAnnounce = false;
+        char payload[32];
+        std::snprintf(payload, sizeof(payload), "%" PRIu64,
+                      conn.pendingSeq);
+        if (*disposition != Disposition::Active || !active_ ||
+            active_->seq != conn.pendingSeq || active_->complete) {
+            if (!sendFrame(conn.fd, FrameType::Skip, payload))
+                markDeadLocked(conn, "skip write failed");
+            continue;
+        }
+        if (conn.pendingFp != active_->fp ||
+            conn.pendingWorkloads != active_->workloads ||
+            conn.pendingPolicies != active_->policies) {
+            // Same suite number, different shape: the worker rebuilt
+            // a divergent world (changed binary/env) and its results
+            // cannot be trusted to be byte-identical.
+            markDeadLocked(conn, "suite fingerprint diverged");
+            continue;
+        }
+        conn.announced = true;
+        conn.announcedSeq = conn.pendingSeq;
+        active_->anyAnnounced = true;
+        if (!sendFrame(conn.fd, FrameType::Begin, payload))
+            markDeadLocked(conn, "begin write failed");
+    }
+}
+
+void
+SweepFabric::checkCompleteLocked()
+{
+    if (!active_ || active_->complete)
+        return;
+    for (const Shard &shard : active_->shards)
+        if (!shard.done && !shard.local)
+            return;
+    active_->complete = true;
+    char payload[32];
+    std::snprintf(payload, sizeof(payload), "%" PRIu64,
+                  active_->seq);
+    for (auto &conn_ptr : workers_) {
+        WorkerConn &conn = *conn_ptr;
+        if (!conn.alive || !conn.announced ||
+            conn.announcedSeq != active_->seq)
+            continue;
+        if (!sendFrame(conn.fd, FrameType::SuiteOver, payload))
+            markDeadLocked(conn, "suite-over write failed");
+    }
+    cv_.notify_all();
+}
+
+void
+SweepFabric::sweepLocked()
+{
+    const auto now = Clock::now();
+
+    for (auto &conn_ptr : workers_) {
+        WorkerConn &conn = *conn_ptr;
+        if (conn.alive &&
+            now - conn.lastSeen > millis(opts_.workerTimeoutMs))
+            markDeadLocked(conn, "heartbeat timeout");
+    }
+
+    resolveParkedLocked();
+
+    if (!active_ || active_->complete)
+        return;
+
+    // Expired leases re-dispatch elsewhere while the straggler (if
+    // it is merely slow, not dead) keeps crunching; whichever copy
+    // finishes first wins and the loser's results are deduped.
+    for (std::size_t i = 0; i < active_->shards.size(); ++i) {
+        Shard &shard = active_->shards[i];
+        if (!shard.done && !shard.local && shard.owner >= 0 &&
+            now > shard.leaseExpiry) {
+            const int straggler = shard.owner;
+            shard.owner = -1;
+            requeueShardLocked(i, "lease expired");
+            (void)straggler; // keeps its conn.shard until ShardDone
+        }
+    }
+
+    // Dispatch ready shards to idle announced workers.
+    for (std::size_t i = 0; i < active_->shards.size(); ++i) {
+        Shard &shard = active_->shards[i];
+        if (shard.done || shard.local || shard.owner >= 0 ||
+            now < shard.notBefore)
+            continue;
+        WorkerConn *idle = nullptr;
+        for (auto &conn_ptr : workers_) {
+            WorkerConn &conn = *conn_ptr;
+            if (conn.alive && conn.announced &&
+                conn.announcedSeq == active_->seq &&
+                conn.shard < 0) {
+                idle = &conn;
+                break;
+            }
+        }
+        if (!idle)
+            break;
+        std::ostringstream grant;
+        grant << active_->seq << ' ' << i;
+        for (std::size_t w : shard.workloads)
+            grant << ' ' << w;
+        ++shard.attempts;
+        shard.owner = idle->slot;
+        shard.leaseExpiry = now + millis(opts_.leaseMs);
+        idle->shard = static_cast<int>(i);
+        ++stats_.shardsDispatched;
+        if (ledger_)
+            ledger_->recordDispatch(active_->seq, i, shard.attempts,
+                                    idle->id);
+        if (!sendFrame(idle->fd, FrameType::Grant, grant.str()))
+            markDeadLocked(*idle, "grant write failed");
+    }
+
+    // Graceful degradation: with nobody left to feed (or nobody ever
+    // showing up), hand everything back to the runner thread.
+    bool fall_back = false;
+    if (liveWorkersLocked() == 0 &&
+        (!workers_.empty() || listenFd_ < 0)) {
+        fall_back = true;
+    } else if (!active_->anyAnnounced) {
+        // Announce grace: generous when live workers exist (they may
+        // still be regenerating traces), short when none do.
+        const std::uint64_t grace_ms = liveWorkersLocked() > 0
+                                           ? opts_.leaseMs
+                                           : opts_.workerTimeoutMs;
+        fall_back =
+            now - active_->startedAt > millis(grace_ms);
+    }
+    if (fall_back) {
+        for (Shard &shard : active_->shards) {
+            if (shard.done || shard.local)
+                continue;
+            shard.owner = -1;
+            shard.local = true;
+            ++stats_.shardsLocal;
+            if (ledger_)
+                ledger_->recordRequeue(active_->seq,
+                                       &shard - active_->shards.data(),
+                                       shard.attempts,
+                                       "no workers; going local");
+        }
+    }
+
+    checkCompleteLocked();
+}
+
+// ---------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------
+
+void
+SweepFabric::heartbeatLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!heartbeatStop_) {
+        heartbeatCv_.wait_for(lock, millis(opts_.heartbeatMs));
+        if (heartbeatStop_)
+            return;
+        lock.unlock();
+        {
+            std::lock_guard<std::mutex> send(sendMutex_);
+            if (fd_ >= 0)
+                sendFrame(fd_, FrameType::Ping, "");
+        }
+        lock.lock();
+    }
+}
+
+void
+SweepFabric::coordinatorGone(const std::string &why)
+{
+    // A worker is a disposable replica; with the coordinator gone
+    // there is nobody to feed and nothing worth flushing.
+    std::fprintf(stderr,
+                 "[w%u] coordinator gone (%s); worker exiting\n",
+                 workerId_, why.c_str());
+    std::_Exit(0);
+}
+
+SweepFabric::SuiteRole
+SweepFabric::announceSuite(std::uint64_t seq, std::size_t workloads,
+                           std::size_t policies,
+                           std::uint64_t fingerprint)
+{
+    {
+        std::lock_guard<std::mutex> send(sendMutex_);
+        char payload[96];
+        std::snprintf(payload, sizeof(payload),
+                      "%" PRIu64 " %zu %zu %016" PRIx64, seq,
+                      workloads, policies, fingerprint);
+        if (!sendFrame(fd_, FrameType::Announce, payload))
+            coordinatorGone("announce write failed");
+    }
+    // The verdict may take arbitrarily long: the coordinator answers
+    // an announce for a future suite only once its own replay
+    // reaches that call.  Heartbeats keep us alive meanwhile.
+    while (true) {
+        Frame frame;
+        bool got = false;
+        const auto status =
+            reader_->recv(frame, got, kWorkerRecvMs);
+        if (status == FrameReader::Status::Eof)
+            coordinatorGone("connection closed");
+        if (status == FrameReader::Status::Corrupt)
+            coordinatorGone("stream corrupt");
+        if (!got)
+            continue;
+        std::uint64_t got_seq = 0;
+        switch (frame.type) {
+        case FrameType::Begin:
+            if (std::sscanf(frame.payload.c_str(), "%" SCNu64,
+                            &got_seq) == 1 &&
+                got_seq == seq)
+                return SuiteRole::Participate;
+            break;
+        case FrameType::Skip:
+        case FrameType::SuiteOver:
+            if (std::sscanf(frame.payload.c_str(), "%" SCNu64,
+                            &got_seq) == 1 &&
+                got_seq == seq)
+                return SuiteRole::Skip;
+            break;
+        default:
+            break; // HelloAck and leftovers from settled suites
+        }
+    }
+}
+
+void
+SweepFabric::workerRunSuite(
+    std::uint64_t seq,
+    const std::function<void(std::size_t)> &run_workload)
+{
+    while (true) {
+        Frame frame;
+        bool got = false;
+        const auto status =
+            reader_->recv(frame, got, kWorkerRecvMs);
+        if (status == FrameReader::Status::Eof)
+            coordinatorGone("connection closed");
+        if (status == FrameReader::Status::Corrupt)
+            coordinatorGone("stream corrupt");
+        if (!got)
+            continue;
+        if (frame.type == FrameType::Grant) {
+            std::istringstream in(frame.payload);
+            std::uint64_t grant_seq = 0, shard_idx = 0;
+            if (!(in >> grant_seq >> shard_idx) || grant_seq != seq)
+                continue;
+            shardTimedOut_ = false;
+            std::size_t w = 0;
+            while (in >> w)
+                run_workload(w);
+            char payload[64];
+            std::snprintf(payload, sizeof(payload),
+                          "%" PRIu64 " %" PRIu64 " %d", seq,
+                          shard_idx, shardTimedOut_ ? 1 : 0);
+            std::lock_guard<std::mutex> send(sendMutex_);
+            if (!sendFrame(fd_, FrameType::ShardDone, payload))
+                coordinatorGone("shard-done write failed");
+            continue;
+        }
+        if (frame.type == FrameType::SuiteOver ||
+            frame.type == FrameType::Skip) {
+            std::uint64_t got_seq = 0;
+            if (std::sscanf(frame.payload.c_str(), "%" SCNu64,
+                            &got_seq) == 1 &&
+                got_seq == seq)
+                return;
+        }
+    }
+}
+
+void
+SweepFabric::reportJob(std::uint64_t seq, std::size_t workload_idx,
+                       std::size_t policy_idx,
+                       const RemoteOutcome &out)
+{
+    if (out.timedOut)
+        shardTimedOut_ = true;
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "%" PRIu64 " %zu %zu %d %d %d %u %" PRIu64 " ",
+                  seq, workload_idx, policy_idx, out.ok ? 1 : 0,
+                  out.timedOut ? 1 : 0, out.hung ? 1 : 0,
+                  out.attempts, out.wallNs);
+    std::string payload = head;
+    payload += out.payload;
+    std::lock_guard<std::mutex> send(sendMutex_);
+    // A failed send is not fatal here: the shard-done write (or the
+    // next recv) notices the dead coordinator and exits the process.
+    sendFrame(fd_, FrameType::Result, payload);
+}
+
+void
+SweepFabric::emitLog(const std::string &line)
+{
+    if (role_ == Role::Worker && fd_ >= 0) {
+        std::lock_guard<std::mutex> send(sendMutex_);
+        if (sendFrame(fd_, FrameType::Log, line))
+            return;
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+} // namespace chirp::dist

@@ -1,0 +1,111 @@
+#include "dist/shard_ledger.hh"
+
+#include <cinttypes>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace chirp::dist
+{
+
+namespace
+{
+
+constexpr char kMagic[] = "CHIRPSHRD";
+constexpr unsigned kVersion = 1;
+
+} // namespace
+
+ShardLedger::ShardLedger(std::string path, std::uint64_t fingerprint,
+                         bool resume)
+    : path_(std::move(path))
+{
+    bool append_mode = false;
+    if (resume) {
+        if (std::FILE *in = std::fopen(path_.c_str(), "rb")) {
+            char line[256];
+            if (std::fgets(line, sizeof(line), in)) {
+                char magic[16] = "";
+                unsigned version = 0;
+                std::uint64_t fp = 0;
+                if (std::sscanf(line, "%15s %u %" SCNx64, magic,
+                                &version, &fp) == 3 &&
+                    std::strcmp(magic, kMagic) == 0 &&
+                    version == kVersion && fp == fingerprint) {
+                    append_mode = true;
+                    while (std::fgets(line, sizeof(line), in)) {
+                        if (line[0] == 'D')
+                            ++priorDone_;
+                    }
+                }
+            }
+            std::fclose(in);
+        }
+    }
+    if (append_mode) {
+        file_ = std::fopen(path_.c_str(), "ab");
+    } else {
+        file_ = std::fopen(path_.c_str(), "wb");
+        if (file_) {
+            std::fprintf(file_, "%s %u %016" PRIx64 "\n", kMagic,
+                         kVersion, fingerprint);
+            std::fflush(file_);
+            ::fsync(::fileno(file_));
+        }
+    }
+    if (!file_)
+        chirp_warn("cannot open shard ledger '", path_, "'");
+}
+
+ShardLedger::~ShardLedger()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+ShardLedger::append(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file_)
+        return;
+    std::fprintf(file_, "%s\n", line.c_str());
+    std::fflush(file_);
+    ::fsync(::fileno(file_));
+}
+
+void
+ShardLedger::recordDispatch(std::uint64_t seq, std::uint64_t shard,
+                            unsigned attempt, unsigned worker)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "S %" PRIu64 " %" PRIu64 " %u %u", seq, shard,
+                  attempt, worker);
+    append(buf);
+}
+
+void
+ShardLedger::recordRequeue(std::uint64_t seq, std::uint64_t shard,
+                           unsigned attempt,
+                           const std::string &reason)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "R %" PRIu64 " %" PRIu64 " %u %s", seq, shard,
+                  attempt, reason.c_str());
+    append(buf);
+}
+
+void
+ShardLedger::recordDone(std::uint64_t seq, std::uint64_t shard)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "D %" PRIu64 " %" PRIu64, seq,
+                  shard);
+    append(buf);
+}
+
+} // namespace chirp::dist

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fsynced ledger of shard dispatch/requeue/completion events.
+ *
+ * The coordinator appends one line per shard state change, fsyncing
+ * each, so a coordinator killed mid-sweep leaves a durable record of
+ * how far the distributed run got.  Job-level crash recovery rides
+ * the RunJournal (workers stream every finished job back and the
+ * coordinator journals it before acking the shard); the shard ledger
+ * adds the orchestration-level trail — which shards were dispatched
+ * to whom, which were requeued and why, which completed — that a
+ * --resume run reports and that the resilience tests assert against.
+ *
+ * Format (plain text, one record per line):
+ *
+ *   CHIRPSHRD 1 <fingerprint hex16>
+ *   S <seq> <shard> <attempt> <worker>    dispatched
+ *   R <seq> <shard> <attempt> <reason>    requeued
+ *   D <seq> <shard>                       done (results merged)
+ */
+
+#ifndef CHIRP_DIST_SHARD_LEDGER_HH
+#define CHIRP_DIST_SHARD_LEDGER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace chirp::dist
+{
+
+/** Append-only shard event trail; see the file comment. */
+class ShardLedger
+{
+  public:
+    /**
+     * Open the ledger at @p path.  With @p resume set, an existing
+     * ledger whose fingerprint matches is scanned so priorDone()
+     * reports how many shards the interrupted run had already
+     * settled; new events append.  On mismatch (or without resume)
+     * the ledger restarts empty.
+     */
+    ShardLedger(std::string path, std::uint64_t fingerprint,
+                bool resume);
+
+    ~ShardLedger();
+
+    ShardLedger(const ShardLedger &) = delete;
+    ShardLedger &operator=(const ShardLedger &) = delete;
+
+    bool valid() const { return file_ != nullptr; }
+
+    const std::string &path() const { return path_; }
+
+    /** Shards recorded done by the run being resumed. */
+    std::size_t priorDone() const { return priorDone_; }
+
+    void recordDispatch(std::uint64_t seq, std::uint64_t shard,
+                        unsigned attempt, unsigned worker);
+    void recordRequeue(std::uint64_t seq, std::uint64_t shard,
+                       unsigned attempt, const std::string &reason);
+    void recordDone(std::uint64_t seq, std::uint64_t shard);
+
+  private:
+    void append(const std::string &line);
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::size_t priorDone_ = 0;
+    std::mutex mutex_;
+};
+
+} // namespace chirp::dist
+
+#endif // CHIRP_DIST_SHARD_LEDGER_HH

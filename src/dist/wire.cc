@@ -1,0 +1,173 @@
+#include "dist/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "util/fault_injection.hh"
+
+namespace chirp::dist
+{
+
+namespace
+{
+
+bool
+validType(std::uint8_t type)
+{
+    return type >= static_cast<std::uint8_t>(FrameType::Hello) &&
+           type <= static_cast<std::uint8_t>(FrameType::Log);
+}
+
+/** FNV-1a over the type byte and payload; the frame's integrity tag. */
+std::uint32_t
+frameSum(std::uint8_t type, std::string_view payload)
+{
+    std::uint32_t sum = 2166136261u;
+    sum = (sum ^ type) * 16777619u;
+    for (const char c : payload)
+        sum = (sum ^ static_cast<std::uint8_t>(c)) * 16777619u;
+    return sum;
+}
+
+void
+appendLe32(std::string &out, std::uint32_t value)
+{
+    out.push_back(static_cast<char>(value & 0xff));
+    out.push_back(static_cast<char>((value >> 8) & 0xff));
+    out.push_back(static_cast<char>((value >> 16) & 0xff));
+    out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+std::uint32_t
+readLe32(const std::uint8_t *raw)
+{
+    return static_cast<std::uint32_t>(raw[0]) |
+           (static_cast<std::uint32_t>(raw[1]) << 8) |
+           (static_cast<std::uint32_t>(raw[2]) << 16) |
+           (static_cast<std::uint32_t>(raw[3]) << 24);
+}
+
+/** Wire header: length, type, checksum. */
+constexpr std::size_t kHeaderBytes = 9;
+
+} // namespace
+
+bool
+sendFrame(int fd, FrameType type, std::string_view payload)
+{
+    if (payload.size() > kMaxFramePayload)
+        return false;
+    std::string frame;
+    frame.reserve(kHeaderBytes + payload.size());
+    appendLe32(frame, static_cast<std::uint32_t>(payload.size()));
+    frame.push_back(static_cast<char>(type));
+    appendLe32(frame,
+               frameSum(static_cast<std::uint8_t>(type), payload));
+    frame.append(payload);
+
+    // The fault injector may shorten the frame (msg-truncate): the
+    // truncated bytes still go out and we still report success, so
+    // the faulty worker keeps running against a desynced stream just
+    // like a process whose write was torn by a crash.  Heartbeats are
+    // exempt so their timing jitter cannot shift which data frame a
+    // msg-truncate@N:K action lands on.
+    std::size_t want = frame.size();
+    if (type != FrameType::Ping)
+        want = FaultInjector::instance().onWireSend(frame.size());
+
+    std::size_t sent = 0;
+    while (sent < want) {
+        const ssize_t n =
+            ::write(fd, frame.data() + sent, want - sent);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+FrameReader::Status
+FrameReader::feed()
+{
+    if (corrupt_)
+        return Status::Corrupt;
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+        buf_.append(chunk, static_cast<std::size_t>(n));
+        return Status::Ok;
+    }
+    if (n == 0)
+        return Status::Eof;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        return Status::Ok;
+    return Status::Eof; // ECONNRESET and friends: peer is gone
+}
+
+bool
+FrameReader::next(Frame &out)
+{
+    if (corrupt_ || buf_.size() < kHeaderBytes)
+        return false;
+    const auto *raw =
+        reinterpret_cast<const std::uint8_t *>(buf_.data());
+    const std::uint32_t len = readLe32(raw);
+    const std::uint8_t type = raw[4];
+    const std::uint32_t sum = readLe32(raw + 5);
+    if (len > kMaxFramePayload || !validType(type)) {
+        corrupt_ = true;
+        return false;
+    }
+    if (buf_.size() < kHeaderBytes + len)
+        return false;
+    const std::string_view payload(buf_.data() + kHeaderBytes, len);
+    if (frameSum(type, payload) != sum) {
+        // A half-written frame whose header survived: the payload is
+        // spliced with the next frame's bytes.  Plausible-looking but
+        // wrong — drop the connection, never the merge.
+        corrupt_ = true;
+        return false;
+    }
+    out.type = static_cast<FrameType>(type);
+    out.payload.assign(payload);
+    buf_.erase(0, kHeaderBytes + len);
+    return true;
+}
+
+FrameReader::Status
+FrameReader::recv(Frame &out, bool &got_frame, int timeout_ms)
+{
+    got_frame = false;
+    if (next(out)) {
+        got_frame = true;
+        return Status::Ok;
+    }
+    if (corrupt_)
+        return Status::Corrupt;
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0 && errno != EINTR)
+        return Status::Eof;
+    if (ready <= 0)
+        return Status::Ok; // timeout (or EINTR): try again later
+    const Status status = feed();
+    if (status != Status::Ok)
+        return status;
+    if (next(out))
+        got_frame = true;
+    else if (corrupt_)
+        return Status::Corrupt;
+    return Status::Ok;
+}
+
+} // namespace chirp::dist

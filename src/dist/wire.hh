@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Length-prefixed frame protocol for coordinator<->worker wires.
+ *
+ * Every message is one frame: a 4-byte little-endian payload length,
+ * a 1-byte type, a 4-byte little-endian FNV-1a checksum of the type
+ * and payload, then a space-separated text payload.  Text keeps the
+ * protocol debuggable with strace/hexdump and sidesteps struct
+ * padding/endianness concerns; the only binary-sensitive data (the
+ * SimStats doubles) already travels as IEEE-754 bit patterns via
+ * encodeSimStats.  Frames are small — the largest is a Grant listing
+ * a shard's workload indices — so a 16 MiB length cap cleanly
+ * separates "peer is ahead of us" from "stream is garbage" after a
+ * truncated write desyncs a connection.  The checksum closes the
+ * nastier half-write hole: when a torn frame's header survives
+ * intact, the bytes of the *next* frame would otherwise splice into
+ * its payload and parse as a plausible-but-wrong message; with the
+ * checksum, any splice surfaces as Corrupt and the connection (never
+ * the data) is what gets dropped.
+ */
+
+#ifndef CHIRP_DIST_WIRE_HH
+#define CHIRP_DIST_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace chirp::dist
+{
+
+/** Message types; values are stable wire constants. */
+enum class FrameType : std::uint8_t
+{
+    Hello = 1,     //!< worker -> coordinator: "id <id-or-65535>"
+    HelloAck = 2,  //!< coordinator -> worker: "id <assigned id>"
+    Announce = 3,  //!< worker: "<seq> <workloads> <policies> <fp>"
+    Begin = 4,     //!< coordinator: suite <seq> is distributed
+    Skip = 5,      //!< coordinator: run suite <seq> locally (zeros)
+    Grant = 6,     //!< coordinator: "<seq> <shard> <w0> <w1> ..."
+    Result = 7,    //!< worker: one finished job (see fabric.cc)
+    ShardDone = 8, //!< worker: "<seq> <shard> <timedout>"
+    SuiteOver = 9, //!< coordinator: suite <seq> settled; move on
+    Ping = 10,     //!< worker heartbeat (empty payload)
+    Log = 11,      //!< worker: one log line for the shared stderr
+};
+
+/** Largest payload a well-formed peer ever sends. */
+constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+/**
+ * Write one frame to @p fd, looping over partial writes.  Returns
+ * false when the peer is gone (EPIPE/EOF) or the write failed; the
+ * caller treats that as a dead connection.  Worker processes route
+ * sends through FaultInjector::onWireSend, so an armed msg-truncate
+ * action cuts the frame short mid-write (and this still returns
+ * true: the wire *looks* fine to the faulty worker, exactly like a
+ * real half-written crash).
+ */
+bool sendFrame(int fd, FrameType type, std::string_view payload);
+
+/** One parsed frame. */
+struct Frame
+{
+    FrameType type = FrameType::Ping;
+    std::string payload;
+};
+
+/**
+ * Per-connection incremental parser: feed() pulls whatever bytes are
+ * available into an internal buffer, next() extracts complete frames.
+ * The coordinator polls many readers; workers block in recv().
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(int fd) : fd_(fd) {}
+
+    int fd() const { return fd_; }
+
+    enum class Status
+    {
+        Ok,      //!< read some bytes (or would block)
+        Eof,     //!< peer closed the connection
+        Corrupt, //!< stream desynced (bad type / absurd length)
+    };
+
+    /** One read() into the buffer; never blocks longer than read(). */
+    Status feed();
+
+    /** Extract one complete frame; false when more bytes are needed. */
+    bool next(Frame &out);
+
+    /** Whether the stream has desynced (next() hit garbage). */
+    bool corrupt() const { return corrupt_; }
+
+    /**
+     * Block up to @p timeout_ms for one frame (worker side).  Returns
+     * Ok with @p out filled, Eof, or Corrupt; on timeout returns Ok
+     * with @p got_frame false.
+     */
+    Status recv(Frame &out, bool &got_frame, int timeout_ms);
+
+  private:
+    int fd_;
+    std::string buf_;
+    bool corrupt_ = false;
+};
+
+} // namespace chirp::dist
+
+#endif // CHIRP_DIST_WIRE_HH

@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 #include <cstring>
+#include <filesystem>
+#include <vector>
 
 #include <unistd.h>
 
@@ -16,7 +18,7 @@ namespace
 {
 
 constexpr char kMagic[] = "CHIRPJRNL";
-constexpr unsigned kVersion = 1;
+constexpr unsigned kVersion = 2;
 
 std::uint64_t
 fnv1a(const std::string &text)
@@ -29,7 +31,54 @@ fnv1a(const std::string &text)
     return h;
 }
 
+/** Header fields are space-separated; names must not contain spaces. */
+std::string
+sanitizeToken(std::string text)
+{
+    if (text.empty())
+        return "unnamed";
+    for (char &c : text) {
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+            c = '_';
+    }
+    return text;
+}
+
+/**
+ * Move a journal that cannot be resumed aside to "<path>.stale"
+ * (mirroring the trace cache's ".corrupt" quarantine) so the stale
+ * evidence survives for inspection instead of being overwritten.
+ */
+void
+quarantineStale(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    const std::string stale = path + ".stale";
+    std::error_code ec;
+    fs::remove(stale, ec);
+    ec.clear();
+    fs::rename(path, stale, ec);
+    if (ec) {
+        fs::remove(path, ec);
+        chirp_warn("journal '", path,
+                   "': could not quarantine; removed instead");
+        return;
+    }
+    chirp_warn("journal '", path, "': quarantined stale file to '",
+               stale, "'");
+}
+
 } // namespace
+
+std::uint64_t
+JournalIdentity::fingerprint() const
+{
+    std::uint64_t fp = mix64(0x4a524e4cull /* "JRNL" */);
+    fp = hashCombine(fp, fnv1a(suite));
+    fp = hashCombine(fp, suiteHash);
+    fp = hashCombine(fp, configHash);
+    return hashCombine(fp, fnv1a(schema));
+}
 
 std::string
 encodeSimStats(const SimStats &stats)
@@ -94,23 +143,78 @@ decodeSimStats(const std::string &text, SimStats &stats)
     return true;
 }
 
-RunJournal::RunJournal(std::string path, std::uint64_t fingerprint,
+RunJournal::RunJournal(std::string path, JournalIdentity identity,
                        bool resume)
-    : path_(std::move(path))
+    : path_(std::move(path)), identity_(std::move(identity))
 {
+    identity_.suite = sanitizeToken(identity_.suite);
+    identity_.schema = sanitizeToken(identity_.schema);
+    const std::uint64_t fingerprint = identity_.fingerprint();
+
+    const auto hex16 = [](std::uint64_t value) {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%016" PRIx64, value);
+        return std::string(buf);
+    };
+
     if (resume) {
         if (std::FILE *in = std::fopen(path_.c_str(), "rb")) {
             char line[640];
             bool header_ok = false;
+            std::string reject = "empty file";
             if (std::fgets(line, sizeof(line), in)) {
-                char magic[16];
+                char magic[16] = "";
                 unsigned version = 0;
                 std::uint64_t fp = 0;
-                if (std::sscanf(line, "%15s %u %" SCNx64, magic,
-                                &version, &fp) == 3 &&
-                    std::strcmp(magic, kMagic) == 0 &&
-                    version == kVersion && fp == fingerprint) {
+                char suite[256] = "";
+                std::uint64_t suite_hash = 0;
+                std::uint64_t config_hash = 0;
+                char schema[64] = "";
+                const int got = std::sscanf(
+                    line, "%15s %u %" SCNx64 " %255s %" SCNx64
+                          " %" SCNx64 " %63s",
+                    magic, &version, &fp, suite, &suite_hash,
+                    &config_hash, schema);
+                if (got < 3 || std::strcmp(magic, kMagic) != 0) {
+                    reject = "unrecognized header";
+                } else if (version != kVersion) {
+                    reject = detail::concat(
+                        "format version diverged (file v", version,
+                        " vs this build's v", kVersion, ")");
+                } else if (got != 7) {
+                    reject = "truncated identity header";
+                } else if (fp == fingerprint) {
                     header_ok = true;
+                } else {
+                    // Name exactly which identity fields diverged so
+                    // the user knows *why* the resume was refused.
+                    std::vector<std::string> diffs;
+                    if (identity_.suite != suite) {
+                        diffs.push_back(detail::concat(
+                            "suite name ('", suite, "' vs '",
+                            identity_.suite, "')"));
+                    }
+                    if (suite_hash != identity_.suiteHash) {
+                        diffs.push_back(detail::concat(
+                            "suite hash (", hex16(suite_hash), " vs ",
+                            hex16(identity_.suiteHash), ")"));
+                    }
+                    if (config_hash != identity_.configHash) {
+                        diffs.push_back(detail::concat(
+                            "config hash (", hex16(config_hash),
+                            " vs ", hex16(identity_.configHash), ")"));
+                    }
+                    if (identity_.schema != schema) {
+                        diffs.push_back(detail::concat(
+                            "row schema ('", schema, "' vs '",
+                            identity_.schema, "')"));
+                    }
+                    if (diffs.empty())
+                        diffs.push_back("combined fingerprint");
+                    reject = diffs[0];
+                    for (std::size_t i = 1; i < diffs.size(); ++i)
+                        reject += ", " + diffs[i];
+                    reject += " diverged";
                 }
             }
             if (header_ok) {
@@ -128,12 +232,14 @@ RunJournal::RunJournal(std::string path, std::uint64_t fingerprint,
                     entries_[key] = stats;
                 }
                 loaded_ = entries_.size();
-            } else {
-                chirp_warn("journal '", path_,
-                           "' does not match this run "
-                           "(different suite/config); restarting it");
             }
             std::fclose(in);
+            if (!header_ok) {
+                chirp_warn("journal '", path_,
+                           "' cannot be resumed against this run: ",
+                           reject);
+                quarantineStale(path_);
+            }
         }
     }
     if (loaded_ > 0) {
@@ -141,8 +247,12 @@ RunJournal::RunJournal(std::string path, std::uint64_t fingerprint,
     } else {
         file_ = std::fopen(path_.c_str(), "wb");
         if (file_) {
-            std::fprintf(file_, "%s %u %016" PRIx64 "\n", kMagic,
-                         kVersion, fingerprint);
+            std::fprintf(file_, "%s %u %s %s %s %s %s\n", kMagic,
+                         kVersion, hex16(fingerprint).c_str(),
+                         identity_.suite.c_str(),
+                         hex16(identity_.suiteHash).c_str(),
+                         hex16(identity_.configHash).c_str(),
+                         identity_.schema.c_str());
             std::fflush(file_);
             ::fsync(::fileno(file_));
         }
@@ -150,6 +260,15 @@ RunJournal::RunJournal(std::string path, std::uint64_t fingerprint,
     if (!file_)
         chirp_warn("cannot open journal '", path_,
                    "'; this run will not be resumable");
+}
+
+RunJournal::RunJournal(std::string path, std::uint64_t fingerprint,
+                       bool resume)
+    : RunJournal(std::move(path),
+                 JournalIdentity{"unnamed", fingerprint, 0,
+                                 kSimStatsSchema},
+                 resume)
+{
 }
 
 RunJournal::~RunJournal()

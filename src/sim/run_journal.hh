@@ -12,13 +12,20 @@
  *
  * Format (plain text, one record per line):
  *
- *   CHIRPJRNL 1 <fingerprint hex16>
+ *   CHIRPJRNL 2 <fingerprint hex16> <suite> <suite hash hex16>
+ *       <config hash hex16> <schema>     (all on one header line)
  *   J <job key hex16> <17 SimStats fields>
  *
- * The fingerprint hashes everything that determines job results
- * (suite shape, sim config); a journal with a stale fingerprint is
- * silently discarded rather than resumed against the wrong grid.  A
- * torn final line (crash mid-append) is ignored.
+ * The header carries the run's identity field by field — which bench
+ * suite, the hash of its workload grid, the hash of the simulator
+ * config, and the row-codec schema tag — plus the combined
+ * fingerprint.  A journal whose identity does not match the current
+ * run is never resumed against the wrong grid: the mismatch is
+ * reported naming exactly the fields that diverged, and the stale
+ * file is quarantined to "<path>.stale" (mirroring the trace cache's
+ * ".corrupt" quarantine) so the evidence survives for inspection
+ * instead of being overwritten.  A torn final line (crash
+ * mid-append) is ignored.
  */
 
 #ifndef CHIRP_SIM_RUN_JOURNAL_HH
@@ -46,16 +53,44 @@ std::string encodeSimStats(const SimStats &stats);
 /** Inverse of encodeSimStats; false when fields are missing/garbled. */
 bool decodeSimStats(const std::string &text, SimStats &stats);
 
+/**
+ * Tag of the journal's row codec (the 17-field SimStats encoding);
+ * bump alongside encodeSimStats so schema drift is named in mismatch
+ * reports instead of silently garbling decodes.
+ */
+inline constexpr char kSimStatsSchema[] = "simstats17";
+
+/**
+ * Field-wise identity of a journaled run: which suite produced it,
+ * the shape of its workload grid, the simulator configuration, and
+ * the row codec.  Splitting the fingerprint into named fields lets a
+ * mismatch report say *what* diverged.
+ */
+struct JournalIdentity
+{
+    std::string suite = "unnamed"; //!< bench/suite name (no spaces)
+    std::uint64_t suiteHash = 0;   //!< workload-grid shape hash
+    std::uint64_t configHash = 0;  //!< simulator-config hash
+    std::string schema = kSimStatsSchema; //!< row-codec tag
+
+    /** Combined hash of every field above. */
+    std::uint64_t fingerprint() const;
+};
+
 /** Append-only journal of completed jobs; see the file comment. */
 class RunJournal
 {
   public:
     /**
      * Open the journal at @p path.  With @p resume set, entries from
-     * an existing journal whose header fingerprint equals
-     * @p fingerprint are loaded for lookup() and new entries append;
-     * otherwise (or on mismatch) the journal restarts empty.
+     * an existing journal whose header identity equals @p identity
+     * are loaded for lookup() and new entries append; on mismatch
+     * the diverging fields are reported, the stale file is
+     * quarantined to "<path>.stale", and the journal restarts empty.
      */
+    RunJournal(std::string path, JournalIdentity identity, bool resume);
+
+    /** Convenience: an identity carrying only a combined hash. */
     RunJournal(std::string path, std::uint64_t fingerprint, bool resume);
 
     ~RunJournal();
@@ -71,6 +106,9 @@ class RunJournal
 
     /** Journal file path. */
     const std::string &path() const { return path_; }
+
+    /** The identity stamped into this journal's header. */
+    const JournalIdentity &identity() const { return identity_; }
 
     /**
      * Monotonic sequence number distinguishing the successive suite
@@ -96,6 +134,7 @@ class RunJournal
 
   private:
     std::string path_;
+    JournalIdentity identity_;
     std::FILE *file_ = nullptr;
     std::size_t loaded_ = 0;
     mutable std::mutex mutex_;

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/chirp.hh"
+#include "dist/fabric.hh"
 #include "sim/run_journal.hh"
 #include "sim/simulator.hh"
 #include "util/fault_injection.hh"
@@ -78,6 +79,24 @@ chirpSignatureStream(const HistoryConfig &history_config,
 }
 
 /**
+ * Fingerprint one suite call for the distributed fabric's announce
+ * handshake: coordinator and workers rebuild the same world from the
+ * same binary and arguments, and this hash (call number, workload
+ * set, policy count) is how a diverged worker gets caught before its
+ * results can poison a byte-identical merge.
+ */
+std::uint64_t
+suiteCallFingerprint(std::uint64_t seq,
+                     const std::vector<WorkloadConfig> &suite,
+                     std::size_t policies)
+{
+    std::uint64_t fp = hashCombine(mix64(seq), policies);
+    for (const WorkloadConfig &workload : suite)
+        fp = hashCombine(fp, RunJournal::jobKey(0, workload, 0));
+    return fp;
+}
+
+/**
  * Is the policy-parallel batch replay enabled?  On by default; set
  * CHIRP_POLICY_PARALLEL=0 to force the legacy one-replay-per-policy
  * walk (the CI equality leg diffs the two).  Read per suite call so
@@ -91,12 +110,15 @@ policyParallelReplay()
 }
 
 /**
- * Flags jobs whose current attempt exceeds the --job-timeout budget.
- * One slot per concurrently-guarded job; a scan thread wakes a few
- * times per timeout period and warns once per overrunning attempt.
- * The watchdog never kills anything — a flagged job keeps running and
- * its eventual outcome is simply marked hung in the summary.  Inert
- * (no thread, no locking) when the timeout is 0.
+ * Cancels jobs whose current attempt exceeds the --job-timeout
+ * budget.  One slot per concurrently-guarded job; a scan thread wakes
+ * a few times per timeout period, and an overrunning attempt is
+ * flagged, warned about once, and has its cancel token raised — the
+ * simulator polls the token at its cancellation points and aborts the
+ * attempt with JobCancelled, which the guard records as timed-out
+ * (never retried; under the distributed fabric the job's shard is
+ * requeued instead).  Inert (no thread, no locking) when the timeout
+ * is 0.
  */
 class Watchdog
 {
@@ -106,6 +128,10 @@ class Watchdog
     {
         if (timeoutMs_ == 0)
             return;
+        tokens_.reserve(slots);
+        for (std::size_t i = 0; i < slots; ++i)
+            tokens_.push_back(
+                std::make_unique<std::atomic<bool>>(false));
         scanner_ = std::thread([this] { scan(); });
     }
 
@@ -129,6 +155,17 @@ class Watchdog
             return;
         std::lock_guard<std::mutex> lock(mutex_);
         slots_[slot] = {Clock::now(), desc, true, false};
+        tokens_[slot]->store(false, std::memory_order_relaxed);
+    }
+
+    /**
+     * Cancel token for @p slot, for Simulator::setCancelToken; null
+     * when the watchdog is inert.
+     */
+    const std::atomic<bool> *
+    token(std::size_t slot) const
+    {
+        return timeoutMs_ == 0 ? nullptr : tokens_[slot].get();
     }
 
     /** Stop timing @p slot; true when the attempt was flagged. */
@@ -163,14 +200,17 @@ class Watchdog
         while (!stopping_) {
             cv_.wait_for(lock, period);
             const auto now = Clock::now();
-            for (Slot &slot : slots_) {
+            for (std::size_t i = 0; i < slots_.size(); ++i) {
+                Slot &slot = slots_[i];
                 if (!slot.running || slot.flagged)
                     continue;
                 if (now - slot.start >= budget) {
                     slot.flagged = true;
+                    tokens_[i]->store(true,
+                                      std::memory_order_relaxed);
                     chirp_warn("watchdog: job '", slot.desc,
                                "' exceeded --job-timeout (", timeoutMs_,
-                               " ms); flagging as hung");
+                               " ms); cancelling the attempt");
                 }
             }
         }
@@ -180,6 +220,7 @@ class Watchdog
     std::mutex mutex_;
     std::condition_variable cv_;
     std::vector<Slot> slots_;
+    std::vector<std::unique_ptr<std::atomic<bool>>> tokens_;
     bool stopping_ = false;
     std::thread scanner_;
 };
@@ -189,6 +230,7 @@ struct GuardOutcome
 {
     bool ok = false;
     bool hung = false;
+    bool timedOut = false;
     unsigned attempts = 0;
     std::uint64_t wallNs = 0;
     std::string error;
@@ -217,6 +259,12 @@ runGuarded(unsigned retries, Watchdog &dog, std::size_t slot,
             body();
             out.ok = true;
             out.error.clear();
+        } catch (const JobCancelled &err) {
+            // Enforced timeout: the watchdog cancelled the attempt.
+            // Never retried — a deterministic job that blew the
+            // budget once will blow it again.
+            out.timedOut = true;
+            out.error = err.what();
         } catch (const TransientError &err) {
             transient = true;
             out.error = err.what();
@@ -274,7 +322,9 @@ class RunLedger
                        job.error, " (", job.attempts, " attempt",
                        job.attempts == 1 ? "" : "s", ", ",
                        job.wallNs / 1000000, " ms)",
-                       job.hung ? " [hung]" : "");
+                       job.timedOut  ? " [timed out]"
+                       : job.hung    ? " [hung]"
+                                     : "");
         }
         if (journaled_)
             chirp_warn("  rerun with --resume to retry only the "
@@ -303,6 +353,8 @@ SuiteHealth::add(const JobResult &job)
         ++resumed_;
     if (job.hung)
         ++hung_;
+    if (job.timedOut)
+        ++timedOut_;
     if (job.attempts > 1)
         ++retried_;
     if (!job.ok)
@@ -335,6 +387,13 @@ SuiteHealth::hungJobs() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return hung_;
+}
+
+std::uint64_t
+SuiteHealth::timedOutJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return timedOut_;
 }
 
 std::uint64_t
@@ -428,7 +487,33 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
     // skip simulation entirely, so observer-derived data (diagnostic
     // counters read off the live policy) would silently go missing.
     RunJournal *journal = observer ? nullptr : journal_.get();
-    const std::uint64_t seq = journal ? journal->nextSuiteSeq() : 0;
+    dist::SweepFabric *fabric = fabric_.get();
+    if (fabric && fabric->isWorker())
+        journal = nullptr; // worker scratch runs are never resumed
+    // The suite sequence number keys the journal and names this call
+    // on the wire.  It must advance identically across serial runs,
+    // coordinators, and workers, so every suite call bumps exactly
+    // one counter: the fabric's when one is attached, the shared
+    // journal's otherwise (even for observer calls that bypass the
+    // journal, so the numbering cannot depend on the mode).
+    std::uint64_t seq = 0;
+    if (fabric)
+        seq = fabric->nextSuiteSeq();
+    else if (journal_)
+        seq = journal_->nextSuiteSeq();
+
+    const bool distributable = !observer && !forceVirtualDispatch();
+    if (fabric && fabric->isWorker() && !distributable) {
+        // Only the coordinator's CSVs are real; workers answer
+        // non-distributable calls with zero-shaped results.
+        for (std::size_t p = 0; p < factories.size(); ++p)
+            for (std::size_t w = 0; w < suite.size(); ++w)
+                results[p][w].workload = suite[w];
+        return results;
+    }
+    if (fabric && fabric->isCoordinator() && !distributable)
+        fabric->skipSuite(seq);
+
     RunLedger ledger(label.empty() ? "policies" : label, health_,
                      journal != nullptr);
     Watchdog dog(resilience_.jobTimeoutMs,
@@ -436,13 +521,20 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
     auto tag_of = [&](std::size_t p) {
         return p < tags.size() ? tags[p] : "p" + std::to_string(p);
     };
+    // On a participating worker this streams every guarded outcome
+    // (stats or error text) back to the coordinator; empty otherwise.
+    std::function<void(std::size_t, std::size_t, const GuardOutcome &)>
+        remote_report;
     auto add_outcome = [&](std::size_t w, std::size_t p,
                            const GuardOutcome &out) {
+        if (remote_report)
+            remote_report(w, p, out);
         JobResult job;
         job.workload = suite[w].name;
         job.policy = tag_of(p);
         job.ok = out.ok;
         job.hung = out.hung;
+        job.timedOut = out.timedOut;
         job.attempts = out.attempts;
         job.wallNs = out.wallNs;
         job.error = out.error;
@@ -489,6 +581,8 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
                     const SharedTrace trace = store.get(suite[w]);
                     MemoryTraceSource source(trace, suite[w].name);
                     Simulator sim(config_, factories[p](sets, assoc));
+                    sim.setCancelToken(
+                        dog.token(w * factories.size() + p));
                     results[p][w] = {suite[w], sim.run(source)};
                     if (observer)
                         observer(p, w, sim);
@@ -548,21 +642,36 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
     // replays just that stream — a small fraction of the records —
     // through Simulator::replayL2, which reconstructs bit-identical
     // full-run statistics from the recorder's baseline.
-    auto run_workload = [&](std::size_t w) {
-        std::vector<bool> done(factories.size(), false);
-        std::size_t missing = factories.size();
+    //
+    // The resume scan runs up front (not per-workload) so the set of
+    // pending workloads is known before execution starts: that set is
+    // what a coordinator shards across fabric workers, with remote
+    // deliveries marked in the same done/missing arrays journal hits
+    // are.  Plain byte flags, not vector<bool>: columns of `done` are
+    // touched from different pool workers.
+    std::vector<std::vector<char>> done(
+        factories.size(), std::vector<char>(suite.size(), 0));
+    std::vector<std::size_t> missing(suite.size(), factories.size());
+    for (std::size_t w = 0; w < suite.size(); ++w) {
         for (std::size_t p = 0; p < factories.size(); ++p) {
             results[p][w].workload = suite[w];
             if (journal &&
                 journal->lookup(RunJournal::jobKey(seq, suite[w], p),
                                 results[p][w].stats)) {
-                done[p] = true;
-                --missing;
+                done[p][w] = 1;
+                --missing[w];
                 add_resumed(w, p);
             }
         }
-        if (missing == 0)
-            return; // fully resumed: skip materialization entirely
+    }
+    std::vector<std::size_t> pending;
+    for (std::size_t w = 0; w < suite.size(); ++w)
+        if (missing[w] > 0)
+            pending.push_back(w);
+
+    auto run_workload = [&](std::size_t w) {
+        if (missing[w] == 0)
+            return; // fully resumed or remotely delivered
 
         SharedTrace trace;
         std::vector<L2Event> events;
@@ -577,6 +686,8 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
                 MemoryTraceSource source(trace, suite[w].name);
                 Simulator recorder(
                     config_, makePolicy(PolicyKind::Lru, sets, assoc));
+                recorder.setCancelToken(
+                    dog.token(w * factories.size()));
                 recorder.tlbs().setL2EventSink(&events);
                 base = recorder.run(source);
             });
@@ -584,7 +695,7 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
             // No event stream: every pending policy of this workload
             // fails with the recorder's error.
             for (std::size_t p = 0; p < factories.size(); ++p) {
-                if (!done[p])
+                if (!done[p][w])
                     add_outcome(w, p, rec_out);
             }
             store.drop(suite[w]);
@@ -608,7 +719,7 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
         std::vector<std::size_t> group_of(factories.size(), 0);
         std::vector<bool> is_chirp(factories.size(), false);
         for (std::size_t p = 0; p < factories.size(); ++p) {
-            if (done[p])
+            if (done[p][w])
                 continue;
             const auto probe = factories[p](sets, assoc);
             const auto *chirp =
@@ -641,7 +752,7 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
         // did not (or when a policy's own job must re-simulate).
         std::vector<std::size_t> pend;
         for (std::size_t p = 0; p < factories.size(); ++p) {
-            if (!done[p])
+            if (!done[p][w])
                 pend.push_back(p);
         }
         const auto make_policy = [&](std::size_t p) {
@@ -691,6 +802,8 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
                         return;
                     }
                     Simulator sim(config_, make_policy(p));
+                    sim.setCancelToken(
+                        dog.token(w * factories.size() + p));
                     results[p][w] = {suite[w],
                                      sim.replayL2(*trace, events, base)};
                     if (observer)
@@ -705,8 +818,86 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
         store.drop(suite[w]);
     };
 
-    if (jobs <= 1 || suite.size() <= 1) {
-        for (std::size_t w = 0; w < suite.size(); ++w)
+    if (fabric && fabric->isWorker()) {
+        // Worker end: announce this suite call, then execute granted
+        // shards through the very same run_workload the coordinator
+        // would have used, streaming each guarded outcome back.
+        const std::uint64_t fp =
+            suiteCallFingerprint(seq, suite, factories.size());
+        if (fabric->announceSuite(seq, suite.size(), factories.size(),
+                                  fp) ==
+            dist::SweepFabric::SuiteRole::Skip)
+            return results; // zero-shaped; coordinator kept it local
+        remote_report = [&](std::size_t w, std::size_t p,
+                            const GuardOutcome &out) {
+            dist::RemoteOutcome remote;
+            remote.ok = out.ok;
+            remote.timedOut = out.timedOut;
+            remote.hung = out.hung;
+            remote.attempts = out.attempts;
+            remote.wallNs = out.wallNs;
+            remote.payload = out.ok
+                                 ? encodeSimStats(results[p][w].stats)
+                                 : out.error;
+            fabric->reportJob(seq, w, p, remote);
+        };
+        fabric->workerRunSuite(
+            seq, [&](std::size_t w) { run_workload(w); });
+        ledger.summarize();
+        return results;
+    }
+
+    // Coordinator end: shard the pending workloads across attached
+    // workers; whatever the fabric cannot place (no workers, crashed
+    // shards past their attempt budget) comes back for the ordinary
+    // in-process path below.  Remote results land through `deliver`
+    // on the fabric's service thread while this thread is parked
+    // inside coordinateSuite — same slots, journal, ledger, and
+    // progress ticks as local execution, so the merged CSV is
+    // byte-identical to a serial run by construction.
+    std::vector<std::size_t> work = pending;
+    if (fabric && fabric->isCoordinator() && distributable) {
+        const std::uint64_t fp =
+            suiteCallFingerprint(seq, suite, factories.size());
+        auto deliver = [&](std::size_t w, std::size_t p,
+                           const dist::RemoteOutcome &remote) {
+            if (done[p][w]) {
+                // A partially-resumed workload re-runs wholesale on
+                // the worker; drop the slots the journal already
+                // settled (the fabric can't know about those).
+                return;
+            }
+            GuardOutcome out;
+            out.ok = remote.ok;
+            out.timedOut = remote.timedOut;
+            out.hung = remote.hung;
+            out.attempts = remote.attempts;
+            out.wallNs = remote.wallNs;
+            if (remote.ok) {
+                if (decodeSimStats(remote.payload,
+                                   results[p][w].stats)) {
+                    if (journal)
+                        journal->record(
+                            RunJournal::jobKey(seq, suite[w], p),
+                            results[p][w].stats);
+                } else {
+                    out.ok = false;
+                    out.error = "remote stats failed to decode";
+                }
+            } else {
+                out.error = remote.payload;
+            }
+            done[p][w] = 1;
+            --missing[w];
+            add_outcome(w, p, out);
+        };
+        work = fabric->coordinateSuite(seq, suite.size(),
+                                       factories.size(), fp, pending,
+                                       deliver);
+    }
+
+    if (jobs <= 1 || work.size() <= 1) {
+        for (std::size_t w : work)
             run_workload(w);
         ledger.summarize();
         return results;
@@ -717,14 +908,14 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
     // long as the job and no cross-thread handoff is needed.  Slot-
     // indexed writes keep the merged results bit-identical to the
     // serial order no matter which worker finishes first.
-    ThreadPool pool(std::min<std::size_t>(jobs, suite.size()));
-    std::vector<std::future<void>> pending;
-    pending.reserve(suite.size());
-    for (std::size_t w = 0; w < suite.size(); ++w)
-        pending.push_back(pool.submit([&, w] { run_workload(w); }));
+    ThreadPool pool(std::min<std::size_t>(jobs, work.size()));
+    std::vector<std::future<void>> in_flight;
+    in_flight.reserve(work.size());
+    for (std::size_t w : work)
+        in_flight.push_back(pool.submit([&, w] { run_workload(w); }));
     // Jobs never throw (failures land in the ledger), so get() here
     // is pure synchronization.
-    for (std::future<void> &job : pending)
+    for (std::future<void> &job : in_flight)
         job.get();
     ledger.summarize();
     return results;
@@ -746,10 +937,29 @@ Runner::runSuiteParallel(const std::vector<WorkloadConfig> &suite,
     if (jobs == 0)
         jobs = ThreadPool::defaultConcurrency();
 
+    RunJournal *journal = journal_.get();
+    dist::SweepFabric *fabric = fabric_.get();
+    if (fabric && fabric->isWorker())
+        journal = nullptr;
+    // Same single-counter numbering as runSuiteMulti (see there).
+    std::uint64_t seq = 0;
+    if (fabric)
+        seq = fabric->nextSuiteSeq();
+    else if (journal_)
+        seq = journal_->nextSuiteSeq();
+    if (fabric && fabric->isWorker()) {
+        // Single-factory suites never distribute; only the
+        // coordinator's CSVs are real, so answer with zero shapes.
+        std::vector<WorkloadResult> zeros(suite.size());
+        for (std::size_t i = 0; i < suite.size(); ++i)
+            zeros[i].workload = suite[i];
+        return zeros;
+    }
+    if (fabric && fabric->isCoordinator())
+        fabric->skipSuite(seq);
+
     ProgressReporter progress(label, suite.size());
     const std::string tag = label.empty() ? "policy" : label;
-    RunJournal *journal = journal_.get();
-    const std::uint64_t seq = journal ? journal->nextSuiteSeq() : 0;
     RunLedger ledger(tag, health_, journal != nullptr);
     Watchdog dog(resilience_.jobTimeoutMs, suite.size());
 
@@ -770,12 +980,23 @@ Runner::runSuiteParallel(const std::vector<WorkloadConfig> &suite,
             job.resumed = true;
         } else {
             const GuardOutcome out = runGuarded(
-                resilience_.retries, dog, i, suite[i].name,
-                [&] { results[i].stats = runOne(suite[i], factory); });
+                resilience_.retries, dog, i, suite[i].name, [&] {
+                    // runOne, inlined so the watchdog's cancel token
+                    // reaches the simulator.
+                    const auto program = buildWorkload(suite[i]);
+                    const std::uint32_t sets =
+                        config_.tlbs.l2.entries / config_.tlbs.l2.assoc;
+                    Simulator sim(
+                        config_,
+                        factory(sets, config_.tlbs.l2.assoc));
+                    sim.setCancelToken(dog.token(i));
+                    results[i].stats = sim.run(*program);
+                });
             if (out.ok && journal)
                 journal->record(key, results[i].stats);
             job.ok = out.ok;
             job.hung = out.hung;
+            job.timedOut = out.timedOut;
             job.attempts = out.attempts;
             job.wallNs = out.wallNs;
             job.error = out.error;

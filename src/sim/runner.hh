@@ -23,6 +23,11 @@
 namespace chirp
 {
 
+namespace dist
+{
+class SweepFabric;
+}
+
 class RunJournal;
 class Simulator;
 
@@ -56,6 +61,7 @@ struct JobResult
     bool ok = false;            //!< stats are valid
     bool resumed = false;       //!< satisfied from the run journal
     bool hung = false;          //!< flagged by the --job-timeout watchdog
+    bool timedOut = false;      //!< cancelled after exceeding the budget
     unsigned attempts = 0;      //!< execution attempts (0 when resumed)
     std::uint64_t wallNs = 0;   //!< wall time across all attempts
     std::string error;          //!< what() of the last failure
@@ -66,7 +72,13 @@ struct ResilienceOptions
 {
     /** Extra attempts granted to jobs failing with TransientError. */
     unsigned retries = 1;
-    /** Wall-time budget per job attempt; 0 disables the watchdog. */
+    /**
+     * Wall-time budget per job attempt; 0 disables the watchdog.
+     * Enforcing: an attempt exceeding the budget is cancelled (the
+     * simulator aborts at its next cancellation point), recorded as
+     * timed-out, and not retried — under the distributed fabric its
+     * shard is requeued instead.
+     */
     std::uint64_t jobTimeoutMs = 0;
 };
 
@@ -86,6 +98,7 @@ class SuiteHealth
     std::uint64_t okJobs() const;
     std::uint64_t resumedJobs() const;
     std::uint64_t hungJobs() const;
+    std::uint64_t timedOutJobs() const;
     std::uint64_t retriedJobs() const;
 
     /** Outcomes of every failed job, in completion order. */
@@ -99,6 +112,7 @@ class SuiteHealth
     std::uint64_t ok_ = 0;
     std::uint64_t resumed_ = 0;
     std::uint64_t hung_ = 0;
+    std::uint64_t timedOut_ = 0;
     std::uint64_t retried_ = 0;
 };
 
@@ -212,6 +226,29 @@ class Runner
     /** Replace the health ledger job outcomes are reported to. */
     void setHealth(std::shared_ptr<SuiteHealth> health);
 
+    /**
+     * Attach a sweep fabric end.  On a coordinator, distributable
+     * runSuiteMulti calls shard their pending workloads across
+     * attached workers (merging streamed results into the same
+     * slots, journal, and health ledger a local run fills) and fall
+     * back to in-process execution for whatever the fabric hands
+     * back.  On a worker, suite calls announce themselves and execute
+     * granted shards, streaming every job outcome to the coordinator;
+     * non-distributable calls (observer attached, CHIRP_FORCE_VIRTUAL,
+     * single-factory paths) return zero-shaped results immediately —
+     * only the coordinator's CSVs are real.  nullptr detaches.
+     */
+    void setFabric(std::shared_ptr<dist::SweepFabric> fabric)
+    {
+        fabric_ = std::move(fabric);
+    }
+
+    /** The attached sweep fabric end, if any. */
+    const std::shared_ptr<dist::SweepFabric> &fabric() const
+    {
+        return fabric_;
+    }
+
     /** The health ledger for this runner's suite runs. */
     const std::shared_ptr<SuiteHealth> &health() const
     {
@@ -229,6 +266,7 @@ class Runner
     std::shared_ptr<TraceStore> store_;
     std::shared_ptr<RunJournal> journal_;
     std::shared_ptr<SuiteHealth> health_;
+    std::shared_ptr<dist::SweepFabric> fabric_;
 };
 
 /**

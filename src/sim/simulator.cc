@@ -16,6 +16,15 @@ Simulator::Simulator(const SimConfig &config,
         std::make_unique<FixedLatencyWalker>(config.pageWalkLatency));
 }
 
+void
+Simulator::checkCancelled() const
+{
+    if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
+        throw JobCancelled(
+            "job cancelled: attempt exceeded --job-timeout");
+    }
+}
+
 Cycles
 Simulator::step(const TraceRecord &rec, std::uint64_t now)
 {
@@ -132,6 +141,8 @@ Simulator::replayL2(const std::vector<TraceRecord> &records,
         // a record precedes its retire hooks.
         std::size_t e = 0;
         for (InstCount i = 0; i < total; ++i) {
+            if ((i & 0xfff) == 0)
+                checkCancelled();
             if (i == warmup && warmup != 0)
                 snapshot();
             while (e < events.size() && events[e].now == i)
@@ -152,12 +163,18 @@ Simulator::replayL2(const std::vector<TraceRecord> &records,
                 });
             const auto warm =
                 static_cast<std::size_t>(boundary - events.begin());
-            for (; e < warm; ++e)
+            for (; e < warm; ++e) {
+                if ((e & 0xfff) == 0)
+                    checkCancelled();
                 deliver(events[e]);
+            }
             snapshot();
         }
-        for (; e < events.size(); ++e)
+        for (; e < events.size(); ++e) {
+            if ((e & 0xfff) == 0)
+                checkCancelled();
             deliver(events[e]);
+        }
     }
 
     tlbs_->finalizeEfficiency(total);
@@ -382,6 +399,10 @@ Simulator::runImpl(const std::vector<TraceSource *> &sources,
     // is identical to the old one-record pull.
     TraceRecord batch[kReplayBatch];
     while (live_sources > 0) {
+        // One relaxed load per 256-record batch: cheap enough to be
+        // invisible, frequent enough that a fired --job-timeout
+        // abandons the run within microseconds.
+        checkCancelled();
         // Round-robin context switches every `quantum` instructions.
         if (sources.size() > 1 && quantum_left == 0) {
             std::size_t next = active;

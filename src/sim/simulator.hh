@@ -13,7 +13,9 @@
 #ifndef CHIRP_SIM_SIMULATOR_HH
 #define CHIRP_SIM_SIMULATOR_HH
 
+#include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "branch/branch_unit.hh"
@@ -32,6 +34,18 @@ namespace chirp
  * (8 KB of records) to stay L1-resident.
  */
 constexpr std::size_t kReplayBatch = 256;
+
+/**
+ * Thrown out of a simulation whose cancel token fired: the enforcing
+ * --job-timeout watchdog sets the token when an attempt overruns its
+ * budget, and the runner records the abandoned job as timed out
+ * (never retried — it would only time out again).
+ */
+class JobCancelled : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** One processor model instance. */
 class Simulator
@@ -107,15 +121,31 @@ class Simulator
 
     const SimConfig &config() const { return config_; }
 
+    /**
+     * Attach a cooperative cancel token: run/replayL2 poll it every
+     * few thousand records and abandon the simulation with
+     * JobCancelled once it reads true.  nullptr (the default)
+     * disables polling.  The token must outlive the simulation.
+     */
+    void setCancelToken(const std::atomic<bool> *token)
+    {
+        cancel_ = token;
+    }
+
   private:
     /** Simulate one instruction; returns its cycle cost. */
     Cycles step(const TraceRecord &rec, std::uint64_t now);
+
+    /** Throw JobCancelled when the attached token has fired. */
+    void checkCancelled() const;
 
     /** Shared implementation of run/runInterleaved. */
     SimStats runImpl(const std::vector<TraceSource *> &sources,
                      InstCount quantum, bool flush_on_switch);
 
     Asid activeAsid_ = 0;
+
+    const std::atomic<bool> *cancel_ = nullptr;
 
     SimConfig config_;
     std::unique_ptr<TlbHierarchy> tlbs_;

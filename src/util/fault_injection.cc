@@ -88,6 +88,13 @@ FaultInjector::isJobKind(Kind kind)
            kind == Kind::Slow || kind == Kind::Crash;
 }
 
+bool
+FaultInjector::isWorkerKind(Kind kind)
+{
+    return kind == Kind::WorkerCrash || kind == Kind::WorkerStall ||
+           kind == Kind::MsgTruncate;
+}
+
 void
 FaultInjector::configure(const std::string &spec)
 {
@@ -127,16 +134,24 @@ FaultInjector::configure(const std::string &spec)
             action.kind = Kind::CacheTruncate;
         else if (kind == "cache-bitflip")
             action.kind = Kind::CacheBitFlip;
+        else if (kind == "worker-crash")
+            action.kind = Kind::WorkerCrash;
+        else if (kind == "worker-stall")
+            action.kind = Kind::WorkerStall;
+        else if (kind == "msg-truncate")
+            action.kind = Kind::MsgTruncate;
         else
             chirp_fatal("CHIRP_FAULT: unknown action '", kind,
                         "' (expected throw, hard-throw, slow, crash, "
-                        "cache-truncate, or cache-bitflip)");
+                        "cache-truncate, cache-bitflip, worker-crash, "
+                        "worker-stall, or msg-truncate)");
         actions.push_back(action);
     }
     std::lock_guard<std::mutex> lock(mutex_);
     actions_ = std::move(actions);
     jobEvents_ = 0;
     cacheEvents_ = 0;
+    wireEvents_ = 0;
 }
 
 bool
@@ -165,6 +180,34 @@ FaultInjector::onJobStart()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     const std::uint64_t event = jobEvents_++;
+    // Worker-targeted crash/stall: @N selects a worker id, and the
+    // action fires at that worker's third local job event (see the
+    // header comment), so a shard is always mid-flight with at least
+    // one result already streamed.
+    for (Action &action : actions_) {
+        if (action.fired || workerId_ < 0 || event != 2 ||
+            action.at != static_cast<std::uint64_t>(workerId_))
+            continue;
+        if (action.kind == Kind::WorkerCrash) {
+            action.fired = true;
+            const std::uint64_t code = action.hasArg ? action.arg : 137;
+            lock.unlock();
+            std::fprintf(stderr,
+                         "fault injection: worker %d crashing "
+                         "mid-shard\n",
+                         workerId_);
+            std::_Exit(static_cast<int>(code));
+        }
+        if (action.kind == Kind::WorkerStall) {
+            action.fired = true;
+            const std::uint64_t ms = action.hasArg ? action.arg : 20000;
+            lock.unlock();
+            chirp_warn("fault injection: worker ", workerId_,
+                       " stalling for ", ms, " ms");
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+            lock.lock();
+        }
+    }
     for (Action &action : actions_) {
         if (action.fired || !isJobKind(action.kind) ||
             action.at != event)
@@ -197,13 +240,61 @@ FaultInjector::onJobStart()
 }
 
 void
+FaultInjector::setWorkerId(int id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    workerId_ = id;
+}
+
+int
+FaultInjector::workerId() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return workerId_;
+}
+
+std::size_t
+FaultInjector::onWireSend(std::size_t len)
+{
+    std::uint64_t event = 0;
+    bool truncate = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        event = wireEvents_++;
+        for (Action &action : actions_) {
+            if (action.fired || action.kind != Kind::MsgTruncate ||
+                workerId_ < 0 ||
+                action.at != static_cast<std::uint64_t>(workerId_))
+                continue;
+            // @N picked this worker; :K (default 3) picks which of
+            // its outgoing frames to cut short.
+            if (event != (action.hasArg ? action.arg : 3))
+                continue;
+            action.fired = true;
+            truncate = true;
+            break;
+        }
+    }
+    // Raw stderr, not chirp_warn: sendFrame calls this while holding
+    // the fabric's send mutex, and a worker's log sink re-enters
+    // sendFrame (and that mutex) to ship the warning.
+    if (truncate) {
+        std::fprintf(stderr,
+                     "warn: fault injection: truncating wire frame %llu\n",
+                     static_cast<unsigned long long>(event));
+        return len / 2;
+    }
+    return len;
+}
+
+void
 FaultInjector::onCachePublish(const std::string &path)
 {
     std::unique_lock<std::mutex> lock(mutex_);
     const std::uint64_t event = cacheEvents_++;
     for (Action &action : actions_) {
         if (action.fired || isJobKind(action.kind) ||
-            action.at != event)
+            isWorkerKind(action.kind) || action.at != event)
             continue;
         action.fired = true;
         const Action fired = action;

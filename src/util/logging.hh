@@ -10,11 +10,33 @@
 #ifndef CHIRP_UTIL_LOGGING_HH
 #define CHIRP_UTIL_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace chirp
 {
+
+/**
+ * Receives one complete, newline-free log line ("warn: ..." /
+ * "info: ...") in place of the default stderr write.
+ */
+using LogSink = std::function<void(const std::string &line)>;
+
+/**
+ * Install a process-wide log sink.  When set, warn/inform lines (and
+ * the progress reporter's lines) are handed to the sink instead of
+ * being written to stderr directly; fatal still writes stderr as well,
+ * since the sink may not survive the exit path.  The distributed
+ * sweep fabric installs a sink in worker processes so every worker
+ * line travels to the coordinator, which prefixes it with the worker
+ * id and serializes all workers onto one stderr stream.  Pass an
+ * empty function to restore direct stderr output.
+ */
+void setLogSink(LogSink sink);
+
+/** Whether a log sink is currently installed. */
+bool logSinkInstalled();
 
 namespace detail
 {
@@ -25,6 +47,9 @@ namespace detail
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+
+/** Route one finished line through the sink, or stderr without one. */
+void emitLine(const std::string &line);
 
 /** Join a pack of streamable values into one string. */
 template <typename... Args>

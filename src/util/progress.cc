@@ -5,6 +5,8 @@
 
 #include <unistd.h>
 
+#include "util/logging.hh"
+
 namespace chirp
 {
 
@@ -13,6 +15,12 @@ ProgressReporter::ProgressReporter(std::string label, std::size_t total,
     : label_(std::move(label)), total_(total), mode_(mode),
       stride_(std::max<std::size_t>(1, total / 10))
 {
+    // A log sink means this process's stderr is not the terminal the
+    // user is watching (worker of a distributed sweep): \r redraw
+    // fragments from several processes would interleave, so always
+    // emit complete lines through the sink.
+    if (logSinkInstalled())
+        mode_ = Mode::Lines;
     if (mode_ == Mode::Auto) {
         mode_ = ::isatty(::fileno(stderr)) ? Mode::Tty : Mode::Lines;
     }
@@ -41,9 +49,10 @@ ProgressReporter::tick()
     // Line mode: one complete line every `stride_` ticks and one at
     // the end, so a full batch logs ~11 lines however large it is.
     if (done_ % stride_ == 0 || done_ == total_) {
-        std::fprintf(stderr, "  [%s] %zu/%zu workloads\n", label_.c_str(),
-                     done_, total_);
-        std::fflush(stderr);
+        char line[160];
+        std::snprintf(line, sizeof(line), "  [%s] %zu/%zu workloads",
+                      label_.c_str(), done_, total_);
+        detail::emitLine(line);
     }
 }
 

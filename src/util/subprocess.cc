@@ -1,0 +1,178 @@
+#include "util/subprocess.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace chirp
+{
+
+namespace
+{
+
+std::string
+errnoText(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool
+setCloexec(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFD);
+    return flags >= 0 && ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0;
+}
+
+} // namespace
+
+bool
+makeSocketPair(int fds[2], std::string *error)
+{
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        if (error)
+            *error = errnoText("socketpair");
+        return false;
+    }
+    if (!setCloexec(fds[0]) || !setCloexec(fds[1])) {
+        if (error)
+            *error = errnoText("fcntl(FD_CLOEXEC)");
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return false;
+    }
+    return true;
+}
+
+pid_t
+spawnWithFd(const std::vector<std::string> &argv, int child_fd,
+            std::string *error)
+{
+    if (argv.empty()) {
+        if (error)
+            *error = "spawnWithFd: empty argv";
+        return -1;
+    }
+    std::vector<char *> args;
+    args.reserve(argv.size() + 1);
+    for (const std::string &arg : argv)
+        args.push_back(const_cast<char *>(arg.c_str()));
+    args.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        if (error)
+            *error = errnoText("fork");
+        return -1;
+    }
+    if (pid == 0) {
+        // Child: only async-signal-safe calls between fork and exec.
+        const int flags = ::fcntl(child_fd, F_GETFD);
+        if (flags >= 0)
+            ::fcntl(child_fd, F_SETFD, flags & ~FD_CLOEXEC);
+        const int devnull = ::open("/dev/null", O_WRONLY);
+        if (devnull >= 0) {
+            ::dup2(devnull, STDOUT_FILENO);
+            if (devnull != STDOUT_FILENO)
+                ::close(devnull);
+        }
+        ::execv(args[0], args.data());
+        // exec failed: nothing sensible to do but die loudly.  137
+        // keeps the coordinator's "worker lost" handling uniform.
+        const char msg[] = "worker exec failed\n";
+        ssize_t ignored = ::write(STDERR_FILENO, msg, sizeof(msg) - 1);
+        (void)ignored;
+        ::_exit(127);
+    }
+    return pid;
+}
+
+void
+ignoreSigpipe()
+{
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+void
+autoReapChildren()
+{
+    ::signal(SIGCHLD, SIG_IGN);
+}
+
+int
+listenUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path too long: " + path;
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        if (error)
+            *error = errnoText("socket");
+        return -1;
+    }
+    ::unlink(path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        if (error)
+            *error = errnoText("bind/listen");
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, unsigned timeout_ms,
+            std::string *error)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path too long: " + path;
+        return -1;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            if (error)
+                *error = errnoText("socket");
+            return -1;
+        }
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return fd;
+        const int saved = errno;
+        ::close(fd);
+        // ENOENT/ECONNREFUSED while the coordinator is still coming
+        // up are retryable; anything else is a real failure.
+        if ((saved != ENOENT && saved != ECONNREFUSED) ||
+            std::chrono::steady_clock::now() >= deadline) {
+            if (error) {
+                errno = saved;
+                *error = errnoText(("connect '" + path + "'").c_str());
+            }
+            return -1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+} // namespace chirp

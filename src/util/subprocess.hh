@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Process and socket plumbing for the distributed sweep fabric.
+ *
+ * Thin POSIX wrappers with error strings instead of errno spelunking:
+ * connected AF_UNIX socket pairs for coordinator<->worker wires,
+ * fork/exec of worker processes that inherit exactly one descriptor,
+ * and listen/connect helpers for attaching external workers over a
+ * filesystem socket.  Everything is CLOEXEC by default so spawned
+ * workers never leak unrelated descriptors.
+ */
+
+#ifndef CHIRP_UTIL_SUBPROCESS_HH
+#define CHIRP_UTIL_SUBPROCESS_HH
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace chirp
+{
+
+/**
+ * Create a connected AF_UNIX stream pair (both ends CLOEXEC).
+ * Returns false and sets @p error on failure.
+ */
+bool makeSocketPair(int fds[2], std::string *error);
+
+/**
+ * fork/exec @p argv with @p child_fd kept open across the exec (its
+ * CLOEXEC flag is cleared in the child) and the child's stdout
+ * redirected to /dev/null — worker processes re-execute a bench
+ * binary whose stdout tables are meaningless garbage; only the wire
+ * and stderr matter.  Returns the child pid, or -1 with @p error set.
+ */
+pid_t spawnWithFd(const std::vector<std::string> &argv, int child_fd,
+                  std::string *error);
+
+/**
+ * Ignore SIGPIPE process-wide so writes to a dead peer fail with
+ * EPIPE instead of killing the process.  Idempotent.
+ */
+void ignoreSigpipe();
+
+/**
+ * Let the kernel auto-reap exited children (SIGCHLD -> SIG_IGN), so a
+ * coordinator never blocks on a wedged worker at shutdown and leaves
+ * no zombies behind.  Idempotent.
+ */
+void autoReapChildren();
+
+/**
+ * Listen on AF_UNIX @p path (unlinking any stale socket first).
+ * Returns the listening fd (CLOEXEC), or -1 with @p error set.
+ */
+int listenUnix(const std::string &path, std::string *error);
+
+/**
+ * Connect to AF_UNIX @p path, retrying for up to @p timeout_ms while
+ * the socket does not exist yet (the coordinator may still be
+ * starting).  Returns the connected fd (CLOEXEC), or -1 with
+ * @p error set.
+ */
+int connectUnix(const std::string &path, unsigned timeout_ms,
+                std::string *error);
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_SUBPROCESS_HH

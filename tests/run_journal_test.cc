@@ -2,8 +2,9 @@
  * @file
  * RunJournal tests: bit-exact SimStats round trips (including the
  * l2Efficiency double via its IEEE-754 bit pattern), resume reload,
- * fingerprint-mismatch restart, torn-final-line tolerance, and job
- * key stability/distinctness.
+ * identity-mismatch restart (with .stale quarantine and field-level
+ * divergence naming), torn-final-line tolerance, and job key
+ * stability/distinctness.
  */
 
 #include <gtest/gtest.h>
@@ -14,6 +15,7 @@
 #include <fstream>
 
 #include "sim/run_journal.hh"
+#include "util/logging.hh"
 
 namespace chirp
 {
@@ -179,6 +181,76 @@ TEST(RunJournal, FingerprintMismatchRestartsEmpty)
     EXPECT_EQ(restarted.loaded(), 0u);
     SimStats got;
     EXPECT_FALSE(restarted.lookup(1, got));
+    std::filesystem::remove(path);
+}
+
+TEST(RunJournal, MismatchQuarantinesStaleFile)
+{
+    const std::string path = journalPath("quarantine");
+    const std::string stale = path + ".stale";
+    std::filesystem::remove(stale);
+    {
+        RunJournal journal(path, 0xaaaa, false);
+        journal.record(1, sampleStats(1));
+    }
+    const auto stale_bytes = std::filesystem::file_size(path);
+    RunJournal restarted(path, 0xbbbb, /*resume=*/true);
+    EXPECT_EQ(restarted.loaded(), 0u);
+    // The refused journal survives for inspection, byte for byte.
+    ASSERT_TRUE(std::filesystem::exists(stale));
+    EXPECT_EQ(std::filesystem::file_size(stale), stale_bytes);
+    std::filesystem::remove(path);
+    std::filesystem::remove(stale);
+}
+
+TEST(RunJournal, MismatchNamesDivergingFields)
+{
+    const std::string path = journalPath("fielddiff");
+    JournalIdentity before;
+    before.suite = "fig_before";
+    before.suiteHash = 0x1111;
+    before.configHash = 0x2222;
+    {
+        RunJournal journal(path, before, false);
+        journal.record(1, sampleStats(1));
+    }
+    JournalIdentity after = before;
+    after.configHash = 0x3333; // same suite, different sim config
+    std::vector<std::string> lines;
+    setLogSink([&lines](const std::string &line) {
+        lines.push_back(line);
+    });
+    RunJournal restarted(path, after, /*resume=*/true);
+    setLogSink({});
+    EXPECT_EQ(restarted.loaded(), 0u);
+    std::string all;
+    for (const std::string &line : lines)
+        all += line + "\n";
+    EXPECT_NE(all.find("config hash"), std::string::npos)
+        << "the diverging field must be named: " << all;
+    EXPECT_EQ(all.find("suite name"), std::string::npos)
+        << "matching fields must not be blamed: " << all;
+    EXPECT_EQ(all.find("suite hash"), std::string::npos) << all;
+    std::filesystem::remove(path);
+    std::filesystem::remove(path + ".stale");
+}
+
+TEST(RunJournal, IdentityRoundTripsThroughHeader)
+{
+    const std::string path = journalPath("identity");
+    JournalIdentity id;
+    id.suite = "fig01";
+    id.suiteHash = 0xdeadbeef;
+    id.configHash = 0xfeedface;
+    {
+        RunJournal journal(path, id, false);
+        journal.record(7, sampleStats(7));
+    }
+    RunJournal resumed(path, id, /*resume=*/true);
+    EXPECT_EQ(resumed.loaded(), 1u);
+    EXPECT_EQ(resumed.identity().suite, "fig01");
+    SimStats got;
+    EXPECT_TRUE(resumed.lookup(7, got));
     std::filesystem::remove(path);
 }
 

@@ -3,9 +3,10 @@
  * Suite-runner resilience tests driven by the fault injector: hard
  * faults isolate a single job, transient faults are retried per
  * --retries, the run journal resumes to bit-identical stats, the
- * watchdog flags slow jobs, and a recorder failure in runSuiteMulti
- * fails exactly that workload's pending policies.  All runs are
- * serial (jobs = 1) so fault events land on deterministic jobs.
+ * watchdog cancels jobs overrunning their budget, and a recorder
+ * failure in runSuiteMulti fails exactly that workload's pending
+ * policies.  All runs are serial (jobs = 1) so fault events land on
+ * deterministic jobs.
  */
 
 #include <gtest/gtest.h>
@@ -144,19 +145,32 @@ TEST_F(RunnerResilienceTest, ZeroRetriesFailsOnFirstTransient)
     EXPECT_EQ(health.failures()[0].attempts, 1u);
 }
 
-TEST_F(RunnerResilienceTest, WatchdogFlagsSlowJobs)
+TEST_F(RunnerResilienceTest, WatchdogCancelsSlowJobs)
 {
     const auto suite = smallSuite(3);
     Runner runner(fastConfig());
-    runner.setResilience({/*retries=*/1, /*jobTimeoutMs=*/20});
-    FaultInjector::instance().configure("slow@1:100");
-    runner.runSuiteParallel(suite, Runner::factoryFor(PolicyKind::Lru),
-                            1);
+    // The budget must let a healthy job finish even on a loaded CI
+    // runner under sanitizers (~100 ms observed) while the slow job
+    // overruns it by a wide margin.
+    runner.setResilience({/*retries=*/1, /*jobTimeoutMs=*/400});
+    // Job 1's attempt sleeps 1.5 s before simulating; the watchdog
+    // trips at 400 ms and the simulator aborts at its first
+    // cancellation point.
+    FaultInjector::instance().configure("slow@1:1500");
+    const auto results = runner.runSuiteParallel(
+        suite, Runner::factoryFor(PolicyKind::Lru), 1);
     const SuiteHealth &health = *runner.health();
-    EXPECT_EQ(health.okJobs(), suite.size())
-        << "the watchdog flags, it does not kill";
-    EXPECT_EQ(health.failureCount(), 0u);
+    EXPECT_EQ(health.okJobs(), suite.size() - 1)
+        << "the watchdog is enforcing: the slow job is cancelled";
+    ASSERT_EQ(health.failureCount(), 1u);
     EXPECT_EQ(health.hungJobs(), 1u);
+    EXPECT_EQ(health.timedOutJobs(), 1u);
+    const JobResult failed = health.failures()[0];
+    EXPECT_EQ(failed.workload, suite[1].name);
+    EXPECT_TRUE(failed.timedOut);
+    EXPECT_EQ(failed.attempts, 1u)
+        << "a cancelled attempt is never retried";
+    EXPECT_EQ(results[1].stats.instructions, 0u);
 }
 
 TEST_F(RunnerResilienceTest, JournalResumeIsBitIdentical)
