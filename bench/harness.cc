@@ -9,6 +9,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "trace/trace_store.hh"
 #include "util/fault_injection.hh"
 #include "util/hashing.hh"
 #include "util/logging.hh"
@@ -130,6 +131,15 @@ enterCoordinatorMode(BenchContext &ctx, const char *argv0,
         opts.ledgerFingerprint = ctx.fingerprint();
         opts.ledgerResume = ctx.resume;
     }
+    // Without a trace cache every worker process regenerates every
+    // workload it is sharded — N workers pay the whole suite's
+    // generation N times over.  Default sharded runs to an on-disk
+    // cache next to the results: the first process to need a trace
+    // publishes it (write-to-temp + rename, so concurrent writers are
+    // safe) and everyone else loads — or, on the mmap tier, maps —
+    // that one copy.
+    if (ctx.shareTraces && ctx.traceCacheDir.empty())
+        ctx.traceCacheDir = "chirp-trace-cache";
     ctx.fabric = dist::SweepFabric::makeCoordinator(opts);
 
     // Workers re-execute this binary: same environment, so the same
@@ -250,6 +260,21 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
         } else if (arg == "--no-trace-store") {
             ctx.shareTraces = false;
             ctx.traceCacheDir.clear();
+        } else if (arg == "--trace-format" ||
+                   arg.rfind("--trace-format=", 0) == 0) {
+            std::string value;
+            if (arg == "--trace-format") {
+                if (i + 1 >= argc)
+                    chirp_fatal(arg, " needs a format");
+                value = argv[++i];
+            } else {
+                value = arg.substr(std::strlen("--trace-format="));
+            }
+            // Publish through the environment: traceFormat() reads it
+            // at every decision point, and forked --workers inherit
+            // it, so one flag pins the whole process tree to a tier.
+            ::setenv("CHIRP_TRACE_FORMAT", value.c_str(), 1);
+            traceFormat(); // validate now, not at first use
         } else if (arg == "--retries") {
             if (i + 1 >= argc)
                 chirp_fatal(arg, " needs a value");
@@ -312,6 +337,7 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
             std::printf(
                 "usage: %s [--jobs N] [--trace-cache DIR] "
                 "[--no-trace-store]\n"
+                "       [--trace-format legacy|columnar|mmap]\n"
                 "       [--retries N] [--job-timeout MS] [--resume]\n"
                 "       [--journal PATH] [--no-journal] [--workers N]\n"
                 "       [--coordinator PATH] [--worker PATH]\n"
@@ -322,6 +348,11 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
                 "                     (default: CHIRP_TRACE_CACHE)\n"
                 "  --no-trace-store   regenerate the trace for every\n"
                 "                     policy (legacy path)\n"
+                "  --trace-format F   trace tier: legacy (row-major\n"
+                "                     reference), columnar (default)\n"
+                "                     or mmap (zero-copy disk cache);\n"
+                "                     sets CHIRP_TRACE_FORMAT so\n"
+                "                     --workers children inherit it\n"
                 "  --retries N        extra attempts for jobs failing\n"
                 "                     transiently (default 1, or\n"
                 "                     CHIRP_RETRIES)\n"

@@ -119,7 +119,7 @@ main(int argc, char **argv)
     });
 
     // Materialize once; paths B/C replay the shared flat stream.
-    const auto trace = std::make_shared<std::vector<TraceRecord>>(
+    const auto trace = std::make_shared<ColumnarTrace>(
         materializeWorkload(workload));
 
     // Path B: in-memory replay, one virtual next() per record.

@@ -58,6 +58,7 @@ GhrpPolicy::reset()
     stack_.reset();
     history_ = 0;
     memoValid_ = false;
+    histIdx_ = 0;
     resetTableCounters();
 }
 

@@ -99,6 +99,20 @@ class GhrpPolicy final : public ReplacementPolicy
     void
     onAccessBegin(const AccessInfo &info) override
     {
+        if (histStream_) {
+            // Replay mode: the history register values this policy
+            // would have accumulated from the retire stream were
+            // precomputed, one per access in order, so the retire
+            // stream need not be walked at all.  The memo only goes
+            // stale when the value actually moves; an unchanged
+            // register recomposes to bit-identical signatures, so
+            // keeping the memo is unobservable.
+            const std::uint64_t h = histStream_[histIdx_++];
+            if (h != history_) {
+                history_ = h;
+                memoValid_ = false;
+            }
+        }
         // Compose the per-table signatures and table indices once;
         // the hit/fill hooks of this access reuse them.
         memoize(info.pc);
@@ -209,6 +223,27 @@ class GhrpPolicy final : public ReplacementPolicy
     {
         return dead_[idx(set, way)];
     }
+
+    /**
+     * Event-replay support: take the global history register value
+     * at each access from @p hist (one per access, in access order)
+     * instead of evolving it from retired branches, which then need
+     * not be delivered.  The values must equal what the live
+     * onBranchRetired sequence would have accumulated before each
+     * access; the stream depends only on historyShift, so variants
+     * sharing it share one stream.  The array must outlive the
+     * policy's use; reset() rewinds to its start.  Null reverts to
+     * the live register.
+     */
+    void
+    setHistoryStream(const std::uint64_t *hist)
+    {
+        histStream_ = hist;
+        histIdx_ = 0;
+    }
+
+    /** Is a replay history stream attached? */
+    bool hasHistoryStream() const { return histStream_ != nullptr; }
 
   private:
     /** Scalar reference signature composition (debug checks/tests). */
@@ -382,6 +417,9 @@ class GhrpPolicy final : public ReplacementPolicy
     std::array<std::uint64_t, kGhrpMaxTables> memoLanes_{};
     bool memoValid_ = false;
     Addr memoPc_ = 0;
+    // Replay history stream (see setHistoryStream).
+    const std::uint64_t *histStream_ = nullptr;
+    std::size_t histIdx_ = 0;
 };
 
 } // namespace chirp

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/chirp.hh"
+#include "core/ghrp.hh"
 #include "dist/fabric.hh"
 #include "sim/run_journal.hh"
 #include "sim/simulator.hh"
@@ -26,56 +27,108 @@ namespace
 {
 
 /**
- * Precompute the signature ChirpPolicy would compose at every L2
- * event: walk the retire stream evolving a private history set with
- * exactly the policy's update rules (onInstRetired's path filter,
- * onBranchRetired's class split) and capture
- * foldXor(history.signature(pc), signatureBits) at each event, which
- * uses the pre-update histories just as onAccessBegin does.
- *
- * The stream depends only on (HistoryConfig, signatureBits) — table
- * geometry, hash, thresholds and training knobs never touch the
- * histories — so configuration-sweep variants sharing those fields
- * share one stream.
+ * One CHiRP signature-stream group: every CHiRP variant whose
+ * signatures are configured identically (same history shape and
+ * signature width — the common case in parameter sweeps) shares one
+ * precomputed stream, because table geometry, hash, thresholds and
+ * training knobs never touch the histories.
  */
-std::vector<std::uint16_t>
-chirpSignatureStream(const HistoryConfig &history_config,
-                     unsigned signature_bits,
-                     const std::vector<TraceRecord> &records,
+struct SigGroup
+{
+    HistoryConfig history;
+    unsigned signatureBits = 0;
+    std::vector<std::uint16_t> sigs;
+};
+
+/**
+ * GHRP's analog: the global history register depends only on
+ * historyShift — masks and signature width all apply downstream of
+ * it — so variants sharing that field share one register stream.
+ */
+struct GhrpGroup
+{
+    unsigned historyShift = 0;
+    std::vector<std::uint64_t> hists;
+};
+
+/**
+ * Precompute every group's replay stream in a single walk of the
+ * record stream: at each L2 event capture, per CHiRP group,
+ * foldXor(history.signature(pc), signatureBits) — and per GHRP
+ * group the current global history register — using the pre-update
+ * state exactly as onAccessBegin does; then apply each group's
+ * history update rules for the record (onInstRetired's path filter
+ * and onBranchRetired's class split for CHiRP, the conditional-
+ * branch outcome/address shift for GHRP).  Sharing the walk means
+ * the 30M-record retire stream is touched once per workload however
+ * many streamed policies ride on it.
+ */
+void
+computeReplayStreams(std::vector<SigGroup> &groups,
+                     std::vector<GhrpGroup> &ghrp_groups,
+                     const ColumnarTrace &records,
                      const std::vector<L2Event> &events)
 {
-    std::vector<std::uint16_t> sigs;
-    sigs.reserve(events.size());
-    ControlFlowHistory history(history_config);
+    if (groups.empty() && ghrp_groups.empty())
+        return;
+    std::vector<ControlFlowHistory> hist;
+    hist.reserve(groups.size());
+    for (SigGroup &group : groups) {
+        group.sigs.reserve(events.size());
+        hist.emplace_back(group.history);
+    }
+    std::vector<std::uint64_t> ghist(ghrp_groups.size(), 0);
+    for (GhrpGroup &group : ghrp_groups)
+        group.hists.reserve(events.size());
+    // Only the pc and meta columns feed the histories; the effective
+    // address and target columns are never touched here.
+    const Addr *pcs = records.pc();
     std::size_t e = 0;
     for (std::size_t i = 0; i < records.size(); ++i) {
         while (e < events.size() && events[e].now == i) {
-            sigs.push_back(static_cast<std::uint16_t>(foldXor(
-                history.signature(events[e].pc), signature_bits)));
+            for (std::size_t g = 0; g < groups.size(); ++g) {
+                groups[g].sigs.push_back(
+                    static_cast<std::uint16_t>(foldXor(
+                        hist[g].signature(events[e].pc),
+                        groups[g].signatureBits)));
+            }
+            for (std::size_t g = 0; g < ghrp_groups.size(); ++g)
+                ghrp_groups[g].hists.push_back(ghist[g]);
             ++e;
         }
         if (e == events.size())
             break; // trailing records can no longer matter
-        const TraceRecord &rec = records[i];
-        bool on_path = true;
-        switch (history_config.pathFilter) {
-          case PathFilter::All:
-            break;
-          case PathFilter::Memory:
-            on_path = isMemory(rec.cls);
-            break;
-          case PathFilter::Branch:
-            on_path = isBranch(rec.cls);
-            break;
+        const Addr pc = pcs[i];
+        const InstClass cls = records.cls(i);
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            bool on_path = true;
+            switch (groups[g].history.pathFilter) {
+              case PathFilter::All:
+                break;
+              case PathFilter::Memory:
+                on_path = isMemory(cls);
+                break;
+              case PathFilter::Branch:
+                on_path = isBranch(cls);
+                break;
+            }
+            if (on_path)
+                hist[g].onAccess(pc);
+            if (cls == InstClass::CondBranch)
+                hist[g].onCondBranch(pc);
+            else if (cls == InstClass::UncondIndirect)
+                hist[g].onUncondIndirectBranch(pc);
         }
-        if (on_path)
-            history.onAccess(rec.pc);
-        if (rec.cls == InstClass::CondBranch)
-            history.onCondBranch(rec.pc);
-        else if (rec.cls == InstClass::UncondIndirect)
-            history.onUncondIndirectBranch(rec.pc);
+        if (!ghrp_groups.empty() && cls == InstClass::CondBranch) {
+            for (std::size_t g = 0; g < ghrp_groups.size(); ++g) {
+                const unsigned shift = ghrp_groups[g].historyShift;
+                const std::uint64_t event =
+                    (bits(pc, shift, 2) << 1) |
+                    (records.taken(i) ? 1 : 0);
+                ghist[g] = (ghist[g] << shift) | event;
+            }
+        }
     }
-    return sigs;
 }
 
 /**
@@ -709,19 +762,33 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
         // configuration instead of once per variant.  The instances
         // actually simulated are constructed fresh inside each
         // guarded job so a retried attempt starts from scratch.
-        struct SigGroup
-        {
-            HistoryConfig history;
-            unsigned signatureBits;
-            std::vector<std::uint16_t> sigs;
-        };
         std::vector<SigGroup> groups;
+        std::vector<GhrpGroup> ghrp_groups;
         std::vector<std::size_t> group_of(factories.size(), 0);
         std::vector<bool> is_chirp(factories.size(), false);
+        std::vector<bool> is_ghrp(factories.size(), false);
         for (std::size_t p = 0; p < factories.size(); ++p) {
             if (done[p][w])
                 continue;
             const auto probe = factories[p](sets, assoc);
+            // On the legacy trace tier GHRP keeps walking the retire
+            // stream: that path stays the byte-equality reference the
+            // CI leg diffs the streamed replay against.
+            if (const auto *ghrp =
+                    traceFormat() == TraceFormat::Legacy
+                        ? nullptr
+                        : dynamic_cast<const GhrpPolicy *>(probe.get())) {
+                is_ghrp[p] = true;
+                const unsigned shift = ghrp->config().historyShift;
+                std::size_t g = 0;
+                while (g < ghrp_groups.size() &&
+                       ghrp_groups[g].historyShift != shift)
+                    ++g;
+                if (g == ghrp_groups.size())
+                    ghrp_groups.push_back({shift, {}});
+                group_of[p] = g;
+                continue;
+            }
             const auto *chirp =
                 dynamic_cast<const ChirpPolicy *>(probe.get());
             if (!chirp)
@@ -733,14 +800,11 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
                    !(groups[g].history == cfg.history &&
                      groups[g].signatureBits == cfg.signatureBits))
                 ++g;
-            if (g == groups.size()) {
-                groups.push_back(
-                    {cfg.history, cfg.signatureBits,
-                     chirpSignatureStream(cfg.history, cfg.signatureBits,
-                                          *trace, events)});
-            }
+            if (g == groups.size())
+                groups.push_back({cfg.history, cfg.signatureBits, {}});
             group_of[p] = g;
         }
+        computeReplayStreams(groups, ghrp_groups, *trace, events);
         // Policy-parallel batch replay (CHIRP_POLICY_PARALLEL):
         // evaluate every pending policy's table updates in one pass
         // over the shared event stream.  The pass is speculative and
@@ -761,6 +825,10 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
                 static_cast<ChirpPolicy *>(policy.get())
                     ->setSignatureStream(
                         groups[group_of[p]].sigs.data());
+            } else if (is_ghrp[p]) {
+                static_cast<GhrpPolicy *>(policy.get())
+                    ->setHistoryStream(
+                        ghrp_groups[group_of[p]].hists.data());
             }
             return policy;
         };

@@ -1,11 +1,89 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <cstring>
+#include <memory>
 
+#include "trace/trace_store.hh"
 #include "util/logging.hh"
 
 namespace chirp
 {
+
+namespace
+{
+
+/**
+ * Column scratch for one event chunk of the batched replay paths: the
+ * gathered AccessInfos plus the vaddr/now/page-shift columns the key
+ * precompute and the walker consume.
+ */
+struct EventChunk
+{
+    AccessInfo infos[kReplayBatch];
+    Addr vaddrs[kReplayBatch];
+    Addr keys[kReplayBatch];
+    std::uint64_t nows[kReplayBatch];
+    std::uint8_t shifts[kReplayBatch];
+    std::uint8_t hits[kReplayBatch];
+
+    /** Gather @p n events into columns and precompute their keys. */
+    void
+    gather(const L2Event *events, std::size_t n, Asid asid)
+    {
+        for (std::size_t j = 0; j < n; ++j) {
+            const L2Event &event = events[j];
+            AccessInfo &info = infos[j];
+            info.pc = event.pc;
+            info.vaddr = event.vaddr;
+            info.cls = event.cls;
+            info.isInstr = event.isInstr != 0;
+            vaddrs[j] = event.vaddr;
+            nows[j] = event.now;
+            shifts[j] = event.pageShift;
+        }
+        Tlb::keysOf(vaddrs, shifts, n, asid, keys);
+    }
+};
+
+/**
+ * Column scratch for one record chunk of the batched full-pipeline
+ * loop: separate i-side and d-side lanes (the d-side lane is compact
+ * — only memory records contribute, in record order).
+ */
+struct StepChunk
+{
+    AccessInfo iinfos[kReplayBatch];
+    Addr ivaddrs[kReplayBatch];
+    Addr ikeys[kReplayBatch];
+    std::uint64_t inows[kReplayBatch];
+    std::uint8_t ishifts[kReplayBatch];
+    std::uint8_t ihits[kReplayBatch];
+    // Run-compressed i-side lane: runStart[r] is the first record of
+    // run r (consecutive same-page fetches), and the i-side columns
+    // above are then indexed per run, not per record.  ihits stays
+    // per record.
+    std::uint16_t irunStart[kReplayBatch];
+
+    AccessInfo dinfos[kReplayBatch];
+    Addr dvaddrs[kReplayBatch];
+    Addr dkeys[kReplayBatch];
+    std::uint64_t dnows[kReplayBatch];
+    std::uint8_t dshifts[kReplayBatch];
+    std::uint8_t dhits[kReplayBatch];
+
+    // Transpose buffers for sources that only hand out row-major
+    // records (generators, interleaved mixes): the chunk is scattered
+    // into these columns once so the chunk runner itself is always
+    // column-native.  The memory-backed fast path bypasses them and
+    // points the runner straight at the shared trace's columns.
+    Addr pcs[kReplayBatch];
+    Addr eas[kReplayBatch];
+    Addr tgs[kReplayBatch];
+    std::uint8_t metas[kReplayBatch];
+};
+
+} // namespace
 
 Simulator::Simulator(const SimConfig &config,
                      std::unique_ptr<ReplacementPolicy> l2_policy)
@@ -86,7 +164,7 @@ Simulator::runInterleaved(const std::vector<TraceSource *> &sources,
 }
 
 SimStats
-Simulator::replayL2(const std::vector<TraceRecord> &records,
+Simulator::replayL2(const ColumnarTrace &records,
                     const std::vector<L2Event> &events,
                     const SimStats &base)
 {
@@ -124,14 +202,19 @@ Simulator::replayL2(const std::vector<TraceRecord> &records,
         snapWalk = walker.totalCycles();
     };
 
-    // A CHiRP instance fed a precomputed signature stream consumes
+    // A CHiRP instance fed a precomputed signature stream — or a
+    // GHRP instance fed a precomputed history stream — consumes
     // nothing from the retire stream: the stream already encodes the
     // history evolution.
     bool wants_retire = l2.policy().wantsRetireEvents();
     if (wants_retire) {
-        const auto *streamed =
-            dynamic_cast<const ChirpPolicy *>(&l2.policy());
-        if (streamed && streamed->hasSignatureStream())
+        if (const auto *streamed =
+                dynamic_cast<const ChirpPolicy *>(&l2.policy());
+            streamed && streamed->hasSignatureStream())
+            wants_retire = false;
+        if (const auto *streamed =
+                dynamic_cast<const GhrpPolicy *>(&l2.policy());
+            streamed && streamed->hasHistoryStream())
             wants_retire = false;
     }
 
@@ -147,11 +230,48 @@ Simulator::replayL2(const std::vector<TraceRecord> &records,
                 snapshot();
             while (e < events.size() && events[e].now == i)
                 deliver(events[e++]);
-            const TraceRecord &rec = records[i];
-            tlbs_->onInstRetired(rec.pc, rec.cls);
-            if (isBranch(rec.cls))
-                tlbs_->onBranchRetired(rec.pc, rec.cls, rec.taken);
+            const Addr pc = records.pc()[i];
+            const InstClass cls = records.cls(i);
+            tlbs_->onInstRetired(pc, cls);
+            if (isBranch(cls))
+                tlbs_->onBranchRetired(pc, cls, records.taken(i));
         }
+    } else if (traceFormat() != TraceFormat::Legacy) {
+        // Retire-blind policy, batched tier: fixed-size chunks with
+        // the key column precomputed by the simd kernel and the walker
+        // fed from the chunk's miss lanes.  accessBatch is
+        // sequential-equivalent and the walker is latency-accounting
+        // only, so every counter (and the snapshot, which lands on a
+        // chunk boundary by construction) matches the one-at-a-time
+        // reference loop below bit for bit.
+        auto chunk = std::make_unique<EventChunk>();
+        const auto deliverRange = [&](std::size_t lo, std::size_t hi) {
+            while (lo < hi) {
+                const std::size_t n =
+                    std::min<std::size_t>(kReplayBatch, hi - lo);
+                checkCancelled();
+                chunk->gather(events.data() + lo, n, /*asid=*/1);
+                l2.accessBatch(chunk->infos, chunk->keys, chunk->nows,
+                               n, /*asid=*/1, chunk->hits);
+                for (std::size_t j = 0; j < n; ++j) {
+                    if (!chunk->hits[j])
+                        walker.walk(chunk->vaddrs[j]);
+                }
+                lo += n;
+            }
+        };
+        std::size_t e = 0;
+        if (warmup > 0 && warmup < total) {
+            const auto boundary = std::lower_bound(
+                events.begin(), events.end(), warmup,
+                [](const L2Event &event, InstCount limit) {
+                    return event.now < limit;
+                });
+            e = static_cast<std::size_t>(boundary - events.begin());
+            deliverRange(0, e);
+            snapshot();
+        }
+        deliverRange(e, events.size());
     } else {
         // Retire-blind policy: only the events themselves matter.
         std::size_t e = 0;
@@ -199,7 +319,7 @@ Simulator::replayL2(const std::vector<TraceRecord> &records,
 
 std::vector<SimStats>
 Simulator::replayL2Multi(const std::vector<Simulator *> &sims,
-                         const std::vector<TraceRecord> &records,
+                         const ColumnarTrace &records,
                          const std::vector<L2Event> &events,
                          const SimStats &base)
 {
@@ -241,12 +361,17 @@ Simulator::replayL2Multi(const std::vector<Simulator *> &sims,
         lane.warmup = static_cast<InstCount>(
             static_cast<double>(total) * sim.config_.warmupFraction);
         // As in replayL2: a CHiRP instance fed a precomputed
-        // signature stream consumes nothing from the retire stream.
+        // signature stream (or a GHRP instance fed a precomputed
+        // history stream) consumes nothing from the retire stream.
         bool wants = lane.l2->policy().wantsRetireEvents();
         if (wants) {
-            const auto *streamed =
-                dynamic_cast<const ChirpPolicy *>(&lane.l2->policy());
-            if (streamed && streamed->hasSignatureStream())
+            if (const auto *streamed = dynamic_cast<const ChirpPolicy *>(
+                    &lane.l2->policy());
+                streamed && streamed->hasSignatureStream())
+                wants = false;
+            if (const auto *streamed = dynamic_cast<const GhrpPolicy *>(
+                    &lane.l2->policy());
+                streamed && streamed->hasHistoryStream())
                 wants = false;
         }
         lane.wantsRetire = wants;
@@ -277,37 +402,149 @@ Simulator::replayL2Multi(const std::vector<Simulator *> &sims,
         return info;
     };
 
-    if (any_retire) {
-        // At least one policy consumes the retire stream: walk the
-        // records once, interleaving each record's L2 events before
-        // its retire hooks exactly as step() (and replayL2) does.
-        // Retire-blind lanes ride along, receiving only the events;
-        // their snapshot lands at the same counter values as the
-        // pure-event path below (all events of instructions before
-        // the boundary, none at or after it).
+    // The record walk: interleave each record's L2 events before its
+    // retire hooks exactly as step() (and replayL2) does.  Driven for
+    // every lane on the legacy tier, and for only the retire-consuming
+    // lanes on the batched tier (retire-blind lanes take the chunked
+    // event path instead; their snapshots land at the same counter
+    // values — all events of instructions before the boundary, none
+    // at or after it).
+    const auto recordWalk = [&](const std::vector<Lane *> &walkers) {
         std::size_t e = 0;
         for (InstCount i = 0; i < total; ++i) {
-            for (Lane &lane : lanes) {
-                if (!lane.snapped && i == lane.warmup &&
-                    lane.warmup != 0)
-                    snapshot(lane);
+            for (Lane *lane : walkers) {
+                if (!lane->snapped && i == lane->warmup &&
+                    lane->warmup != 0)
+                    snapshot(*lane);
             }
             while (e < events.size() && events[e].now == i) {
                 const AccessInfo info = info_of(events[e]);
-                for (Lane &lane : lanes)
-                    deliver(lane, info, events[e]);
+                for (Lane *lane : walkers)
+                    deliver(*lane, info, events[e]);
                 ++e;
             }
-            const TraceRecord &rec = records[i];
-            const bool branch = isBranch(rec.cls);
-            for (Lane &lane : lanes) {
-                if (!lane.wantsRetire)
+            const Addr pc = records.pc()[i];
+            const InstClass cls = records.cls(i);
+            const bool branch = isBranch(cls);
+            for (Lane *lane : walkers) {
+                if (!lane->wantsRetire)
                     continue;
-                lane.tlbs->onInstRetired(rec.pc, rec.cls);
+                lane->tlbs->onInstRetired(pc, cls);
                 if (branch)
-                    lane.tlbs->onBranchRetired(rec.pc, rec.cls,
-                                               rec.taken);
+                    lane->tlbs->onBranchRetired(pc, cls,
+                                                records.taken(i));
             }
+        }
+    };
+
+    const bool legacy = traceFormat() == TraceFormat::Legacy;
+    if (!legacy && any_retire) {
+        // Batched tier with at least one history policy in the batch:
+        // split the lanes.  Only the retire-consuming lanes pay the
+        // per-record walk; retire-blind lanes replay the (much
+        // shorter) event stream through the chunked path below.
+        std::vector<Lane *> blind, walkers;
+        for (Lane &lane : lanes)
+            (lane.wantsRetire ? walkers : blind).push_back(&lane);
+        auto chunk = std::make_unique<EventChunk>();
+        for (std::size_t lo = 0; lo < events.size();
+             lo += kReplayBatch) {
+            const std::size_t n = std::min<std::size_t>(
+                kReplayBatch, events.size() - lo);
+            chunk->gather(events.data() + lo, n, /*asid=*/1);
+            for (Lane *plane : blind) {
+                Lane &lane = *plane;
+                const auto deliverPart = [&](std::size_t a,
+                                             std::size_t b) {
+                    if (a >= b)
+                        return;
+                    lane.l2->accessBatch(
+                        chunk->infos + a, chunk->keys + a,
+                        chunk->nows + a, b - a, /*asid=*/1,
+                        chunk->hits + a);
+                    for (std::size_t j = a; j < b; ++j) {
+                        if (!chunk->hits[j])
+                            lane.walker->walk(chunk->vaddrs[j]);
+                    }
+                };
+                std::size_t cut = n;
+                if (!lane.snapped && lane.warmup > 0 &&
+                    lane.warmup < total &&
+                    events[lo + n - 1].now >= lane.warmup) {
+                    cut = 0;
+                    while (cut < n &&
+                           events[lo + cut].now < lane.warmup)
+                        ++cut;
+                }
+                if (cut < n) {
+                    deliverPart(0, cut);
+                    snapshot(lane);
+                    deliverPart(cut, n);
+                } else {
+                    deliverPart(0, n);
+                }
+            }
+        }
+        for (Lane *lane : blind) {
+            if (!lane->snapped && lane->warmup > 0 &&
+                lane->warmup < total)
+                snapshot(*lane);
+        }
+        recordWalk(walkers);
+    } else if (any_retire) {
+        std::vector<Lane *> all;
+        all.reserve(lanes.size());
+        for (Lane &lane : lanes)
+            all.push_back(&lane);
+        recordWalk(all);
+    } else if (!legacy) {
+        // Every policy is retire-blind, batched tier: gather each
+        // event chunk's columns once (shared by all lanes), then run
+        // each lane's accesses through the batch entry.  A lane whose
+        // warmup boundary falls inside the chunk splits its batch at
+        // the boundary so the snapshot sees exactly the pre-boundary
+        // counters, as in the per-event reference loop below.
+        auto chunk = std::make_unique<EventChunk>();
+        for (std::size_t lo = 0; lo < events.size();
+             lo += kReplayBatch) {
+            const std::size_t n = std::min<std::size_t>(
+                kReplayBatch, events.size() - lo);
+            chunk->gather(events.data() + lo, n, /*asid=*/1);
+            for (Lane &lane : lanes) {
+                const auto deliverPart = [&](std::size_t a,
+                                             std::size_t b) {
+                    if (a >= b)
+                        return;
+                    lane.l2->accessBatch(
+                        chunk->infos + a, chunk->keys + a,
+                        chunk->nows + a, b - a, /*asid=*/1,
+                        chunk->hits + a);
+                    for (std::size_t j = a; j < b; ++j) {
+                        if (!chunk->hits[j])
+                            lane.walker->walk(chunk->vaddrs[j]);
+                    }
+                };
+                std::size_t cut = n;
+                if (!lane.snapped && lane.warmup > 0 &&
+                    lane.warmup < total &&
+                    events[lo + n - 1].now >= lane.warmup) {
+                    cut = 0;
+                    while (cut < n &&
+                           events[lo + cut].now < lane.warmup)
+                        ++cut;
+                }
+                if (cut < n) {
+                    deliverPart(0, cut);
+                    snapshot(lane);
+                    deliverPart(cut, n);
+                } else {
+                    deliverPart(0, n);
+                }
+            }
+        }
+        for (Lane &lane : lanes) {
+            if (!lane.snapped && lane.warmup > 0 && lane.warmup < total)
+                snapshot(lane);
         }
     } else {
         // Every policy is retire-blind: only the events themselves
@@ -387,6 +624,22 @@ Simulator::runImpl(const std::vector<TraceSource *> &sources,
 
     Cycles cycles = 0;
     InstCount retired = 0;
+    const auto takeSnapshot = [&]() {
+        snap.cycles = cycles;
+        snap.l1iAcc = tlbs_->l1i().accesses();
+        snap.l1iMiss = tlbs_->l1i().misses();
+        snap.l1dAcc = tlbs_->l1d().accesses();
+        snap.l1dMiss = tlbs_->l1d().misses();
+        snap.l2Acc = tlbs_->l2().accesses();
+        snap.l2Hit = tlbs_->l2().hits();
+        snap.l2Miss = tlbs_->l2().misses();
+        snap.branches = branch_.branches();
+        snap.mispredicts = branch_.mispredicts();
+        snap.tReads = tlbs_->l2().policy().tableReads();
+        snap.tWrites = tlbs_->l2().policy().tableWrites();
+        snap.walkCycles = tlbs_->walker().totalCycles();
+        snapped = true;
+    };
     std::size_t active = 0;
     InstCount quantum_left = quantum;
     std::vector<bool> done(sources.size(), false);
@@ -398,6 +651,189 @@ Simulator::runImpl(const std::vector<TraceSource *> &sources,
     // cross a context-switch boundary, so the interleaving schedule
     // is identical to the old one-record pull.
     TraceRecord batch[kReplayBatch];
+
+    // Batched tier: each chunk runs an L1-TLB pre-pass (both L1 TLBs
+    // are plain LRU and evolve independently of everything below
+    // them, so their lookups batch safely), then assembles costs per
+    // record in original order, descending to the shared L2/walker
+    // and caches only where the pre-pass recorded a miss.  Chunks are
+    // split at the warmup boundary so the snapshot below observes
+    // exactly the pre-boundary counters.  CHIRP_TRACE_FORMAT=legacy
+    // keeps the one-record-at-a-time step() reference loop.
+    const bool batched = traceFormat() != TraceFormat::Legacy;
+    auto scratch = batched ? std::make_unique<StepChunk>() : nullptr;
+    // Same-page i-run compression needs the L1i's repeat hits to be
+    // provable policy no-ops; that holds only for the devirtualized
+    // plain-LRU dispatch (CHIRP_FORCE_VIRTUAL clears it).
+    const bool irun = batched && tlbs_->l1i().hasLruMemo();
+    const auto runChunk = [&](const Addr *pc, const Addr *ea,
+                              const Addr *tg, const std::uint8_t *meta,
+                              std::size_t m,
+                              std::uint64_t base_now) -> Cycles {
+        StepChunk &c = *scratch;
+        // Pass A: i-side L1 lookups for the whole chunk.  Sequential
+        // fetch makes the i-stream long runs of same-page addresses;
+        // with the plain-LRU L1i every post-first access of a run is
+        // a provable repeat hit, so each run lowers to one
+        // accessRun() probe plus bulk accounting.  The forced-virtual
+        // reference build (and any non-LRU L1) keeps the per-record
+        // batch, which the dispatch-equality tests compare against.
+        if (irun) {
+            std::size_t nr = 0;
+            for (std::size_t j = 0; j < m;) {
+                const Addr page = pc[j] >> kPageShift;
+                std::size_t k = j + 1;
+                while (k < m && (pc[k] >> kPageShift) == page)
+                    ++k;
+                AccessInfo &info = c.iinfos[nr];
+                info.pc = pc[j];
+                info.vaddr = pc[j];
+                info.cls = static_cast<InstClass>(
+                    meta[j] & ColumnarTrace::kClsMask);
+                info.isInstr = true;
+                c.ivaddrs[nr] = pc[j];
+                c.inows[nr] = base_now + j;
+                c.ishifts[nr] = static_cast<std::uint8_t>(
+                    tlbs_->pageShiftFor(pc[j]));
+                c.irunStart[nr] = static_cast<std::uint16_t>(j);
+                ++nr;
+                j = k;
+            }
+            Tlb::keysOf(c.ivaddrs, c.ishifts, nr, activeAsid_, c.ikeys);
+            Tlb &l1i = tlbs_->l1i();
+            for (std::size_t r = 0; r < nr; ++r) {
+                const std::size_t start = c.irunStart[r];
+                const std::size_t len =
+                    (r + 1 < nr ? c.irunStart[r + 1] : m) - start;
+                c.ihits[start] = l1i.accessRun(c.iinfos[r], c.ikeys[r],
+                                               activeAsid_, c.inows[r],
+                                               len)
+                                     ? 1
+                                     : 0;
+                // Post-first accesses of a run always hit.
+                std::memset(c.ihits + start + 1, 1, len - 1);
+            }
+        } else {
+            for (std::size_t j = 0; j < m; ++j) {
+                AccessInfo &info = c.iinfos[j];
+                info.pc = pc[j];
+                info.vaddr = pc[j];
+                info.cls = static_cast<InstClass>(
+                    meta[j] & ColumnarTrace::kClsMask);
+                info.isInstr = true;
+                c.ivaddrs[j] = pc[j];
+                c.inows[j] = base_now + j;
+                c.ishifts[j] = static_cast<std::uint8_t>(
+                    tlbs_->pageShiftFor(pc[j]));
+            }
+            Tlb::keysOf(c.ivaddrs, c.ishifts, m, activeAsid_, c.ikeys);
+            tlbs_->l1i().accessBatch(c.iinfos, c.ikeys, c.inows, m,
+                                     activeAsid_, c.ihits);
+        }
+        // Pass B: d-side L1 lookups for the chunk's memory records.
+        std::size_t nd = 0;
+        for (std::size_t j = 0; j < m; ++j) {
+            const InstClass cls = static_cast<InstClass>(
+                meta[j] & ColumnarTrace::kClsMask);
+            if (!isMemory(cls))
+                continue;
+            AccessInfo &info = c.dinfos[nd];
+            info.pc = pc[j];
+            info.vaddr = ea[j];
+            info.cls = cls;
+            info.isInstr = false;
+            c.dvaddrs[nd] = ea[j];
+            c.dnows[nd] = base_now + j;
+            c.dshifts[nd] = static_cast<std::uint8_t>(
+                tlbs_->pageShiftFor(ea[j]));
+            ++nd;
+        }
+        Tlb::keysOf(c.dvaddrs, c.dshifts, nd, activeAsid_, c.dkeys);
+        tlbs_->l1d().accessBatch(c.dinfos, c.dkeys, c.dnows, nd,
+                                 activeAsid_, c.dhits);
+        // Pass C: per-record cost assembly in original order; the
+        // shared structures below the L1s (L2 TLB, walker, caches,
+        // branch unit, retire hooks) see the exact step() sequence.
+        Cycles cost = 0;
+        std::size_t d = 0;
+        for (std::size_t j = 0; j < m; ++j) {
+            const InstClass cls = static_cast<InstClass>(
+                meta[j] & ColumnarTrace::kClsMask);
+            const bool taken = (meta[j] & ColumnarTrace::kTakenBit) != 0;
+            const std::uint64_t now = base_now + j;
+            cost += 1;
+            if (!c.ihits[j]) {
+                // Misses are rare (and, in run-compressed mode, only
+                // land on run starts), so the access info is rebuilt
+                // here instead of being staged per record in Pass A.
+                AccessInfo info;
+                info.pc = pc[j];
+                info.vaddr = pc[j];
+                info.cls = cls;
+                info.isInstr = true;
+                cost += tlbs_->translateL1Miss(
+                    info, activeAsid_, now,
+                    static_cast<unsigned>(tlbs_->pageShiftFor(pc[j])));
+            }
+            if (config_.simulateCaches)
+                cost += caches_.accessInstr(pc[j]);
+            if (config_.simulateBranch && isBranch(cls)) {
+                TraceRecord rec;
+                rec.pc = pc[j];
+                rec.effAddr = ea[j];
+                rec.target = tg[j];
+                rec.cls = cls;
+                rec.taken = taken;
+                cost += branch_.onBranch(rec);
+            }
+            if (isMemory(cls)) {
+                if (!c.dhits[d]) {
+                    cost += tlbs_->translateL1Miss(
+                        c.dinfos[d], activeAsid_, now, c.dshifts[d]);
+                }
+                if (config_.simulateCaches) {
+                    cost += caches_.accessData(
+                        ea[j], cls == InstClass::Store);
+                }
+                ++d;
+            }
+            tlbs_->onInstRetired(pc[j], cls);
+            if (isBranch(cls))
+                tlbs_->onBranchRetired(pc[j], cls, taken);
+        }
+        return cost;
+    };
+
+    // Zero-copy fast path: a single memory-backed source replayed in
+    // batched mode is driven straight off the shared trace's columns
+    // — no per-chunk gather into row-major records and no transpose
+    // back into column scratch.  Context-switch scheduling never
+    // applies to a single source, so only the warmup clamp and the
+    // cancellation poll survive from the generic loop.
+    MemoryTraceSource *mem =
+        (batched && sources.size() == 1)
+            ? dynamic_cast<MemoryTraceSource *>(sources[0])
+            : nullptr;
+    if (mem) {
+        const ColumnarTrace &trace = *mem->records();
+        const std::size_t n = trace.size();
+        std::size_t pos = 0;
+        while (pos < n) {
+            checkCancelled();
+            if (!snapped && retired >= warmup)
+                takeSnapshot();
+            std::size_t m = std::min<std::size_t>(kReplayBatch, n - pos);
+            if (!snapped && retired + m > warmup)
+                m = static_cast<std::size_t>(warmup - retired);
+            cycles += runChunk(trace.pc() + pos, trace.effAddr() + pos,
+                               trace.target() + pos, trace.meta() + pos,
+                               m, retired);
+            retired += m;
+            pos += m;
+        }
+        live_sources = 0;
+    }
+
     while (live_sources > 0) {
         // One relaxed load per 256-record batch: cheap enough to be
         // invisible, frequent enough that a fired --job-timeout
@@ -434,25 +870,33 @@ Simulator::runImpl(const std::vector<TraceSource *> &sources,
         }
         if (sources.size() > 1)
             quantum_left -= got;
-        for (std::size_t i = 0; i < got; ++i) {
-            if (!snapped && retired >= warmup) {
-                snap.cycles = cycles;
-                snap.l1iAcc = tlbs_->l1i().accesses();
-                snap.l1iMiss = tlbs_->l1i().misses();
-                snap.l1dAcc = tlbs_->l1d().accesses();
-                snap.l1dMiss = tlbs_->l1d().misses();
-                snap.l2Acc = tlbs_->l2().accesses();
-                snap.l2Hit = tlbs_->l2().hits();
-                snap.l2Miss = tlbs_->l2().misses();
-                snap.branches = branch_.branches();
-                snap.mispredicts = branch_.mispredicts();
-                snap.tReads = tlbs_->l2().policy().tableReads();
-                snap.tWrites = tlbs_->l2().policy().tableWrites();
-                snap.walkCycles = tlbs_->walker().totalCycles();
-                snapped = true;
+        std::size_t done = 0;
+        while (done < got) {
+            if (!snapped && retired >= warmup)
+                takeSnapshot();
+            // Clamp the sub-chunk to the warmup boundary so the next
+            // pass of this loop snapshots exactly there.
+            std::size_t m = got - done;
+            if (!snapped && retired + m > warmup)
+                m = static_cast<std::size_t>(warmup - retired);
+            if (batched) {
+                StepChunk &c = *scratch;
+                for (std::size_t j = 0; j < m; ++j) {
+                    const TraceRecord &rec = batch[done + j];
+                    c.pcs[j] = rec.pc;
+                    c.eas[j] = rec.effAddr;
+                    c.tgs[j] = rec.target;
+                    c.metas[j] =
+                        ColumnarTrace::packMeta(rec.cls, rec.taken);
+                }
+                cycles += runChunk(c.pcs, c.eas, c.tgs, c.metas, m,
+                                   retired);
+            } else {
+                for (std::size_t i = 0; i < m; ++i)
+                    cycles += step(batch[done + i], retired + i);
             }
-            cycles += step(batch[i], retired);
-            ++retired;
+            retired += m;
+            done += m;
         }
     }
     if (!snapped) {

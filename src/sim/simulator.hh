@@ -23,6 +23,7 @@
 #include "sim/sim_config.hh"
 #include "sim/sim_stats.hh"
 #include "tlb/tlb_hierarchy.hh"
+#include "trace/columnar_trace.hh"
 #include "trace/trace_source.hh"
 
 namespace chirp
@@ -89,7 +90,7 @@ class Simulator
      * plus this policy's L2 stalls.  The result is bit-identical to
      * run() over @p records with the same policy.
      */
-    SimStats replayL2(const std::vector<TraceRecord> &records,
+    SimStats replayL2(const ColumnarTrace &records,
                       const std::vector<L2Event> &events,
                       const SimStats &base);
 
@@ -108,7 +109,7 @@ class Simulator
      */
     static std::vector<SimStats>
     replayL2Multi(const std::vector<Simulator *> &sims,
-                  const std::vector<TraceRecord> &records,
+                  const ColumnarTrace &records,
                   const std::vector<L2Event> &events,
                   const SimStats &base);
 

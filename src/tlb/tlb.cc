@@ -1,6 +1,7 @@
 #include "tlb/tlb.hh"
 
 #include <cstdlib>
+#include <cstring>
 #include <type_traits>
 #include <typeinfo>
 
@@ -142,6 +143,110 @@ Tlb::accessSlow(const AccessInfo &info, Asid asid, std::uint64_t now,
         break;
     }
     return accessSlowImpl(policy_.get(), info, asid, now, key);
+}
+
+bool
+Tlb::accessRun(const AccessInfo &info, Addr key, Asid asid,
+               std::uint64_t now, std::size_t n)
+{
+    ++accesses_;
+    bool first;
+    if (hotWay_ >= 0 && key == hotKey_) {
+        ++hits_;
+        array_.dataAt(hotSet_, hotWay_).lastHitTime = now;
+        first = true;
+    } else {
+        first = accessSlow(info, asid, now, key);
+    }
+    if (n > 1) {
+        if (hotWay_ < 0) {
+            // The first access missed (the fill clears the memo).
+            // The entry is resident now, so re-point the memo at it
+            // exactly where the next sequential access's slow-path
+            // hit would have left it.
+            const std::uint32_t set = array_.setIndex(key);
+            hotWay_ = array_.findWay(set, array_.tagOf(key));
+            hotSet_ = set;
+            hotKey_ = key;
+        }
+        // Repeats 2..n: each is ++accesses_/++hits_ plus a
+        // lastHitTime store the next one overwrites, so only the
+        // final timestamp needs writing.
+        accesses_ += n - 1;
+        hits_ += n - 1;
+        array_.dataAt(hotSet_, hotWay_).lastHitTime = now + (n - 1);
+    }
+    return first;
+}
+
+/**
+ * Sequential-equivalent batch: same per-access sequence as the inline
+ * access() (memo check first, then the full slow path), so counters
+ * and policy state land exactly where n individual calls would leave
+ * them.  The wins are batch-level: one policy dispatch per chunk
+ * instead of per access, and each access's set metadata prefetched a
+ * few slots ahead so the random-indexed tag/valid loads overlap the
+ * in-flight accesses instead of stalling each scan.
+ */
+template <typename Policy>
+void
+Tlb::accessBatchImpl(Policy *policy, const AccessInfo *infos,
+                     const Addr *keys, const std::uint64_t *nows,
+                     std::size_t n, Asid asid, std::uint8_t *hits)
+{
+    constexpr std::size_t kPrefetchAhead = 8;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i + kPrefetchAhead < n)
+            array_.prefetchSet(array_.setIndex(keys[i + kPrefetchAhead]));
+        ++accesses_;
+        const Addr key = keys[i];
+        if (hotWay_ >= 0 && key == hotKey_) {
+            ++hits_;
+            array_.dataAt(hotSet_, hotWay_).lastHitTime = nows[i];
+            hits[i] = 1;
+            continue;
+        }
+        hits[i] =
+            accessSlowImpl(policy, infos[i], asid, nows[i], key) ? 1 : 0;
+    }
+}
+
+void
+Tlb::accessBatch(const AccessInfo *infos, const Addr *keys,
+                 const std::uint64_t *nows, std::size_t n, Asid asid,
+                 std::uint8_t *hits)
+{
+    switch (kind_) {
+      case PolicyKind::Lru:
+        return accessBatchImpl(static_cast<LruPolicy *>(policy_.get()),
+                               infos, keys, nows, n, asid, hits);
+      case PolicyKind::Chirp:
+        return accessBatchImpl(static_cast<ChirpPolicy *>(policy_.get()),
+                               infos, keys, nows, n, asid, hits);
+      case PolicyKind::Ship:
+        return accessBatchImpl(static_cast<ShipPolicy *>(policy_.get()),
+                               infos, keys, nows, n, asid, hits);
+      case PolicyKind::Ghrp:
+        return accessBatchImpl(static_cast<GhrpPolicy *>(policy_.get()),
+                               infos, keys, nows, n, asid, hits);
+      case PolicyKind::Srrip:
+        return accessBatchImpl(static_cast<SrripPolicy *>(policy_.get()),
+                               infos, keys, nows, n, asid, hits);
+      case PolicyKind::Generic:
+        break;
+    }
+    accessBatchImpl(policy_.get(), infos, keys, nows, n, asid, hits);
+}
+
+void
+Tlb::keysOf(const Addr *vaddrs, const std::uint8_t *page_shifts,
+            std::size_t n, Asid asid, Addr *keys)
+{
+    const Addr asid_bits = static_cast<Addr>(asid) << 52;
+    std::memcpy(keys, vaddrs, n * sizeof(Addr));
+    simd::shiftOrLanes(keys, page_shifts, n,
+                       static_cast<std::uint8_t>(kPageShift), asid_bits,
+                       asid_bits | (Addr{1} << 51));
 }
 
 bool

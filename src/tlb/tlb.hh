@@ -80,6 +80,66 @@ class Tlb
         return accessSlow(info, asid, now, key);
     }
 
+    /**
+     * Perform @p n accesses as one batch: exactly the state evolution
+     * and counter updates of n sequential access() calls (hits[i]
+     * mirrors each return value), with the policy dispatch resolved
+     * once for the whole batch and each access's set metadata
+     * prefetched a few slots ahead of its scan.  @p keys must hold
+     * keysOf()/keyOf() of each access — callers precompute the column
+     * so the key composition vectorizes over the chunk.
+     */
+    void accessBatch(const AccessInfo *infos, const Addr *keys,
+                     const std::uint64_t *nows, std::size_t n,
+                     Asid asid, std::uint8_t *hits);
+
+    /**
+     * Perform @p n consecutive accesses to the same page — @p key
+     * precomputed, times now, now+1, ..., now+n-1 — with exactly the
+     * state evolution and counters of n sequential access() calls.
+     * Only valid when hasLruMemo() is true (devirtualized plain-LRU
+     * dispatch): there every post-first access is a provable repeat
+     * hit whose policy calls are no-ops (see the memo comment below),
+     * so the n-1 repeats collapse to bulk counter and timestamp
+     * updates.
+     * @return the first access's hit result.
+     */
+    bool accessRun(const AccessInfo &info, Addr key, Asid asid,
+                   std::uint64_t now, std::size_t n);
+
+    /**
+     * Does this TLB run the devirtualized plain-LRU dispatch (the
+     * only kind whose repeat hits are provable policy no-ops)?
+     * Callers gate accessRun() and same-page run compression on this;
+     * CHIRP_FORCE_VIRTUAL turns it off, which keeps the forced-
+     * virtual reference path exercising the uncompressed loop the
+     * equality tests compare against.
+     */
+    bool hasLruMemo() const { return kind_ == PolicyKind::Lru; }
+
+    /** Key combining page number, size class and ASID for set/tag
+     *  mapping. */
+    static Addr
+    keyOf(Addr vaddr, Asid asid, unsigned page_shift)
+    {
+        // ASID and the size class mix into the tag bits only (the
+        // set index stays a pure page-number slice, as in real L2
+        // TLBs); the size bit keeps a 2MB entry from aliasing the
+        // 4KB page sharing its number.
+        const Addr size_bit =
+            page_shift == kPageShift ? 0 : (Addr{1} << 51);
+        return (vaddr >> page_shift) | size_bit |
+               (static_cast<Addr>(asid) << 52);
+    }
+
+    /**
+     * keyOf() over a column: keys[i] = keyOf(vaddrs[i], asid,
+     * page_shifts[i]), composed by the lane-parallel simd kernel.
+     */
+    static void keysOf(const Addr *vaddrs,
+                       const std::uint8_t *page_shifts, std::size_t n,
+                       Asid asid, Addr *keys);
+
     /** Hit check with no state change. */
     bool probe(Addr vaddr, Asid asid,
                unsigned page_shift = kPageShift) const;
@@ -144,6 +204,12 @@ class Tlb
     bool accessSlowImpl(Policy *policy, const AccessInfo &info,
                         Asid asid, std::uint64_t now, Addr key);
 
+    /** The batch loop with hooks bound to @p Policy. */
+    template <typename Policy>
+    void accessBatchImpl(Policy *policy, const AccessInfo *infos,
+                         const Addr *keys, const std::uint64_t *nows,
+                         std::size_t n, Asid asid, std::uint8_t *hits);
+
     /** Per-entry payload. */
     struct Entry
     {
@@ -151,21 +217,6 @@ class Tlb
         std::uint64_t fillTime = 0;
         std::uint64_t lastHitTime = 0;
     };
-
-    /** Key combining page number, size class and ASID for set/tag
-     *  mapping. */
-    static Addr
-    keyOf(Addr vaddr, Asid asid, unsigned page_shift)
-    {
-        // ASID and the size class mix into the tag bits only (the
-        // set index stays a pure page-number slice, as in real L2
-        // TLBs); the size bit keeps a 2MB entry from aliasing the
-        // 4KB page sharing its number.
-        const Addr size_bit =
-            page_shift == kPageShift ? 0 : (Addr{1} << 51);
-        return (vaddr >> page_shift) | size_bit |
-               (static_cast<Addr>(asid) << 52);
-    }
 
     TlbConfig config_;
     SetAssocArray<Entry> array_;

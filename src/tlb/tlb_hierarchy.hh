@@ -87,8 +87,7 @@ class TlbHierarchy
     {
         TranslateResult result;
         Tlb &l1 = info.isInstr ? l1i_ : l1d_;
-        const unsigned page_shift =
-            pageMap_ ? pageMap_->pageShiftFor(info.vaddr) : kPageShift;
+        const unsigned page_shift = pageShiftFor(info.vaddr);
 
         if (l1.access(info, asid, now, page_shift)) {
             result.l1Hit = true;
@@ -110,6 +109,39 @@ class TlbHierarchy
         // L2 miss: walk the page table.
         result.stall += walker_->walk(info.vaddr);
         return result;
+    }
+
+    /**
+     * The L1-miss tail of translate(): record the L2 event, probe the
+     * unified L2 and walk on a miss.  The batched pipeline runs the
+     * L1 lookups of a whole chunk as one pre-pass (the L1 TLBs are
+     * plain LRU and never consult the L2, so their evolution is
+     * independent of everything below them) and then replays only the
+     * missing accesses through this tail in original record order,
+     * keeping the L2 access and event-sink sequences — and with them
+     * every statistic — bit-identical to the one-at-a-time loop.
+     */
+    Cycles
+    translateL1Miss(const AccessInfo &info, Asid asid,
+                    std::uint64_t now, unsigned page_shift)
+    {
+        if (l2Sink_) {
+            l2Sink_->push_back({info.pc, info.vaddr, now, info.cls,
+                                static_cast<std::uint8_t>(info.isInstr),
+                                static_cast<std::uint8_t>(page_shift)});
+        }
+        Cycles stall = l2_.config().hitLatency;
+        if (!l2_.access(info, asid, now, page_shift))
+            stall += walker_->walk(info.vaddr);
+        return stall;
+    }
+
+    /** log2 page size backing @p vaddr (4KB unless a page map says
+     *  otherwise). */
+    unsigned
+    pageShiftFor(Addr vaddr) const
+    {
+        return pageMap_ ? pageMap_->pageShiftFor(vaddr) : kPageShift;
     }
 
     /**

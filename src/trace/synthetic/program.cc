@@ -409,12 +409,11 @@ Program::emitIteration(bool last_iteration)
     queue_.push_back(loop);
 }
 
-bool
-Program::next(TraceRecord &rec)
+void
+Program::refill()
 {
-    assert(finalized_);
-    if (emitted_ >= length_)
-        return false;
+    queue_.clear();
+    queueHead_ = 0;
     while (queue_.empty()) {
         const bool last = itersLeft_ <= 1;
         emitIteration(last);
@@ -427,10 +426,38 @@ Program::next(TraceRecord &rec)
             --itersLeft_;
         }
     }
-    rec = queue_.front();
-    queue_.pop_front();
+}
+
+bool
+Program::next(TraceRecord &rec)
+{
+    assert(finalized_);
+    if (emitted_ >= length_)
+        return false;
+    if (queueHead_ >= queue_.size())
+        refill();
+    rec = queue_[queueHead_++];
     ++emitted_;
     return true;
+}
+
+std::size_t
+Program::nextBatch(TraceRecord *out, std::size_t n)
+{
+    assert(finalized_);
+    std::size_t total = 0;
+    while (total < n && emitted_ < length_) {
+        if (queueHead_ >= queue_.size())
+            refill();
+        const std::size_t take = std::min(
+            {n - total, queue_.size() - queueHead_,
+             static_cast<std::size_t>(length_ - emitted_)});
+        std::copy_n(queue_.data() + queueHead_, take, out + total);
+        queueHead_ += take;
+        emitted_ += take;
+        total += take;
+    }
+    return total;
 }
 
 void
@@ -440,6 +467,7 @@ Program::reset()
     for (auto &p : patterns_)
         p->reset();
     queue_.clear();
+    queueHead_ = 0;
     std::fill(siteCounters_.begin(), siteCounters_.end(), 0u);
     emitted_ = 0;
     memSiteCounter_ = 0;

@@ -28,7 +28,6 @@
 #ifndef CHIRP_TRACE_SYNTHETIC_PROGRAM_HH
 #define CHIRP_TRACE_SYNTHETIC_PROGRAM_HH
 
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -162,6 +161,7 @@ class Program : public TraceSource
     void finalize();
 
     bool next(TraceRecord &rec) override;
+    std::size_t nextBatch(TraceRecord *out, std::size_t n) override;
     void reset() override;
     InstCount expectedLength() const override { return length_; }
 
@@ -235,6 +235,9 @@ class Program : public TraceSource
 
     void emitSite(const Site &site, unsigned pattern_override);
 
+    /** Refill the drained queue with at least one record. */
+    void refill();
+
     /** Assign site ids to every conditional-branch site. */
     void assignSiteIds();
     unsigned chooseNextRegion();
@@ -252,7 +255,12 @@ class Program : public TraceSource
     // Execution state (reconstructed by reset()).
     Rng rng_;
     std::vector<std::uint32_t> siteCounters_; //!< periodic-branch state
-    std::deque<TraceRecord> queue_;
+    // Pending records: emission always lands in a fully drained
+    // queue, so a flat vector plus a read cursor replaces the old
+    // deque — refills reuse one allocation and bulk consumers copy
+    // contiguous spans instead of popping records one at a time.
+    std::vector<TraceRecord> queue_;
+    std::size_t queueHead_ = 0;
     InstCount emitted_ = 0;
     unsigned currentRegion_ = 0;
     unsigned itersLeft_ = 0;

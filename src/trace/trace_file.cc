@@ -1,8 +1,12 @@
 #include "trace/trace_file.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "util/logging.hh"
@@ -14,49 +18,77 @@ namespace
 {
 
 constexpr char kMagic[4] = {'C', 'H', 'T', 'R'};
-constexpr std::size_t kRecordBytes = 8 + 8 + 8 + 1 + 1;
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
 constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+constexpr std::uint64_t kHeaderBytes = 4 + 4 + 8;
+constexpr std::size_t kNumColumns = 4;
+constexpr bool kLittleEndian =
+    std::endian::native == std::endian::little;
 
-/** Serialize a record into its 26-byte wire form. */
-void
-packRecord(const TraceRecord &rec, std::uint8_t *buf)
+/** Byte offsets of every section of a v2 file holding @p n records. */
+struct Layout
 {
-    auto put64 = [&](std::size_t off, std::uint64_t v) {
-        for (int i = 0; i < 8; ++i)
-            buf[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
-    };
-    put64(0, rec.pc);
-    put64(8, rec.effAddr);
-    put64(16, rec.target);
-    buf[24] = static_cast<std::uint8_t>(rec.cls);
-    buf[25] = rec.taken ? 1 : 0;
+    std::uint64_t pcOff = kHeaderBytes;
+    std::uint64_t effAddrOff = 0;
+    std::uint64_t targetOff = 0;
+    std::uint64_t metaOff = 0;
+    std::uint64_t padBytes = 0;
+    std::uint64_t footerOff = 0;
+    std::uint64_t fileSize = 0;
+};
+
+Layout
+layoutFor(std::uint64_t n)
+{
+    Layout lay;
+    lay.effAddrOff = kHeaderBytes + 8 * n;
+    lay.targetOff = lay.effAddrOff + 8 * n;
+    lay.metaOff = lay.targetOff + 8 * n;
+    const std::uint64_t meta_end = lay.metaOff + n;
+    lay.padBytes = (8 - meta_end % 8) % 8;
+    lay.footerOff = meta_end + lay.padBytes;
+    lay.fileSize = lay.footerOff + 8 * kNumColumns;
+    return lay;
 }
 
-/** Deserialize a 26-byte wire record. */
-void
-unpackRecord(const std::uint8_t *buf, TraceRecord &rec)
-{
-    auto get64 = [&](std::size_t off) {
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(buf[off + i]) << (8 * i);
-        return v;
-    };
-    rec.pc = get64(0);
-    rec.effAddr = get64(8);
-    rec.target = get64(16);
-    rec.cls = static_cast<InstClass>(buf[24]);
-    rec.taken = buf[25] != 0;
-}
-
+/**
+ * The v2 per-column checksum: four independent FNV-1a-style 64-bit
+ * lanes striped over consecutive 8-byte words, folded together (with
+ * the length) at the end.  A single byte-serial FNV chain is
+ * latency-bound at ~1 ns/byte — one 64-bit multiply per byte — which
+ * made verifying a warm multi-hundred-MB trace cache cost more than
+ * regenerating it; four lanes keep the same per-word xor-multiply
+ * mixing (any single-bit flip still changes its lane's sum, the
+ * multiplier being odd and thus invertible) while the dependency
+ * chains overlap.  Defined over a whole column at a time: every
+ * writer and reader folds each column in one shot, so there is no
+ * chunk-boundary dependence to keep in sync.
+ */
 std::uint64_t
-fnvUpdate(std::uint64_t h, const std::uint8_t *data, std::size_t len)
+columnChecksum(const std::uint8_t *data, std::size_t len)
 {
-    for (std::size_t i = 0; i < len; ++i) {
-        h ^= data[i];
-        h *= kFnvPrime;
+    std::uint64_t lanes[4] = {
+        kFnvOffset,
+        kFnvOffset ^ 0x9e3779b97f4a7c15ull,
+        kFnvOffset ^ 0xc2b2ae3d27d4eb4full,
+        kFnvOffset ^ 0x165667b19e3779f9ull,
+    };
+    std::size_t i = 0;
+    for (; i + 32 <= len; i += 32) {
+        for (int l = 0; l < 4; ++l) {
+            std::uint64_t word;
+            std::memcpy(&word, data + i + 8 * l, sizeof(word));
+            lanes[l] = (lanes[l] ^ word) * kFnvPrime;
+        }
     }
+    // Tail (< 32 bytes): byte-serial into lane 0, cheap by volume.
+    for (; i < len; ++i) {
+        lanes[0] ^= data[i];
+        lanes[0] *= kFnvPrime;
+    }
+    std::uint64_t h = kFnvOffset ^ static_cast<std::uint64_t>(len);
+    for (const std::uint64_t lane : lanes)
+        h = (h ^ lane) * kFnvPrime;
     return h;
 }
 
@@ -102,7 +134,80 @@ get64(std::FILE *f, std::uint64_t &v)
     return true;
 }
 
-constexpr long kHeaderBytes = 4 + 4 + 8;
+/** Convert an in-memory Addr chunk to/from the file's LE layout. */
+void
+fixEndian(Addr *values, std::size_t n)
+{
+    if constexpr (kLittleEndian) {
+        (void)values;
+        (void)n;
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            values[i] = __builtin_bswap64(values[i]);
+    }
+}
+
+/**
+ * Write one u64 column in file (LE) byte order, accumulating the
+ * FNV-1a checksum over the bytes as laid down on disk.
+ */
+std::uint64_t
+writeAddrColumn(std::FILE *f, const Addr *values, std::uint64_t n)
+{
+    if constexpr (kLittleEndian) {
+        if (n > 0)
+            std::fwrite(values, sizeof(Addr), n, f);
+        return columnChecksum(
+            reinterpret_cast<const std::uint8_t *>(values),
+            static_cast<std::size_t>(n) * sizeof(Addr));
+    }
+    // Big-endian host: the checksum covers the on-disk (LE) bytes and
+    // is defined over the whole column, so build the swapped column
+    // once and write/fold it in one shot.
+    std::vector<Addr> le(values, values + n);
+    fixEndian(le.data(), le.size());
+    if (n > 0)
+        std::fwrite(le.data(), sizeof(Addr), le.size(), f);
+    return columnChecksum(
+        reinterpret_cast<const std::uint8_t *>(le.data()),
+        le.size() * sizeof(Addr));
+}
+
+/** Lay down a complete v2 file body; error state stays on @p f. */
+void
+writeAll(std::FILE *f, const ColumnarTrace &trace)
+{
+    const std::uint64_t n = trace.size();
+    const Layout lay = layoutFor(n);
+    std::fwrite(kMagic, 1, sizeof(kMagic), f);
+    put32(f, kTraceFormatVersion);
+    put64(f, n);
+    std::uint64_t sums[kNumColumns];
+    sums[0] = writeAddrColumn(f, trace.pc(), n);
+    sums[1] = writeAddrColumn(f, trace.effAddr(), n);
+    sums[2] = writeAddrColumn(f, trace.target(), n);
+    if (n > 0)
+        std::fwrite(trace.meta(), 1, n, f);
+    sums[3] = columnChecksum(trace.meta(),
+                             static_cast<std::size_t>(n));
+    const std::uint8_t pad[8] = {};
+    if (lay.padBytes > 0)
+        std::fwrite(pad, 1, static_cast<std::size_t>(lay.padBytes), f);
+    for (const std::uint64_t sum : sums)
+        put64(f, sum);
+}
+
+/** Flush, fsync and close @p f; true when every write stuck. */
+bool
+finishFile(std::FILE *f)
+{
+    bool ok = std::fflush(f) == 0 && std::ferror(f) == 0;
+    if (ok && ::fsync(::fileno(f)) != 0)
+        ok = false;
+    if (std::fclose(f) != 0)
+        ok = false;
+    return ok;
+}
 
 } // namespace
 
@@ -132,15 +237,10 @@ instClassName(InstClass cls)
 }
 
 TraceFileWriter::TraceFileWriter(const std::string &path)
-    : path_(path),
-      file_(std::fopen(path.c_str(), "wb")),
-      checksum_(kFnvOffset)
+    : path_(path), file_(std::fopen(path.c_str(), "wb"))
 {
     if (!file_)
         chirp_fatal("cannot open trace file '", path, "' for writing");
-    std::fwrite(kMagic, 1, sizeof(kMagic), file_);
-    put32(file_, kTraceFormatVersion);
-    put64(file_, 0); // record count, patched in close()
 }
 
 TraceFileWriter::~TraceFileWriter()
@@ -154,11 +254,7 @@ TraceFileWriter::append(const TraceRecord &rec)
 {
     if (closed_)
         chirp_fatal("append to closed trace file '", path_, "'");
-    std::uint8_t buf[kRecordBytes];
-    packRecord(rec, buf);
-    checksum_ = fnvUpdate(checksum_, buf, sizeof(buf));
-    std::fwrite(buf, 1, sizeof(buf), file_);
-    ++count_;
+    buf_.append(rec);
 }
 
 bool
@@ -166,23 +262,28 @@ TraceFileWriter::close()
 {
     if (closed_)
         return true;
-    put64(file_, checksum_);
-    std::fseek(file_, 8, SEEK_SET);
-    put64(file_, count_);
+    writeAll(file_, buf_);
     // Surface any buffered write failure (disk full, I/O error) and
     // make the bytes durable before the caller publishes the file.
-    bool ok = std::fflush(file_) == 0 && std::ferror(file_) == 0;
-    if (ok && ::fsync(::fileno(file_)) != 0)
-        ok = false;
-    if (std::fclose(file_) != 0)
-        ok = false;
+    const bool ok = finishFile(file_);
     file_ = nullptr;
     closed_ = true;
     return ok;
 }
 
+bool
+TraceFileWriter::writeFile(const std::string &path,
+                           const ColumnarTrace &trace)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    writeAll(f, trace);
+    return finishFile(f);
+}
+
 TraceFileSource::TraceFileSource(const std::string &path)
-    : file_(std::fopen(path.c_str(), "rb")), checksum_(kFnvOffset)
+    : file_(std::fopen(path.c_str(), "rb"))
 {
     name_ = path;
     if (!file_)
@@ -232,8 +333,7 @@ TraceFileSource::probe(const std::string &path, std::string *reason)
         why = "unseekable";
     } else {
         const long size = std::ftell(f);
-        const std::uint64_t expected = static_cast<std::uint64_t>(
-            kHeaderBytes) + count * kRecordBytes + 8;
+        const std::uint64_t expected = layoutFor(count).fileSize;
         ok = size >= 0 && static_cast<std::uint64_t>(size) == expected;
         if (!ok) {
             why = detail::concat("size ", size, " != expected ",
@@ -249,67 +349,79 @@ TraceFileSource::verifyChecksum()
 {
     if (verified_)
         return true;
-    const long pos = std::ftell(file_);
-    std::fseek(file_, kHeaderBytes, SEEK_SET);
-    std::uint64_t hash = kFnvOffset;
-    std::uint64_t remaining = count_ * kRecordBytes;
-    std::uint8_t buf[kRecordBytes * 256];
+    const Layout lay = layoutFor(count_);
+    const std::uint64_t starts[kNumColumns] = {
+        lay.pcOff, lay.effAddrOff, lay.targetOff, lay.metaOff};
+    const std::uint64_t widths[kNumColumns] = {8, 8, 8, 1};
+    std::uint64_t sums[kNumColumns];
+    // The checksum is defined over a whole column, so each column is
+    // read into one buffer and folded in a single shot.
+    std::vector<std::uint8_t> buf;
     bool ok = true;
-    while (remaining > 0) {
-        const std::size_t want = static_cast<std::size_t>(
-            std::min<std::uint64_t>(sizeof(buf), remaining));
-        if (std::fread(buf, 1, want, file_) != want) {
+    for (std::size_t c = 0; ok && c < kNumColumns; ++c) {
+        const std::size_t bytes =
+            static_cast<std::size_t>(count_ * widths[c]);
+        buf.resize(bytes);
+        if (std::fseek(file_, static_cast<long>(starts[c]),
+                       SEEK_SET) != 0 ||
+            (bytes > 0 &&
+             std::fread(buf.data(), 1, bytes, file_) != bytes)) {
             ok = false;
             break;
         }
-        hash = fnvUpdate(hash, buf, want);
-        remaining -= want;
+        sums[c] = columnChecksum(buf.data(), bytes);
     }
     if (ok) {
-        std::uint64_t stored = 0;
-        ok = get64(file_, stored) && stored == hash;
+        if (std::fseek(file_, static_cast<long>(lay.footerOff),
+                       SEEK_SET) != 0)
+            ok = false;
+        for (std::size_t c = 0; ok && c < kNumColumns; ++c) {
+            std::uint64_t stored = 0;
+            ok = get64(file_, stored) && stored == sums[c];
+        }
     }
     if (ok)
         verified_ = true;
     std::clearerr(file_);
-    std::fseek(file_, pos, SEEK_SET);
     return ok;
-}
-
-bool
-TraceFileSource::next(TraceRecord &rec)
-{
-    if (read_ >= count_) {
-        verifyFooter();
-        return false;
-    }
-    std::uint8_t buf[kRecordBytes];
-    if (std::fread(buf, 1, sizeof(buf), file_) != sizeof(buf))
-        chirp_fatal("'", name(), "' is truncated at record ", read_);
-    if (!verified_)
-        checksum_ = fnvUpdate(checksum_, buf, sizeof(buf));
-    unpackRecord(buf, rec);
-    ++read_;
-    return true;
 }
 
 std::size_t
 TraceFileSource::nextBatch(TraceRecord *out, std::size_t n)
 {
+    constexpr std::size_t kChunk = 256;
+    Addr pcBuf[kChunk], eaBuf[kChunk], tgBuf[kChunk];
+    std::uint8_t metaBuf[kChunk];
+    const Layout lay = layoutFor(count_);
     std::size_t total = 0;
-    std::uint8_t buf[kRecordBytes * 256];
+    // All reads seek to absolute column offsets, so the stream
+    // position carries no state between calls (read_ does).
+    const auto read_chunk = [&](void *dst, std::uint64_t off,
+                                std::size_t bytes) {
+        if (std::fseek(file_, static_cast<long>(off), SEEK_SET) != 0 ||
+            std::fread(dst, 1, bytes, file_) != bytes)
+            chirp_fatal("'", name(), "' is truncated at record ", read_);
+    };
     while (total < n && read_ < count_) {
         const std::size_t want = std::min<std::size_t>(
-            {n - total, sizeof(buf) / kRecordBytes,
+            {n - total, kChunk,
              static_cast<std::size_t>(count_ - read_)});
-        if (std::fread(buf, 1, want * kRecordBytes, file_) !=
-            want * kRecordBytes) {
-            chirp_fatal("'", name(), "' is truncated at record ", read_);
+        read_chunk(pcBuf, lay.pcOff + 8 * read_, want * 8);
+        read_chunk(eaBuf, lay.effAddrOff + 8 * read_, want * 8);
+        read_chunk(tgBuf, lay.targetOff + 8 * read_, want * 8);
+        read_chunk(metaBuf, lay.metaOff + read_, want);
+        fixEndian(pcBuf, want);
+        fixEndian(eaBuf, want);
+        fixEndian(tgBuf, want);
+        for (std::size_t i = 0; i < want; ++i) {
+            TraceRecord &rec = out[total + i];
+            rec.pc = pcBuf[i];
+            rec.effAddr = eaBuf[i];
+            rec.target = tgBuf[i];
+            rec.cls = static_cast<InstClass>(metaBuf[i] &
+                                             ColumnarTrace::kClsMask);
+            rec.taken = (metaBuf[i] & ColumnarTrace::kTakenBit) != 0;
         }
-        if (!verified_)
-            checksum_ = fnvUpdate(checksum_, buf, want * kRecordBytes);
-        for (std::size_t i = 0; i < want; ++i)
-            unpackRecord(buf + i * kRecordBytes, out[total + i]);
         total += want;
         read_ += want;
     }
@@ -318,26 +430,158 @@ TraceFileSource::nextBatch(TraceRecord *out, std::size_t n)
     return total;
 }
 
+bool
+TraceFileSource::next(TraceRecord &rec)
+{
+    return nextBatch(&rec, 1) == 1;
+}
+
 void
 TraceFileSource::verifyFooter()
 {
     if (verified_)
         return;
-    std::uint64_t stored = 0;
-    if (!get64(file_, stored))
-        chirp_fatal("'", name(), "' is missing its checksum footer");
-    if (stored != checksum_)
+    // The lane-striped column checksum is defined whole-column, so
+    // end-of-stream validation re-reads each column in one shot
+    // rather than folding record chunks as they stream by.  This
+    // source is the reference/testing reader — the cache tiers use
+    // the bulk loaders below — so the extra pass is off every hot
+    // path.
+    if (!verifyChecksum())
         chirp_fatal("'", name(), "' failed checksum validation");
-    verified_ = true;
 }
 
 void
 TraceFileSource::reset()
 {
-    std::fseek(file_, kHeaderBytes, SEEK_SET);
     read_ = 0;
-    if (!verified_)
-        checksum_ = kFnvOffset;
+}
+
+std::shared_ptr<const ColumnarTrace>
+mapTraceFile(const std::string &path, std::string *reason)
+{
+    const auto refuse = [&](const std::string &why)
+        -> std::shared_ptr<const ColumnarTrace> {
+        if (reason)
+            *reason = why;
+        return nullptr;
+    };
+    if (!kLittleEndian) {
+        // The columns would need byte-swapping, defeating zero-copy;
+        // the streaming tier still works everywhere.
+        return refuse("mmap tier requires a little-endian host");
+    }
+    if (!TraceFileSource::probe(path, reason))
+        return nullptr;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return refuse("unreadable");
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return refuse("unreadable");
+    }
+    const std::size_t len = static_cast<std::size_t>(st.st_size);
+    void *base = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd); // the mapping keeps its own reference
+    if (base == MAP_FAILED)
+        return refuse("mmap failed");
+    // The replay will touch every column front to back; huge pages
+    // cut TLB pressure where the kernel supports them for file
+    // mappings (harmless where it does not).
+    ::madvise(base, len, MADV_WILLNEED);
+#ifdef MADV_HUGEPAGE
+    ::madvise(base, len, MADV_HUGEPAGE);
+#endif
+    const std::uint8_t *bytes = static_cast<const std::uint8_t *>(base);
+    std::uint64_t count = 0;
+    std::memcpy(&count, bytes + 8, sizeof(count));
+    const Layout lay = layoutFor(count);
+    const std::uint8_t *cols[kNumColumns] = {
+        bytes + lay.pcOff, bytes + lay.effAddrOff,
+        bytes + lay.targetOff, bytes + lay.metaOff};
+    const std::uint64_t widths[kNumColumns] = {8, 8, 8, 1};
+    for (std::size_t c = 0; c < kNumColumns; ++c) {
+        const std::uint64_t sum = columnChecksum(
+            cols[c], static_cast<std::size_t>(count * widths[c]));
+        std::uint64_t stored = 0;
+        std::memcpy(&stored, bytes + lay.footerOff + 8 * c,
+                    sizeof(stored));
+        if (sum != stored) {
+            ::munmap(base, len);
+            return refuse("checksum mismatch");
+        }
+    }
+    return std::make_shared<const ColumnarTrace>(
+        reinterpret_cast<const Addr *>(cols[0]),
+        reinterpret_cast<const Addr *>(cols[1]),
+        reinterpret_cast<const Addr *>(cols[2]), cols[3],
+        static_cast<std::size_t>(count),
+        [base, len] { ::munmap(base, len); });
+}
+
+std::shared_ptr<const ColumnarTrace>
+readTraceFile(const std::string &path, std::string *reason)
+{
+    // The streaming analog of mapTraceFile: one pass that freads
+    // each column straight into its owned vector and folds the
+    // checksum over the same bytes, instead of a verify pass
+    // followed by a record-at-a-time gather/scatter round trip.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    const auto refuse = [&](std::string why)
+        -> std::shared_ptr<const ColumnarTrace> {
+        if (f)
+            std::fclose(f);
+        if (reason)
+            *reason = std::move(why);
+        return nullptr;
+    };
+    if (!f)
+        return refuse("unreadable");
+    char magic[4];
+    std::uint32_t version = 0;
+    std::uint64_t count = 0;
+    if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return refuse("bad magic (not a chirp trace)");
+    if (!get32(f, version) || version != kTraceFormatVersion)
+        return refuse(detail::concat("unsupported version ", version));
+    if (!get64(f, count))
+        return refuse("truncated header (no record count)");
+    const std::size_t n = static_cast<std::size_t>(count);
+    std::uint64_t sums[kNumColumns];
+    std::vector<Addr> pc(n), ea(n), tg(n);
+    std::vector<std::uint8_t> meta(n);
+    Addr *addr_cols[3] = {pc.data(), ea.data(), tg.data()};
+    for (std::size_t c = 0; c < 3; ++c) {
+        if (n > 0 &&
+            std::fread(addr_cols[c], sizeof(Addr), n, f) != n)
+            return refuse("truncated column");
+        // The footer covers the on-disk (LE) bytes: fold the sum
+        // before any endian fix so it matches the writer's.
+        sums[c] = columnChecksum(
+            reinterpret_cast<const std::uint8_t *>(addr_cols[c]),
+            n * sizeof(Addr));
+        fixEndian(addr_cols[c], n);
+    }
+    if (n > 0 && std::fread(meta.data(), 1, n, f) != n)
+        return refuse("truncated column");
+    sums[3] = columnChecksum(meta.data(), n);
+    const Layout lay = layoutFor(count);
+    if (lay.padBytes > 0 &&
+        std::fseek(f, static_cast<long>(lay.padBytes), SEEK_CUR) != 0)
+        return refuse("truncated padding");
+    for (std::size_t c = 0; c < kNumColumns; ++c) {
+        std::uint64_t stored = 0;
+        if (!get64(f, stored))
+            return refuse("truncated checksum footer");
+        if (stored != sums[c])
+            return refuse("checksum mismatch");
+    }
+    std::fclose(f);
+    f = nullptr;
+    return std::make_shared<const ColumnarTrace>(
+        std::move(pc), std::move(ea), std::move(tg), std::move(meta));
 }
 
 } // namespace chirp

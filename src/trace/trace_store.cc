@@ -13,6 +13,37 @@
 namespace chirp
 {
 
+TraceFormat
+traceFormat()
+{
+    const char *value = std::getenv("CHIRP_TRACE_FORMAT");
+    if (!value || !*value)
+        return TraceFormat::Columnar;
+    const std::string name(value);
+    if (name == "legacy")
+        return TraceFormat::Legacy;
+    if (name == "columnar")
+        return TraceFormat::Columnar;
+    if (name == "mmap")
+        return TraceFormat::Mmap;
+    chirp_fatal("CHIRP_TRACE_FORMAT: unknown format '", name,
+                "' (expected legacy, columnar or mmap)");
+}
+
+const char *
+traceFormatName(TraceFormat format)
+{
+    switch (format) {
+      case TraceFormat::Legacy:
+        return "legacy";
+      case TraceFormat::Columnar:
+        return "columnar";
+      case TraceFormat::Mmap:
+        return "mmap";
+    }
+    return "?";
+}
+
 std::uint64_t
 workloadTraceKey(const WorkloadConfig &config)
 {
@@ -37,6 +68,41 @@ materializeWorkload(const WorkloadConfig &config)
         records.push_back(rec);
     return records;
 }
+
+namespace
+{
+
+/**
+ * Run the generator straight into owned columns through a small
+ * row-major bounce buffer: the records never materialize as one big
+ * array-of-structs, so the columnar tiers skip both that allocation
+ * and the full-trace transpose afterwards.  The legacy tier keeps
+ * the materializeWorkload() + transpose pipeline as reference.
+ */
+std::shared_ptr<ColumnarTrace>
+materializeColumnar(const WorkloadConfig &config)
+{
+    const auto program = buildWorkload(config);
+    auto trace = std::make_shared<ColumnarTrace>();
+    trace->reserve(static_cast<std::size_t>(program->length()));
+    TraceRecord buf[4096];
+    std::size_t got = 0;
+    while ((got = program->nextBatch(buf, 4096)) > 0)
+        trace->appendBatch(buf, got);
+    return trace;
+}
+
+/** Materialize on the tier the active trace format selects. */
+std::shared_ptr<ColumnarTrace>
+materializeForFormat(const WorkloadConfig &config)
+{
+    if (traceFormat() == TraceFormat::Legacy)
+        return std::make_shared<ColumnarTrace>(
+            materializeWorkload(config));
+    return materializeColumnar(config);
+}
+
+} // namespace
 
 TraceStore::TraceStore()
 {
@@ -102,16 +168,14 @@ TraceStore::load(const WorkloadConfig &config)
         const std::string path = cachePath(config);
         if (SharedTrace trace = loadFromDisk(config, path))
             return trace;
-        auto records = std::make_shared<std::vector<TraceRecord>>(
-            materializeWorkload(config));
+        auto trace = materializeForFormat(config);
         generated_.fetch_add(1);
-        saveToDisk(*records, path);
-        return records;
+        saveToDisk(*trace, path);
+        return trace;
     }
-    auto records = std::make_shared<std::vector<TraceRecord>>(
-        materializeWorkload(config));
+    auto trace = materializeForFormat(config);
     generated_.fetch_add(1);
-    return records;
+    return trace;
 }
 
 SharedTrace
@@ -127,28 +191,39 @@ TraceStore::loadFromDisk(const WorkloadConfig &config,
         quarantine(path, reason);
         return nullptr;
     }
-    // Quarantine only after the TraceFileSource has closed the file.
-    {
-        TraceFileSource source(path);
-        if (source.count() != config.length) {
-            // Stale rather than corrupt (a key collision across
-            // different lengths), but quarantining is still the right
-            // recovery: keep the evidence, regenerate the trace.
-            reason = detail::concat("record count ", source.count(),
-                                    " != expected ", config.length);
-        } else if (!source.verifyChecksum()) {
-            reason = "checksum mismatch";
-        } else {
-            auto records = std::make_shared<std::vector<TraceRecord>>(
-                static_cast<std::size_t>(source.count()));
-            const std::size_t got =
-                source.nextBatch(records->data(), records->size());
-            if (got == records->size()) {
+    if (traceFormat() == TraceFormat::Mmap) {
+        // Zero-copy tier: map the columns read-only and replay them
+        // in place; every process mapping this file shares one
+        // physical copy through the page cache.  Checksums are
+        // verified through the mapping before the trace is trusted,
+        // so corruption quarantines exactly as in the streaming tier.
+        if (auto mapped = mapTraceFile(path, &reason)) {
+            if (mapped->size() == config.length) {
                 diskLoads_.fetch_add(1);
-                return records;
+                mapped_.fetch_add(1);
+                return mapped;
             }
-            reason = "short read";
+            reason = detail::concat("record count ", mapped->size(),
+                                    " != expected ", config.length);
         }
+        quarantine(path, reason);
+        return nullptr;
+    }
+    // Streaming tier: one bulk pass reads each column straight into
+    // its owned vector, folding the checksums over the same bytes
+    // (the old loader verified in one pass and then re-read the file
+    // record-at-a-time, which made a warm cache slower than
+    // regenerating).
+    if (auto trace = readTraceFile(path, &reason)) {
+        if (trace->size() == config.length) {
+            diskLoads_.fetch_add(1);
+            return trace;
+        }
+        // Stale rather than corrupt (a key collision across
+        // different lengths), but quarantining is still the right
+        // recovery: keep the evidence, regenerate the trace.
+        reason = detail::concat("record count ", trace->size(),
+                                " != expected ", config.length);
     }
     quarantine(path, reason);
     return nullptr;
@@ -174,7 +249,7 @@ TraceStore::quarantine(const std::string &path, const std::string &reason)
 }
 
 void
-TraceStore::saveToDisk(const std::vector<TraceRecord> &records,
+TraceStore::saveToDisk(const ColumnarTrace &trace,
                        const std::string &path) const
 {
     namespace fs = std::filesystem;
@@ -191,16 +266,11 @@ TraceStore::saveToDisk(const std::vector<TraceRecord> &records,
         path + ".tmp." +
         std::to_string(static_cast<unsigned long long>(
             reinterpret_cast<std::uintptr_t>(this)));
-    {
-        TraceFileWriter writer(tmp);
-        for (const TraceRecord &rec : records)
-            writer.append(rec);
-        if (!writer.close()) {
-            fs::remove(tmp, ec);
-            chirp_warn("trace cache: write to '", tmp,
-                       "' failed, caching disabled for this trace");
-            return;
-        }
+    if (!TraceFileWriter::writeFile(tmp, trace)) {
+        fs::remove(tmp, ec);
+        chirp_warn("trace cache: write to '", tmp,
+                   "' failed, caching disabled for this trace");
+        return;
     }
     fs::rename(tmp, path, ec);
     if (ec) {

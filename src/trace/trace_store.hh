@@ -17,11 +17,13 @@
  * (renamed to "<file>.corrupt" with a logged reason) and the trace is
  * regenerated, so one bad file can never wedge a suite.
  *
- * Memory: records are 32 B each in RAM (26 B on disk), so a default
- * 500k-instruction workload costs ~16 MB resident / ~13 MB cached.
- * Multi-policy suite runs drop() each workload once every policy has
- * replayed it, bounding residency to the in-flight jobs rather than
- * the whole suite.
+ * Memory: streams are stored column-major (ColumnarTrace), 25 B per
+ * record, so a default 500k-instruction workload costs ~12.5 MB
+ * resident and cached.  Under the mmap trace format the disk tier is
+ * mapped read-only instead of copied, so concurrent processes share
+ * one physical copy through the page cache.  Multi-policy suite runs
+ * drop() each workload once every policy has replayed it, bounding
+ * residency to the in-flight jobs rather than the whole suite.
  */
 
 #ifndef CHIRP_TRACE_TRACE_STORE_HH
@@ -37,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "trace/columnar_trace.hh"
 #include "trace/synthetic/workload_factory.hh"
 #include "trace/trace_source.hh"
 
@@ -44,7 +47,36 @@ namespace chirp
 {
 
 /** An immutable, fully materialized instruction stream. */
-using SharedTrace = std::shared_ptr<const std::vector<TraceRecord>>;
+using SharedTrace = std::shared_ptr<const ColumnarTrace>;
+
+/**
+ * How traces are stored and replayed, selected by the
+ * --trace-format flag / CHIRP_TRACE_FORMAT environment variable:
+ *
+ *  - Legacy: columnar storage but the reference one-record-at-a-time
+ *    replay loops (the CI equality legs diff the other modes against
+ *    this one).
+ *  - Columnar (default): batched replay pipeline over the columns.
+ *  - Mmap: Columnar, plus disk-cache loads map the file zero-copy
+ *    instead of streaming it into private memory.
+ */
+enum class TraceFormat : std::uint8_t
+{
+    Legacy,
+    Columnar,
+    Mmap,
+};
+
+/**
+ * The active format from CHIRP_TRACE_FORMAT ("legacy", "columnar",
+ * "mmap"; unset/empty means Columnar).  Read fresh each call so the
+ * equality tests can flip it between runs in one process; fatal on
+ * unrecognized values.
+ */
+TraceFormat traceFormat();
+
+/** Printable name of a trace format. */
+const char *traceFormatName(TraceFormat format);
 
 /**
  * Key over the fields of @p config that determine the emitted record
@@ -59,9 +91,9 @@ std::vector<TraceRecord> materializeWorkload(const WorkloadConfig &config);
 
 /**
  * TraceSource replaying a shared materialized stream from flat
- * memory.  nextBatch() is a bounds-checked copy, so the simulator's
- * batched hot loop consumes records with no generator branching and
- * one virtual call per chunk instead of per record.
+ * memory.  nextBatch() is a bounds-checked column gather, so the
+ * simulator's batched hot loop consumes records with no generator
+ * branching and one virtual call per chunk instead of per record.
  */
 class MemoryTraceSource : public TraceSource
 {
@@ -78,7 +110,7 @@ class MemoryTraceSource : public TraceSource
     {
         if (pos_ >= records_->size())
             return false;
-        rec = (*records_)[pos_++];
+        rec = records_->record(pos_++);
         return true;
     }
 
@@ -86,7 +118,7 @@ class MemoryTraceSource : public TraceSource
     nextBatch(TraceRecord *out, std::size_t n) override
     {
         const std::size_t got = std::min(n, records_->size() - pos_);
-        std::copy_n(records_->data() + pos_, got, out);
+        records_->gather(pos_, got, out);
         pos_ += got;
         return got;
     }
@@ -144,6 +176,9 @@ class TraceStore
     std::uint64_t generated() const { return generated_.load(); }
     /** Streams loaded from a verified disk-cache file. */
     std::uint64_t diskLoads() const { return diskLoads_.load(); }
+    /** Disk loads satisfied zero-copy via mapTraceFile (a subset of
+     *  diskLoads; nonzero only under the mmap trace format). */
+    std::uint64_t mappedLoads() const { return mapped_.load(); }
     /** Disk-cache candidates rejected as corrupt/stale. */
     std::uint64_t rejectedCaches() const { return rejected_.load(); }
     /** Rejected candidates renamed aside as "<file>.corrupt". */
@@ -153,7 +188,7 @@ class TraceStore
     SharedTrace load(const WorkloadConfig &config);
     SharedTrace loadFromDisk(const WorkloadConfig &config,
                              const std::string &path);
-    void saveToDisk(const std::vector<TraceRecord> &records,
+    void saveToDisk(const ColumnarTrace &trace,
                     const std::string &path) const;
     void quarantine(const std::string &path, const std::string &reason);
 
@@ -162,6 +197,7 @@ class TraceStore
     std::map<std::uint64_t, std::shared_future<SharedTrace>> entries_;
     std::atomic<std::uint64_t> generated_{0};
     std::atomic<std::uint64_t> diskLoads_{0};
+    std::atomic<std::uint64_t> mapped_{0};
     std::atomic<std::uint64_t> rejected_{0};
     std::atomic<std::uint64_t> quarantined_{0};
 };

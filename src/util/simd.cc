@@ -274,6 +274,36 @@ matchTagAvx2(const Addr *tags, const std::uint8_t *valid,
 }
 
 CHIRP_AVX2 void
+shiftOrAvx2(std::uint64_t *v, const std::uint8_t *shifts,
+            std::size_t n, std::uint8_t common_shift,
+            std::uint64_t common_or, std::uint64_t other_or)
+{
+    // srlv gives a true per-lane variable shift, so mixed page sizes
+    // stay branch-free on this path.
+    const __m256i common =
+        _mm256_set1_epi64x(static_cast<long long>(common_shift));
+    const __m256i corv =
+        _mm256_set1_epi64x(static_cast<long long>(common_or));
+    const __m256i oorv =
+        _mm256_set1_epi64x(static_cast<long long>(other_or));
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        std::uint32_t packed;
+        std::memcpy(&packed, shifts + i, sizeof(packed));
+        const __m256i s = _mm256_cvtepu8_epi64(
+            _mm_cvtsi32_si128(static_cast<int>(packed)));
+        __m256i *p = reinterpret_cast<__m256i *>(v + i);
+        const __m256i shifted =
+            _mm256_srlv_epi64(_mm256_loadu_si256(p), s);
+        const __m256i orv = _mm256_blendv_epi8(
+            oorv, corv, _mm256_cmpeq_epi64(s, common));
+        _mm256_storeu_si256(p, _mm256_or_si256(shifted, orv));
+    }
+    shiftOrSse2(v + i, shifts + i, n - i, common_shift, common_or,
+                other_or);
+}
+
+CHIRP_AVX2 void
 xorFoldAvx2(std::uint64_t *v, std::size_t n, unsigned nbits)
 {
     std::size_t i = 0;

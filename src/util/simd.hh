@@ -220,6 +220,17 @@ matchTagScalar(const Addr *tags, const std::uint8_t *valid,
 }
 
 inline void
+shiftOrScalar(std::uint64_t *v, const std::uint8_t *shifts,
+              std::size_t n, std::uint8_t common_shift,
+              std::uint64_t common_or, std::uint64_t other_or)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] = (v[i] >> shifts[i]) |
+               (shifts[i] == common_shift ? common_or : other_or);
+    }
+}
+
+inline void
 xorFoldScalar(std::uint64_t *v, std::size_t n, unsigned nbits)
 {
     for (std::size_t i = 0; i < n; ++i)
@@ -450,6 +461,40 @@ matchTagSse2(const Addr *tags, const std::uint8_t *valid,
     return n;
 }
 
+inline void
+shiftOrSse2(std::uint64_t *v, const std::uint8_t *shifts,
+            std::size_t n, std::uint8_t common_shift,
+            std::uint64_t common_or, std::uint64_t other_or)
+{
+    // SSE2 has no per-lane variable 64-bit shift; the vector body
+    // handles the overwhelmingly common all-common-shift pair (one
+    // page size) and odd pairs fall back to scalar lanes — exact
+    // integer ops, so results are bit-identical either way.
+    const __m128i count =
+        _mm_cvtsi32_si128(static_cast<int>(common_shift));
+    const __m128i orv =
+        _mm_set1_epi64x(static_cast<long long>(common_or));
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        if (shifts[i] == common_shift && shifts[i + 1] == common_shift) {
+            __m128i *p = reinterpret_cast<__m128i *>(v + i);
+            _mm_storeu_si128(
+                p, _mm_or_si128(_mm_srl_epi64(_mm_loadu_si128(p), count),
+                                orv));
+        } else {
+            v[i] = (v[i] >> shifts[i]) |
+                   (shifts[i] == common_shift ? common_or : other_or);
+            v[i + 1] =
+                (v[i + 1] >> shifts[i + 1]) |
+                (shifts[i + 1] == common_shift ? common_or : other_or);
+        }
+    }
+    for (; i < n; ++i) {
+        v[i] = (v[i] >> shifts[i]) |
+               (shifts[i] == common_shift ? common_or : other_or);
+    }
+}
+
 /** Low 64 bits of a 64x64 multiply, per lane (SSE2 has no mullo64). */
 inline __m128i
 mul64Sse2(__m128i a, __m128i b)
@@ -572,6 +617,9 @@ void addToLanesAvx2(std::uint8_t *v, std::size_t n,
                     std::uint8_t delta);
 std::size_t matchTagAvx2(const Addr *tags, const std::uint8_t *valid,
                          std::size_t n, Addr tag);
+void shiftOrAvx2(std::uint64_t *v, const std::uint8_t *shifts,
+                 std::size_t n, std::uint8_t common_shift,
+                 std::uint64_t common_or, std::uint64_t other_or);
 void xorFoldAvx2(std::uint64_t *v, std::size_t n, unsigned nbits);
 void mulXorFoldAvx2(std::uint64_t *v, std::size_t n, std::uint64_t k,
                     unsigned nbits);
@@ -733,6 +781,33 @@ matchTagNeon(const Addr *tags, const std::uint8_t *valid,
         if (valid[i] != 0 && tags[i] == tag)
             return i;
     return n;
+}
+
+inline void
+shiftOrNeon(std::uint64_t *v, const std::uint8_t *shifts,
+            std::size_t n, std::uint8_t common_shift,
+            std::uint64_t common_or, std::uint64_t other_or)
+{
+    // vshlq with negative per-lane counts is a per-lane right shift,
+    // so mixed page sizes stay on the vector path.
+    const uint64x2_t cshift = vdupq_n_u64(common_shift);
+    const uint64x2_t corv = vdupq_n_u64(common_or);
+    const uint64x2_t oorv = vdupq_n_u64(other_or);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t s = vcombine_u64(vcreate_u64(shifts[i]),
+                                          vcreate_u64(shifts[i + 1]));
+        const int64x2_t neg =
+            vnegq_s64(vreinterpretq_s64_u64(s));
+        const uint64x2_t shifted = vshlq_u64(vld1q_u64(v + i), neg);
+        const uint64x2_t is_common = vceqq_u64(s, cshift);
+        const uint64x2_t orv = vbslq_u64(is_common, corv, oorv);
+        vst1q_u64(v + i, vorrq_u64(shifted, orv));
+    }
+    for (; i < n; ++i) {
+        v[i] = (v[i] >> shifts[i]) |
+               (shifts[i] == common_shift ? common_or : other_or);
+    }
 }
 
 inline uint64x2_t
@@ -980,6 +1055,41 @@ matchTagLane(const Addr *tags, const std::uint8_t *valid,
     return detail::matchTagNeon(tags, valid, n, tag);
 #else
     return detail::matchTagScalar(tags, valid, n, tag);
+#endif
+}
+
+/**
+ * Lane-wise shift-then-or: v[i] = (v[i] >> shifts[i]) |
+ * (shifts[i] == common_shift ? common_or : other_or) — the TLB key
+ * composition (VPN extract plus size-class/ASID tag bits) over a lane
+ * of virtual addresses.  @p common_shift is the page shift the caller
+ * expects to dominate (the base page size); lanes using any other
+ * shift get @p other_or instead.
+ */
+inline void
+shiftOrLanes(std::uint64_t *v, const std::uint8_t *shifts,
+             std::size_t n, std::uint8_t common_shift,
+             std::uint64_t common_or, std::uint64_t other_or)
+{
+#if defined(CHIRP_SIMD_X86)
+    const Backend b = detail::g_backend;
+    if (b == Backend::Scalar)
+        return detail::shiftOrScalar(v, shifts, n, common_shift,
+                                     common_or, other_or);
+    if (b == Backend::Avx2 && n >= detail::kAvx2Words)
+        return detail::shiftOrAvx2(v, shifts, n, common_shift,
+                                   common_or, other_or);
+    return detail::shiftOrSse2(v, shifts, n, common_shift, common_or,
+                               other_or);
+#elif defined(CHIRP_SIMD_NEON)
+    if (detail::g_backend == Backend::Scalar)
+        return detail::shiftOrScalar(v, shifts, n, common_shift,
+                                     common_or, other_or);
+    return detail::shiftOrNeon(v, shifts, n, common_shift, common_or,
+                               other_or);
+#else
+    return detail::shiftOrScalar(v, shifts, n, common_shift, common_or,
+                                 other_or);
 #endif
 }
 

@@ -98,9 +98,8 @@ TEST(TraceBatch, MemorySourceMatchesGenerator)
 
         const auto program = buildWorkload(config);
         const auto reference = drainScalar(*program);
-        const auto trace =
-            std::make_shared<const std::vector<TraceRecord>>(
-                materializeWorkload(config));
+        const auto trace = std::make_shared<const ColumnarTrace>(
+            materializeWorkload(config));
 
         MemoryTraceSource source(trace);
         EXPECT_EQ(drainScalar(source), reference);
@@ -113,7 +112,7 @@ TEST(TraceBatch, MemorySourceMatchesGenerator)
 
 TEST(TraceBatch, ShortFinalBatchSignalsEnd)
 {
-    const auto trace = std::make_shared<const std::vector<TraceRecord>>(
+    const auto trace = std::make_shared<const ColumnarTrace>(
         materializeWorkload(makeConfig(Category::Spec, 3, 1000)));
     MemoryTraceSource source(trace);
     TraceRecord buf[300];
@@ -126,7 +125,7 @@ TEST(TraceBatch, ShortFinalBatchSignalsEnd)
 
 TEST(TraceBatch, CappedSourceClampsBatches)
 {
-    const auto trace = std::make_shared<const std::vector<TraceRecord>>(
+    const auto trace = std::make_shared<const ColumnarTrace>(
         materializeWorkload(makeConfig(Category::Database, 4, 2000)));
     MemoryTraceSource inner(trace);
     CappedSource capped(inner, 500);
@@ -137,7 +136,7 @@ TEST(TraceBatch, CappedSourceClampsBatches)
         const auto records = drainBatched(capped, batch);
         ASSERT_EQ(records.size(), 500u);
         for (std::size_t i = 0; i < records.size(); ++i)
-            EXPECT_EQ(records[i], (*trace)[i]);
+            EXPECT_EQ(records[i], trace->record(i));
     }
 }
 

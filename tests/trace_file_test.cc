@@ -212,6 +212,119 @@ TEST(TraceFile, RejectsGarbageFiles)
     std::remove(path.c_str());
 }
 
+/** Write @p records to a fresh temp file and return its path. */
+std::string
+writeTrace(const char *tag, const std::vector<TraceRecord> &records)
+{
+    const std::string path = ::testing::TempDir() + tag;
+    TraceFileWriter writer(path);
+    for (const auto &rec : records)
+        writer.append(rec);
+    EXPECT_TRUE(writer.close());
+    return path;
+}
+
+/**
+ * A record stream sized so the file ends mid-page: v2 files are
+ * 16 + 24n + pad8(n) + 32 bytes, so 200 records give 5048 bytes --
+ * two pages with a partial tail.  The mmap loader must still reach
+ * the meta column and the checksum footer inside that tail page.
+ */
+std::vector<TraceRecord>
+tailPageRecords()
+{
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 200; ++i) {
+        TraceRecord rec;
+        rec.pc = 0x400000 + 4 * i;
+        rec.cls = static_cast<InstClass>(i % 8);
+        rec.effAddr = isMemory(rec.cls) ? 0x200000000ull + 16 * i : 0;
+        rec.target = isBranch(rec.cls) ? rec.pc + 128 : 0;
+        rec.taken = (i & 1) != 0;
+        records.push_back(rec);
+    }
+    return records;
+}
+
+TEST(TraceMap, MapsPartialTailPage)
+{
+    const auto records = tailPageRecords();
+    const std::string path = writeTrace("map_tail.chtr", records);
+    ASSERT_NE(std::filesystem::file_size(path) % 4096, 0u)
+        << "fixture must exercise a partial tail page";
+
+    std::string reason;
+    const auto mapped = mapTraceFile(path, &reason);
+    ASSERT_NE(mapped, nullptr) << reason;
+    ASSERT_EQ(mapped->size(), records.size());
+    // Every record, most importantly the last ones living in the
+    // partially used tail page, replays from the mapping.
+    for (std::size_t i = 0; i < records.size(); ++i)
+        EXPECT_EQ(mapped->record(i), records[i]) << "record " << i;
+
+    // The streaming loader agrees byte for byte.
+    const auto streamed = readTraceFile(path, &reason);
+    ASSERT_NE(streamed, nullptr) << reason;
+    EXPECT_EQ(*mapped, *streamed);
+    std::remove(path.c_str());
+}
+
+TEST(TraceMap, MapOutlivesEarlierHandles)
+{
+    const auto records = tailPageRecords();
+    const std::string path = writeTrace("map_alive.chtr", records);
+    std::shared_ptr<const ColumnarTrace> survivor;
+    {
+        const auto mapped = mapTraceFile(path);
+        ASSERT_NE(mapped, nullptr);
+        survivor = mapped;
+    }
+    // The mapping is owned by the shared_ptr, not the call scope, and
+    // stays valid after the file is unlinked (POSIX keeps the pages).
+    std::remove(path.c_str());
+    EXPECT_EQ(survivor->record(records.size() - 1),
+              records.back());
+}
+
+TEST(TraceMap, RejectsBitFlip)
+{
+    const std::string path =
+        writeTrace("map_bitflip.chtr", tailPageRecords());
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 16 + 8 * 57 + 2, SEEK_SET);
+        const int c = std::fgetc(f);
+        std::fseek(f, -1, SEEK_CUR);
+        std::fputc(c ^ 0x40, f);
+        std::fclose(f);
+    }
+    std::string map_reason;
+    EXPECT_EQ(mapTraceFile(path, &map_reason), nullptr);
+    EXPECT_NE(map_reason.find("checksum"), std::string::npos)
+        << map_reason;
+    // Parity: the streaming loader refuses the same file for the
+    // same reason, so both tiers quarantine identically upstream.
+    std::string read_reason;
+    EXPECT_EQ(readTraceFile(path, &read_reason), nullptr);
+    EXPECT_NE(read_reason.find("checksum"), std::string::npos)
+        << read_reason;
+    std::remove(path.c_str());
+}
+
+TEST(TraceMap, RejectsTruncation)
+{
+    const std::string path =
+        writeTrace("map_trunc.chtr", tailPageRecords());
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) - 40);
+    std::string reason;
+    EXPECT_EQ(mapTraceFile(path, &reason), nullptr);
+    EXPECT_FALSE(reason.empty());
+    EXPECT_EQ(readTraceFile(path), nullptr);
+    std::remove(path.c_str());
+}
+
 TEST(InstClassHelpers, Classification)
 {
     EXPECT_TRUE(isBranch(InstClass::CondBranch));

@@ -9,10 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 
 #include "trace/trace_file.hh"
 #include "trace/trace_store.hh"
+#include "util/fault_injection.hh"
 
 namespace chirp
 {
@@ -263,10 +265,141 @@ TEST(TraceStore, BitFlippedCacheIsQuarantined)
     std::filesystem::remove_all(dir);
 }
 
+/** Pin CHIRP_TRACE_FORMAT for one test, restoring the prior value. */
+class ScopedTraceFormat
+{
+  public:
+    explicit ScopedTraceFormat(const char *format)
+    {
+        if (const char *prev = std::getenv("CHIRP_TRACE_FORMAT"))
+            saved_ = prev;
+        ::setenv("CHIRP_TRACE_FORMAT", format, 1);
+    }
+
+    ~ScopedTraceFormat()
+    {
+        if (saved_.empty())
+            ::unsetenv("CHIRP_TRACE_FORMAT");
+        else
+            ::setenv("CHIRP_TRACE_FORMAT", saved_.c_str(), 1);
+    }
+
+    ScopedTraceFormat(const ScopedTraceFormat &) = delete;
+    ScopedTraceFormat &operator=(const ScopedTraceFormat &) = delete;
+
+  private:
+    std::string saved_;
+};
+
+TEST(TraceStoreMmap, DiskTierServesZeroCopyMappings)
+{
+    const ScopedTraceFormat format("mmap");
+    const std::string dir = freshCacheDir("mmap_roundtrip");
+    const auto config = sampleConfig(Category::Scientific, 23, 7000);
+
+    TraceStore writer(dir);
+    const auto generated = writer.get(config);
+    EXPECT_EQ(writer.generated(), 1u);
+
+    TraceStore reader(dir);
+    const auto mapped = reader.get(config);
+    EXPECT_EQ(reader.generated(), 0u);
+    EXPECT_EQ(reader.diskLoads(), 1u);
+    EXPECT_EQ(reader.mappedLoads(), 1u)
+        << "the mmap tier must map, not copy, the cache file";
+    EXPECT_EQ(*mapped, *generated);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceStoreMmap, BitFlippedCacheQuarantinesLikeStreamingTier)
+{
+    const ScopedTraceFormat format("mmap");
+    const std::string dir = freshCacheDir("mmap_bitflip");
+    const auto config = sampleConfig(Category::Database, 29, 3000);
+
+    TraceStore writer(dir);
+    const auto generated = writer.get(config);
+    const std::string path = writer.cachePath(config);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    // Same single-bit corruption the streaming-tier test injects: the
+    // mapped checksum pass must catch it before the trace is trusted,
+    // quarantine the file identically, and fall back to the generator.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 16 + 8 * 100, SEEK_SET);
+        const int c = std::fgetc(f);
+        std::fseek(f, -1, SEEK_CUR);
+        std::fputc(c ^ 0x01, f);
+        std::fclose(f);
+    }
+
+    TraceStore reader(dir);
+    const auto regenerated = reader.get(config);
+    EXPECT_EQ(reader.mappedLoads(), 0u);
+    EXPECT_EQ(reader.quarantinedCaches(), 1u);
+    EXPECT_EQ(reader.rejectedCaches(), 1u);
+    EXPECT_EQ(reader.generated(), 1u);
+    EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"))
+        << "mmap tier keeps the same .corrupt evidence trail";
+    EXPECT_EQ(*regenerated, *generated);
+
+    // The re-published replacement serves zero-copy again.
+    TraceStore again(dir);
+    EXPECT_EQ(*again.get(config), *generated);
+    EXPECT_EQ(again.mappedLoads(), 1u);
+    EXPECT_EQ(again.quarantinedCaches(), 0u);
+    std::filesystem::remove_all(dir);
+}
+
+/**
+ * The CHIRP_FAULT cache-bitflip action against the v2 column format:
+ * the injector corrupts the freshly published cache file, and the
+ * next store to consider it must quarantine and regenerate on both
+ * the streaming and the zero-copy tier.
+ */
+void
+runFaultInjectedBitflip(const char *format_name, std::uint64_t seed)
+{
+    const ScopedTraceFormat format(format_name);
+    const std::string dir =
+        freshCacheDir((std::string("fault_") + format_name).c_str());
+    const auto config = sampleConfig(Category::Web, seed, 4000);
+
+    FaultInjector &injector = FaultInjector::instance();
+    injector.configure("cache-bitflip@0");
+    TraceStore writer(dir);
+    const auto generated = writer.get(config);
+    EXPECT_EQ(injector.cacheEvents(), 1u)
+        << "publishing the cache file must fire the armed action";
+    injector.reset();
+
+    TraceStore reader(dir);
+    const auto regenerated = reader.get(config);
+    EXPECT_EQ(reader.quarantinedCaches(), 1u)
+        << format_name << ": corrupted publish must be quarantined";
+    EXPECT_EQ(reader.generated(), 1u);
+    EXPECT_TRUE(std::filesystem::exists(
+        writer.cachePath(config) + ".corrupt"));
+    EXPECT_EQ(*regenerated, *generated);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceStoreFault, InjectedBitflipQuarantinesStreamingTier)
+{
+    runFaultInjectedBitflip("columnar", 31);
+}
+
+TEST(TraceStoreFault, InjectedBitflipQuarantinesMmapTier)
+{
+    runFaultInjectedBitflip("mmap", 37);
+}
+
 TEST(MemoryTraceSource, ReplaysSharedStream)
 {
     const auto config = sampleConfig(Category::Crypto, 5, 3000);
-    const auto trace = std::make_shared<const std::vector<TraceRecord>>(
+    const auto trace = std::make_shared<const ColumnarTrace>(
         materializeWorkload(config));
     MemoryTraceSource source(trace, "replay");
     EXPECT_EQ(source.expectedLength(), trace->size());
@@ -275,13 +408,13 @@ TEST(MemoryTraceSource, ReplaysSharedStream)
     TraceRecord rec;
     while (source.next(rec))
         replayed.push_back(rec);
-    EXPECT_EQ(replayed, *trace);
+    EXPECT_EQ(*trace, replayed);
 
     // reset() rewinds to a byte-identical second pass.
     source.reset();
     std::size_t i = 0;
     while (source.next(rec))
-        EXPECT_EQ(rec, (*trace)[i++]);
+        EXPECT_EQ(rec, trace->record(i++));
     EXPECT_EQ(i, trace->size());
 }
 
