@@ -16,6 +16,8 @@ ChirpPolicy::ChirpPolicy(std::uint32_t num_sets, std::uint32_t assoc,
       sig_(static_cast<std::size_t>(num_sets) * assoc, 0),
       dead_(static_cast<std::size_t>(num_sets) * assoc, 0),
       firstHit_(static_cast<std::size_t>(num_sets) * assoc, 0),
+      sigIdxVal_(static_cast<std::size_t>(num_sets) * assoc, 0),
+      sigIdxOk_(static_cast<std::size_t>(num_sets) * assoc, 0),
       stack_(num_sets, assoc)
 {
     if (config.signatureBits == 0 || config.signatureBits > 32)
@@ -30,12 +32,17 @@ ChirpPolicy::reset()
     std::fill(sig_.begin(), sig_.end(), 0);
     std::fill(dead_.begin(), dead_.end(), 0);
     std::fill(firstHit_.begin(), firstHit_.end(), 0);
+    std::fill(sigIdxVal_.begin(), sigIdxVal_.end(), 0);
+    std::fill(sigIdxOk_.begin(), sigIdxOk_.end(), 0);
     stack_.reset();
     lastSet_ = ~0u;
     deadVictims_ = 0;
     lruVictims_ = 0;
     memoValid_ = false;
+    memoIdxValid_ = false;
     sigIdx_ = 0; // an attached signature stream restarts with us
+    batchPos_ = 0;
+    batchActive_ = false;
     resetTableCounters();
 }
 

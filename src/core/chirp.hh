@@ -38,6 +38,7 @@
 #ifndef CHIRP_CORE_CHIRP_HH
 #define CHIRP_CORE_CHIRP_HH
 
+#include <cassert>
 #include <vector>
 
 #include "core/history.hh"
@@ -123,6 +124,20 @@ class ChirpPolicy final : public ReplacementPolicy
     void
     onAccessBegin(const AccessInfo &info) override
     {
+        if (batchActive_) {
+            // Batched miss path: the signature (and its table index)
+            // was composed for the whole chunk in beginAccessBatch;
+            // pick up this access's lane and advance the cursors.
+            // The index column is consumed lazily by memoizedIndex —
+            // the pick itself stays as cheap as scalar mode.
+            const std::size_t i = batchPos_++;
+            if (sigStream_)
+                ++sigIdx_; // keep the replay cursor exact mid-chunk
+            memoSig_ = batchSig_[i];
+            memoPc_ = info.pc;
+            memoValid_ = true;
+            return;
+        }
         // Compose the signature once; the hit/victim/fill hooks of
         // this access reuse it instead of re-reducing the histories.
         if (sigStream_) {
@@ -137,6 +152,82 @@ class ChirpPolicy final : public ReplacementPolicy
         memoValid_ = true;
     }
 
+    /**
+     * Batched miss path (see ReplacementPolicy::beginAccessBatch):
+     * compose the whole chunk's signatures in one lane-parallel pass
+     * — the histories are frozen for the chunk, so every lane shares
+     * one folded-history base — instead of a per-access fold.
+     */
+    void
+    beginAccessBatch(const AccessInfo *infos, std::size_t n) override
+    {
+        if (batchSig_.size() < n) {
+            batchSig_.resize(n);
+            batchIdx_.resize(n);
+            batchLanes_.resize(n);
+        }
+        if (sigStream_) {
+            // Replay mode: the per-access signatures are already a
+            // stream; the chunk's slice is a straight copy and the
+            // index column one lane-parallel hash pass.  The cursor
+            // advances per access (onAccessBegin), not here, so a
+            // mid-chunk unwind leaves it exact.
+            for (std::size_t i = 0; i < n; ++i)
+                batchSig_[i] = sigStream_[sigIdx_ + i];
+            table_.indexStream(batchSig_.data(), n, batchLanes_.data(),
+                               batchIdx_.data());
+        } else {
+            // signature(pc) = (pc >> 2) ^ H with H the folded-history
+            // XOR, constant across the chunk: folding H into the lane
+            // fill lets the fused kernel produce the signature column
+            // AND its table-index column in one register-resident
+            // pass, so the fills of the chunk never hash.
+            const std::uint64_t hbase = history_.signature(0);
+            for (std::size_t i = 0; i < n; ++i)
+                batchLanes_[i] = (infos[i].pc >> 2) ^ hbase;
+            table_.sigIndexStream(batchLanes_.data(), n, sigPlan_,
+                                  batchSig_.data(), batchIdx_.data());
+        }
+#ifndef NDEBUG
+        for (std::size_t i = 0; i < n; ++i) {
+            assert(batchSig_[i] ==
+                   (sigStream_ ? sigStream_[sigIdx_ + i]
+                               : computeSignature(infos[i].pc)));
+            assert(batchIdx_[i] == table_.indexOf(batchSig_[i]));
+        }
+#endif
+        batchPos_ = 0;
+        batchActive_ = true;
+    }
+
+    void
+    endAccessBatch() override
+    {
+        // The memos stay valid: they describe the last completed
+        // access, exactly as a scalar onAccessBegin would have left
+        // them.
+        batchActive_ = false;
+    }
+
+    /**
+     * Batched-loop metadata hint (shadows the base no-op; resolved
+     * statically under devirtualized dispatch): pull the set's dead
+     * bits, LRU ranks and stored signatures toward the caches one
+     * chunk slot ahead of its scan.
+     */
+    void
+    prefetchMeta(std::uint32_t set) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        const std::size_t base = idx(set, 0);
+        __builtin_prefetch(dead_.data() + base, 0, 3);
+        __builtin_prefetch(stack_.positions(set), 0, 3);
+        __builtin_prefetch(sig_.data() + base, 1, 3);
+#else
+        (void)set;
+#endif
+    }
+
     void
     onHit(std::uint32_t set, std::uint32_t way,
           const AccessInfo &info) override
@@ -149,16 +240,30 @@ class ChirpPolicy final : public ReplacementPolicy
             // The entry proved live: decrement at its stored signature
             // (Algorithm 5 lines 16-17) ...
             countTableWrite();
-            table_.decrement(sig_[entry]);
+            if (sigIdxOk_[entry])
+                table_.decrementAt(sigIdxVal_[entry]);
+            else
+                table_.decrement(sig_[entry]);
             // ... and refresh the dead prediction under the new
             // context (lines 7 and 18).
             countTableRead();
-            dead_[entry] = table_.read(new_sig) > config_.deadThreshold;
+            dead_[entry] =
+                table_.readAt(memoizedIndex(new_sig)) >
+                config_.deadThreshold;
             firstHit_[entry] = false;
         }
         // The signature always tracks the most recent context (line
-        // 20); this costs no table access, only entry metadata.
+        // 20); this costs no table access, only entry metadata.  The
+        // cached index rides along when the access memo already holds
+        // new_sig's slot; untrained hits stay hash-free and just
+        // drop the cache.
         sig_[entry] = new_sig;
+        if (memoIdxValid_ && memoIdxSig_ == new_sig) {
+            sigIdxVal_[entry] = memoIdx_;
+            sigIdxOk_[entry] = 1;
+        } else {
+            sigIdxOk_[entry] = 0;
+        }
     }
 
     std::uint32_t
@@ -192,7 +297,11 @@ class ChirpPolicy final : public ReplacementPolicy
             // An entry the predictor believed live is being evicted:
             // dead evidence at its stored signature (lines 10-12).
             countTableWrite();
-            table_.increment(sig_[idx(set, victim)]);
+            const std::size_t entry = idx(set, victim);
+            if (sigIdxOk_[entry])
+                table_.incrementAt(sigIdxVal_[entry]);
+            else
+                table_.increment(sig_[entry]);
         }
         return victim;
     }
@@ -208,11 +317,16 @@ class ChirpPolicy final : public ReplacementPolicy
         firstHit_[entry] = true;
         if (config_.victimPrefersDead) {
             // Prediction metadata update for the incoming entry: read
-            // the counter under the new signature and threshold it.
+            // the counter under the new signature and threshold it,
+            // caching the slot for this entry's later train events.
             countTableRead();
-            dead_[entry] = table_.read(sig) > config_.deadThreshold;
+            const std::size_t tidx = memoizedIndex(sig);
+            dead_[entry] = table_.readAt(tidx) > config_.deadThreshold;
+            sigIdxVal_[entry] = static_cast<std::uint32_t>(tidx);
+            sigIdxOk_[entry] = 1;
         } else {
             dead_[entry] = false;
+            sigIdxOk_[entry] = 0;
         }
     }
 
@@ -224,6 +338,7 @@ class ChirpPolicy final : public ReplacementPolicy
         sig_[entry] = 0;
         dead_[entry] = false;
         firstHit_[entry] = false;
+        sigIdxOk_[entry] = 0;
     }
 
     void
@@ -316,6 +431,26 @@ class ChirpPolicy final : public ReplacementPolicy
         return computeSignature(pc);
     }
 
+    /**
+     * Table index for @p sig: the chunk's precomputed index column
+     * when this is the in-flight batched access's own signature, else
+     * the memo when it holds exactly this signature (a previous call
+     * for the same signature), one hash otherwise.
+     */
+    std::size_t
+    memoizedIndex(std::uint16_t sig) const
+    {
+        if (batchActive_ && sig == memoSig_)
+            return batchIdx_[batchPos_ - 1];
+        if (memoIdxValid_ && memoIdxSig_ == sig)
+            return memoIdx_;
+        const std::size_t tidx = table_.indexOf(sig);
+        memoIdx_ = static_cast<std::uint32_t>(tidx);
+        memoIdxSig_ = sig;
+        memoIdxValid_ = true;
+        return tidx;
+    }
+
     /** Should this hit touch the prediction table? */
     bool
     hitShouldTrain(std::size_t entry, std::uint32_t set) const
@@ -337,10 +472,15 @@ class ChirpPolicy final : public ReplacementPolicy
     // Fold ladder for the signature width, built once.
     simd::FoldPlan sigPlan_;
     // Structure-of-arrays entry metadata, each indexed by idx(set,
-    // way): 16-bit stored signature, dead bit, first-hit bit.
+    // way): 16-bit stored signature, dead bit, first-hit bit, plus a
+    // cached table index for the stored signature (valid when the
+    // matching sigIdxOk_ byte is set) so train events at a stored
+    // signature skip the hash.
     std::vector<std::uint16_t> sig_;
     std::vector<std::uint8_t> dead_;
     std::vector<std::uint8_t> firstHit_;
+    std::vector<std::uint32_t> sigIdxVal_;
+    std::vector<std::uint8_t> sigIdxOk_;
     LruStack stack_;
     std::uint32_t lastSet_ = ~0u;
     std::uint64_t deadVictims_ = 0;
@@ -349,9 +489,22 @@ class ChirpPolicy final : public ReplacementPolicy
     bool memoValid_ = false;
     Addr memoPc_ = 0;
     std::uint16_t memoSig_ = 0;
+    // Table-index memo: the last hashed signature's slot, filled
+    // lazily by memoizedIndex.
+    mutable bool memoIdxValid_ = false;
+    mutable std::uint16_t memoIdxSig_ = 0;
+    mutable std::uint32_t memoIdx_ = 0;
     // Replay signature stream (see setSignatureStream).
     const std::uint16_t *sigStream_ = nullptr;
     std::size_t sigIdx_ = 0;
+    // Batched miss path: the chunk-wide signature and table-index
+    // columns and the u64 lane scratch their fused fold kernel runs
+    // over (see beginAccessBatch).
+    std::vector<std::uint16_t> batchSig_;
+    std::vector<std::uint32_t> batchIdx_;
+    std::vector<std::uint64_t> batchLanes_;
+    std::size_t batchPos_ = 0;
+    bool batchActive_ = false;
 };
 
 } // namespace chirp

@@ -59,6 +59,8 @@ GhrpPolicy::reset()
     history_ = 0;
     memoValid_ = false;
     histIdx_ = 0;
+    batchPos_ = 0;
+    batchActive_ = false;
     resetTableCounters();
 }
 

@@ -99,6 +99,24 @@ class GhrpPolicy final : public ReplacementPolicy
     void
     onAccessBegin(const AccessInfo &info) override
     {
+        if (batchActive_) {
+            // Batched miss path: every table's signature and index
+            // for this access were composed in beginAccessBatch; the
+            // memo is a column pick, not a hash.  The history
+            // register still advances per access so mid-chunk state
+            // (and a mid-chunk unwind) matches the scalar path.
+            if (histStream_)
+                history_ = histStream_[histIdx_++];
+            const std::size_t i = batchPos_++;
+            const unsigned n = config_.numTables;
+            for (unsigned t = 0; t < n; ++t) {
+                memoSigs_[t] = batchSigs_[t * batchN_ + i];
+                memoIdxs_[t] = batchIdxs_[t * batchN_ + i];
+            }
+            memoPc_ = info.pc;
+            memoValid_ = true;
+            return;
+        }
         if (histStream_) {
             // Replay mode: the history register values this policy
             // would have accumulated from the retire stream were
@@ -116,6 +134,108 @@ class GhrpPolicy final : public ReplacementPolicy
         // Compose the per-table signatures and table indices once;
         // the hit/fill hooks of this access reuse them.
         memoize(info.pc);
+    }
+
+    /**
+     * Batched miss path (see ReplacementPolicy::beginAccessBatch):
+     * compose the whole chunk's per-table signatures and table
+     * indices as n-lane columns through the fused sigIndexLanes
+     * kernel — base → fold → signature → salt → multiply → fold →
+     * bank index in registers, one pass over the chunk per table,
+     * instead of separate fill/fold/truncate/salt/hash passes each
+     * streaming the chunk through memory.  In live-history mode the
+     * register is frozen for the chunk, so each table's history term
+     * is the kernel's xor constant and the pc lanes are shared by all
+     * tables; in replay mode the stream supplies each access's
+     * register value, one extra xor pass per table.
+     */
+    void
+    beginAccessBatch(const AccessInfo *infos, std::size_t n) override
+    {
+        const unsigned tables = config_.numTables;
+        // [0, n) holds the shared pc>>2 lanes; [n, 2n) is scratch for
+        // the replay-mode per-access history xor.
+        if (batchLanes_.size() < 2 * n) {
+            batchLanes_.resize(2 * n);
+            batchSigs_.resize(n * tables);
+            batchIdxs_.resize(n * tables);
+        } else if (batchSigs_.size() < n * tables) {
+            batchSigs_.resize(n * tables);
+            batchIdxs_.resize(n * tables);
+        }
+        std::uint64_t *lanes = batchLanes_.data();
+        std::uint64_t *scratch = lanes + n;
+        for (std::size_t i = 0; i < n; ++i)
+            lanes[i] = infos[i].pc >> 2;
+        for (unsigned t = 0; t < tables; ++t) {
+            std::uint16_t *sigs = batchSigs_.data() + t * n;
+            std::uint32_t *idxs = batchIdxs_.data() + t * n;
+            const std::uint32_t bank = static_cast<std::uint32_t>(t)
+                                       << indexBits_;
+            if (histStream_) {
+                const std::uint64_t mask = histMasks_[t];
+                for (std::size_t i = 0; i < n; ++i)
+                    scratch[i] =
+                        lanes[i] ^ (histStream_[histIdx_ + i] & mask);
+                simd::sigIndexLanes(scratch, n, 0, sigPlan_, salts_[t],
+                                    kIndexHashMultiplier, idxPlan_,
+                                    bank, sigs, idxs);
+            } else {
+                simd::sigIndexLanes(lanes, n, history_ & histMasks_[t],
+                                    sigPlan_, salts_[t],
+                                    kIndexHashMultiplier, idxPlan_,
+                                    bank, sigs, idxs);
+            }
+        }
+#ifndef NDEBUG
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t h =
+                histStream_ ? histStream_[histIdx_ + i] : history_;
+            for (unsigned t = 0; t < tables; ++t) {
+                const std::uint16_t want = static_cast<std::uint16_t>(
+                    foldXor((infos[i].pc >> 2) ^ (h & histMasks_[t]),
+                            config_.signatureBits));
+                assert(batchSigs_[t * n + i] == want);
+                assert(batchIdxs_[t * n + i] ==
+                       bankIndex(t, hashBy(HashKind::Index,
+                                           static_cast<std::uint64_t>(
+                                               want) ^
+                                               salts_[t],
+                                           indexBits_)));
+            }
+        }
+#endif
+        batchN_ = n;
+        batchPos_ = 0;
+        batchActive_ = true;
+    }
+
+    void
+    endAccessBatch() override
+    {
+        // The memo keeps the last completed access's values, exactly
+        // where a scalar onAccessBegin sequence would have left it.
+        batchActive_ = false;
+    }
+
+    /**
+     * Batched-loop metadata hint (shadows the base no-op; resolved
+     * statically under devirtualized dispatch): pull the set's dead
+     * bits, LRU ranks and cached table indices toward the caches one
+     * chunk slot ahead of its scan.
+     */
+    void
+    prefetchMeta(std::uint32_t set) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        const std::size_t base = idx(set, 0);
+        __builtin_prefetch(dead_.data() + base, 0, 3);
+        __builtin_prefetch(stack_.positions(set), 0, 3);
+        __builtin_prefetch(
+            sigIdxs_.data() + base * config_.numTables, 0, 3);
+#else
+        (void)set;
+#endif
     }
 
     void
@@ -365,22 +485,28 @@ class GhrpPolicy final : public ReplacementPolicy
             (static_cast<std::uint64_t>(t) << indexBits_) | idx);
     }
 
-    /** Saturating increment of one bank counter. */
+    /**
+     * Saturating increment of one bank counter.  Branchless: the
+     * saturation test compiles to a flag add, so the data-dependent
+     * (and hence unpredictable) saturated/unsaturated branch never
+     * reaches the branch predictor.  A saturated counter stores its
+     * own value back — no state change.
+     */
     void
     bankIncrementAt(std::uint32_t flat)
     {
         const std::uint16_t value = bank_.get(flat);
-        if (value < counterMax_)
-            bank_.set(flat, value + 1);
+        bank_.set(flat, static_cast<std::uint16_t>(
+                            value + (value < counterMax_ ? 1 : 0)));
     }
 
-    /** Saturating decrement of one bank counter. */
+    /** Saturating decrement of one bank counter (branchless). */
     void
     bankDecrementAt(std::uint32_t flat)
     {
         const std::uint16_t value = bank_.get(flat);
-        if (value > 0)
-            bank_.set(flat, value - 1);
+        bank_.set(flat, static_cast<std::uint16_t>(
+                            value - (value > 0 ? 1 : 0)));
     }
 
     GhrpConfig config_;
@@ -420,6 +546,15 @@ class GhrpPolicy final : public ReplacementPolicy
     // Replay history stream (see setHistoryStream).
     const std::uint64_t *histStream_ = nullptr;
     std::size_t histIdx_ = 0;
+    // Batched miss path: per-table chunk columns (table t's lane i at
+    // t * batchN_ + i) and the u64 scratch the kernels fold over (see
+    // beginAccessBatch).
+    std::vector<std::uint16_t> batchSigs_;
+    std::vector<std::uint32_t> batchIdxs_;
+    std::vector<std::uint64_t> batchLanes_;
+    std::size_t batchN_ = 0;
+    std::size_t batchPos_ = 0;
+    bool batchActive_ = false;
 };
 
 } // namespace chirp

@@ -8,7 +8,8 @@ namespace chirp
 WideShiftHistory::WideShiftHistory(unsigned events, unsigned shift_per_event)
     : events_(events), shift_(shift_per_event),
       widthBits_(events * shift_per_event), single_(widthBits_ <= 64),
-      widthMask_(maskBits(widthBits_ % 64 == 0 ? 64 : widthBits_ % 64))
+      widthMask_(maskBits(widthBits_ % 64 == 0 ? 64 : widthBits_ % 64)),
+      shiftMask_(maskBits(shift_per_event))
 {
     if (events == 0 || shift_per_event == 0 || shift_per_event > 32)
         chirp_fatal("history register needs events >= 1 and a shift of "
@@ -22,7 +23,7 @@ WideShiftHistory::pushWide(std::uint64_t value)
     // Multi-word left shift by shift_ bits, oldest bits fall off the
     // top word.  The fold is re-derived in the same pass over words_,
     // so folded() stays a plain load afterwards.
-    std::uint64_t carry = value & maskBits(shift_);
+    std::uint64_t carry = value & shiftMask_;
     std::uint64_t folded = 0;
     for (auto &word : words_) {
         const std::uint64_t next_carry =
@@ -50,7 +51,10 @@ ControlFlowHistory::ControlFlowHistory(const HistoryConfig &config)
     : config_(config),
       path_(config.pathEvents, config.pathPcBits + config.pathZeroBits),
       cond_(config.branchEvents, config.branchPcBits),
-      uncond_(config.branchEvents, config.branchPcBits)
+      uncond_(config.branchEvents, config.branchPcBits),
+      pathLow_(config.pathPcLowBit), branchLow_(config.branchPcLowBit),
+      pathMask_(maskBits(config.pathPcBits)),
+      branchMask_(maskBits(config.branchPcBits))
 {
 }
 

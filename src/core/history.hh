@@ -54,11 +54,14 @@ class WideShiftHistory
     push(std::uint64_t value)
     {
         if (single_) {
-            // Whole register in one word: shift, mask to width, done.
-            // The fold of one word is the word itself.
-            words_[0] = ((words_[0] << shift_) | (value & maskBits(shift_))) &
-                        widthMask_;
-            folded_ = words_[0];
+            // Whole register in one word: the fold of one word is the
+            // word itself, so folded_ IS the register and the push is
+            // a member shift/mask with no words_ indirection.
+            // shiftMask_ is maskBits(shift_) precomputed: push sits
+            // on the per-retired-instruction path, so the mask must
+            // not be re-derived per event.
+            folded_ = ((folded_ << shift_) | (value & shiftMask_)) &
+                      widthMask_;
             return;
         }
         pushWide(value);
@@ -68,7 +71,13 @@ class WideShiftHistory
     std::uint64_t folded() const { return folded_; }
 
     /** Lowest 64 bits (exact register value when width <= 64). */
-    std::uint64_t low64() const { return words_.empty() ? 0 : words_[0]; }
+    std::uint64_t
+    low64() const
+    {
+        if (single_)
+            return folded_; // words_[0] is not maintained (see push)
+        return words_.empty() ? 0 : words_[0];
+    }
 
     /** Clear the register. */
     void reset();
@@ -88,6 +97,7 @@ class WideShiftHistory
     unsigned widthBits_;
     bool single_;             //!< widthBits_ <= 64: one-word fast path
     std::uint64_t widthMask_; //!< mask of the top (partial) word
+    std::uint64_t shiftMask_; //!< maskBits(shift_), precomputed
     std::uint64_t folded_ = 0;
     std::vector<std::uint64_t> words_;
 };
@@ -143,14 +153,18 @@ class ControlFlowHistory
   public:
     explicit ControlFlowHistory(const HistoryConfig &config);
 
-    /** An L2 TLB access by the instruction at @p pc retired. */
+    /**
+     * An L2 TLB access by the instruction at @p pc retired.  The PC
+     * slice bounds are precomputed shift/mask members: this hook (and
+     * the branch hooks below) runs once per retired instruction, so
+     * the slice must not re-derive its mask per event.
+     */
     void
     onAccess(Addr pc)
     {
         // Shift in PC[lo+n-1 : lo]; the injected zeros come from the
         // register shifting further than the pushed value is wide.
-        path_.push(bits(pc, config_.pathPcLowBit + config_.pathPcBits - 1,
-                        config_.pathPcLowBit));
+        path_.push((pc >> pathLow_) & pathMask_);
     }
 
     /** A conditional branch at @p pc retired. */
@@ -159,8 +173,7 @@ class ControlFlowHistory
     {
         if (!config_.useCondHist)
             return;
-        cond_.push(bits(pc, config_.branchPcLowBit + config_.branchPcBits - 1,
-                        config_.branchPcLowBit));
+        cond_.push((pc >> branchLow_) & branchMask_);
     }
 
     /** An unconditional indirect branch at @p pc retired. */
@@ -169,9 +182,7 @@ class ControlFlowHistory
     {
         if (!config_.useUncondHist)
             return;
-        uncond_.push(bits(pc,
-                          config_.branchPcLowBit + config_.branchPcBits - 1,
-                          config_.branchPcLowBit));
+        uncond_.push((pc >> branchLow_) & branchMask_);
     }
 
     /**
@@ -208,6 +219,11 @@ class ControlFlowHistory
     WideShiftHistory path_;
     WideShiftHistory cond_;
     WideShiftHistory uncond_;
+    // Precomputed PC-slice extraction (see onAccess).
+    unsigned pathLow_;
+    unsigned branchLow_;
+    std::uint64_t pathMask_;
+    std::uint64_t branchMask_;
 };
 
 } // namespace chirp

@@ -20,6 +20,7 @@ PredictionTable::PredictionTable(std::size_t entries, unsigned counter_bits,
     if (counter_bits == 0 || counter_bits > 16)
         chirp_fatal("prediction table counters must be 1..16 bits");
     indexBits_ = floorLog2(entries);
+    idxPlan_ = simd::FoldPlan(indexBits_);
 }
 
 void

@@ -10,6 +10,7 @@
 
 #include "util/hashing.hh"
 #include "util/packed_counters.hh"
+#include "util/simd.hh"
 
 namespace chirp
 {
@@ -50,6 +51,59 @@ class PredictionTable
             hashBy(kind_, signature ^ salt_, indexBits_));
     }
 
+    /**
+     * indexOf() over a column: idxs[i] = indexOf(sigs[i]), using
+     * @p lanes (caller scratch, >= n u64s) as the working column so
+     * the hash multiply and fold ladder run lane-parallel over the
+     * chunk.  The batched miss path precomputes a chunk's table
+     * indices through here — one pass per table per chunk instead of
+     * a pointer-chasing hash per miss.
+     */
+    void
+    indexStream(const std::uint16_t *sigs, std::size_t n,
+                std::uint64_t *lanes, std::uint32_t *idxs) const
+    {
+        if (kind_ == HashKind::Index) {
+            for (std::size_t i = 0; i < n; ++i)
+                lanes[i] = static_cast<std::uint64_t>(sigs[i]) ^ salt_;
+            simd::mulXorFoldLanes(lanes, n, kIndexHashMultiplier,
+                                  idxPlan_);
+            for (std::size_t i = 0; i < n; ++i)
+                idxs[i] = static_cast<std::uint32_t>(lanes[i]);
+            return;
+        }
+        // Fold/Crc have no lane kernels; the scalar hash per element
+        // is still one pass with the dispatch hoisted out.
+        for (std::size_t i = 0; i < n; ++i)
+            idxs[i] = static_cast<std::uint32_t>(indexOf(sigs[i]));
+    }
+
+    /**
+     * Fused signature + index composition over a chunk: sigs[i] =
+     * u16(sig_plan.apply(base[i])) and idxs[i] = indexOf(sigs[i]),
+     * with the fold ladder and the index hash kept in registers for
+     * one pass over @p base (the salt stays encapsulated here).
+     * Fold/Crc hash kinds have no lane form and fall back to the
+     * per-element hash.
+     */
+    void
+    sigIndexStream(const std::uint64_t *base, std::size_t n,
+                   const simd::FoldPlan &sig_plan, std::uint16_t *sigs,
+                   std::uint32_t *idxs) const
+    {
+        if (kind_ == HashKind::Index) {
+            simd::sigIndexLanes(base, n, 0, sig_plan, salt_,
+                                kIndexHashMultiplier, idxPlan_, 0,
+                                sigs, idxs);
+            return;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            sigs[i] =
+                static_cast<std::uint16_t>(sig_plan.apply(base[i]));
+            idxs[i] = static_cast<std::uint32_t>(indexOf(sigs[i]));
+        }
+    }
+
     /** Counter value at @p signature's slot. */
     std::uint16_t
     read(std::uint64_t signature) const
@@ -78,22 +132,28 @@ class PredictionTable
         return counters_.get(index);
     }
 
-    /** Saturating increment at a previously computed index. */
+    /**
+     * Saturating increment at a previously computed index.
+     * Branchless: the saturated/unsaturated branch is data-dependent
+     * (counters hover at the rails), so it is folded into the store
+     * instead of fed to the branch predictor; a saturated counter
+     * rewrites its own value.
+     */
     void
     incrementAt(std::size_t index)
     {
         const std::uint16_t value = counters_.get(index);
-        if (value < max_)
-            counters_.set(index, value + 1);
+        counters_.set(index, static_cast<std::uint16_t>(
+                                 value + (value < max_ ? 1 : 0)));
     }
 
-    /** Saturating decrement at a previously computed index. */
+    /** Saturating decrement at a previously computed index (branchless). */
     void
     decrementAt(std::size_t index)
     {
         const std::uint16_t value = counters_.get(index);
-        if (value > 0)
-            counters_.set(index, value - 1);
+        counters_.set(index, static_cast<std::uint16_t>(
+                                 value - (value > 0 ? 1 : 0)));
     }
 
     /** Zero all counters. */
@@ -115,6 +175,9 @@ class PredictionTable
     unsigned indexBits_;
     HashKind kind_;
     std::uint64_t salt_;
+    // Precomputed fold ladder for indexBits_; indexStream's lane
+    // kernel applies it in place of the per-element foldXor.
+    simd::FoldPlan idxPlan_;
 };
 
 } // namespace chirp

@@ -38,61 +38,10 @@ LruStack::reset()
                 static_cast<std::uint8_t>(way);
 }
 
-bool
-LruStack::swar() const
-{
-    return assoc_ == 8 && std::endian::native == std::endian::little;
-}
-
 std::uint32_t
-LruStack::lruWay(std::uint32_t set) const
+LruStack::lostBottom(std::uint32_t set) const
 {
-    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
-    const std::uint8_t want = static_cast<std::uint8_t>(assoc_ - 1);
-    if (swar()) {
-        // Exactly one lane holds rank 7; find its zero after XOR.
-        constexpr std::uint64_t kLo = 0x0101010101010101ULL;
-        constexpr std::uint64_t kHi = 0x8080808080808080ULL;
-        const std::uint64_t diff = loadSet(base) ^ (kLo * want);
-        const std::uint64_t zero = (diff - kLo) & ~diff & kHi;
-        if (zero)
-            return static_cast<std::uint32_t>(
-                std::countr_zero(zero) / 8);
-        chirp_panic("LRU stack of set ", set,
-                    " lost its bottom position");
-    }
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        if (position_[base + w] == want)
-            return w;
-    }
     chirp_panic("LRU stack of set ", set, " lost its bottom position");
-}
-
-std::uint32_t
-LruStack::position(std::uint32_t set, std::uint32_t way) const
-{
-    return position_[static_cast<std::size_t>(set) * assoc_ + way];
-}
-
-void
-LruStack::demote(std::uint32_t set, std::uint32_t way)
-{
-    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
-    const std::uint8_t old_pos = position_[base + way];
-    if (old_pos == assoc_ - 1)
-        return; // already LRU: the shift below would be a no-op
-    if (swar()) {
-        std::uint64_t word = loadSet(base);
-        word -= lanesAbove(word, old_pos);
-        word |= std::uint64_t{0x07} << (8 * way);
-        storeSet(base, word);
-        return;
-    }
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        if (position_[base + w] > old_pos)
-            --position_[base + w];
-    }
-    position_[base + way] = static_cast<std::uint8_t>(assoc_ - 1);
 }
 
 std::uint64_t

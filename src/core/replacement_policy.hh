@@ -98,6 +98,28 @@ class ReplacementPolicy
         (void)info;
     }
 
+    /**
+     * The structure is about to drive @p n accesses (@p infos, in
+     * order) back to back with no retire events in between — the
+     * batched miss path's contract.  Signature policies use the call
+     * to precompute their whole chunk of per-access signatures and
+     * prediction-table indices in one pass of the fold-plan lane
+     * kernels (the histories are frozen, or stream-provided, for the
+     * duration), so onAccessBegin degenerates to a stream read.  The
+     * access hooks between begin and end must leave exactly the state
+     * n un-batched accesses would; the default pair does nothing.
+     * endAccessBatch() is guaranteed even when an access throws.
+     */
+    virtual void
+    beginAccessBatch(const AccessInfo *infos, std::size_t n)
+    {
+        (void)infos;
+        (void)n;
+    }
+
+    /** Close a beginAccessBatch() window (see above). */
+    virtual void endAccessBatch() { }
+
     /** The access hit way @p way of set @p set. */
     virtual void onHit(std::uint32_t set, std::uint32_t way,
                        const AccessInfo &info) = 0;
@@ -127,6 +149,19 @@ class ReplacementPolicy
     {
         (void)set;
         (void)info;
+    }
+
+    /**
+     * Prefetch hint: the per-set metadata of @p set will be scanned a
+     * few accesses from now.  Deliberately NOT virtual — the batched
+     * access loop is instantiated per concrete policy type, so each
+     * final policy shadows this with an inline hint at its own SoA
+     * rows and the generic instantiation keeps the free no-op.
+     */
+    void
+    prefetchMeta(std::uint32_t set) const
+    {
+        (void)set;
     }
 
     /** Metadata + table storage in bits (Table I accounting). */
@@ -209,10 +244,35 @@ class LruStack
     }
 
     /** Way currently least recently used in @p set. */
-    std::uint32_t lruWay(std::uint32_t set) const;
+    std::uint32_t
+    lruWay(std::uint32_t set) const
+    {
+        const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+        const std::uint8_t want = static_cast<std::uint8_t>(assoc_ - 1);
+        if (swar()) {
+            // Exactly one lane holds rank 7; find its zero after XOR.
+            constexpr std::uint64_t kLo = 0x0101010101010101ULL;
+            constexpr std::uint64_t kHi = 0x8080808080808080ULL;
+            const std::uint64_t diff = loadSet(base) ^ (kLo * want);
+            const std::uint64_t zero = (diff - kLo) & ~diff & kHi;
+            if (zero)
+                return static_cast<std::uint32_t>(
+                    std::countr_zero(zero) / 8);
+            return lostBottom(set);
+        }
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (position_[base + w] == want)
+                return w;
+        }
+        return lostBottom(set);
+    }
 
     /** Stack position of @p way (0 = MRU). */
-    std::uint32_t position(std::uint32_t set, std::uint32_t way) const;
+    std::uint32_t
+    position(std::uint32_t set, std::uint32_t way) const
+    {
+        return position_[static_cast<std::size_t>(set) * assoc_ + way];
+    }
 
     /**
      * The contiguous rank run of @p set: assoc bytes, way w's rank at
@@ -226,7 +286,26 @@ class LruStack
     }
 
     /** Force @p way to LRU position (used on invalidation). */
-    void demote(std::uint32_t set, std::uint32_t way);
+    void
+    demote(std::uint32_t set, std::uint32_t way)
+    {
+        const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+        const std::uint8_t old_pos = position_[base + way];
+        if (old_pos == assoc_ - 1)
+            return; // already LRU: the shift below would be a no-op
+        if (swar()) {
+            std::uint64_t word = loadSet(base);
+            word -= lanesAbove(word, old_pos);
+            word |= std::uint64_t{0x07} << (8 * way);
+            storeSet(base, word);
+            return;
+        }
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (position_[base + w] > old_pos)
+                --position_[base + w];
+        }
+        position_[base + way] = static_cast<std::uint8_t>(assoc_ - 1);
+    }
 
     /** Reset all positions to a fixed initial order. */
     void reset();
@@ -237,8 +316,17 @@ class LruStack
   private:
     /** Can this stack use the packed-word fast path?  Eight 8-bit
      *  ranks are exactly one little-endian uint64; every rank is
-     *  < 8, so no lane ever carries into its neighbour. */
-    bool swar() const;
+     *  < 8, so no lane ever carries into its neighbour.  Inline (and
+     *  half compile-time) so touch()'s dispatch folds to one member
+     *  compare instead of a function call per access. */
+    bool
+    swar() const
+    {
+        return assoc_ == 8 && std::endian::native == std::endian::little;
+    }
+
+    /** Invariant-violation exit for lruWay (out of line: cold). */
+    [[noreturn]] std::uint32_t lostBottom(std::uint32_t set) const;
 
     /** The eight ranks of the set starting at @p base, packed with
      *  way w in bits [8w, 8w+8). */

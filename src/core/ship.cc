@@ -29,7 +29,9 @@ ShipPolicy::ShipPolicy(std::uint32_t num_sets, std::uint32_t assoc,
       unlimited_(config.counterBits),
       sig_(static_cast<std::size_t>(num_sets) * assoc, 0),
       outcome_(static_cast<std::size_t>(num_sets) * assoc, 0),
-      stack_(num_sets, assoc)
+      shctIdx_(static_cast<std::size_t>(num_sets) * assoc,
+               static_cast<std::uint32_t>(shct_.indexOf(0))),
+      stack_(num_sets, assoc), sigPlan_(config.signatureBits)
 {
     if (config.signatureBits == 0 || config.signatureBits > 32)
         chirp_fatal("ship: signature width out of range");
@@ -49,6 +51,8 @@ ShipPolicy::reset()
     std::fill(sig_.begin(), sig_.end(), 0);
     std::fill(wideSig_.begin(), wideSig_.end(), 0);
     std::fill(outcome_.begin(), outcome_.end(), 0);
+    std::fill(shctIdx_.begin(), shctIdx_.end(),
+              static_cast<std::uint32_t>(shct_.indexOf(0)));
     stack_.reset();
     lastSet_ = ~0u;
     resetTableCounters();

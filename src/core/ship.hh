@@ -30,11 +30,13 @@
 #ifndef CHIRP_CORE_SHIP_HH
 #define CHIRP_CORE_SHIP_HH
 
+#include <cassert>
 #include <vector>
 
 #include "core/prediction_table.hh"
 #include "core/replacement_policy.hh"
 #include "util/flat_counter_map.hh"
+#include "util/simd.hh"
 
 namespace chirp
 {
@@ -79,6 +81,36 @@ class ShipPolicy final : public ReplacementPolicy
                const ShipConfig &config = {});
 
     void reset() override;
+
+    // No batched chunk compose for SHiP: unlike CHiRP/GHRP, the hit
+    // path trains at the ENTRY's stored SHCT slot and never needs the
+    // current access's signature — only fills (the misses) do.  An
+    // eager per-chunk signature/index column would spend one fused
+    // pass plus a per-access column pick on every access to save a
+    // fold+hash on the ~miss fraction, a measured net loss at typical
+    // hit rates.  The fills compose lazily through the same fold-plan
+    // kernels (signatureOf/indexOf), so the batched loop's remaining
+    // wins (deferred accounting, shared prefetch) apply unchanged and
+    // the batched path can never be slower than the scalar loop.
+
+    /**
+     * Batched-loop metadata hint (shadows the base no-op; resolved
+     * statically under devirtualized dispatch): pull the set's
+     * outcome bits, LRU ranks and cached SHCT indices toward the
+     * caches one chunk slot ahead of its scan.
+     */
+    void
+    prefetchMeta(std::uint32_t set) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        const std::size_t base = idx(set, 0);
+        __builtin_prefetch(outcome_.data() + base, 0, 3);
+        __builtin_prefetch(stack_.positions(set), 0, 3);
+        __builtin_prefetch(shctIdx_.data() + base, 0, 3);
+#else
+        (void)set;
+#endif
+    }
 
     void
     onHit(std::uint32_t set, std::uint32_t way,
@@ -128,10 +160,15 @@ class ShipPolicy final : public ReplacementPolicy
         stack_.touch(set, way);
         const std::size_t entry = idx(set, way);
         outcome_[entry] = 0;
-        if (config_.unlimitedTable)
+        if (config_.unlimitedTable) {
             wideSig_[entry] = signatureOf(info.pc);
-        else
-            sig_[entry] = static_cast<std::uint16_t>(signatureOf(info.pc));
+        } else {
+            const std::uint16_t sig =
+                static_cast<std::uint16_t>(signatureOf(info.pc));
+            sig_[entry] = sig;
+            shctIdx_[entry] =
+                static_cast<std::uint32_t>(shct_.indexOf(sig));
+        }
 
         if (!predicted(set))
             return;
@@ -149,6 +186,8 @@ class ShipPolicy final : public ReplacementPolicy
         stack_.demote(set, way);
         const std::size_t entry = idx(set, way);
         sig_[entry] = 0;
+        shctIdx_[entry] =
+            static_cast<std::uint32_t>(shct_.indexOf(0));
         outcome_[entry] = 0;
         if (!wideSig_.empty())
             wideSig_[entry] = 0;
@@ -187,13 +226,18 @@ class ShipPolicy final : public ReplacementPolicy
         return foldXor(pc >> 2, config_.signatureBits);
     }
 
+    // In SHCT mode every table op goes through the per-entry cached
+    // index (shctIdx_ always mirrors indexOf(sig_[entry]): fills and
+    // invalidates write both together), so trained hits and victim
+    // training skip the hash entirely.
+
     std::uint16_t
     readCounter(std::size_t entry)
     {
         countTableRead();
         if (config_.unlimitedTable)
             return unlimited_.value(wideSig_[entry]);
-        return shct_.read(sig_[entry]);
+        return shct_.readAt(shctIdx_[entry]);
     }
 
     void
@@ -203,7 +247,7 @@ class ShipPolicy final : public ReplacementPolicy
         if (config_.unlimitedTable)
             unlimited_.increment(wideSig_[entry]);
         else
-            shct_.increment(sig_[entry]);
+            shct_.incrementAt(shctIdx_[entry]);
     }
 
     void
@@ -213,7 +257,7 @@ class ShipPolicy final : public ReplacementPolicy
         if (config_.unlimitedTable)
             unlimited_.decrement(wideSig_[entry]);
         else
-            shct_.decrement(sig_[entry]);
+            shct_.decrementAt(shctIdx_[entry]);
     }
 
     ShipConfig config_;
@@ -225,9 +269,14 @@ class ShipPolicy final : public ReplacementPolicy
     std::vector<std::uint16_t> sig_;
     std::vector<std::uint64_t> wideSig_;
     std::vector<std::uint8_t> outcome_; //!< re-referenced since fill?
+    // Cached SHCT index of each entry's stored signature (SHCT mode):
+    // simulation-speed state, not modeled storage.
+    std::vector<std::uint32_t> shctIdx_;
     LruStack stack_;
     std::uint32_t predictedSets_;
     std::uint32_t lastSet_ = ~0u;
+    // Fold ladder for the signature width, built once.
+    simd::FoldPlan sigPlan_;
 };
 
 } // namespace chirp

@@ -81,6 +81,21 @@ class SrripPolicy final : public ReplacementPolicy
         rrpv_[idx(set, way)] = maxRrpv_;
     }
 
+    /**
+     * Batched-loop metadata hint (shadows the base no-op; resolved
+     * statically under devirtualized dispatch): pull the set's RRPV
+     * run toward the caches one chunk slot ahead of its scan.
+     */
+    void
+    prefetchMeta(std::uint32_t set) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(rrpv_.data() + idx(set, 0), 1, 3);
+#else
+        (void)set;
+#endif
+    }
+
     std::uint64_t storageBits() const override;
     bool wantsRetireEvents() const override { return false; }
 

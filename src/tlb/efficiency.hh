@@ -38,6 +38,23 @@ class EfficiencyTracker
         ++generations_;
     }
 
+    /**
+     * Fold in @p gens generations accumulated elsewhere as running
+     * sums: @p live = sum of (last_hit - fill), @p resident = sum of
+     * (evict - fill), with the evict <= fill guard already applied
+     * per generation by the accumulator.  Addition is associative, so
+     * a chunk of deferred recordGeneration() calls flushed through
+     * here lands on bit-identical totals.
+     */
+    void
+    addBulk(std::uint64_t live, std::uint64_t resident,
+            std::uint64_t gens)
+    {
+        liveTime_ += live;
+        residentTime_ += resident;
+        generations_ += gens;
+    }
+
     /** Live-time fraction in [0, 1]; 0 when nothing was recorded. */
     double
     efficiency() const

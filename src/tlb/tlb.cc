@@ -10,6 +10,7 @@
 #include "core/lru.hh"
 #include "core/ship.hh"
 #include "core/srrip.hh"
+#include "util/fault_injection.hh"
 #include "util/logging.hh"
 
 namespace chirp
@@ -22,6 +23,16 @@ forceVirtualDispatch()
     // tests setenv/unsetenv between simulator builds in one process.
     const char *value = std::getenv("CHIRP_FORCE_VIRTUAL");
     return value != nullptr && value[0] != '\0' &&
+           !(value[0] == '0' && value[1] == '\0');
+}
+
+bool
+batchMissPath()
+{
+    // Enabled unless CHIRP_BATCH_MISS=0.  Read fresh each call
+    // (construction-time only), like forceVirtualDispatch().
+    const char *value = std::getenv("CHIRP_BATCH_MISS");
+    return value == nullptr || value[0] == '\0' ||
            !(value[0] == '0' && value[1] == '\0');
 }
 
@@ -44,6 +55,7 @@ Tlb::Tlb(const TlbConfig &config,
                     " does not match TLB geometry ", array_.numSets(), "x",
                     array_.assoc());
     }
+    batchMiss_ = batchMissPath();
     // Exact-type checks (the devirtualized instantiations assume the
     // dynamic type, and all four classes are final so no subclass can
     // slip through them anyway).
@@ -62,18 +74,66 @@ Tlb::Tlb(const TlbConfig &config,
     }
 }
 
+/** Per-event statistics sink writing the TLB's members directly. */
+struct Tlb::DirectAcct
+{
+    Tlb &tlb;
+
+    void hit() { ++tlb.hits_; }
+    void miss() { ++tlb.misses_; }
+    void
+    evict(std::uint64_t fill, std::uint64_t last_hit, std::uint64_t now)
+    {
+        ++tlb.evictions_;
+        tlb.efficiency_.recordGeneration(fill, last_hit, now);
+    }
+};
+
+/**
+ * Chunk-local statistics sink: the batched miss path accumulates a
+ * chunk's hit/miss/eviction counts and efficiency sums here and
+ * flushes them in one bulk add at the chunk boundary (or on unwind).
+ * The evict <= fill guard of recordGeneration() is applied per
+ * generation before summing, so the flushed totals are bit-identical
+ * to per-event accounting.
+ */
+struct Tlb::DeferredAcct
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t effLive = 0;
+    std::uint64_t effResident = 0;
+    std::uint64_t effGens = 0;
+
+    void hit() { ++hits; }
+    void miss() { ++misses; }
+    void
+    evict(std::uint64_t fill, std::uint64_t last_hit, std::uint64_t now)
+    {
+        ++evictions;
+        if (now > fill) {
+            effLive += last_hit - fill;
+            effResident += now - fill;
+            ++effGens;
+        }
+    }
+};
+
 /**
  * The full hit/miss sequence with every policy hook bound to Policy.
  * For the concrete (final) policy types the unqualified calls
  * devirtualize and inline; for Policy = ReplacementPolicy this is the
  * generic virtual-dispatch path.  The event order is identical in
  * every instantiation: onAccessBegin -> onHit|({selectVictim} ->
- * onFill) -> onAccessEnd.
+ * onFill) -> onAccessEnd.  Statistics go through @p acct so the
+ * scalar path updates members per event while the batched miss path
+ * defers a whole chunk into locals.
  */
-template <typename Policy>
+template <typename Policy, typename Acct>
 bool
-Tlb::accessSlowImpl(Policy *policy, const AccessInfo &info, Asid asid,
-                    std::uint64_t now, Addr key)
+Tlb::accessCore(Policy *policy, const AccessInfo &info, Asid asid,
+                std::uint64_t now, Addr key, Acct &acct)
 {
     constexpr bool kLru = std::is_same_v<Policy, LruPolicy>;
     const std::uint32_t set = array_.setIndex(key);
@@ -82,7 +142,7 @@ Tlb::accessSlowImpl(Policy *policy, const AccessInfo &info, Asid asid,
 
     int way = array_.findWay(set, tag);
     if (way >= 0) {
-        ++hits_;
+        acct.hit();
         array_.dataAt(set, way).lastHitTime = now;
         policy->onHit(set, static_cast<std::uint32_t>(way), info);
         policy->onAccessEnd(set, info);
@@ -94,7 +154,7 @@ Tlb::accessSlowImpl(Policy *policy, const AccessInfo &info, Asid asid,
         return true;
     }
 
-    ++misses_;
+    acct.miss();
     // The fill below may evict any way, including the memoized one.
     if constexpr (kLru)
         hotWay_ = -1;
@@ -105,9 +165,7 @@ Tlb::accessSlowImpl(Policy *policy, const AccessInfo &info, Asid asid,
             chirp_panic("tlb '", config_.name, "': policy '",
                         policy_->name(), "' chose invalid way ", way);
         const Entry &victim = array_.dataAt(set, way);
-        ++evictions_;
-        efficiency_.recordGeneration(victim.fillTime,
-                                     victim.lastHitTime, now);
+        acct.evict(victim.fillTime, victim.lastHitTime, now);
     }
     array_.fill(set, static_cast<std::uint32_t>(way), tag);
     Entry &entry = array_.dataAt(set, way);
@@ -117,6 +175,15 @@ Tlb::accessSlowImpl(Policy *policy, const AccessInfo &info, Asid asid,
     policy->onFill(set, static_cast<std::uint32_t>(way), info);
     policy->onAccessEnd(set, info);
     return false;
+}
+
+template <typename Policy>
+bool
+Tlb::accessSlowImpl(Policy *policy, const AccessInfo &info, Asid asid,
+                    std::uint64_t now, Addr key)
+{
+    DirectAcct acct{*this};
+    return accessCore(policy, info, asid, now, key, acct);
 }
 
 bool
@@ -184,9 +251,22 @@ Tlb::accessRun(const AccessInfo &info, Addr key, Asid asid,
  * access() (memo check first, then the full slow path), so counters
  * and policy state land exactly where n individual calls would leave
  * them.  The wins are batch-level: one policy dispatch per chunk
- * instead of per access, and each access's set metadata prefetched a
- * few slots ahead so the random-indexed tag/valid loads overlap the
- * in-flight accesses instead of stalling each scan.
+ * instead of per access, each access's set metadata (and the policy's
+ * SoA rows) prefetched a few slots ahead so the random-indexed loads
+ * overlap the in-flight accesses, the policy's signature/table-index
+ * streams precomputed for the whole chunk in beginAccessBatch(), and
+ * hit/miss/eviction/efficiency accounting deferred into chunk-local
+ * sums flushed once at the boundary.
+ *
+ * CHIRP_BATCH_MISS=0 keeps the original scalar reference loop, which
+ * the equality CI legs diff the batched path against.
+ *
+ * Unwind contract (chunk faults armed): if the injected chunk fault
+ * throws after i full accesses, the flushed counters and all
+ * TLB/policy state equal exactly i sequential access() calls, and
+ * endAccessBatch() still runs so the policy leaves batch mode.  With
+ * faults disarmed nothing in the loop throws, so the common case runs
+ * the same body outside any EH region.
  */
 template <typename Policy>
 void
@@ -195,20 +275,106 @@ Tlb::accessBatchImpl(Policy *policy, const AccessInfo *infos,
                      std::size_t n, Asid asid, std::uint8_t *hits)
 {
     constexpr std::size_t kPrefetchAhead = 8;
-    for (std::size_t i = 0; i < n; ++i) {
-        if (i + kPrefetchAhead < n)
-            array_.prefetchSet(array_.setIndex(keys[i + kPrefetchAhead]));
-        ++accesses_;
-        const Addr key = keys[i];
-        if (hotWay_ >= 0 && key == hotKey_) {
-            ++hits_;
-            array_.dataAt(hotSet_, hotWay_).lastHitTime = nows[i];
-            hits[i] = 1;
-            continue;
+    if (!batchMiss_) {
+        // Scalar reference loop: one slow-path call per access with
+        // per-event counter updates.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i + kPrefetchAhead < n)
+                array_.prefetchSet(
+                    array_.setIndex(keys[i + kPrefetchAhead]));
+            ++accesses_;
+            const Addr key = keys[i];
+            if (hotWay_ >= 0 && key == hotKey_) {
+                ++hits_;
+                array_.dataAt(hotSet_, hotWay_).lastHitTime = nows[i];
+                hits[i] = 1;
+                continue;
+            }
+            hits[i] =
+                accessSlowImpl(policy, infos[i], asid, nows[i], key)
+                    ? 1
+                    : 0;
         }
-        hits[i] =
-            accessSlowImpl(policy, infos[i], asid, nows[i], key) ? 1 : 0;
+        return;
     }
+
+    policy->beginAccessBatch(infos, n);
+    DeferredAcct acct;
+    if (!FaultInjector::chunkFaultsArmed()) {
+        // Nothing in this loop throws (chirp_panic aborts, and the
+        // chunk-fault hook is the only deliberate throw site), so the
+        // common case runs free of the EH region and the per-access
+        // fault compare; policies without chunk compose hooks see the
+        // batched loop as pure win.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i + kPrefetchAhead < n)
+                array_.prefetchSet(
+                    array_.setIndex(keys[i + kPrefetchAhead]));
+            const Addr key = keys[i];
+            if (hotWay_ >= 0 && key == hotKey_) {
+                acct.hit();
+                array_.dataAt(hotSet_, hotWay_).lastHitTime = nows[i];
+                hits[i] = 1;
+                continue;
+            }
+            hits[i] =
+                accessCore(policy, infos[i], asid, nows[i], key, acct)
+                    ? 1
+                    : 0;
+        }
+        accesses_ += n;
+        hits_ += acct.hits;
+        misses_ += acct.misses;
+        evictions_ += acct.evictions;
+        efficiency_.addBulk(acct.effLive, acct.effResident,
+                            acct.effGens);
+        policy->endAccessBatch();
+        return;
+    }
+
+    // Chunk-fault injection armed: fire the per-chunk event halfway
+    // through so the unwind path is exercised with a torn chunk
+    // (deferred counters partially accumulated).
+    const std::size_t fault_at = n / 2;
+    std::size_t i = 0;
+    try {
+        for (; i < n; ++i) {
+            if (i + kPrefetchAhead < n)
+                array_.prefetchSet(
+                    array_.setIndex(keys[i + kPrefetchAhead]));
+            if (i == fault_at)
+                FaultInjector::instance().onBatchChunk();
+            const Addr key = keys[i];
+            if (hotWay_ >= 0 && key == hotKey_) {
+                acct.hit();
+                array_.dataAt(hotSet_, hotWay_).lastHitTime = nows[i];
+                hits[i] = 1;
+                continue;
+            }
+            hits[i] =
+                accessCore(policy, infos[i], asid, nows[i], key, acct)
+                    ? 1
+                    : 0;
+        }
+    } catch (...) {
+        // i full accesses completed; flush exactly their counts so
+        // state matches i sequential access() calls, then let the
+        // policy drop out of batch mode before rethrowing.
+        accesses_ += i;
+        hits_ += acct.hits;
+        misses_ += acct.misses;
+        evictions_ += acct.evictions;
+        efficiency_.addBulk(acct.effLive, acct.effResident,
+                            acct.effGens);
+        policy->endAccessBatch();
+        throw;
+    }
+    accesses_ += n;
+    hits_ += acct.hits;
+    misses_ += acct.misses;
+    evictions_ += acct.evictions;
+    efficiency_.addBulk(acct.effLive, acct.effResident, acct.effGens);
+    policy->endAccessBatch();
 }
 
 void

@@ -31,6 +31,14 @@ namespace chirp
  */
 bool forceVirtualDispatch();
 
+/**
+ * Is the batched miss path enabled (the default)?  CHIRP_BATCH_MISS=0
+ * in the environment disables it, making accessBatch() run the scalar
+ * one-access-at-a-time reference loop — the opt-out the equality CI
+ * legs diff against.  Read at construction time by Tlb.
+ */
+bool batchMissPath();
+
 /** Geometry and latency of one TLB level. */
 struct TlbConfig
 {
@@ -117,6 +125,15 @@ class Tlb
      */
     bool hasLruMemo() const { return kind_ == PolicyKind::Lru; }
 
+    /**
+     * Does accessBatch() run the batched miss path (policy chunk
+     * precompute + deferred bulk counters) rather than the scalar
+     * reference loop?  Fixed at construction from CHIRP_BATCH_MISS;
+     * the bench reports it so committed baselines are
+     * self-describing.
+     */
+    bool missPathBatched() const { return batchMiss_; }
+
     /** Key combining page number, size class and ASID for set/tag
      *  mapping. */
     static Addr
@@ -199,6 +216,25 @@ class Tlb
     bool accessSlow(const AccessInfo &info, Asid asid,
                     std::uint64_t now, Addr key);
 
+    /**
+     * Statistics sinks for accessCore: DirectAcct writes the member
+     * counters and the efficiency tracker per event (the scalar
+     * reference); DeferredAcct accumulates a chunk's worth into
+     * locals the batched miss path flushes in bulk at the chunk
+     * boundary.  Addition is associative, so both land on
+     * bit-identical totals.
+     */
+    struct DirectAcct;
+    struct DeferredAcct;
+
+    /**
+     * One access's hit/miss sequence with hooks bound to @p Policy
+     * and hit/miss/eviction statistics routed through @p Acct.
+     */
+    template <typename Policy, typename Acct>
+    bool accessCore(Policy *policy, const AccessInfo &info, Asid asid,
+                    std::uint64_t now, Addr key, Acct &acct);
+
     /** The access sequence with hooks bound to @p Policy. */
     template <typename Policy>
     bool accessSlowImpl(Policy *policy, const AccessInfo &info,
@@ -223,6 +259,8 @@ class Tlb
     std::unique_ptr<ReplacementPolicy> policy_;
     EfficiencyTracker efficiency_;
     PolicyKind kind_ = PolicyKind::Generic;
+    // Batched miss path enabled (CHIRP_BATCH_MISS, construction-time).
+    bool batchMiss_ = true;
     // Last-hit memo (LRU only): a repeat hit on the immediately-
     // preceding entry is a provable no-op for plain LRU (the way is
     // already MRU, so touch() does nothing and onAccessEnd is the

@@ -68,6 +68,8 @@ bitflipFile(const std::string &path, std::uint64_t offset, bool hasOffset)
 
 } // namespace
 
+std::atomic<bool> FaultInjector::chunkArmed_{false};
+
 FaultInjector &
 FaultInjector::instance()
 {
@@ -140,18 +142,25 @@ FaultInjector::configure(const std::string &spec)
             action.kind = Kind::WorkerStall;
         else if (kind == "msg-truncate")
             action.kind = Kind::MsgTruncate;
+        else if (kind == "chunk-throw")
+            action.kind = Kind::ChunkThrow;
         else
             chirp_fatal("CHIRP_FAULT: unknown action '", kind,
                         "' (expected throw, hard-throw, slow, crash, "
                         "cache-truncate, cache-bitflip, worker-crash, "
-                        "worker-stall, or msg-truncate)");
+                        "worker-stall, msg-truncate, or chunk-throw)");
         actions.push_back(action);
     }
+    bool chunk_armed = false;
+    for (const Action &action : actions)
+        chunk_armed |= action.kind == Kind::ChunkThrow;
     std::lock_guard<std::mutex> lock(mutex_);
     actions_ = std::move(actions);
     jobEvents_ = 0;
     cacheEvents_ = 0;
     wireEvents_ = 0;
+    chunkEvents_ = 0;
+    chunkArmed_.store(chunk_armed, std::memory_order_relaxed);
 }
 
 bool
@@ -236,6 +245,26 @@ FaultInjector::onJobStart()
           default:
             return;
         }
+    }
+}
+
+void
+FaultInjector::onBatchChunk()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::uint64_t event = chunkEvents_++;
+    for (Action &action : actions_) {
+        if (action.fired || action.kind != Kind::ChunkThrow ||
+            action.at != event)
+            continue;
+        action.fired = true;
+        bool still_armed = false;
+        for (const Action &other : actions_)
+            still_armed |= !other.fired && other.kind == Kind::ChunkThrow;
+        chunkArmed_.store(still_armed, std::memory_order_relaxed);
+        lock.unlock();
+        throw TransientError(detail::concat(
+            "injected transient fault (batch chunk ", event, ")"));
     }
 }
 

@@ -24,6 +24,10 @@
  *   slow@N[:MS]       sleep MS milliseconds (default 200) at job event N
  *   crash@N[:CODE]    _Exit(CODE) (default 137) at job event N -- no
  *                     flushes, no destructors, like a SIGKILL
+ *   chunk-throw@N     TransientError halfway through the Nth batched
+ *                     access chunk (retryable) -- fires inside
+ *                     Tlb::accessBatch with a torn chunk in flight,
+ *                     exercising the deferred-counter unwind path
  *   cache-truncate@N[:BYTES]  cut BYTES (default half) off the Nth
  *                             published trace-cache file
  *   cache-bitflip@N[:OFFSET]  XOR one bit at OFFSET (default middle)
@@ -53,6 +57,7 @@
 #ifndef CHIRP_UTIL_FAULT_INJECTION_HH
 #define CHIRP_UTIL_FAULT_INJECTION_HH
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <stdexcept>
@@ -112,6 +117,24 @@ class FaultInjector
     void onCachePublish(const std::string &path);
 
     /**
+     * Is any chunk-throw action armed and unfired?  A relaxed atomic
+     * read with no lock: the batched access path consults this once
+     * per chunk and must cost nothing when fault injection is idle.
+     */
+    static bool
+    chunkFaultsArmed()
+    {
+        return chunkArmed_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Count one batched-chunk event and fire any chunk-throw action
+     * armed for it (TransientError).  Only called from inside a
+     * chunk when chunkFaultsArmed() was true at its start.
+     */
+    void onBatchChunk();
+
+    /**
      * Identify this process as fabric worker @p id (-1: not a
      * worker).  Arms the worker-targeted action family.
      */
@@ -147,6 +170,7 @@ class FaultInjector
         WorkerCrash,
         WorkerStall,
         MsgTruncate,
+        ChunkThrow,
     };
 
     struct Action
@@ -166,7 +190,11 @@ class FaultInjector
     std::uint64_t jobEvents_ = 0;
     std::uint64_t cacheEvents_ = 0;
     std::uint64_t wireEvents_ = 0;
+    std::uint64_t chunkEvents_ = 0;
     int workerId_ = -1;
+    // Lock-free mirror of "a ChunkThrow is armed and unfired" for the
+    // per-chunk hot-path check.
+    static std::atomic<bool> chunkArmed_;
 };
 
 } // namespace chirp

@@ -49,6 +49,8 @@ class PackedCounterArray
     get(std::size_t i) const
     {
         assert(i < size_);
+        if (laneBits_ == 8)
+            return bytes()[i];
         return static_cast<std::uint16_t>(
             (words_[i >> lanesPerWordLog2_] >> shiftOf(i)) & laneMask_);
     }
@@ -57,6 +59,10 @@ class PackedCounterArray
     set(std::size_t i, std::uint16_t value)
     {
         assert(i < size_ && value <= laneMask_);
+        if (laneBits_ == 8) {
+            bytes()[i] = static_cast<std::uint8_t>(value);
+            return;
+        }
         std::uint64_t &word = words_[i >> lanesPerWordLog2_];
         const unsigned shift = shiftOf(i);
         word = (word & ~(laneMask_ << shift)) |
@@ -85,13 +91,25 @@ class PackedCounterArray
         unsigned lane = 1;
         while (lane < counter_bits)
             lane *= 2;
-        return lane;
+        return lane < 8 ? 8 : lane;
     }
 
     unsigned
     shiftOf(std::size_t i) const
     {
         return static_cast<unsigned>(i & laneIndexMask_) * laneBits_;
+    }
+
+    /** Byte-lane view of words_ (valid only when laneBits_ == 8). */
+    std::uint8_t *
+    bytes()
+    {
+        return reinterpret_cast<std::uint8_t *>(words_.data());
+    }
+    const std::uint8_t *
+    bytes() const
+    {
+        return reinterpret_cast<const std::uint8_t *>(words_.data());
     }
 
     std::size_t size_ = 0;

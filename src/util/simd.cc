@@ -330,6 +330,121 @@ mulXorFoldAvx2(std::uint64_t *v, std::size_t n, std::uint64_t k,
     mulXorFoldSse2(v + i, n - i, k, nbits);
 }
 
+/** The precomputed ladder of a FoldPlan, four lanes at a time. */
+CHIRP_AVX2 inline __m256i
+foldPlanAvx2(__m256i v, const FoldPlan &plan)
+{
+    for (unsigned s = 0; s < plan.steps; ++s) {
+        v = _mm256_xor_si256(
+            v, _mm256_srli_epi64(v, static_cast<int>(plan.shift[s])));
+        v = _mm256_and_si256(
+            v, _mm256_set1_epi64x(
+                   static_cast<long long>(plan.mask[s])));
+    }
+    return v;
+}
+
+CHIRP_AVX2 void
+xorFoldPlanAvx2(std::uint64_t *v, std::size_t n, const FoldPlan &plan)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i *p = reinterpret_cast<__m256i *>(v + i);
+        _mm256_storeu_si256(
+            p, foldPlanAvx2(_mm256_loadu_si256(p), plan));
+    }
+    xorFoldPlanSse2(v + i, n - i, plan);
+}
+
+CHIRP_AVX2 void
+mulXorFoldPlanAvx2(std::uint64_t *v, std::size_t n, std::uint64_t k,
+                   const FoldPlan &plan)
+{
+    const __m256i kv = _mm256_set1_epi64x(static_cast<long long>(k));
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i *p = reinterpret_cast<__m256i *>(v + i);
+        _mm256_storeu_si256(
+            p, foldPlanAvx2(mul64Avx2(_mm256_loadu_si256(p), kv),
+                            plan));
+    }
+    mulXorFoldPlanSse2(v + i, n - i, k, plan);
+}
+
+namespace
+{
+
+/** Low 32 bits of each 64-bit lane, packed into the low 128 bits. */
+CHIRP_AVX2 inline __m128i
+packLow32Avx2(__m256i v)
+{
+    const __m256i pick =
+        _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    return _mm256_castsi256_si128(
+        _mm256_permutevar8x32_epi32(v, pick));
+}
+
+} // namespace
+
+CHIRP_AVX2 void
+xorFoldSigAvx2(const std::uint64_t *base, std::size_t n,
+               std::uint64_t xor_term, const FoldPlan &plan,
+               std::uint16_t *sigs)
+{
+    const __m256i xv =
+        _mm256_set1_epi64x(static_cast<long long>(xor_term));
+    const __m256i low16 = _mm256_set1_epi64x(0xffff);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(base + i));
+        v = foldPlanAvx2(_mm256_xor_si256(v, xv), plan);
+        // Lanes are masked to 16 bits before packing so the u32→u16
+        // saturating pack is an exact truncation, matching the scalar
+        // u16 cast.
+        const __m128i lo = packLow32Avx2(_mm256_and_si256(v, low16));
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(sigs + i),
+                         _mm_packus_epi32(lo, lo));
+    }
+    xorFoldSigSse2(base + i, n - i, xor_term, plan, sigs + i);
+}
+
+CHIRP_AVX2 void
+sigIndexAvx2(const std::uint64_t *base, std::size_t n,
+             std::uint64_t xor_term, const FoldPlan &sig_plan,
+             std::uint64_t salt, std::uint64_t k,
+             const FoldPlan &idx_plan, std::uint32_t idx_or,
+             std::uint16_t *sigs, std::uint32_t *idxs)
+{
+    const __m256i xv =
+        _mm256_set1_epi64x(static_cast<long long>(xor_term));
+    const __m256i low16 = _mm256_set1_epi64x(0xffff);
+    const __m256i saltv =
+        _mm256_set1_epi64x(static_cast<long long>(salt));
+    const __m256i kv = _mm256_set1_epi64x(static_cast<long long>(k));
+    const __m128i orv =
+        _mm_set1_epi32(static_cast<int>(idx_or));
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(base + i));
+        v = foldPlanAvx2(_mm256_xor_si256(v, xv), sig_plan);
+        // Truncate to u16 BEFORE the salt xor / multiply — the index
+        // hash consumes the stored 16-bit signature, not the wider
+        // fold result.
+        v = _mm256_and_si256(v, low16);
+        const __m128i lo = packLow32Avx2(v);
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(sigs + i),
+                         _mm_packus_epi32(lo, lo));
+        const __m256i h = foldPlanAvx2(
+            mul64Avx2(_mm256_xor_si256(v, saltv), kv), idx_plan);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(idxs + i),
+                         _mm_or_si128(packLow32Avx2(h), orv));
+    }
+    sigIndexSse2(base + i, n - i, xor_term, sig_plan, salt, k,
+                 idx_plan, idx_or, sigs + i, idxs + i);
+}
+
 #undef CHIRP_AVX2
 
 } // namespace detail

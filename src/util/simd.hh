@@ -261,6 +261,34 @@ mulXorFoldPlanScalar(std::uint64_t *v, std::size_t n, std::uint64_t k,
         v[i] = plan.apply(v[i] * k);
 }
 
+inline void
+xorFoldSigScalar(const std::uint64_t *base, std::size_t n,
+                 std::uint64_t xor_term, const FoldPlan &plan,
+                 std::uint16_t *sigs)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        sigs[i] =
+            static_cast<std::uint16_t>(plan.apply(base[i] ^ xor_term));
+}
+
+inline void
+sigIndexScalar(const std::uint64_t *base, std::size_t n,
+               std::uint64_t xor_term, const FoldPlan &sig_plan,
+               std::uint64_t salt, std::uint64_t k,
+               const FoldPlan &idx_plan, std::uint32_t idx_or,
+               std::uint16_t *sigs, std::uint32_t *idxs)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint16_t sig = static_cast<std::uint16_t>(
+            sig_plan.apply(base[i] ^ xor_term));
+        sigs[i] = sig;
+        idxs[i] =
+            idx_or |
+            static_cast<std::uint32_t>(idx_plan.apply(
+                (static_cast<std::uint64_t>(sig) ^ salt) * k));
+    }
+}
+
 #ifdef CHIRP_SIMD_X86
 
 /*
@@ -285,6 +313,18 @@ firstSetSse2(const std::uint8_t *v, std::size_t n)
         if (set != 0)
             return i + static_cast<unsigned>(__builtin_ctz(set));
     }
+    if (i + 8 <= n) {
+        // Half-vector step: an 8-way set (the paper's L2 TLB assoc)
+        // scans in one op instead of the scalar tail.
+        const __m128i x = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(v + i));
+        const unsigned zeros = static_cast<unsigned>(
+            _mm_movemask_epi8(_mm_cmpeq_epi8(x, zero)));
+        const unsigned set = ~zeros & 0xffu;
+        if (set != 0)
+            return i + static_cast<unsigned>(__builtin_ctz(set));
+        i += 8;
+    }
     for (; i < n; ++i)
         if (v[i] != 0)
             return i;
@@ -303,6 +343,17 @@ firstClearSse2(const std::uint8_t *v, std::size_t n)
             _mm_movemask_epi8(_mm_cmpeq_epi8(x, zero)));
         if (zeros != 0)
             return i + static_cast<unsigned>(__builtin_ctz(zeros));
+    }
+    if (i + 8 <= n) {
+        const __m128i x = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(v + i));
+        const unsigned zeros =
+            static_cast<unsigned>(
+                _mm_movemask_epi8(_mm_cmpeq_epi8(x, zero))) &
+            0xffu;
+        if (zeros != 0)
+            return i + static_cast<unsigned>(__builtin_ctz(zeros));
+        i += 8;
     }
     for (; i < n; ++i)
         if (v[i] == 0)
@@ -324,6 +375,17 @@ firstAtLeastSse2(const std::uint8_t *v, std::size_t n,
             _mm_movemask_epi8(_mm_cmpeq_epi8(_mm_max_epu8(x, lim), x)));
         if (ge != 0)
             return i + static_cast<unsigned>(__builtin_ctz(ge));
+    }
+    if (i + 8 <= n) {
+        const __m128i x = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(v + i));
+        const unsigned ge =
+            static_cast<unsigned>(_mm_movemask_epi8(
+                _mm_cmpeq_epi8(_mm_max_epu8(x, lim), x))) &
+            0xffu;
+        if (ge != 0)
+            return i + static_cast<unsigned>(__builtin_ctz(ge));
+        i += 8;
     }
     for (; i < n; ++i)
         if (v[i] >= limit)
@@ -355,6 +417,23 @@ maskedRankSse2(const std::uint8_t *flags, const std::uint8_t *rank,
                             _mm_add_epi8(r, _mm_set1_epi8(1)));
 }
 
+/** maskedRankSse2 over an 8-byte half vector (upper lanes zero). */
+inline __m128i
+maskedRank8Sse2(const std::uint8_t *flags, const std::uint8_t *rank,
+                std::size_t i)
+{
+    const __m128i f = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(flags + i));
+    const __m128i r = _mm_loadl_epi64(
+        reinterpret_cast<const __m128i *>(rank + i));
+    const __m128i dead = _mm_cmpeq_epi8(f, _mm_setzero_si128());
+    // The upper eight lanes load as zero flags, so the andnot zeroes
+    // their keys — they can never win the max or match a nonzero
+    // best.
+    return _mm_andnot_si128(dead,
+                            _mm_add_epi8(r, _mm_set1_epi8(1)));
+}
+
 inline std::size_t
 deepestSetSse2(const std::uint8_t *flags, const std::uint8_t *rank,
                std::size_t n)
@@ -365,6 +444,10 @@ deepestSetSse2(const std::uint8_t *flags, const std::uint8_t *rank,
     std::size_t i = 0;
     for (; i + 16 <= n; i += 16)
         vmax = _mm_max_epu8(vmax, maskedRankSse2(flags, rank, i));
+    if (i + 8 <= n) {
+        vmax = _mm_max_epu8(vmax, maskedRank8Sse2(flags, rank, i));
+        i += 8;
+    }
     std::uint8_t best = horizontalMaxU8(vmax);
     for (; i < n; ++i) {
         const std::uint8_t key =
@@ -384,6 +467,15 @@ deepestSetSse2(const std::uint8_t *flags, const std::uint8_t *rank,
         if (hit != 0)
             return i + static_cast<unsigned>(__builtin_ctz(hit));
     }
+    if (i + 8 <= n) {
+        const unsigned hit =
+            static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(
+                maskedRank8Sse2(flags, rank, i), want))) &
+            0xffu;
+        if (hit != 0)
+            return i + static_cast<unsigned>(__builtin_ctz(hit));
+        i += 8;
+    }
     for (; i < n; ++i) {
         const std::uint8_t key =
             flags[i] != 0 ? static_cast<std::uint8_t>(rank[i] + 1) : 0;
@@ -402,6 +494,13 @@ maxLaneSse2(const std::uint8_t *v, std::size_t n)
         vmax = _mm_max_epu8(
             vmax,
             _mm_loadu_si128(reinterpret_cast<const __m128i *>(v + i)));
+    if (i + 8 <= n) {
+        // Zero upper lanes cannot raise an unsigned max.
+        vmax = _mm_max_epu8(
+            vmax, _mm_loadl_epi64(
+                      reinterpret_cast<const __m128i *>(v + i)));
+        i += 8;
+    }
     std::uint8_t best = horizontalMaxU8(vmax);
     for (; i < n; ++i)
         if (v[i] > best)
@@ -598,6 +697,76 @@ mulXorFoldPlanSse2(std::uint64_t *v, std::size_t n, std::uint64_t k,
         v[i] = plan.apply(v[i] * k);
 }
 
+inline void
+xorFoldSigSse2(const std::uint64_t *base, std::size_t n,
+               std::uint64_t xor_term, const FoldPlan &plan,
+               std::uint16_t *sigs)
+{
+    const __m128i xv = _mm_set1_epi64x(static_cast<long long>(xor_term));
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i v = foldPlanSse2(
+            _mm_xor_si128(_mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                              base + i)),
+                          xv),
+            plan);
+        sigs[i] = static_cast<std::uint16_t>(
+            static_cast<std::uint64_t>(_mm_cvtsi128_si64(v)));
+        sigs[i + 1] = static_cast<std::uint16_t>(
+            static_cast<std::uint64_t>(
+                _mm_cvtsi128_si64(_mm_unpackhi_epi64(v, v))));
+    }
+    for (; i < n; ++i)
+        sigs[i] =
+            static_cast<std::uint16_t>(plan.apply(base[i] ^ xor_term));
+}
+
+inline void
+sigIndexSse2(const std::uint64_t *base, std::size_t n,
+             std::uint64_t xor_term, const FoldPlan &sig_plan,
+             std::uint64_t salt, std::uint64_t k,
+             const FoldPlan &idx_plan, std::uint32_t idx_or,
+             std::uint16_t *sigs, std::uint32_t *idxs)
+{
+    const __m128i xv = _mm_set1_epi64x(static_cast<long long>(xor_term));
+    const __m128i saltv = _mm_set1_epi64x(static_cast<long long>(salt));
+    const __m128i kv = _mm_set1_epi64x(static_cast<long long>(k));
+    const __m128i low16 = _mm_set1_epi64x(0xffff);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        __m128i v = foldPlanSse2(
+            _mm_xor_si128(_mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                              base + i)),
+                          xv),
+            sig_plan);
+        // Index formation sees the u16-truncated stored signature.
+        v = _mm_and_si128(v, low16);
+        sigs[i] = static_cast<std::uint16_t>(
+            static_cast<std::uint64_t>(_mm_cvtsi128_si64(v)));
+        sigs[i + 1] = static_cast<std::uint16_t>(
+            static_cast<std::uint64_t>(
+                _mm_cvtsi128_si64(_mm_unpackhi_epi64(v, v))));
+        v = foldPlanSse2(mul64Sse2(_mm_xor_si128(v, saltv), kv),
+                         idx_plan);
+        idxs[i] = idx_or |
+                  static_cast<std::uint32_t>(static_cast<std::uint64_t>(
+                      _mm_cvtsi128_si64(v)));
+        idxs[i + 1] =
+            idx_or |
+            static_cast<std::uint32_t>(static_cast<std::uint64_t>(
+                _mm_cvtsi128_si64(_mm_unpackhi_epi64(v, v))));
+    }
+    for (; i < n; ++i) {
+        const std::uint16_t sig = static_cast<std::uint16_t>(
+            sig_plan.apply(base[i] ^ xor_term));
+        sigs[i] = sig;
+        idxs[i] =
+            idx_or |
+            static_cast<std::uint32_t>(idx_plan.apply(
+                (static_cast<std::uint64_t>(sig) ^ salt) * k));
+    }
+}
+
 /*
  * AVX2 variants — out of line in simd.cc (a per-function target
  * attribute blocks inlining into plain callers), entered by the
@@ -623,6 +792,18 @@ void shiftOrAvx2(std::uint64_t *v, const std::uint8_t *shifts,
 void xorFoldAvx2(std::uint64_t *v, std::size_t n, unsigned nbits);
 void mulXorFoldAvx2(std::uint64_t *v, std::size_t n, std::uint64_t k,
                     unsigned nbits);
+void xorFoldPlanAvx2(std::uint64_t *v, std::size_t n,
+                     const FoldPlan &plan);
+void mulXorFoldPlanAvx2(std::uint64_t *v, std::size_t n,
+                        std::uint64_t k, const FoldPlan &plan);
+void xorFoldSigAvx2(const std::uint64_t *base, std::size_t n,
+                    std::uint64_t xor_term, const FoldPlan &plan,
+                    std::uint16_t *sigs);
+void sigIndexAvx2(const std::uint64_t *base, std::size_t n,
+                  std::uint64_t xor_term, const FoldPlan &sig_plan,
+                  std::uint64_t salt, std::uint64_t k,
+                  const FoldPlan &idx_plan, std::uint32_t idx_or,
+                  std::uint16_t *sigs, std::uint32_t *idxs);
 
 /** Lanes an AVX2 byte kernel needs before the 256-bit loop runs. */
 inline constexpr std::size_t kAvx2Bytes = 32;
@@ -890,6 +1071,65 @@ mulXorFoldPlanNeon(std::uint64_t *v, std::size_t n, std::uint64_t k,
         v[i] = plan.apply(v[i] * k);
 }
 
+inline void
+xorFoldSigNeon(const std::uint64_t *base, std::size_t n,
+               std::uint64_t xor_term, const FoldPlan &plan,
+               std::uint16_t *sigs)
+{
+    const uint64x2_t xv = vdupq_n_u64(xor_term);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t v =
+            foldPlanNeon(veorq_u64(vld1q_u64(base + i), xv), plan);
+        sigs[i] = static_cast<std::uint16_t>(vgetq_lane_u64(v, 0));
+        sigs[i + 1] = static_cast<std::uint16_t>(vgetq_lane_u64(v, 1));
+    }
+    for (; i < n; ++i)
+        sigs[i] =
+            static_cast<std::uint16_t>(plan.apply(base[i] ^ xor_term));
+}
+
+inline void
+sigIndexNeon(const std::uint64_t *base, std::size_t n,
+             std::uint64_t xor_term, const FoldPlan &sig_plan,
+             std::uint64_t salt, std::uint64_t k,
+             const FoldPlan &idx_plan, std::uint32_t idx_or,
+             std::uint16_t *sigs, std::uint32_t *idxs)
+{
+    // As in mulXorFoldPlanNeon, the 64-bit multiply is scalar (no
+    // 64-bit lane multiply on NEON) and the ladders run two lanes at
+    // a time.
+    const uint64x2_t xv = vdupq_n_u64(xor_term);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t v =
+            foldPlanNeon(veorq_u64(vld1q_u64(base + i), xv), sig_plan);
+        const std::uint16_t s0 =
+            static_cast<std::uint16_t>(vgetq_lane_u64(v, 0));
+        const std::uint16_t s1 =
+            static_cast<std::uint16_t>(vgetq_lane_u64(v, 1));
+        sigs[i] = s0;
+        sigs[i + 1] = s1;
+        std::uint64_t prod[2] = {
+            (static_cast<std::uint64_t>(s0) ^ salt) * k,
+            (static_cast<std::uint64_t>(s1) ^ salt) * k};
+        const uint64x2_t x = foldPlanNeon(vld1q_u64(prod), idx_plan);
+        idxs[i] = idx_or | static_cast<std::uint32_t>(
+                               vgetq_lane_u64(x, 0));
+        idxs[i + 1] = idx_or | static_cast<std::uint32_t>(
+                                   vgetq_lane_u64(x, 1));
+    }
+    for (; i < n; ++i) {
+        const std::uint16_t sig = static_cast<std::uint16_t>(
+            sig_plan.apply(base[i] ^ xor_term));
+        sigs[i] = sig;
+        idxs[i] =
+            idx_or |
+            static_cast<std::uint32_t>(idx_plan.apply(
+                (static_cast<std::uint64_t>(sig) ^ salt) * k));
+    }
+}
+
 #endif // CHIRP_SIMD_NEON
 
 } // namespace detail
@@ -1151,8 +1391,11 @@ inline void
 xorFoldLanes(std::uint64_t *v, std::size_t n, const FoldPlan &plan)
 {
 #if defined(CHIRP_SIMD_X86)
-    if (detail::g_backend == Backend::Scalar)
+    const Backend b = detail::g_backend;
+    if (b == Backend::Scalar)
         return detail::xorFoldPlanScalar(v, n, plan);
+    if (b == Backend::Avx2 && n >= detail::kAvx2Words)
+        return detail::xorFoldPlanAvx2(v, n, plan);
     return detail::xorFoldPlanSse2(v, n, plan);
 #elif defined(CHIRP_SIMD_NEON)
     if (detail::g_backend == Backend::Scalar)
@@ -1169,8 +1412,11 @@ mulXorFoldLanes(std::uint64_t *v, std::size_t n, std::uint64_t k,
                 const FoldPlan &plan)
 {
 #if defined(CHIRP_SIMD_X86)
-    if (detail::g_backend == Backend::Scalar)
+    const Backend b = detail::g_backend;
+    if (b == Backend::Scalar)
         return detail::mulXorFoldPlanScalar(v, n, k, plan);
+    if (b == Backend::Avx2 && n >= detail::kAvx2Words)
+        return detail::mulXorFoldPlanAvx2(v, n, k, plan);
     return detail::mulXorFoldPlanSse2(v, n, k, plan);
 #elif defined(CHIRP_SIMD_NEON)
     if (detail::g_backend == Backend::Scalar)
@@ -1178,6 +1424,76 @@ mulXorFoldLanes(std::uint64_t *v, std::size_t n, std::uint64_t k,
     return detail::mulXorFoldPlanNeon(v, n, k, plan);
 #else
     return detail::mulXorFoldPlanScalar(v, n, k, plan);
+#endif
+}
+
+/**
+ * Fused signature composition: sigs[i] = u16(plan.apply(base[i] ^
+ * xor_term)) — the xor, fold ladder and u16 truncation of a whole
+ * chunk in one pass over @p base (unmodified), with no intermediate
+ * lane array round trips.  CHiRP's batched chunk compose.
+ */
+inline void
+xorFoldSigLanes(const std::uint64_t *base, std::size_t n,
+                std::uint64_t xor_term, const FoldPlan &plan,
+                std::uint16_t *sigs)
+{
+#if defined(CHIRP_SIMD_X86)
+    const Backend b = detail::g_backend;
+    if (b == Backend::Scalar)
+        return detail::xorFoldSigScalar(base, n, xor_term, plan, sigs);
+    if (b == Backend::Avx2 && n >= detail::kAvx2Words)
+        return detail::xorFoldSigAvx2(base, n, xor_term, plan, sigs);
+    return detail::xorFoldSigSse2(base, n, xor_term, plan, sigs);
+#elif defined(CHIRP_SIMD_NEON)
+    if (detail::g_backend == Backend::Scalar)
+        return detail::xorFoldSigScalar(base, n, xor_term, plan, sigs);
+    return detail::xorFoldSigNeon(base, n, xor_term, plan, sigs);
+#else
+    return detail::xorFoldSigScalar(base, n, xor_term, plan, sigs);
+#endif
+}
+
+/**
+ * Fused signature + table-index composition over one chunk:
+ *
+ *   sig     = u16(sig_plan.apply(base[i] ^ xor_term))
+ *   sigs[i] = sig
+ *   idxs[i] = idx_or | u32(idx_plan.apply((u64(sig) ^ salt) * k))
+ *
+ * — the whole signature-then-multiplicative-index-hash pipeline of a
+ * prediction table (GHRP's per-table composition, PredictionTable::
+ * indexOf's math) in registers, one pass over @p base (unmodified),
+ * instead of separate fill/fold/truncate/salt/hash passes each
+ * streaming the chunk through memory.  @p idx_or is OR-ed into every
+ * index (a caller's table-bank base); pass 0 for none.
+ */
+inline void
+sigIndexLanes(const std::uint64_t *base, std::size_t n,
+              std::uint64_t xor_term, const FoldPlan &sig_plan,
+              std::uint64_t salt, std::uint64_t k,
+              const FoldPlan &idx_plan, std::uint32_t idx_or,
+              std::uint16_t *sigs, std::uint32_t *idxs)
+{
+#if defined(CHIRP_SIMD_X86)
+    const Backend b = detail::g_backend;
+    if (b == Backend::Scalar)
+        return detail::sigIndexScalar(base, n, xor_term, sig_plan, salt,
+                                      k, idx_plan, idx_or, sigs, idxs);
+    if (b == Backend::Avx2 && n >= detail::kAvx2Words)
+        return detail::sigIndexAvx2(base, n, xor_term, sig_plan, salt,
+                                    k, idx_plan, idx_or, sigs, idxs);
+    return detail::sigIndexSse2(base, n, xor_term, sig_plan, salt, k,
+                                idx_plan, idx_or, sigs, idxs);
+#elif defined(CHIRP_SIMD_NEON)
+    if (detail::g_backend == Backend::Scalar)
+        return detail::sigIndexScalar(base, n, xor_term, sig_plan, salt,
+                                      k, idx_plan, idx_or, sigs, idxs);
+    return detail::sigIndexNeon(base, n, xor_term, sig_plan, salt, k,
+                                idx_plan, idx_or, sigs, idxs);
+#else
+    return detail::sigIndexScalar(base, n, xor_term, sig_plan, salt, k,
+                                  idx_plan, idx_or, sigs, idxs);
 #endif
 }
 

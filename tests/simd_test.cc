@@ -358,5 +358,64 @@ TEST(SimdFold, LaneFoldsMatchPerElementFoldXor)
     }
 }
 
+TEST(SimdFold, FusedSigAndSigIndexLanesMatchScalarReference)
+{
+    std::mt19937_64 rng(0xC0FFEE07);
+    constexpr std::uint64_t kMul = 0x9e3779b97f4a7c15ull;
+    // (signatureBits, indexBits) pairs covering the policy configs
+    // (SHiP 14-bit SHCT, GHRP 12-bit banks, CHiRP defaults) plus the
+    // 16-bit truncation edge.
+    const unsigned sig_widths[] = {8, 12, 14, 16};
+    const unsigned idx_widths[] = {7, 12, 14, 10};
+    for (std::size_t w = 0; w < 4; ++w) {
+        const unsigned sig_bits = sig_widths[w];
+        const unsigned idx_bits = idx_widths[w];
+        const simd::FoldPlan sig_plan(sig_bits);
+        const simd::FoldPlan idx_plan(idx_bits);
+        const std::uint64_t salt = rng();
+        const std::uint64_t xor_term = rng();
+        // A bank base in the bits above the index, as GHRP passes.
+        const std::uint32_t idx_or = static_cast<std::uint32_t>(w)
+                                     << idx_bits;
+        for (std::size_t n = 0; n <= kMaxLanes;
+             n += (n < 12 ? 1 : 7)) {
+            std::vector<std::uint64_t> base(n);
+            for (auto &v : base)
+                v = rng();
+            std::vector<std::uint16_t> sig_ref(n);
+            std::vector<std::uint32_t> idx_ref(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                sig_ref[i] = static_cast<std::uint16_t>(
+                    foldXor(base[i] ^ xor_term, sig_bits));
+                idx_ref[i] =
+                    idx_or |
+                    static_cast<std::uint32_t>(foldXor(
+                        (static_cast<std::uint64_t>(sig_ref[i]) ^
+                         salt) *
+                            kMul,
+                        idx_bits));
+            }
+            underBothBackends([&](simd::Backend b) {
+                SCOPED_TRACE(std::string("backend=") +
+                             simd::backendName(b) + " sig_bits=" +
+                             std::to_string(sig_bits) +
+                             " n=" + std::to_string(n));
+                std::vector<std::uint16_t> sigs(n, 0xAAAA);
+                simd::xorFoldSigLanes(base.data(), n, xor_term,
+                                      sig_plan, sigs.data());
+                EXPECT_EQ(sigs, sig_ref);
+                std::vector<std::uint16_t> sigs2(n, 0xAAAA);
+                std::vector<std::uint32_t> idxs(n, 0xDEADBEEFu);
+                simd::sigIndexLanes(base.data(), n, xor_term,
+                                    sig_plan, salt, kMul, idx_plan,
+                                    idx_or, sigs2.data(),
+                                    idxs.data());
+                EXPECT_EQ(sigs2, sig_ref);
+                EXPECT_EQ(idxs, idx_ref);
+            });
+        }
+    }
+}
+
 } // namespace
 } // namespace chirp
