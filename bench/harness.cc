@@ -9,10 +9,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "trace/ingest/ingest.hh"
 #include "trace/trace_store.hh"
 #include "util/fault_injection.hh"
 #include "util/hashing.hh"
 #include "util/logging.hh"
+#include "util/quarantine.hh"
 #include "util/thread_pool.hh"
 
 namespace chirp::bench
@@ -69,6 +71,91 @@ absolutePath(const std::string &path)
     if (!::getcwd(cwd, sizeof(cwd)))
         chirp_fatal("getcwd: ", std::strerror(errno));
     return std::string(cwd) + "/" + path;
+}
+
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : text) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Last path component without its extension: "a/b/t.champsim" -> "t". */
+std::string
+traceWorkloadName(const std::string &path)
+{
+    std::string name = path;
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name.erase(0, slash + 1);
+    const std::size_t dot = name.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        name.erase(dot);
+    return name.empty() ? "trace" : name;
+}
+
+/**
+ * When CHIRP_TRACE_IN names one or more external trace files
+ * (comma-separated), replace the synthetic suite with one workload
+ * per file.  Paths are absolutized and republished through the
+ * environment so --workers children — which chdir into per-worker
+ * scratch directories before building their suite — resolve the same
+ * files.  The format choice is validated eagerly so a typo fails the
+ * run up front rather than inside the first sharded job.
+ */
+void
+applyExternalSuite(BenchContext &ctx)
+{
+    const char *env = std::getenv("CHIRP_TRACE_IN");
+    if (!env)
+        return;
+    if (!*env)
+        chirp_fatal("CHIRP_TRACE_IN is set but empty; expected one or "
+                    "more trace file paths (comma-separated)");
+    externalTraceFormatFromEnv(); // validate now, not at first use
+    std::vector<std::string> paths;
+    const std::string list(env);
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        if (comma > start)
+            paths.push_back(absolutePath(list.substr(start,
+                                                     comma - start)));
+        start = comma + 1;
+    }
+    if (paths.empty())
+        chirp_fatal("CHIRP_TRACE_IN contains no paths");
+    std::string joined;
+    for (const std::string &p : paths) {
+        if (!joined.empty())
+            joined += ',';
+        joined += p;
+    }
+    ::setenv("CHIRP_TRACE_IN", joined.c_str(), 1);
+    std::vector<WorkloadConfig> suite;
+    for (const std::string &path : paths) {
+        WorkloadConfig config;
+        config.tracePath = path;
+        config.name = traceWorkloadName(path);
+        // Distinct names even when two files share a basename.
+        for (const WorkloadConfig &prior : suite) {
+            if (prior.name == config.name) {
+                config.name += '.';
+                config.name += std::to_string(suite.size());
+                break;
+            }
+        }
+        config.seed = fnv1a(path);
+        config.length = 0; // stream content comes from the file
+        suite.push_back(std::move(config));
+    }
+    ctx.suite = std::move(suite);
 }
 
 /**
@@ -201,6 +288,7 @@ makeContext(std::size_t default_suite_size, bool mpki_only)
         ctx.resilience.jobTimeoutMs =
             parseCount("CHIRP_JOB_TIMEOUT_MS", env);
     }
+    applyExternalSuite(ctx);
     return ctx;
 }
 
@@ -213,8 +301,15 @@ BenchContext::identity() const
     sh = hashCombine(sh, suite.size());
     sh = hashCombine(sh, options.traceLength);
     sh = hashCombine(sh, options.baseSeed);
-    id.suiteHash = hashCombine(sh, static_cast<std::uint64_t>(
-                                       options.onlyCategory + 1));
+    sh = hashCombine(sh, static_cast<std::uint64_t>(
+                             options.onlyCategory + 1));
+    // External suites are defined by their files, not the synthetic
+    // knobs above; fold the paths so swapping traces refuses a resume.
+    for (const WorkloadConfig &workload : suite) {
+        if (!workload.tracePath.empty())
+            sh = hashCombine(sh, fnv1a(workload.tracePath));
+    }
+    id.suiteHash = sh;
     std::uint64_t ch = mix64(0x434647ull /* "CFG" */);
     ch = hashCombine(ch, config.simulateCaches ? 1 : 0);
     ch = hashCombine(ch, config.simulateBranch ? 1 : 0);
@@ -275,6 +370,53 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
             // it, so one flag pins the whole process tree to a tier.
             ::setenv("CHIRP_TRACE_FORMAT", value.c_str(), 1);
             traceFormat(); // validate now, not at first use
+        } else if (arg == "--trace-in" ||
+                   arg.rfind("--trace-in=", 0) == 0) {
+            std::string value;
+            if (arg == "--trace-in") {
+                if (i + 1 >= argc)
+                    chirp_fatal(arg, " needs a trace file path");
+                value = argv[++i];
+            } else {
+                value = arg.substr(std::strlen("--trace-in="));
+            }
+            if (value.empty())
+                chirp_fatal("--trace-in needs a non-empty path");
+            // Accumulate into CHIRP_TRACE_IN (the flag is repeatable)
+            // so forked --workers children rebuild the same suite.
+            std::string list;
+            if (const char *prior = std::getenv("CHIRP_TRACE_IN");
+                prior && *prior) {
+                list = prior;
+                list += ',';
+            }
+            list += absolutePath(value);
+            ::setenv("CHIRP_TRACE_IN", list.c_str(), 1);
+        } else if (arg == "--trace-in-format" ||
+                   arg.rfind("--trace-in-format=", 0) == 0) {
+            std::string value;
+            if (arg == "--trace-in-format") {
+                if (i + 1 >= argc)
+                    chirp_fatal(arg, " needs a format");
+                value = argv[++i];
+            } else {
+                value = arg.substr(std::strlen("--trace-in-format="));
+            }
+            ::setenv("CHIRP_TRACE_IN_FORMAT", value.c_str(), 1);
+            externalTraceFormatFromEnv(); // validate now
+        } else if (arg == "--ingest-bad-budget" ||
+                   arg.rfind("--ingest-bad-budget=", 0) == 0) {
+            std::string value;
+            if (arg == "--ingest-bad-budget") {
+                if (i + 1 >= argc)
+                    chirp_fatal(arg, " needs a value");
+                value = argv[++i];
+            } else {
+                value = arg.substr(
+                    std::strlen("--ingest-bad-budget="));
+            }
+            parseCount("--ingest-bad-budget", value.c_str());
+            ::setenv("CHIRP_INGEST_BAD_BUDGET", value.c_str(), 1);
         } else if (arg == "--retries") {
             if (i + 1 >= argc)
                 chirp_fatal(arg, " needs a value");
@@ -338,6 +480,9 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
                 "usage: %s [--jobs N] [--trace-cache DIR] "
                 "[--no-trace-store]\n"
                 "       [--trace-format legacy|columnar|mmap]\n"
+                "       [--trace-in PATH]... "
+                "[--trace-in-format auto|champsim|cvp]\n"
+                "       [--ingest-bad-budget N]\n"
                 "       [--retries N] [--job-timeout MS] [--resume]\n"
                 "       [--journal PATH] [--no-journal] [--workers N]\n"
                 "       [--coordinator PATH] [--worker PATH]\n"
@@ -353,6 +498,18 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
                 "                     or mmap (zero-copy disk cache);\n"
                 "                     sets CHIRP_TRACE_FORMAT so\n"
                 "                     --workers children inherit it\n"
+                "  --trace-in PATH    replace the synthetic suite with\n"
+                "                     external trace files (repeatable;\n"
+                "                     or CHIRP_TRACE_IN, comma-\n"
+                "                     separated); malformed files fail\n"
+                "                     their jobs, never the suite\n"
+                "  --trace-in-format F  external container: auto\n"
+                "                     (default), champsim or cvp; sets\n"
+                "                     CHIRP_TRACE_IN_FORMAT\n"
+                "  --ingest-bad-budget N  bad records tolerated per\n"
+                "                     ingested file before its job\n"
+                "                     fails (default 1024; sets\n"
+                "                     CHIRP_INGEST_BAD_BUDGET)\n"
                 "  --retries N        extra attempts for jobs failing\n"
                 "                     transiently (default 1, or\n"
                 "                     CHIRP_RETRIES)\n"
@@ -388,6 +545,10 @@ makeContext(int argc, char **argv, std::size_t default_suite_size,
         ctx.journalPath.clear();
     if (ctx.resume && ctx.journalPath.empty())
         chirp_fatal("--resume needs a journal (drop --no-journal)");
+    // --trace-in may have extended CHIRP_TRACE_IN above; rebuild the
+    // external suite now, before the coordinator derives the shard
+    // ledger fingerprint from identity() below.
+    applyExternalSuite(ctx);
     const bool is_worker = worker_fd >= 0 || !worker_path.empty();
     if (is_worker && (workers || !coordinator_path.empty()))
         chirp_fatal("a process is either a worker or a coordinator, "
@@ -423,6 +584,12 @@ finish(const BenchContext &ctx)
                      fs.shardsRequeued, " shards requeued, ",
                      fs.shardsLocal, " run locally)");
     }
+    // Satellite hygiene: one line accounting for every artifact the
+    // run quarantined (.corrupt caches, .stale journals), so nothing
+    // is moved aside silently.
+    const std::string quarantined = quarantineSummaryLine();
+    if (!quarantined.empty())
+        chirp_inform(quarantined);
     const std::size_t failed = health.failureCount();
     if (failed == 0)
         return 0;
@@ -438,6 +605,18 @@ void
 printBanner(const std::string &title, const BenchContext &ctx)
 {
     std::printf("== %s ==\n", title.c_str());
+    if (!ctx.suite.empty() && !ctx.suite.front().tracePath.empty()) {
+        std::printf("suite: %zu external trace file(s) (%s); "
+                    "L2 TLB %u entries, %u-way; %u jobs\n\n",
+                    ctx.suite.size(),
+                    externalTraceFormatName(
+                        externalTraceFormatFromEnv()),
+                    ctx.config.tlbs.l2.entries,
+                    ctx.config.tlbs.l2.assoc,
+                    ctx.jobs ? ctx.jobs
+                             : ThreadPool::defaultConcurrency());
+        return;
+    }
     std::printf("suite: %zu workloads x %llu instructions (seed %llu); "
                 "L2 TLB %u entries, %u-way; %u jobs\n\n",
                 ctx.suite.size(),

@@ -33,6 +33,16 @@
  * a single-process run, even when workers are killed mid-shard.
  * `--worker-fd FD --worker-id N` are the internal flags a spawned
  * worker is launched with.
+ *
+ * External traces: `--trace-in PATH` (repeatable, or CHIRP_TRACE_IN
+ * with comma-separated paths) replaces the synthetic suite with one
+ * workload per ChampSim/CVP trace file, ingested through the hardened
+ * front-end in trace/ingest/.  `--trace-in-format auto|champsim|cvp`
+ * pins the container format, and `--ingest-bad-budget N` bounds the
+ * decode failures tolerated per file.  A malformed file fails only
+ * its own jobs (through SuiteHealth); the suite, the CSVs and the
+ * exit-code contract are otherwise unchanged, and ingested suites
+ * stay byte-identical across --jobs and --workers.
  */
 
 #ifndef CHIRP_BENCH_HARNESS_HH
@@ -130,7 +140,10 @@ BenchContext makeContext(std::size_t default_suite_size, bool mpki_only);
  * `--journal PATH` / `--no-journal` override the default
  * "<binary>.csv.journal" sidecar, `--workers N` /
  * `--coordinator PATH` / `--worker PATH` engage the distributed
- * sweep fabric (see the file comment), and `--help` prints usage.
+ * sweep fabric (see the file comment), `--trace-in PATH` /
+ * `--trace-in-format F` / `--ingest-bad-budget N` switch the suite to
+ * external trace files (see the file comment), and `--help` prints
+ * usage.
  * Unknown arguments are fatal.  Worker mode relocates the process
  * into a "chirp-workers/w<id>/" scratch directory and disables its
  * journal: only the coordinator's CSVs are real.

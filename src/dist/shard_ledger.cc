@@ -5,6 +5,7 @@
 
 #include <unistd.h>
 
+#include "util/atomic_file.hh"
 #include "util/logging.hh"
 
 namespace chirp::dist
@@ -53,6 +54,9 @@ ShardLedger::ShardLedger(std::string path, std::uint64_t fingerprint,
                          kVersion, fingerprint);
             std::fflush(file_);
             ::fsync(::fileno(file_));
+            // New directory entry: flush it so a power cut cannot
+            // lose the ledger the resume path depends on.
+            fsyncParentDir(path_);
         }
     }
     if (!file_)

@@ -8,8 +8,10 @@
 #include <unistd.h>
 
 #include "trace/trace_store.hh"
+#include "util/atomic_file.hh"
 #include "util/hashing.hh"
 #include "util/logging.hh"
+#include "util/quarantine.hh"
 
 namespace chirp
 {
@@ -66,6 +68,7 @@ quarantineStale(const std::string &path)
     }
     chirp_warn("journal '", path, "': quarantined stale file to '",
                stale, "'");
+    noteQuarantined(stale, "stale journal (identity diverged)");
 }
 
 } // namespace
@@ -255,6 +258,9 @@ RunJournal::RunJournal(std::string path, JournalIdentity identity,
                          identity_.schema.c_str());
             std::fflush(file_);
             ::fsync(::fileno(file_));
+            // A fresh journal is a new directory entry; flush that
+            // too so a power cut cannot lose the whole file.
+            fsyncParentDir(path_);
         }
     }
     if (!file_)

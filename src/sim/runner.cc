@@ -13,6 +13,7 @@
 #include "dist/fabric.hh"
 #include "sim/run_journal.hh"
 #include "sim/simulator.hh"
+#include "trace/ingest/ingest.hh"
 #include "util/fault_injection.hh"
 #include "util/hashing.hh"
 #include "util/logging.hh"
@@ -318,6 +319,16 @@ runGuarded(unsigned retries, Watchdog &dog, std::size_t slot,
             // budget once will blow it again.
             out.timedOut = true;
             out.error = err.what();
+        } catch (const IngestError &err) {
+            // Watchdog cancellation surfacing through the ingest
+            // front-end is a timeout like JobCancelled; every other
+            // ingest failure (hostile file, blown budget) is an
+            // ordinary job failure the suite survives.
+            if (err.kind() == DecodeErrorKind::Cancelled ||
+                err.kind() == DecodeErrorKind::Timeout) {
+                out.timedOut = true;
+            }
+            out.error = err.what();
         } catch (const TransientError &err) {
             transient = true;
             out.error = err.what();
@@ -488,10 +499,17 @@ SimStats
 Runner::runOne(const WorkloadConfig &workload,
                const PolicyFactory &factory) const
 {
-    const auto program = buildWorkload(workload);
     const std::uint32_t sets =
         config_.tlbs.l2.entries / config_.tlbs.l2.assoc;
     Simulator sim(config_, factory(sets, config_.tlbs.l2.assoc));
+    if (!workload.tracePath.empty()) {
+        // External workload: replay the ingested stream; the store
+        // dedups concurrent ingests of the same file.
+        const SharedTrace trace = store_->get(workload);
+        MemoryTraceSource source(trace, workload.name);
+        return sim.run(source);
+    }
+    const auto program = buildWorkload(workload);
     return sim.run(*program);
 }
 
@@ -631,6 +649,10 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
                 resilience_.retries, dog,
                 w * factories.size() + p,
                 suite[w].name + " x " + tag_of(p), [&] {
+                    // The same token the simulator polls also reaches
+                    // any external-trace ingest under store.get.
+                    ScopedIngestCancel ingest_cancel(
+                        dog.token(w * factories.size() + p));
                     const SharedTrace trace = store.get(suite[w]);
                     MemoryTraceSource source(trace, suite[w].name);
                     Simulator sim(config_, factories[p](sets, assoc));
@@ -735,6 +757,8 @@ Runner::runSuiteMulti(const std::vector<WorkloadConfig> &suite,
                 // A retried attempt must not see the previous one's
                 // partial event stream.
                 events.clear();
+                ScopedIngestCancel ingest_cancel(
+                    dog.token(w * factories.size()));
                 trace = store.get(suite[w]);
                 MemoryTraceSource source(trace, suite[w].name);
                 Simulator recorder(
@@ -1050,14 +1074,22 @@ Runner::runSuiteParallel(const std::vector<WorkloadConfig> &suite,
             const GuardOutcome out = runGuarded(
                 resilience_.retries, dog, i, suite[i].name, [&] {
                     // runOne, inlined so the watchdog's cancel token
-                    // reaches the simulator.
-                    const auto program = buildWorkload(suite[i]);
+                    // reaches the simulator (and, for external
+                    // workloads, the ingest front-end).
                     const std::uint32_t sets =
                         config_.tlbs.l2.entries / config_.tlbs.l2.assoc;
                     Simulator sim(
                         config_,
                         factory(sets, config_.tlbs.l2.assoc));
                     sim.setCancelToken(dog.token(i));
+                    if (!suite[i].tracePath.empty()) {
+                        ScopedIngestCancel ingest_cancel(dog.token(i));
+                        const SharedTrace trace = store_->get(suite[i]);
+                        MemoryTraceSource source(trace, suite[i].name);
+                        results[i].stats = sim.run(source);
+                        return;
+                    }
+                    const auto program = buildWorkload(suite[i]);
                     results[i].stats = sim.run(*program);
                 });
             if (out.ok && journal)

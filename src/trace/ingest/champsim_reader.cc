@@ -1,0 +1,154 @@
+#include "trace/ingest/champsim_reader.hh"
+
+#include <cstring>
+
+namespace chirp::ingest_detail
+{
+namespace
+{
+
+// Field offsets within the 64-byte input_instr image.
+constexpr std::size_t kOffIp = 0;
+constexpr std::size_t kOffIsBranch = 8;
+constexpr std::size_t kOffTaken = 9;
+constexpr std::size_t kOffDestRegs = 10; // u8[2]
+constexpr std::size_t kOffSrcRegs = 12;  // u8[4]
+constexpr std::size_t kOffDestMem = 16;  // u64[2]
+constexpr std::size_t kOffSrcMem = 32;   // u64[4]
+
+std::uint64_t
+readU64(const std::uint8_t *bytes, std::size_t at)
+{
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes + at, sizeof(v));
+    return v; // build targets are little-endian, like the format
+}
+
+} // namespace
+
+ChampSimReader::ChampSimReader(std::FILE *file, const std::string &name,
+                               IngestContext &ctx)
+    : window_(file), ctx_(ctx), quarantine_(ctx)
+{
+    name_ = name;
+}
+
+bool
+ChampSimReader::decode(const std::uint8_t *bytes, std::uint64_t offset,
+                       TraceRecord &rec, DecodeError &err)
+{
+    const std::uint64_t ip = readU64(bytes, kOffIp);
+    const std::uint8_t isBranch = bytes[kOffIsBranch];
+    const std::uint8_t taken = bytes[kOffTaken];
+
+    if (isBranch > 1 || taken > 1 || (taken && !isBranch)) {
+        err = {DecodeErrorKind::OutOfRangeFlags, offset,
+               detail::concat("is_branch=", int(isBranch),
+                              " branch_taken=", int(taken))};
+        return false;
+    }
+    if (ip == 0 || !canonicalAddr(ip)) {
+        err = {DecodeErrorKind::NonCanonicalPc, offset, ""};
+        return false;
+    }
+    // Register ids in real ChampSim traces are x86 uop register
+    // numbers; anything >= 0x80 cannot occur and marks garbage.
+    for (std::size_t i = 0; i < 6; ++i) {
+        const std::uint8_t reg = bytes[kOffDestRegs + i];
+        if (reg >= 0x80) {
+            err = {DecodeErrorKind::OutOfRangeRegister, offset,
+                   detail::concat("register byte 0x", int(reg))};
+            return false;
+        }
+    }
+    std::uint64_t destMem = 0;
+    std::uint64_t srcMem = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+        const std::uint64_t a = readU64(bytes, kOffDestMem + 8 * i);
+        if (a != 0 && !canonicalAddr(a)) {
+            err = {DecodeErrorKind::NonCanonicalAddress, offset,
+                   "destination_memory"};
+            return false;
+        }
+        if (destMem == 0)
+            destMem = a;
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+        const std::uint64_t a = readU64(bytes, kOffSrcMem + 8 * i);
+        if (a != 0 && !canonicalAddr(a)) {
+            err = {DecodeErrorKind::NonCanonicalAddress, offset,
+                   "source_memory"};
+            return false;
+        }
+        if (srcMem == 0)
+            srcMem = a;
+    }
+
+    rec = TraceRecord{};
+    rec.pc = ip;
+    if (isBranch) {
+        rec.cls = InstClass::CondBranch;
+        rec.taken = taken != 0;
+    } else if (srcMem != 0) {
+        rec.cls = InstClass::Load;
+        rec.effAddr = srcMem;
+    } else if (destMem != 0) {
+        rec.cls = InstClass::Store;
+        rec.effAddr = destMem;
+    } else {
+        rec.cls = InstClass::Alu;
+    }
+    return true;
+}
+
+bool
+ChampSimReader::next(TraceRecord &rec)
+{
+    while (!done_) {
+        const std::uint64_t at = window_.offset();
+        ctx_.checkAbort(at);
+        std::size_t avail = 0;
+        const std::uint8_t *bytes = window_.peek(kRecordBytes, avail);
+        if (avail == 0) {
+            done_ = true;
+            break;
+        }
+        if (avail < kRecordBytes) {
+            // Trailing partial record: quarantine the stub and stop.
+            quarantine_.openRange(
+                at, at + avail,
+                {DecodeErrorKind::TruncatedRecord, at,
+                 detail::concat(avail, " trailing bytes")});
+            quarantine_.charge(1, at,
+                               {DecodeErrorKind::TruncatedRecord, at, ""});
+            window_.consume(avail);
+            ctx_.stats.bytesConsumed += avail;
+            done_ = true;
+            break;
+        }
+        DecodeError err;
+        const bool ok = decode(bytes, at, rec, err);
+        window_.consume(kRecordBytes);
+        ctx_.stats.bytesConsumed += kRecordBytes;
+        if (ok) {
+            quarantine_.flush();
+            ++ctx_.stats.records;
+            return true;
+        }
+        // Records are boundary-aligned, so resync is just "skip this
+        // slot": quarantine the 64 bytes and try the next one.
+        quarantine_.openRange(at, at + kRecordBytes, err);
+        quarantine_.charge(1, at, err);
+    }
+    quarantine_.flush();
+    return false;
+}
+
+void
+ChampSimReader::reset()
+{
+    window_.rewind();
+    done_ = false;
+}
+
+} // namespace chirp::ingest_detail

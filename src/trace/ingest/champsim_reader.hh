@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Streaming reader for ChampSim's fixed 64-byte input_instr records.
+ * See ingest.hh for the format description and the adversarial-input
+ * contract; resync after a bad record is trivial here because every
+ * record starts on a 64-byte boundary.
+ */
+
+#ifndef CHIRP_TRACE_INGEST_CHAMPSIM_READER_HH
+#define CHIRP_TRACE_INGEST_CHAMPSIM_READER_HH
+
+#include <cstdio>
+
+#include "trace/ingest/ingest_util.hh"
+#include "trace/trace_source.hh"
+
+namespace chirp::ingest_detail
+{
+
+/** TraceSource over a ChampSim trace; takes ownership of @p file. */
+class ChampSimReader final : public TraceSource
+{
+  public:
+    /** Record size on disk. */
+    static constexpr std::size_t kRecordBytes = 64;
+
+    ChampSimReader(std::FILE *file, const std::string &name,
+                   IngestContext &ctx);
+
+    bool next(TraceRecord &rec) override;
+    void reset() override;
+
+    /**
+     * Decode one 64-byte image into @p rec, or report why it cannot
+     * be one.  Shared with the CVP resync scanner's cousin in spirit:
+     * pure, no stream state.
+     */
+    static bool decode(const std::uint8_t *bytes, std::uint64_t offset,
+                       TraceRecord &rec, DecodeError &err);
+
+  private:
+    ByteWindow window_;
+    IngestContext &ctx_;
+    QuarantineTracker quarantine_;
+    bool done_ = false;
+};
+
+} // namespace chirp::ingest_detail
+
+#endif // CHIRP_TRACE_INGEST_CHAMPSIM_READER_HH

@@ -1,0 +1,286 @@
+#include "trace/ingest/cvp_reader.hh"
+
+#include <cstring>
+
+namespace chirp::ingest_detail
+{
+namespace
+{
+
+constexpr std::uint8_t kFlagTaken = 0x01;
+constexpr std::uint8_t kFlagHasMem = 0x02;
+constexpr std::uint8_t kFlagHasTarget = 0x04;
+constexpr std::uint8_t kFlagMask =
+    kFlagTaken | kFlagHasMem | kFlagHasTarget;
+
+std::uint64_t
+readU64(const std::uint8_t *bytes, std::size_t at)
+{
+    std::uint64_t v = 0;
+    std::memcpy(&v, bytes + at, sizeof(v));
+    return v;
+}
+
+bool
+plausibleAccessSize(std::uint8_t size)
+{
+    return size != 0 && size <= 64 && (size & (size - 1)) == 0;
+}
+
+} // namespace
+
+CvpReader::CvpReader(std::FILE *file, const std::string &name,
+                     IngestContext &ctx)
+    : window_(file), ctx_(ctx), quarantine_(ctx)
+{
+    name_ = name;
+    std::size_t avail = 0;
+    const std::uint8_t *hdr = window_.peek(kHeaderBytes, avail);
+    if (avail < kHeaderBytes) {
+        throw IngestError({DecodeErrorKind::TruncatedHeader, 0,
+                           detail::concat(avail, " of ", kHeaderBytes,
+                                          " header bytes")});
+    }
+    if (std::memcmp(hdr, "CVPT", 4) != 0)
+        throw IngestError({DecodeErrorKind::BadMagic, 0, ""});
+    std::uint32_t version = 0;
+    std::memcpy(&version, hdr + 4, sizeof(version));
+    if (version != 1) {
+        throw IngestError({DecodeErrorKind::BadVersion, 4,
+                           detail::concat("version ", version)});
+    }
+    declared_ = readU64(hdr, 8);
+    window_.consume(kHeaderBytes);
+    ctx_.stats.bytesConsumed += kHeaderBytes;
+}
+
+bool
+CvpReader::decode(const std::uint8_t *bytes, std::size_t avail,
+                  std::uint64_t offset, TraceRecord &rec,
+                  std::size_t &len, DecodeError &err)
+{
+    len = 0;
+    std::size_t pos = 0;
+    const auto truncated = [&](const char *what) {
+        err = {DecodeErrorKind::TruncatedRecord, offset + avail, what};
+        return false;
+    };
+
+    if (avail < 10)
+        return truncated("pc/class/flags");
+    const std::uint64_t pc = readU64(bytes, 0);
+    const std::uint8_t clsByte = bytes[8];
+    const std::uint8_t flags = bytes[9];
+    pos = 10;
+
+    if (clsByte >= static_cast<std::uint8_t>(InstClass::NumClasses)) {
+        err = {DecodeErrorKind::OutOfRangeClass, offset + 8,
+               detail::concat("class ", int(clsByte))};
+        return false;
+    }
+    const auto cls = static_cast<InstClass>(clsByte);
+    if (flags & ~kFlagMask) {
+        err = {DecodeErrorKind::OutOfRangeFlags, offset + 9,
+               detail::concat("reserved bits in 0x", int(flags))};
+        return false;
+    }
+    const bool taken = flags & kFlagTaken;
+    const bool hasMem = flags & kFlagHasMem;
+    const bool hasTarget = flags & kFlagHasTarget;
+    if (hasMem != isMemory(cls)) {
+        err = {DecodeErrorKind::OutOfRangeFlags, offset + 9,
+               hasMem ? "memory operand on non-memory class"
+                      : "memory class without memory operand"};
+        return false;
+    }
+    if ((taken || hasTarget) && !isBranch(cls)) {
+        err = {DecodeErrorKind::OutOfRangeFlags, offset + 9,
+               "branch flags on non-branch class"};
+        return false;
+    }
+    if (pc == 0 || !canonicalAddr(pc)) {
+        err = {DecodeErrorKind::NonCanonicalPc, offset, ""};
+        return false;
+    }
+
+    std::uint64_t effAddr = 0;
+    std::uint64_t target = 0;
+    if (hasMem) {
+        if (avail < pos + 9)
+            return truncated("effective address");
+        effAddr = readU64(bytes, pos);
+        const std::uint8_t size = bytes[pos + 8];
+        if (!canonicalAddr(effAddr)) {
+            err = {DecodeErrorKind::NonCanonicalAddress, offset + pos,
+                   "effective address"};
+            return false;
+        }
+        if (!plausibleAccessSize(size)) {
+            err = {DecodeErrorKind::ImpossibleLength, offset + pos + 8,
+                   detail::concat("memory access size ", int(size))};
+            return false;
+        }
+        pos += 9;
+    }
+    if (hasTarget) {
+        if (avail < pos + 8)
+            return truncated("branch target");
+        target = readU64(bytes, pos);
+        if (!canonicalAddr(target)) {
+            err = {DecodeErrorKind::NonCanonicalAddress, offset + pos,
+                   "branch target"};
+            return false;
+        }
+        pos += 8;
+    }
+    if (avail < pos + 1)
+        return truncated("register count");
+    const std::uint8_t nRegs = bytes[pos];
+    if (nRegs > 8) {
+        err = {DecodeErrorKind::ImpossibleLength, offset + pos,
+               detail::concat("register count ", int(nRegs))};
+        return false;
+    }
+    ++pos;
+    if (avail < pos + nRegs)
+        return truncated("register list");
+    for (std::size_t i = 0; i < nRegs; ++i) {
+        if (bytes[pos + i] >= 0x80) {
+            err = {DecodeErrorKind::OutOfRangeRegister, offset + pos + i,
+                   detail::concat("register byte 0x",
+                                  int(bytes[pos + i]))};
+            return false;
+        }
+    }
+    pos += nRegs;
+
+    rec = TraceRecord{};
+    rec.pc = pc;
+    rec.cls = cls;
+    rec.taken = taken;
+    rec.effAddr = effAddr;
+    rec.target = target;
+    len = pos;
+    return true;
+}
+
+bool
+CvpReader::next(TraceRecord &rec)
+{
+    while (!done_) {
+        const std::uint64_t at = window_.offset();
+        ctx_.checkAbort(at);
+        std::size_t avail = 0;
+        const std::uint8_t *bytes = window_.peek(kMaxRecordBytes, avail);
+        if (avail == 0) {
+            done_ = true;
+            break;
+        }
+        DecodeError err;
+        std::size_t len = 0;
+        if (decode(bytes, avail, at, rec, len, err)) {
+            window_.consume(len);
+            ctx_.stats.bytesConsumed += len;
+            quarantine_.flush();
+            ++ctx_.stats.records;
+            return true;
+        }
+        if (err.kind == DecodeErrorKind::TruncatedRecord &&
+            avail < kMaxRecordBytes) {
+            // The file genuinely ends inside this record: quarantine
+            // the stub and finish.
+            quarantine_.openRange(at, at + avail, err);
+            quarantine_.charge(1, at, err);
+            window_.consume(avail);
+            ctx_.stats.bytesConsumed += avail;
+            done_ = true;
+            break;
+        }
+        // Corrupt bytes mid-stream: quarantine and scan for the next
+        // plausible record boundary.
+        quarantine_.openRange(at, at, err);
+        quarantine_.charge(1, at, err);
+        if (resync(rec))
+            return true;
+    }
+    quarantine_.flush();
+    if (!countChecked_) {
+        countChecked_ = true;
+        if (ctx_.stats.records != declared_) {
+            const DecodeError err{
+                DecodeErrorKind::CountMismatch, window_.offset(),
+                detail::concat("header declared ", declared_, ", got ",
+                               ctx_.stats.records)};
+            chirp_warn("ingest '", name_, "': ", err.format());
+            quarantine_.charge(1, window_.offset(), err);
+        }
+    }
+    return false;
+}
+
+bool
+CvpReader::resync(TraceRecord &rec)
+{
+    // A position is a plausible boundary when two consecutive records
+    // decode cleanly from it, or one does and ends exactly at EOF.
+    std::uint64_t scanned = 0;
+    for (;;) {
+        const std::uint64_t at = window_.offset();
+        ctx_.checkAbort(at);
+        std::size_t avail = 0;
+        const std::uint8_t *bytes =
+            window_.peek(2 * kMaxRecordBytes, avail);
+        if (avail == 0) {
+            quarantine_.extend(at);
+            done_ = true;
+            return false;
+        }
+        TraceRecord first;
+        std::size_t firstLen = 0;
+        DecodeError err;
+        if (decode(bytes, avail, at, first, firstLen, err)) {
+            const bool atEof = avail < 2 * kMaxRecordBytes;
+            bool accept = atEof && firstLen == avail;
+            if (!accept && firstLen < avail) {
+                TraceRecord second;
+                std::size_t secondLen = 0;
+                accept = decode(bytes + firstLen, avail - firstLen,
+                                at + firstLen, second, secondLen, err);
+            }
+            if (accept) {
+                quarantine_.extend(at);
+                quarantine_.flush();
+                window_.consume(firstLen);
+                ctx_.stats.bytesConsumed += firstLen;
+                ++ctx_.stats.records;
+                rec = first;
+                return true;
+            }
+        }
+        window_.consume(1);
+        ctx_.stats.bytesConsumed += 1;
+        quarantine_.extend(at + 1);
+        // Charge the scan itself so a huge run of garbage exhausts
+        // the bad-record budget instead of being walked for free.
+        if ((++scanned & 63u) == 0) {
+            quarantine_.charge(
+                1, at + 1,
+                {DecodeErrorKind::TruncatedRecord, at + 1,
+                 detail::concat("resync scanned ", scanned, " bytes")});
+        }
+    }
+}
+
+void
+CvpReader::reset()
+{
+    window_.rewind();
+    window_.consume(0);
+    std::size_t avail = 0;
+    window_.peek(kHeaderBytes, avail);
+    window_.consume(kHeaderBytes); // header was validated at construction
+    done_ = false;
+    countChecked_ = false;
+}
+
+} // namespace chirp::ingest_detail

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Streaming reader for the CVP-1-style variable-length container.
+ * See ingest.hh for the format description.  Because records are
+ * variable-length, resync after corruption is a byte-at-a-time scan
+ * for the next position where two consecutive records decode cleanly
+ * (or one decodes and ends exactly at EOF).
+ */
+
+#ifndef CHIRP_TRACE_INGEST_CVP_READER_HH
+#define CHIRP_TRACE_INGEST_CVP_READER_HH
+
+#include <cstdio>
+
+#include "trace/ingest/ingest_util.hh"
+#include "trace/trace_source.hh"
+
+namespace chirp::ingest_detail
+{
+
+/**
+ * TraceSource over a CVP trace; takes ownership of @p file.  The
+ * constructor validates the container header and throws IngestError
+ * on a short header, wrong magic, or unsupported version — a broken
+ * header means there is no stream to salvage records from.
+ */
+class CvpReader final : public TraceSource
+{
+  public:
+    static constexpr std::size_t kHeaderBytes = 16;
+    /** Largest possible record: pc + cls + flags + mem + target +
+     *  register list = 8+1+1+9+8+9. */
+    static constexpr std::size_t kMaxRecordBytes = 36;
+
+    CvpReader(std::FILE *file, const std::string &name,
+              IngestContext &ctx);
+
+    bool next(TraceRecord &rec) override;
+    void reset() override;
+
+    InstCount expectedLength() const override { return declared_; }
+
+    /**
+     * Try to decode one record from @p bytes (holding @p avail valid
+     * bytes at input offset @p offset).  On success sets @p rec and
+     * @p len (bytes consumed) and returns true.  On failure returns
+     * false with @p err describing why; @p len is 0 when the bytes
+     * ran out (need more input / truncated) and nonzero never implies
+     * validity.
+     */
+    static bool decode(const std::uint8_t *bytes, std::size_t avail,
+                       std::uint64_t offset, TraceRecord &rec,
+                       std::size_t &len, DecodeError &err);
+
+  private:
+    bool resync(TraceRecord &rec);
+
+    ByteWindow window_;
+    IngestContext &ctx_;
+    QuarantineTracker quarantine_;
+    std::uint64_t declared_ = 0;
+    bool done_ = false;
+    bool countChecked_ = false;
+};
+
+} // namespace chirp::ingest_detail
+
+#endif // CHIRP_TRACE_INGEST_CVP_READER_HH

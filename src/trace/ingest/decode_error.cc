@@ -1,0 +1,67 @@
+#include "trace/ingest/decode_error.hh"
+
+#include "util/logging.hh"
+
+namespace chirp
+{
+
+const char *
+decodeErrorKindName(DecodeErrorKind kind)
+{
+    switch (kind) {
+      case DecodeErrorKind::Unreadable:
+        return "unreadable";
+      case DecodeErrorKind::UnknownFormat:
+        return "unknown trace format";
+      case DecodeErrorKind::BadMagic:
+        return "bad magic";
+      case DecodeErrorKind::BadVersion:
+        return "unsupported version";
+      case DecodeErrorKind::TruncatedHeader:
+        return "truncated header";
+      case DecodeErrorKind::TruncatedRecord:
+        return "truncated record";
+      case DecodeErrorKind::TruncatedColumn:
+        return "truncated column";
+      case DecodeErrorKind::TruncatedFooter:
+        return "truncated checksum footer";
+      case DecodeErrorKind::ImpossibleLength:
+        return "impossible length";
+      case DecodeErrorKind::OutOfRangeClass:
+        return "out-of-range instruction class";
+      case DecodeErrorKind::OutOfRangeRegister:
+        return "out-of-range register";
+      case DecodeErrorKind::OutOfRangeFlags:
+        return "impossible flag bits";
+      case DecodeErrorKind::NonCanonicalPc:
+        return "non-canonical pc";
+      case DecodeErrorKind::NonCanonicalAddress:
+        return "non-canonical address";
+      case DecodeErrorKind::SizeMismatch:
+        return "size mismatch";
+      case DecodeErrorKind::CountMismatch:
+        return "record count mismatch";
+      case DecodeErrorKind::ChecksumMismatch:
+        return "checksum mismatch";
+      case DecodeErrorKind::BudgetExceeded:
+        return "resource budget exceeded";
+      case DecodeErrorKind::Timeout:
+        return "ingest wall-clock budget exceeded";
+      case DecodeErrorKind::Cancelled:
+        return "cancelled";
+    }
+    return "?";
+}
+
+std::string
+DecodeError::format() const
+{
+    if (detail.empty()) {
+        return detail::concat(decodeErrorKindName(kind), " at byte ",
+                              offset);
+    }
+    return detail::concat(decodeErrorKindName(kind), " (", detail,
+                          ") at byte ", offset);
+}
+
+} // namespace chirp

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Internal plumbing shared by the ingest readers: the buffered byte
+ * window they peek records out of, the per-stream context carrying
+ * budgets and counters, and the quarantine-range tracker that merges,
+ * logs, and budget-charges corrupt regions.  Nothing here is part of
+ * the public ingest API (see ingest.hh).
+ */
+
+#ifndef CHIRP_TRACE_INGEST_INGEST_UTIL_HH
+#define CHIRP_TRACE_INGEST_INGEST_UTIL_HH
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "trace/ingest/ingest.hh"
+#include "util/logging.hh"
+
+namespace chirp::ingest_detail
+{
+
+/** Is @p addr 48-bit sign-extended, the shape every real x86-64 /
+ *  AArch64 virtual address has?  Hostile files love impossible
+ *  addresses; anything else is rejected as non-canonical. */
+inline bool
+canonicalAddr(std::uint64_t addr)
+{
+    const std::uint64_t top = addr >> 47;
+    return top == 0 || top == 0x1ffff;
+}
+
+/**
+ * Buffered forward window over a stdio stream.  Readers peek() up to
+ * a few records' worth of bytes, decode out of the returned buffer
+ * with bounds-checked memcpy, and consume() what they accepted; the
+ * window refills behind the scenes and tracks the absolute input
+ * offset for quarantine logs.  Owns the FILE*.
+ */
+class ByteWindow
+{
+  public:
+    /** Most bytes one peek() may request. */
+    static constexpr std::size_t kMaxPeek = 4096;
+
+    explicit ByteWindow(std::FILE *file) : file_(file)
+    {
+        buf_.resize(kBufBytes);
+    }
+
+    ~ByteWindow()
+    {
+        if (file_)
+            std::fclose(file_);
+    }
+
+    ByteWindow(const ByteWindow &) = delete;
+    ByteWindow &operator=(const ByteWindow &) = delete;
+
+    /**
+     * Make up to @p want bytes (<= kMaxPeek) visible at the current
+     * position; @p avail receives how many actually are.  A short
+     * count means end of input.
+     */
+    const std::uint8_t *
+    peek(std::size_t want, std::size_t &avail)
+    {
+        if (len_ - pos_ < want && !eof_)
+            fill(want);
+        avail = std::min(want, len_ - pos_);
+        return buf_.data() + pos_;
+    }
+
+    /** Advance past @p n bytes previously made visible by peek(). */
+    void consume(std::size_t n) { pos_ += n; }
+
+    /** Absolute input offset of the current position. */
+    std::uint64_t offset() const { return base_ + pos_; }
+
+    /** Rewind to the start of the input. */
+    void
+    rewind()
+    {
+        std::fseek(file_, 0, SEEK_SET);
+        base_ = 0;
+        pos_ = 0;
+        len_ = 0;
+        eof_ = false;
+    }
+
+  private:
+    static constexpr std::size_t kBufBytes = 1 << 16;
+
+    void
+    fill(std::size_t want)
+    {
+        // Slide the unconsumed tail to the front, then top up.
+        if (pos_ > 0) {
+            std::memmove(buf_.data(), buf_.data() + pos_, len_ - pos_);
+            base_ += pos_;
+            len_ -= pos_;
+            pos_ = 0;
+        }
+        while (len_ < std::max(want, kBufBytes / 2) && !eof_) {
+            const std::size_t got = std::fread(
+                buf_.data() + len_, 1, buf_.size() - len_, file_);
+            len_ += got;
+            if (got == 0)
+                eof_ = true;
+        }
+    }
+
+    std::FILE *file_;
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;      //!< read cursor within buf_
+    std::size_t len_ = 0;      //!< valid bytes in buf_
+    std::uint64_t base_ = 0;   //!< input offset of buf_[0]
+    bool eof_ = false;
+};
+
+/**
+ * Everything one ingest shares across its reader and materialization
+ * loop: the budgets, the counters, the effective cancel token, and
+ * the wall-clock deadline.
+ */
+struct IngestContext
+{
+    IngestLimits limits;
+    IngestStats stats;
+    std::string name;
+    const std::atomic<bool> *cancel = nullptr;
+    bool hasDeadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+
+    /**
+     * Cancellation / deadline poll: cheap (one relaxed load) on most
+     * calls, checking the clock only every 1024th so per-record use
+     * costs nothing measurable.  Throws IngestError on abort.
+     */
+    void
+    checkAbort(std::uint64_t offset)
+    {
+        if (cancel && cancel->load(std::memory_order_relaxed)) {
+            throw IngestError({DecodeErrorKind::Cancelled, offset,
+                               "cancel token raised (watchdog)"});
+        }
+        if (hasDeadline && (++tick_ & 1023u) == 0 &&
+            std::chrono::steady_clock::now() > deadline) {
+            throw IngestError(
+                {DecodeErrorKind::Timeout, offset,
+                 detail::concat(limits.maxWallMs, " ms budget")});
+        }
+    }
+
+  private:
+    std::uint32_t tick_ = 0;
+};
+
+/**
+ * Merges consecutive corrupt regions into one logged byte range,
+ * records them in the stream's stats, and charges the bad-record
+ * budget — throwing IngestError(BudgetExceeded) once the input has
+ * proved itself hostile (with the pending range flushed first so the
+ * evidence is logged either way).
+ */
+class QuarantineTracker
+{
+  public:
+    explicit QuarantineTracker(IngestContext &ctx) : ctx_(ctx) {}
+
+    ~QuarantineTracker() { flush(); }
+
+    /**
+     * Mark [begin, end) corrupt with @p err as the representative
+     * failure; adjacent ranges merge into one log line.
+     */
+    void
+    openRange(std::uint64_t begin, std::uint64_t end,
+              const DecodeError &err)
+    {
+        if (open_ && begin == end_) {
+            end_ = end;
+            return;
+        }
+        flush();
+        open_ = true;
+        begin_ = begin;
+        end_ = end;
+        first_ = err;
+    }
+
+    /** Grow the open range (resync scans extend byte by byte). */
+    void extend(std::uint64_t end) { end_ = end; }
+
+    /**
+     * Charge @p n bad records against the budget; throws
+     * IngestError(BudgetExceeded) past the limit.
+     */
+    void
+    charge(std::uint64_t n, std::uint64_t offset,
+           const DecodeError &err)
+    {
+        ctx_.stats.badRecords += n;
+        if (ctx_.stats.badRecords <= ctx_.limits.badRecordBudget)
+            return;
+        flush();
+        throw IngestError(
+            {DecodeErrorKind::BudgetExceeded, offset,
+             detail::concat("bad-record budget of ",
+                            ctx_.limits.badRecordBudget,
+                            " exhausted; last error: ", err.format())});
+    }
+
+    /** Log and account the pending range, if any. */
+    void
+    flush()
+    {
+        if (!open_)
+            return;
+        open_ = false;
+        chirp_warn("ingest '", ctx_.name, "': quarantined bytes [",
+                   begin_, ", ", end_, ") — ", first_.format());
+        ctx_.stats.quarantinedBytes += end_ - begin_;
+        if (++ctx_.stats.quarantinedRangeCount <=
+            IngestStats::kMaxLoggedRanges)
+            ctx_.stats.ranges.push_back({begin_, end_});
+    }
+
+  private:
+    IngestContext &ctx_;
+    bool open_ = false;
+    std::uint64_t begin_ = 0;
+    std::uint64_t end_ = 0;
+    DecodeError first_;
+};
+
+} // namespace chirp::ingest_detail
+
+#endif // CHIRP_TRACE_INGEST_INGEST_UTIL_HH

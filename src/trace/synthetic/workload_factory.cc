@@ -493,6 +493,12 @@ categoryName(Category category)
 std::unique_ptr<Program>
 buildWorkload(const WorkloadConfig &config)
 {
+    if (!config.tracePath.empty()) {
+        chirp_fatal("workload '", config.name, "' is external (",
+                    config.tracePath,
+                    "); its stream must come from TraceStore ingest, "
+                    "not the synthetic generator");
+    }
     std::string name = config.name;
     if (name.empty()) {
         name = std::string(categoryName(config.category)) + "_" +

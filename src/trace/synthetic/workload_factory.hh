@@ -48,6 +48,13 @@ struct WorkloadConfig
     double scale = 1.0;
     /** Workload name; derived from category+seed when empty. */
     std::string name;
+    /**
+     * Non-empty marks an external-trace workload: the stream comes
+     * from ingesting this ChampSim/CVP file (see trace/ingest/), not
+     * from the synthetic generator, and category/seed/length/scale
+     * are ignored for stream content.
+     */
+    std::string tracePath;
 };
 
 /** Construct (and finalize) the Program for @p config. */

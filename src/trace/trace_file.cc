@@ -9,6 +9,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "trace/ingest/decode_error.hh"
 #include "util/logging.hh"
 
 namespace chirp
@@ -309,35 +310,40 @@ TraceFileSource::~TraceFileSource()
 bool
 TraceFileSource::probe(const std::string &path, std::string *reason)
 {
-    const auto refuse = [&](const std::string &why) {
+    // Failure reasons use the ingest tier's DecodeError taxonomy, so
+    // a quarantine log line reads the same whether the bad bytes came
+    // from a cache file or a hostile --trace-in file.
+    const auto refuse = [&](const DecodeError &why) {
         if (reason)
-            *reason = why;
+            *reason = why.format();
         return false;
     };
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        return refuse("unreadable");
+        return refuse({DecodeErrorKind::Unreadable, 0, ""});
     bool ok = false;
-    std::string why;
+    DecodeError why;
     char magic[4];
     std::uint32_t version = 0;
     std::uint64_t count = 0;
     if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
         std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-        why = "bad magic (not a chirp trace)";
+        why = {DecodeErrorKind::BadMagic, 0, "not a chirp trace"};
     } else if (!get32(f, version) || version != kTraceFormatVersion) {
-        why = detail::concat("unsupported version ", version);
+        why = {DecodeErrorKind::BadVersion, 4,
+               detail::concat("version ", version)};
     } else if (!get64(f, count)) {
-        why = "truncated header (no record count)";
+        why = {DecodeErrorKind::TruncatedHeader, 8, "no record count"};
     } else if (std::fseek(f, 0, SEEK_END) != 0) {
-        why = "unseekable";
+        why = {DecodeErrorKind::Unreadable, 0, "unseekable"};
     } else {
         const long size = std::ftell(f);
         const std::uint64_t expected = layoutFor(count).fileSize;
         ok = size >= 0 && static_cast<std::uint64_t>(size) == expected;
         if (!ok) {
-            why = detail::concat("size ", size, " != expected ",
-                                 expected, " for ", count, " records");
+            why = {DecodeErrorKind::SizeMismatch, 0,
+                   detail::concat("size ", size, " != expected ",
+                                  expected, " for ", count, " records")};
         }
     }
     std::fclose(f);
@@ -460,32 +466,33 @@ TraceFileSource::reset()
 std::shared_ptr<const ColumnarTrace>
 mapTraceFile(const std::string &path, std::string *reason)
 {
-    const auto refuse = [&](const std::string &why)
+    const auto refuse = [&](const DecodeError &why)
         -> std::shared_ptr<const ColumnarTrace> {
         if (reason)
-            *reason = why;
+            *reason = why.format();
         return nullptr;
     };
     if (!kLittleEndian) {
         // The columns would need byte-swapping, defeating zero-copy;
         // the streaming tier still works everywhere.
-        return refuse("mmap tier requires a little-endian host");
+        return refuse({DecodeErrorKind::Unreadable, 0,
+                       "mmap tier requires a little-endian host"});
     }
     if (!TraceFileSource::probe(path, reason))
         return nullptr;
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0)
-        return refuse("unreadable");
+        return refuse({DecodeErrorKind::Unreadable, 0, ""});
     struct stat st = {};
     if (::fstat(fd, &st) != 0 || st.st_size < 0) {
         ::close(fd);
-        return refuse("unreadable");
+        return refuse({DecodeErrorKind::Unreadable, 0, "fstat failed"});
     }
     const std::size_t len = static_cast<std::size_t>(st.st_size);
     void *base = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
     ::close(fd); // the mapping keeps its own reference
     if (base == MAP_FAILED)
-        return refuse("mmap failed");
+        return refuse({DecodeErrorKind::Unreadable, 0, "mmap failed"});
     // The replay will touch every column front to back; huge pages
     // cut TLB pressure where the kernel supports them for file
     // mappings (harmless where it does not).
@@ -509,7 +516,9 @@ mapTraceFile(const std::string &path, std::string *reason)
                     sizeof(stored));
         if (sum != stored) {
             ::munmap(base, len);
-            return refuse("checksum mismatch");
+            return refuse({DecodeErrorKind::ChecksumMismatch,
+                           lay.footerOff + 8 * c,
+                           detail::concat("column ", c)});
         }
     }
     return std::make_shared<const ColumnarTrace>(
@@ -528,26 +537,28 @@ readTraceFile(const std::string &path, std::string *reason)
     // checksum over the same bytes, instead of a verify pass
     // followed by a record-at-a-time gather/scatter round trip.
     std::FILE *f = std::fopen(path.c_str(), "rb");
-    const auto refuse = [&](std::string why)
+    const auto refuse = [&](const DecodeError &why)
         -> std::shared_ptr<const ColumnarTrace> {
         if (f)
             std::fclose(f);
         if (reason)
-            *reason = std::move(why);
+            *reason = why.format();
         return nullptr;
     };
     if (!f)
-        return refuse("unreadable");
+        return refuse({DecodeErrorKind::Unreadable, 0, ""});
     char magic[4];
     std::uint32_t version = 0;
     std::uint64_t count = 0;
     if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
         std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        return refuse("bad magic (not a chirp trace)");
+        return refuse({DecodeErrorKind::BadMagic, 0, "not a chirp trace"});
     if (!get32(f, version) || version != kTraceFormatVersion)
-        return refuse(detail::concat("unsupported version ", version));
+        return refuse({DecodeErrorKind::BadVersion, 4,
+                       detail::concat("version ", version)});
     if (!get64(f, count))
-        return refuse("truncated header (no record count)");
+        return refuse(
+            {DecodeErrorKind::TruncatedHeader, 8, "no record count"});
     const std::size_t n = static_cast<std::size_t>(count);
     std::uint64_t sums[kNumColumns];
     std::vector<Addr> pc(n), ea(n), tg(n);
@@ -556,7 +567,9 @@ readTraceFile(const std::string &path, std::string *reason)
     for (std::size_t c = 0; c < 3; ++c) {
         if (n > 0 &&
             std::fread(addr_cols[c], sizeof(Addr), n, f) != n)
-            return refuse("truncated column");
+            return refuse({DecodeErrorKind::TruncatedColumn,
+                           static_cast<std::uint64_t>(std::ftell(f)),
+                           detail::concat("column ", c)});
         // The footer covers the on-disk (LE) bytes: fold the sum
         // before any endian fix so it matches the writer's.
         sums[c] = columnChecksum(
@@ -565,18 +578,24 @@ readTraceFile(const std::string &path, std::string *reason)
         fixEndian(addr_cols[c], n);
     }
     if (n > 0 && std::fread(meta.data(), 1, n, f) != n)
-        return refuse("truncated column");
+        return refuse({DecodeErrorKind::TruncatedColumn,
+                       static_cast<std::uint64_t>(std::ftell(f)),
+                       "meta column"});
     sums[3] = columnChecksum(meta.data(), n);
     const Layout lay = layoutFor(count);
     if (lay.padBytes > 0 &&
         std::fseek(f, static_cast<long>(lay.padBytes), SEEK_CUR) != 0)
-        return refuse("truncated padding");
+        return refuse({DecodeErrorKind::TruncatedFooter,
+                       lay.footerOff, "padding"});
     for (std::size_t c = 0; c < kNumColumns; ++c) {
         std::uint64_t stored = 0;
         if (!get64(f, stored))
-            return refuse("truncated checksum footer");
+            return refuse({DecodeErrorKind::TruncatedFooter,
+                           lay.footerOff + 8 * c, ""});
         if (stored != sums[c])
-            return refuse("checksum mismatch");
+            return refuse({DecodeErrorKind::ChecksumMismatch,
+                           lay.footerOff + 8 * c,
+                           detail::concat("column ", c)});
     }
     std::fclose(f);
     f = nullptr;

@@ -5,8 +5,11 @@
 #include <cstring>
 #include <filesystem>
 
+#include "trace/ingest/ingest.hh"
 #include "trace/trace_file.hh"
+#include "util/atomic_file.hh"
 #include "util/fault_injection.hh"
+#include "util/quarantine.hh"
 #include "util/hashing.hh"
 #include "util/logging.hh"
 
@@ -54,7 +57,18 @@ workloadTraceKey(const WorkloadConfig &config)
     std::uint64_t scale_bits = 0;
     static_assert(sizeof(scale_bits) == sizeof(config.scale));
     std::memcpy(&scale_bits, &config.scale, sizeof(scale_bits));
-    return hashCombine(key, scale_bits);
+    key = hashCombine(key, scale_bits);
+    if (!config.tracePath.empty()) {
+        // External workloads: the file decides the stream, so two
+        // paths must never share a materialization.
+        std::uint64_t path_hash = 0xcbf29ce484222325ull; // FNV-1a
+        for (const char c : config.tracePath) {
+            path_hash ^= static_cast<std::uint8_t>(c);
+            path_hash *= 0x100000001b3ull;
+        }
+        key = hashCombine(key, mix64(path_hash));
+    }
+    return key;
 }
 
 std::vector<TraceRecord>
@@ -164,6 +178,15 @@ TraceStore::get(const WorkloadConfig &config)
 SharedTrace
 TraceStore::load(const WorkloadConfig &config)
 {
+    if (!config.tracePath.empty()) {
+        // External workload: the trace file on disk is already the
+        // durable tier, so the cache directory is never consulted.
+        // ingestTraceFile throws IngestError on hostile input; get()
+        // propagates it and the per-job guard fails just that job.
+        IngestResult result = ingestTraceFile(config.tracePath);
+        ingested_.fetch_add(1);
+        return std::move(result.trace);
+    }
     if (!cacheDir_.empty()) {
         const std::string path = cachePath(config);
         if (SharedTrace trace = loadFromDisk(config, path))
@@ -203,8 +226,12 @@ TraceStore::loadFromDisk(const WorkloadConfig &config,
                 mapped_.fetch_add(1);
                 return mapped;
             }
-            reason = detail::concat("record count ", mapped->size(),
-                                    " != expected ", config.length);
+            reason = DecodeError{DecodeErrorKind::CountMismatch, 8,
+                                 detail::concat("record count ",
+                                                mapped->size(),
+                                                " != expected ",
+                                                config.length)}
+                         .format();
         }
         quarantine(path, reason);
         return nullptr;
@@ -222,8 +249,12 @@ TraceStore::loadFromDisk(const WorkloadConfig &config,
         // Stale rather than corrupt (a key collision across
         // different lengths), but quarantining is still the right
         // recovery: keep the evidence, regenerate the trace.
-        reason = detail::concat("record count ", trace->size(),
-                                " != expected ", config.length);
+        reason = DecodeError{DecodeErrorKind::CountMismatch, 8,
+                             detail::concat("record count ",
+                                            trace->size(),
+                                            " != expected ",
+                                            config.length)}
+                     .format();
     }
     quarantine(path, reason);
     return nullptr;
@@ -244,6 +275,7 @@ TraceStore::quarantine(const std::string &path, const std::string &reason)
     }
     chirp_warn("trace cache: quarantined '", path, "' -> '", target,
                "' (", reason, "); regenerating");
+    noteQuarantined(target, reason);
     rejected_.fetch_add(1);
     quarantined_.fetch_add(1);
 }
@@ -278,6 +310,7 @@ TraceStore::saveToDisk(const ColumnarTrace &trace,
         chirp_warn("trace cache: cannot publish '", path, "'");
         return;
     }
+    fsyncParentDir(path);
     // Give the fault harness a window to corrupt the freshly
     // published file, exercising the quarantine path end to end.
     FaultInjector::instance().onCachePublish(path);

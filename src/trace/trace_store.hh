@@ -183,6 +183,8 @@ class TraceStore
     std::uint64_t rejectedCaches() const { return rejected_.load(); }
     /** Rejected candidates renamed aside as "<file>.corrupt". */
     std::uint64_t quarantinedCaches() const { return quarantined_.load(); }
+    /** Streams ingested from external ChampSim/CVP trace files. */
+    std::uint64_t ingested() const { return ingested_.load(); }
 
   private:
     SharedTrace load(const WorkloadConfig &config);
@@ -200,6 +202,7 @@ class TraceStore
     std::atomic<std::uint64_t> mapped_{0};
     std::atomic<std::uint64_t> rejected_{0};
     std::atomic<std::uint64_t> quarantined_{0};
+    std::atomic<std::uint64_t> ingested_{0};
 };
 
 } // namespace chirp

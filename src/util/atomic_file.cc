@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 namespace chirp
@@ -74,6 +75,10 @@ AtomicFile::commit()
         return false;
     }
     temp_.clear();
+    // The rename is only durable once the directory entry is on
+    // disk; without this a power cut can lose the published file
+    // even though the data itself was fsync'd.
+    fsyncParentDir(path_);
     return true;
 }
 
@@ -88,6 +93,21 @@ AtomicFile::discard()
         std::remove(temp_.c_str());
         temp_.clear();
     }
+}
+
+bool
+fsyncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                          O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
 }
 
 bool

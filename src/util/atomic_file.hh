@@ -85,6 +85,17 @@ class AtomicFile
 bool atomicWriteFile(const std::string &path, std::string_view content,
                      std::string *error = nullptr);
 
+/**
+ * fsync the directory containing @p path, making a just-created or
+ * just-renamed entry durable.  An fsync'd file published by rename is
+ * only crash-safe once the directory entry itself is on disk; a
+ * power cut between the rename and the directory flush can otherwise
+ * lose the file while the process already reported success.  Returns
+ * false (harmless for callers that treat durability as best-effort)
+ * when the directory cannot be opened or synced.
+ */
+bool fsyncParentDir(const std::string &path);
+
 } // namespace chirp
 
 #endif // CHIRP_UTIL_ATOMIC_FILE_HH

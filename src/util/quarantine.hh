@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Process-wide registry of quarantined artifacts.
+ *
+ * Several subsystems move evidence of corruption aside instead of
+ * deleting it: the trace cache renames bad cache files to
+ * "<file>.corrupt", the run journal renames mismatched sidecars to
+ * "<file>.stale".  Left alone those accumulate forever in cache and
+ * bench directories.  Every rename now reports here, which (a)
+ * prunes older artifacts with the same suffix in the same directory
+ * down to a bounded count (CHIRP_QUARANTINE_KEEP, default 3 -- the
+ * newest are the useful evidence), and (b) feeds a one-line suite-end
+ * summary so operators notice quarantines without grepping logs.
+ */
+
+#ifndef CHIRP_UTIL_QUARANTINE_HH
+#define CHIRP_UTIL_QUARANTINE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace chirp
+{
+
+/** One artifact moved aside during this process's lifetime. */
+struct QuarantinedArtifact
+{
+    std::string path;   //!< where the evidence now lives
+    std::string reason; //!< why it was quarantined
+};
+
+/**
+ * Record that @p path now holds quarantined evidence (because of
+ * @p reason) and prune older artifacts with the same suffix in the
+ * same directory beyond the retention bound.  Thread-safe.
+ */
+void noteQuarantined(const std::string &path, const std::string &reason);
+
+/** Artifacts recorded by this process, in order. */
+std::vector<QuarantinedArtifact> quarantinedArtifacts();
+
+/** Count of artifacts recorded by this process. */
+std::size_t quarantinedArtifactCount();
+
+/**
+ * One suite-end summary line ("quarantined 2 artifacts: a.corrupt,
+ * b.stale"), or "" when nothing was quarantined.
+ */
+std::string quarantineSummaryLine();
+
+/** Retention bound per directory+suffix (CHIRP_QUARANTINE_KEEP). */
+std::size_t quarantineKeepCount();
+
+/** Forget recorded artifacts (tests only; files are not restored). */
+void resetQuarantineLog();
+
+} // namespace chirp
+
+#endif // CHIRP_UTIL_QUARANTINE_HH

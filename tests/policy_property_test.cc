@@ -6,10 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <tuple>
 
 #include "core/policy_factory.hh"
+#include "sim/runner.hh"
 #include "tlb/tlb.hh"
+#include "trace/ingest/ingest.hh"
 #include "util/random.hh"
 
 namespace chirp
@@ -161,6 +165,51 @@ TEST_P(PolicyProperty, WorkingSetWithinCapacityEventuallyAllHits)
             EXPECT_TRUE(tlb.access(info, 0, now++));
         }
     }
+}
+
+TEST_P(PolicyProperty, RunsOverAnIngestedExternalTrace)
+{
+    // Every policy must also digest a stream that came through the
+    // untrusted ingest front-end, not just the synthetic generator.
+    // One geometry suffices; the fixture is shared across policies.
+    if (sets() != 16)
+        GTEST_SKIP();
+    static const std::string path = [] {
+        Rng rng(0xc5a11d);
+        std::string data;
+        appendCvpHeader(data, 12000);
+        for (int i = 0; i < 12000; ++i) {
+            TraceRecord rec;
+            rec.pc = (0x400000 + 4 * rng.below(4096)) | 1;
+            rec.cls = rng.chance(0.2) ? InstClass::CondBranch
+                      : rng.chance(0.5) ? InstClass::Load
+                                        : InstClass::Store;
+            if (isMemory(rec.cls))
+                rec.effAddr = rng.below(1 << 20) * kPageSize;
+            if (isBranch(rec.cls)) {
+                rec.taken = rng.chance(0.5);
+                rec.target = 0x400000 + 4 * rng.below(4096);
+            }
+            appendCvpRecord(data, rec);
+        }
+        const std::string file =
+            ::testing::TempDir() + "chirp_policy_ingest.cvp";
+        std::ofstream out(file, std::ios::binary | std::ios::trunc);
+        out.write(data.data(),
+                  static_cast<std::streamsize>(data.size()));
+        return file;
+    }();
+    WorkloadConfig workload;
+    workload.tracePath = path;
+    workload.name = "ingested";
+    SimConfig config;
+    config.simulateCaches = false;
+    config.simulateBranch = false;
+    const Runner runner(config);
+    const SimStats stats =
+        runner.runOne(workload, Runner::factoryFor(kind()));
+    EXPECT_EQ(stats.instructions + stats.warmupInstructions, 12000u);
+    EXPECT_GT(stats.l2TlbAccesses, 0u);
 }
 
 std::string
